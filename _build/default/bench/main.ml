@@ -1,0 +1,228 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the paper
+   (printed below, at the data-set scale selected by CCDSM_FULL), then times
+   the regeneration machinery and the protocol hot paths with Bechamel —
+   one Test.make per table/figure plus micro-benchmarks.
+
+   dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module E = Ccdsm_harness.Experiments
+module Measure_h = Ccdsm_harness.Measure
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Schedule = Ccdsm_core.Schedule
+module Predictive = Ccdsm_core.Predictive
+module Adaptive = Ccdsm_apps.Adaptive
+module Barnes = Ccdsm_apps.Barnes
+module Water = Ccdsm_apps.Water
+module Cstar = Ccdsm_cstar
+
+(* -- regenerate the paper's tables and figures ------------------------------- *)
+
+let print_figures () =
+  let scale = E.scale_of_env () in
+  print_endline "==================================================================";
+  print_endline "Reproduction of every table and figure (see EXPERIMENTS.md)";
+  (match scale with
+  | E.Paper -> print_endline "scale: paper data sets (CCDSM_FULL set)"
+  | E.Scaled -> print_endline "scale: reduced data sets (set CCDSM_FULL=1 for paper scale)");
+  print_endline "==================================================================";
+  print_endline "\n== Table 1 ==";
+  print_string (E.table1 scale);
+  print_endline "\n== Figure 4 ==";
+  print_string (E.fig4 ());
+  let fig5 = E.fig5 scale in
+  print_newline ();
+  print_string (E.render fig5);
+  let fig6 = E.fig6 scale in
+  print_newline ();
+  print_string (E.render fig6);
+  let fig7 = E.fig7 scale in
+  print_newline ();
+  print_string (E.render fig7);
+  print_newline ();
+  print_string (E.block_sweep scale);
+  print_newline ();
+  print_string (E.ablations scale);
+  print_newline ();
+  print_string (E.inspector scale);
+  print_newline ();
+  print_string (E.scaling scale);
+  print_endline "\n== shape checks (paper claims) ==";
+  let checks = E.check_shapes ~fig5 ~fig6 ~fig7 in
+  List.iter
+    (fun (claim, ok) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "MISS") claim)
+    checks;
+  print_newline ()
+
+(* -- Bechamel tests ------------------------------------------------------------ *)
+
+(* Tiny configurations so each timed sample stays in the milliseconds. *)
+let tiny_adaptive = { Adaptive.small with Adaptive.n = 32; iterations = 4 }
+let tiny_barnes = { Barnes.small with Barnes.n_bodies = 512; iterations = 1 }
+let tiny_water = { Water.small with Water.n_molecules = 64; iterations = 2 }
+
+let small_machine () = Machine.default_config ~num_nodes:8 ~block_bytes:32 ()
+
+let bench_version protocol run =
+  Measure_h.measure ~num_nodes:8 (Measure_h.version ~label:"bench" ~protocol ~block_bytes:32 run)
+
+let test_table1 =
+  Test.make ~name:"table1" (Staged.stage (fun () -> Sys.opaque_identity (E.table1 E.Scaled)))
+
+let test_fig4 =
+  Test.make ~name:"fig4-compiler-report" (Staged.stage (fun () -> Sys.opaque_identity (E.fig4 ())))
+
+let test_fig5 =
+  Test.make ~name:"fig5-adaptive"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (bench_version Runtime.Predictive (fun rt ->
+                (Adaptive.run rt tiny_adaptive).Adaptive.checksum))))
+
+let test_fig6 =
+  Test.make ~name:"fig6-barnes"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (bench_version Runtime.Predictive (fun rt ->
+                (Barnes.run rt tiny_barnes).Barnes.checksum))))
+
+let test_fig7 =
+  Test.make ~name:"fig7-water"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (bench_version Runtime.Predictive (fun rt ->
+                (Water.run rt tiny_water).Water.checksum))))
+
+let test_sweep_point =
+  Test.make ~name:"sweep-point-unopt"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (bench_version Runtime.Stache (fun rt ->
+                (Water.run rt tiny_water).Water.checksum))))
+
+let test_ablation_point =
+  Test.make ~name:"ablation-no-coalesce"
+    (Staged.stage (fun () ->
+         let v =
+           Measure_h.version ~label:"bench" ~protocol:Runtime.Predictive ~block_bytes:32
+             ~coalesce:false (fun rt -> (Water.run rt tiny_water).Water.checksum)
+         in
+         Sys.opaque_identity (Measure_h.measure ~num_nodes:8 v)))
+
+(* Micro-benchmarks of the protocol and compiler hot paths. *)
+
+let test_demand_miss =
+  Test.make ~name:"micro-stache-demand-miss"
+    (Staged.stage
+       (let m = Machine.create (small_machine ()) in
+        let _ = Ccdsm_proto.Engine.stache m in
+        let a = Machine.alloc m ~words:4 ~home:0 in
+        let turn = ref 0 in
+        fun () ->
+          (* Alternate writer/readers so every access faults. *)
+          turn := (!turn + 1) land 3;
+          if !turn = 0 then Machine.write m ~node:1 a 1.0
+          else ignore (Sys.opaque_identity (Machine.read m ~node:(2 + (!turn land 1)) a))))
+
+let test_local_hit =
+  Test.make ~name:"micro-local-hit"
+    (Staged.stage
+       (let m = Machine.create (small_machine ()) in
+        let _ = Ccdsm_proto.Engine.stache m in
+        let a = Machine.alloc m ~words:4 ~home:0 in
+        fun () -> ignore (Sys.opaque_identity (Machine.read m ~node:0 a))))
+
+let test_schedule_record =
+  Test.make ~name:"micro-schedule-record"
+    (Staged.stage
+       (let s = Schedule.create () in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          Schedule.record_read s (!i land 1023) ~reader:(!i land 7)))
+
+let test_presend =
+  Test.make ~name:"micro-presend-1k-blocks"
+    (Staged.stage
+       (let m = Machine.create (small_machine ()) in
+        let p = Predictive.create m in
+        let coh = Predictive.coherence p in
+        let a = Machine.alloc m ~words:4096 ~home:0 in
+        (* Build a 1024-block schedule once. *)
+        coh.Ccdsm_proto.Coherence.phase_begin ~phase:0;
+        for b = 0 to 1023 do
+          ignore (Machine.read m ~node:1 (a + (b * 4)))
+        done;
+        coh.Ccdsm_proto.Coherence.phase_end ~phase:0;
+        fun () ->
+          coh.Ccdsm_proto.Coherence.phase_begin ~phase:0;
+          coh.Ccdsm_proto.Coherence.phase_end ~phase:0))
+
+let test_dataflow =
+  Test.make ~name:"micro-dataflow-solve"
+    (Staged.stage
+       (let c = Cstar.Compile.compile_exn Ccdsm_apps.Water.skeleton_src in
+        let sema = c.Cstar.Compile.sema in
+        fun () ->
+          Sys.opaque_identity
+            (Cstar.Reaching.analyze sema sema.Cstar.Sema.prog.Cstar.Ast.main)))
+
+let test_compile =
+  Test.make ~name:"micro-compile-adaptive-skeleton"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Cstar.Compile.compile_exn Ccdsm_apps.Adaptive.skeleton_src)))
+
+let test_bulk_runs =
+  Test.make ~name:"micro-bulk-runs"
+    (Staged.stage
+       (let blocks = List.init 256 (fun i -> (i * 7) mod 512) in
+        fun () -> Sys.opaque_identity (Ccdsm_proto.Bulk.runs blocks)))
+
+let tests =
+  Test.make_grouped ~name:"ccdsm"
+    [
+      test_table1;
+      test_fig4;
+      test_fig5;
+      test_fig6;
+      test_fig7;
+      test_sweep_point;
+      test_ablation_point;
+      test_demand_miss;
+      test_local_hit;
+      test_schedule_record;
+      test_presend;
+      test_dataflow;
+      test_compile;
+      test_bulk_runs;
+    ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "== Bechamel timings (host time per regeneration/operation) ==";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+            else Printf.sprintf "%8.2f ns" est
+          in
+          Printf.printf "  %-36s %s/run\n" name pretty
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let () =
+  print_figures ();
+  run_benchmarks ()

@@ -1,0 +1,96 @@
+(* cstarc: the C** compiler driver.
+
+   Compile a .cstar source file and dump analysis results, or execute it on
+   the simulated DSM:
+
+     cstarc prog.cstar --dump-ast
+     cstarc prog.cstar --dump-access --dump-placement
+     cstarc prog.cstar --run --protocol predictive --nodes 8 --stats *)
+
+open Cmdliner
+module C = Ccdsm_cstar
+module Runtime = Ccdsm_runtime.Runtime
+module Machine = Ccdsm_tempest.Machine
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C** source file.")
+
+let flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (enum [ ("stache", Runtime.Stache); ("predictive", Runtime.Predictive) ]) Runtime.Predictive
+    & info [ "protocol" ] ~docv:"PROTO" ~doc:"Coherence protocol: stache or predictive.")
+
+let nodes_arg =
+  Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N" ~doc:"Simulated processors.")
+
+let block_arg =
+  Arg.(value & opt int 32 & info [ "block" ] ~docv:"B" ~doc:"Cache block size in bytes.")
+
+let main file dump_ast dump_access dump_cfg dump_reaching dump_placement dump_all run protocol
+    nodes block stats =
+  let source = read_file file in
+  match C.Compile.compile source with
+  | Error errs ->
+      List.iter (Printf.eprintf "%s: %s\n" file) errs;
+      exit 1
+  | Ok compiled ->
+      let sema = compiled.C.Compile.sema in
+      if dump_all then Format.printf "%a@." C.Compile.pp_report compiled
+      else begin
+        if dump_ast then Format.printf "%a@." C.Ast.pp_program sema.C.Sema.prog;
+        if dump_access then
+          List.iter
+            (fun (name, s) -> Format.printf "%s: %a@." name C.Access.pp_summary s)
+            compiled.C.Compile.summaries;
+        if dump_cfg then
+          Format.printf "%a@." C.Cfg.pp (C.Cfg.build sema.C.Sema.prog.C.Ast.main);
+        if dump_reaching then
+          Format.printf "%a@." C.Reaching.pp
+            (C.Reaching.analyze sema ~summaries:compiled.C.Compile.summaries
+               sema.C.Sema.prog.C.Ast.main);
+        if dump_placement then
+          Format.printf "%a@.placed main:@.%a@." C.Placement.pp compiled.C.Compile.placement
+            C.Ast.pp_stmts compiled.C.Compile.placement.C.Placement.placed_main
+      end;
+      if run then begin
+        let cfg = Machine.default_config ~num_nodes:nodes ~block_bytes:block () in
+        let rt = Runtime.create ~cfg ~protocol () in
+        let env = C.Interp.load rt compiled in
+        C.Interp.run env;
+        Printf.printf "executed on %d nodes under %s: simulated time %.1f us\n" nodes
+          (Runtime.coherence rt).Ccdsm_proto.Coherence.name (Runtime.total_time rt);
+        if stats then begin
+          let c = Machine.total_counters (Runtime.machine rt) in
+          Printf.printf "faults: %d read, %d write; messages: %d (%d bytes)\n"
+            c.Machine.read_faults c.Machine.write_faults c.Machine.msgs c.Machine.bytes;
+          List.iter
+            (fun (k, v) -> Printf.printf "%s: %.0f\n" k v)
+            ((Runtime.coherence rt).Ccdsm_proto.Coherence.stats ())
+        end
+      end
+
+let () =
+  let term =
+    Term.(
+      const main $ file_arg
+      $ flag "dump-ast" "Print the resolved program."
+      $ flag "dump-access" "Print per-function access summaries (section 4.2)."
+      $ flag "dump-cfg" "Print the sequential control-flow graph."
+      $ flag "dump-reaching" "Print reaching-unstructured-accesses facts (section 4.3)."
+      $ flag "dump-placement" "Print directive placement and the placed main."
+      $ flag "dump-all" "Print the full compiler report."
+      $ flag "run" "Execute the program on the simulated DSM."
+      $ protocol_arg $ nodes_arg $ block_arg
+      $ flag "stats" "With --run: print machine and protocol counters.")
+  in
+  let info = Cmd.info "cstarc" ~version:"1.0" ~doc:"C** compiler for the simulated DSM" in
+  exit (Cmd.eval (Cmd.v info term))

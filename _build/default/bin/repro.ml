@@ -1,0 +1,96 @@
+(* repro: regenerate the paper's tables and figures.
+
+   Examples:
+     repro table1
+     repro fig5 --full          # paper-scale data set
+     repro fig6 --nodes 16
+     repro all                  # everything, plus the shape checklist *)
+
+open Cmdliner
+module E = Ccdsm_harness.Experiments
+
+let scale full = if full then E.Paper else E.scale_of_env ()
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's data-set sizes (Table 1).")
+
+let nodes_arg =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "nodes" ] ~docv:"N" ~doc:"Number of simulated processors (the paper uses 32).")
+
+let print_figure fig =
+  print_string (E.render fig);
+  print_newline ()
+
+let run_table1 full = print_string (E.table1 (scale full))
+let run_fig4 () = print_string (E.fig4 ())
+let run_fig5 full nodes = print_figure (E.fig5 ~num_nodes:nodes (scale full))
+let run_fig6 full nodes = print_figure (E.fig6 ~num_nodes:nodes (scale full))
+let run_fig7 full nodes = print_figure (E.fig7 ~num_nodes:nodes (scale full))
+let run_sweep full nodes = print_string (E.block_sweep ~num_nodes:nodes (scale full))
+let run_ablate full nodes = print_string (E.ablations ~num_nodes:nodes (scale full))
+let run_scaling full = print_string (E.scaling (scale full))
+let run_inspector full = print_string (E.inspector (scale full))
+
+let run_all full nodes =
+  let s = scale full in
+  print_endline "== Table 1 ==";
+  print_string (E.table1 s);
+  print_newline ();
+  print_endline "== Figure 4 ==";
+  print_string (E.fig4 ());
+  print_newline ();
+  let fig5 = E.fig5 ~num_nodes:nodes s in
+  print_figure fig5;
+  let fig6 = E.fig6 ~num_nodes:nodes s in
+  print_figure fig6;
+  let fig7 = E.fig7 ~num_nodes:nodes s in
+  print_figure fig7;
+  print_string (E.block_sweep ~num_nodes:nodes s);
+  print_newline ();
+  print_string (E.ablations ~num_nodes:nodes s);
+  print_newline ();
+  print_string (E.scaling s);
+  print_newline ();
+  print_string (E.inspector s);
+  print_newline ();
+  print_endline "== shape checks (paper claims) ==";
+  let checks = E.check_shapes ~fig5 ~fig6 ~fig7 in
+  List.iter
+    (fun (claim, ok) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "MISS") claim)
+    checks;
+  if List.for_all snd checks then print_endline "all shape checks hold"
+  else print_endline "some shape checks missed (see above)"
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let cmds =
+  [
+    cmd "table1" "Print Table 1 (benchmark descriptions)" Term.(const run_table1 $ full_arg);
+    cmd "fig4" "Compiler report for the Barnes-Hut skeleton (Figure 4)"
+      Term.(const run_fig4 $ const ());
+    cmd "fig5" "Adaptive execution-time breakdown (Figure 5)"
+      Term.(const run_fig5 $ full_arg $ nodes_arg);
+    cmd "fig6" "Barnes execution-time breakdown (Figure 6)"
+      Term.(const run_fig6 $ full_arg $ nodes_arg);
+    cmd "fig7" "Water execution-time breakdown (Figure 7)"
+      Term.(const run_fig7 $ full_arg $ nodes_arg);
+    cmd "sweep" "Block-size sensitivity sweep (section 5.4)"
+      Term.(const run_sweep $ full_arg $ nodes_arg);
+    cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
+      Term.(const run_ablate $ full_arg $ nodes_arg);
+    cmd "scaling" "Node-count scaling (extension)" Term.(const run_scaling $ full_arg);
+    cmd "inspector" "Inspector-executor comparison (section 2)"
+      Term.(const run_inspector $ full_arg);
+    cmd "all" "Everything, plus the qualitative shape checklist"
+      Term.(const run_all $ full_arg $ nodes_arg);
+  ]
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:"Reproduce the evaluation of 'Compiler-directed Shared-Memory Communication'"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

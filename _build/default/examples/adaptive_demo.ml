@@ -1,0 +1,44 @@
+(* Adaptive mesh refinement and incremental communication schedules.
+
+   As the mesh refines, new quad-tree blocks join the sharing pattern; the
+   predictive protocol extends its schedules incrementally instead of
+   rebuilding them.  This demo contrasts incremental schedules with the
+   flush-every-iteration mode, and shows schedule growth.
+
+   Run with:  dune exec examples/adaptive_demo.exe *)
+
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Adaptive = Ccdsm_apps.Adaptive
+module Predictive = Ccdsm_core.Predictive
+
+let cfg = { Adaptive.default with Adaptive.n = 64; iterations = 24; refine_every = 6 }
+
+let run ~flush_each_iter =
+  let rt =
+    Runtime.create
+      ~cfg:(Machine.default_config ~num_nodes:16 ~block_bytes:32 ())
+      ~protocol:Runtime.Predictive ()
+  in
+  let stats = Adaptive.run ~flush_each_iter rt cfg in
+  let c = Machine.total_counters (Runtime.machine rt) in
+  let proto = (Runtime.coherence rt).Ccdsm_proto.Coherence.stats () in
+  Printf.printf "%-24s refined %4d cells  faults %6d  presend blocks %7.0f  total %8.1f ms\n"
+    (if flush_each_iter then "flush every iteration" else "incremental schedules")
+    stats.Adaptive.refined_cells
+    (c.Machine.read_faults + c.Machine.write_faults)
+    (List.assoc "presend_blocks" proto)
+    (Runtime.total_time rt /. 1000.0);
+  stats.Adaptive.checksum
+
+let () =
+  Printf.printf "Adaptive %dx%d, %d iterations, refinement every %d sweeps, 16 nodes\n\n"
+    cfg.Adaptive.n cfg.Adaptive.n cfg.Adaptive.iterations cfg.Adaptive.refine_every;
+  let a = run ~flush_each_iter:false in
+  let b = run ~flush_each_iter:true in
+  Printf.printf "\nchecksums agree: %b (schedules change performance, never values)\n" (a = b);
+  let reference = (Adaptive.reference cfg).Adaptive.checksum in
+  Printf.printf "sequential reference agrees: %b\n" (a = reference);
+  print_endline
+    "\nincremental schedules keep faults to the pattern *changes*; flushing\n\
+     rebuilds the whole schedule through demand misses every iteration."

@@ -1,0 +1,56 @@
+(* Quickstart: the predictive protocol on a hand-rolled iterative kernel.
+
+   A 1-D ring relaxation: each element's owner writes its value in one phase
+   and reads its right neighbour in the next.  Under plain Stache every
+   neighbour read at a partition boundary pays a ~200us demand miss, every
+   iteration.  Under the predictive protocol the first iteration records the
+   pattern and later iterations pre-send the boundary blocks before the
+   consumers touch them.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Aggregate = Ccdsm_runtime.Aggregate
+module Distribution = Ccdsm_runtime.Distribution
+
+let iterations = 20
+let n = 64
+
+let run protocol =
+  let rt =
+    Runtime.create
+      ~cfg:(Machine.default_config ~num_nodes:8 ~block_bytes:32 ())
+      ~protocol ()
+  in
+  let m = Runtime.machine rt in
+  let a = Aggregate.create_1d m ~name:"ring" ~elem_words:4 ~n ~dist:Distribution.Block1d () in
+  for i = 0 to n - 1 do
+    Aggregate.poke1 a i ~field:0 (float_of_int i)
+  done;
+  (* Two phase sites, as the C** compiler would place them: the produce
+     phase owner-writes data that remote consumers cached (rule 1), the
+     consume phase reads neighbours (rule 2). *)
+  let produce = Runtime.make_phase rt ~name:"produce" ~scheduled:true in
+  let consume = Runtime.make_phase rt ~name:"consume" ~scheduled:true in
+  for _ = 1 to iterations do
+    Runtime.parallel_for_1d rt ~phase:consume a (fun ~node ~i ->
+        (* Read the right neighbour (wrapping), remember it locally. *)
+        ignore (Aggregate.read1 a ~node ((i + 1) mod n) ~field:1));
+    Runtime.parallel_for_1d rt ~phase:produce a (fun ~node ~i ->
+        let v = Aggregate.read1 a ~node i ~field:0 in
+        Aggregate.write1 a ~node i ~field:0 (0.5 *. v))
+  done;
+  let c = Machine.total_counters m in
+  Printf.printf "%-12s total %8.1f us  remote-wait %8.1f us  faults %6d  msgs %6d\n"
+    (Runtime.coherence rt).Ccdsm_proto.Coherence.name (Runtime.total_time rt)
+    (List.assoc Machine.Remote_wait (Runtime.time_breakdown rt))
+    (c.Machine.read_faults + c.Machine.write_faults)
+    c.Machine.msgs
+
+let () =
+  print_endline "ring relaxation, 8 nodes, 20 iterations:";
+  run Runtime.Stache;
+  run Runtime.Predictive;
+  print_endline "\nthe predictive protocol faults only in the first iteration;";
+  print_endline "afterwards every boundary block arrives before it is needed."

@@ -1,0 +1,1 @@
+lib/apps/adaptive.ml: Array Ccdsm_cstar Ccdsm_runtime Ccdsm_tempest Float Lazy List

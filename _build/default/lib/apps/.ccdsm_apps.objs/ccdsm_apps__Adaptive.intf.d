@@ -1,0 +1,1 @@
+lib/apps/adaptive.mli: Ccdsm_runtime

@@ -1,0 +1,1 @@
+lib/apps/barnes.ml: Array Ccdsm_runtime Ccdsm_tempest Ccdsm_util Float Fun Hashtbl List

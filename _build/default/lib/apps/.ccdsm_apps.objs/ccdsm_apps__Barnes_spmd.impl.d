@@ -1,0 +1,1 @@
+lib/apps/barnes_spmd.ml: Barnes Ccdsm_runtime

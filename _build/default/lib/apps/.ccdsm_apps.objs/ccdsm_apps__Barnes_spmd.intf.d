@@ -1,0 +1,1 @@
+lib/apps/barnes_spmd.mli: Barnes Ccdsm_runtime

@@ -1,0 +1,1 @@
+lib/apps/irregular.ml: Array Ccdsm_proto Ccdsm_runtime Ccdsm_tempest Ccdsm_util Float Hashtbl List

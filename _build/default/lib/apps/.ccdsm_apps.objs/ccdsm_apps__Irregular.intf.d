@@ -1,0 +1,1 @@
+lib/apps/irregular.mli: Ccdsm_runtime

@@ -1,0 +1,1 @@
+lib/apps/water.ml: Array Ccdsm_cstar Ccdsm_runtime Ccdsm_tempest Ccdsm_util Float Hashtbl Lazy List

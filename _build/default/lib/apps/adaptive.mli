@@ -1,0 +1,52 @@
+(** Adaptive: structured adaptive mesh relaxation (paper section 5.1).
+
+    Computes electric potentials in a box: a mesh is imposed over the box and
+    the potential at each point is the average of its four neighbours
+    (red-black Gauss-Seidel).  Where the gradient is steep the cell is
+    subdivided into four child cells held in a dynamically-allocated quad
+    tree; refined cells additionally update their children by interpolating
+    against neighbouring cells (reading the neighbour's children when it is
+    refined too).  Refinement decisions run every [refine_every] sweeps, so
+    the communication pattern grows incrementally — the case the predictive
+    protocol's incremental schedules target.
+
+    The boundary row at the top of the box is held at potential 1, which
+    concentrates refinement (and therefore work) near the top of the mesh —
+    the load imbalance the paper observes turning into synchronization time.
+
+    The phase structure mirrors what the C\*\* compiler places for the
+    equivalent program (see {!skeleton_src} and the tests): the red and black
+    sweeps need directives by rule 2 (neighbour reads are non-home), the
+    refinement phase by rule 1 (owner writes reached by the sweeps'
+    unstructured reads). *)
+
+type config = {
+  n : int;  (** mesh is n x n *)
+  iterations : int;  (** red-black sweep pairs *)
+  refine_every : int;
+  refine_threshold : float;  (** gradient magnitude triggering subdivision *)
+  max_refined_fraction : float;  (** stop refining past this fraction of cells *)
+  seed : int;
+}
+
+val default : config
+(** The paper's data set: 128 x 128 mesh, 100 iterations. *)
+
+val small : config
+(** Test-sized: 32 x 32, 10 iterations. *)
+
+type stats = { checksum : float; refined_cells : int }
+
+val run : ?flush_each_iter:bool -> Ccdsm_runtime.Runtime.t -> config -> stats
+(** Execute on the DSM runtime.  The checksum is the total potential over
+    root cells plus refined children (comparable with {!reference}).
+    [flush_each_iter] (default false) discards all communication schedules at
+    the end of every iteration — the "rebuild from scratch" mode that the
+    incremental-schedule ablation compares against. *)
+
+val reference : config -> stats
+(** Pure sequential implementation (no DSM), for correctness checks. *)
+
+val skeleton_src : string
+(** C\*\* skeleton of the application's main loop, used to derive the
+    directive placement that [run] applies. *)

@@ -1,0 +1,45 @@
+(** Barnes: gravitational N-body simulation with an oct-tree (section 5.2).
+
+    Bodies are point masses in the unit box.  Each time step rebuilds an
+    oct-tree over the bodies (deeper where bodies are dense), computes
+    per-node centers of mass bottom-up, then computes the force on every body
+    by a depth-first traversal that approximates sufficiently-distant cells
+    by their center of mass (opening angle [theta]), and finally integrates
+    positions.
+
+    The phase structure matches the paper's Figure 4 (and the compiled
+    skeleton in the test suite): tree build and force computation perform
+    unstructured tree accesses (rule 2 directives); the center-of-mass level
+    loop is home-dominated and gets a single hoisted directive; the position
+    update gets a rule-1 directive.
+
+    Tree nodes live in per-processor pools carved out of the shared segment
+    once and reused across time steps, so the rebuilt tree reoccupies the
+    same cache blocks and the communication pattern is repetitive with small
+    incremental changes — the property the predictive protocol exploits. *)
+
+type config = {
+  n_bodies : int;
+  iterations : int;
+  theta : float;  (** opening angle; larger = cheaper and less accurate *)
+  dt : float;
+  eps2 : float;  (** softening (squared) *)
+  seed : int;
+}
+
+val default : config
+(** The paper's data set: 16384 bodies, 3 iterations. *)
+
+val small : config
+(** Test-sized: 256 bodies, 2 iterations. *)
+
+type stats = {
+  checksum : float;  (** sum over bodies of |force| + |position|, last step *)
+  tree_nodes : int;  (** internal nodes allocated in the last step *)
+  max_depth : int;
+}
+
+val run : Ccdsm_runtime.Runtime.t -> config -> stats
+val reference : config -> stats
+(** Pure sequential implementation with identical arithmetic and traversal
+    order: checksums must match {!run} exactly. *)

@@ -1,0 +1,7 @@
+module Runtime = Ccdsm_runtime.Runtime
+
+let run rt cfg =
+  (match Runtime.protocol rt with
+  | Runtime.Write_update -> ()
+  | _ -> invalid_arg "Barnes_spmd.run: runtime must use the write-update protocol");
+  Barnes.run rt cfg

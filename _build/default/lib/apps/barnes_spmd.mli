@@ -1,0 +1,14 @@
+(** Hand-optimized SPMD Barnes baseline (paper section 5.2).
+
+    The paper compares its C\*\* versions against a hand-written SPMD Barnes
+    that "uses a write-update protocol for efficient shared-memory
+    communication" (the application-specific protocols of Falsafi et al.).
+    The computation is identical to {!Barnes}; what changes is the memory
+    system: the runtime must be created with the
+    {!Ccdsm_runtime.Runtime.Write_update} protocol, under which every phase
+    boundary pushes freshly-written blocks to their subscribed consumers
+    instead of invalidating them. *)
+
+val run : Ccdsm_runtime.Runtime.t -> Barnes.config -> Barnes.stats
+(** @raise Invalid_argument if [rt] was not created with the write-update
+    protocol — this baseline is meaningless under other protocols. *)

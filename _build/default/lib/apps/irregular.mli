@@ -1,0 +1,51 @@
+(** Irregular gather kernel: predictive protocol vs. inspector-executor.
+
+    The paper's closest related work (section 2) is the CHAOS
+    inspector-executor approach: for an indirection-driven parallel loop, an
+    {e inspector} scans the index arrays and builds a communication schedule,
+    and an {e executor} gathers the remote data before each loop execution.
+    The paper claims three advantages for its approach; the measurable one is
+    incremental schedules: "the inspector ... must be executed whenever the
+    indirection array changes", while the predictive protocol extends its
+    schedule through ordinary access faults.
+
+    This kernel makes the comparison concrete: [y.(i) = Σ_k x.(idx.(i).(k))]
+    over [k < degree] random neighbours, iterated; every [change_every]
+    iterations a fraction [change_fraction] of each element's indices is
+    re-randomized.  Strategies:
+
+    - {!run_dsm}: on the DSM under a chosen protocol (the predictive protocol
+      tracks the pattern incrementally — stale entries linger, per the
+      paper's no-deletion limitation, but new ones need no inspector);
+    - {!run_inspector}: message-passing style, bypassing the coherence
+      protocol entirely — ghosts are gathered by schedule-driven bulk
+      messages, and the inspector re-runs at every pattern change (its cost
+      is charged to the presend bucket, as communication preparation).
+
+    All strategies compute identical values (same index streams, same
+    arithmetic), so checksums must agree bit-for-bit. *)
+
+type config = {
+  n : int;  (** elements *)
+  degree : int;  (** indirection arity per element *)
+  iterations : int;
+  change_every : int;  (** 0 = static pattern *)
+  change_fraction : float;  (** share of indices re-randomized per change *)
+  seed : int;
+}
+
+val default : config
+val small : config
+
+type stats = { checksum : float; pattern_changes : int }
+
+val run_dsm :
+  ?flush_on_change:bool -> Ccdsm_runtime.Runtime.t -> config -> stats
+(** [flush_on_change] additionally flushes the gather phase's schedule at
+    every pattern change (rebuild-from-scratch, for comparison). *)
+
+val run_inspector : Ccdsm_runtime.Runtime.t -> config -> stats
+(** The runtime is used only for its machine and time accounting; the
+    coherence protocol is never invoked. *)
+
+val reference : config -> stats

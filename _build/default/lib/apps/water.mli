@@ -1,0 +1,61 @@
+(** Water: molecular dynamics with a spherical cutoff (paper section 5.3).
+
+    Molecules in a periodic unit box interact through a smooth short-range
+    pair potential cut off at half the box length.  Each time step advances
+    positions (predict), computes inter-molecular forces (the phase with the
+    static repetitive producer-consumer pattern: a molecule's position,
+    updated in one phase, is read by the other molecules within the cutoff in
+    the next), and integrates velocities (correct).
+
+    Both implementations compute each pair once (molecule i with the n/2
+    molecules following it, the paper's ordering) and agree on the physics;
+    they differ in how the j-side force contribution lands and in layout:
+
+    - {!run}: the C\*\* data-parallel version.  The j-side accumulation uses
+      the language's reduction semantics, implemented as per-node Partial
+      rows (local writes) gathered by a combine phase — so the memory system
+      sees repetitive producer-consumer traffic that the predictive protocol
+      pre-sends.  Elements are padded so positions, velocities and forces
+      occupy separate 32-byte blocks.  Directives come from compiling
+      {!skeleton_src}: the interaction and combine phases by rule 2, predict
+      and zero_partials by rule 1; correct gets none.
+    - {!run_splash}: the SPLASH-2-flavoured baseline "optimized for
+      transparent shared memory": the j-side contribution is accumulated
+      in place into the other molecule's force field (per-molecule locks in
+      the original) — remote read-modify-writes that a write-invalidate
+      protocol turns into migratory block traffic — using the compact
+      unpadded layout.  No protocol directives. *)
+
+type config = {
+  n_molecules : int;
+  iterations : int;
+  dt : float;
+  cutoff : float;
+  eps2 : float;
+  seed : int;
+}
+
+val default : config
+(** The paper's data set: 512 molecules, 20 time steps. *)
+
+val small : config
+(** Test-sized: 64 molecules, 5 time steps. *)
+
+type stats = { checksum : float; interactions : int }
+
+val run : Ccdsm_runtime.Runtime.t -> config -> stats
+val run_splash : Ccdsm_runtime.Runtime.t -> config -> stats
+
+val reference : ?nodes:int -> config -> stats
+(** Sequential reference for {!run} (identical arithmetic order).  [nodes]
+    (default 32) must match the simulated machine being compared against —
+    the combine phase sums per-node partials, so the floating-point order
+    depends on the node count. *)
+
+val reference_splash : ?nodes:int -> config -> stats
+(** Sequential reference for {!run_splash} ([nodes] affects only iteration
+    grouping, which for this variant is order-equivalent). *)
+
+val skeleton_src : string
+(** C\*\* skeleton of the data-parallel version, from which the directive
+    placement (interaction phase only) is derived. *)

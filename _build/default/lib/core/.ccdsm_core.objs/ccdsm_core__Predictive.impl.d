@@ -1,0 +1,1 @@
+lib/core/predictive.ml: Ccdsm_proto Ccdsm_tempest Ccdsm_util Hashtbl List Nodeset Schedule

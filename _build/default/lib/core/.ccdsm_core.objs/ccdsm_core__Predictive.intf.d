@@ -1,0 +1,1 @@
+lib/core/predictive.mli: Ccdsm_proto Ccdsm_tempest Schedule

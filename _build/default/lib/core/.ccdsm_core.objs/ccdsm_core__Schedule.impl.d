@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Ccdsm_tempest Ccdsm_util Format Hashtbl List Nodeset

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Ccdsm_tempest Ccdsm_util Format Nodeset

@@ -1,0 +1,309 @@
+open Ccdsm_util
+module Machine = Ccdsm_tempest.Machine
+module Network = Ccdsm_tempest.Network
+module Tag = Ccdsm_tempest.Tag
+module Engine = Ccdsm_proto.Engine
+module Directory = Ccdsm_proto.Directory
+module Bulk = Ccdsm_proto.Bulk
+module Coherence = Ccdsm_proto.Coherence
+
+type stats = {
+  mutable faults_recorded : int;
+  mutable presend_msgs : int;
+  mutable presend_blocks : int;
+  mutable presend_bytes : int;
+  mutable presend_redundant : int;
+  mutable presend_undone : int;
+}
+
+type t = {
+  eng : Engine.t;
+  machine : Machine.t;
+  schedules : (int, Schedule.t) Hashtbl.t;
+  presended : (int * Machine.block, unit) Hashtbl.t;
+  mutable current : int option;
+  per_block_us : float;
+  coalesce : bool;
+  conflict_action : [ `Ignore | `First_stable ];
+  record_us : float;
+  st : stats;
+}
+
+let engine t = t.eng
+let stats t = t.st
+let in_phase t = t.current
+let schedule t ~phase = Hashtbl.find_opt t.schedules phase
+
+let schedule_for t phase =
+  match Hashtbl.find_opt t.schedules phase with
+  | Some s -> s
+  | None ->
+      let s = Schedule.create () in
+      Hashtbl.add t.schedules phase s;
+      s
+
+let record t ~node b ~write =
+  match t.current with
+  | None -> ()
+  | Some p ->
+      if Hashtbl.mem t.presended (node, b) then t.st.presend_undone <- t.st.presend_undone + 1;
+      Machine.charge t.machine ~node Machine.Remote_wait t.record_us;
+      let s = schedule_for t p in
+      if write then Schedule.record_write s b ~writer:node else Schedule.record_read s b ~reader:node;
+      t.st.faults_recorded <- t.st.faults_recorded + 1
+
+(* -- presend ------------------------------------------------------------- *)
+
+let presend t phase =
+  match Hashtbl.find_opt t.schedules phase with
+  | None -> ()
+  | Some sched when Schedule.cardinal sched = 0 -> ()
+  | Some sched ->
+      let m = t.machine in
+      let dir = t.eng.Engine.dir in
+      let net = Machine.net m in
+      let ctrl = net.Network.ctrl_bytes in
+      (* Per-destination queues, so every leg of the presend travels in bulk:
+         [recall] brings dirty copies back to their homes, [inval] carries
+         batched invalidation notices, [data] carries block grants, [grant]
+         carries permission-only upgrades. *)
+      let recall : (int * int, Machine.block list ref) Hashtbl.t = Hashtbl.create 16 in
+      let inval : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
+      let data : (int * int, Machine.block list ref) Hashtbl.t = Hashtbl.create 16 in
+      let grant_only : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
+      let push q key b =
+        match Hashtbl.find_opt q key with
+        | Some l -> l := b :: !l
+        | None -> Hashtbl.add q key (ref [ b ])
+      in
+      let bump q key =
+        match Hashtbl.find_opt q key with
+        | Some r -> incr r
+        | None -> Hashtbl.add q key (ref 1)
+      in
+      let downgrade node b =
+        (Machine.counters m ~node).Machine.downgrades <-
+          (Machine.counters m ~node).Machine.downgrades + 1;
+        Machine.set_tag m ~node b Tag.Read_only
+      in
+      let invalidate node b =
+        (Machine.counters m ~node).Machine.invalidations <-
+          (Machine.counters m ~node).Machine.invalidations + 1;
+        Machine.set_tag m ~node b Tag.Invalid
+      in
+      Schedule.iter_sorted sched (fun b mark ->
+          let h = Machine.home m b in
+          Machine.charge m ~node:h Machine.Presend t.per_block_us;
+          (* Conflict handling: by default no action (the paper's
+             implementation); the First_stable extension anticipates the
+             stable state the block held before the conflict (section 3.4's
+             suggestion). *)
+          let mark =
+            match (mark, t.conflict_action) with
+            | Schedule.Conflict _, `Ignore -> mark
+            | Schedule.Conflict (Schedule.Pre_readers r), `First_stable -> Schedule.Readers r
+            | Schedule.Conflict (Schedule.Pre_writer w), `First_stable -> Schedule.Writer w
+            | _ -> mark
+          in
+          match mark with
+          | Schedule.Conflict _ -> ()
+          | Schedule.Readers rs ->
+              (* Bring the data home (downgrading any writer), then forward
+                 readable copies to every marked reader lacking one. *)
+              (match Directory.get dir b with
+              | Directory.Exclusive o ->
+                  downgrade o b;
+                  Directory.set dir b (Directory.Shared (Nodeset.singleton o));
+                  if o <> h then push recall (o, h) b
+              | Directory.Shared _ -> ());
+              let cur =
+                match Directory.get dir b with
+                | Directory.Shared s -> s
+                | Directory.Exclusive _ -> assert false
+              in
+              let missing = Nodeset.diff rs cur in
+              if Nodeset.is_empty missing then
+                t.st.presend_redundant <- t.st.presend_redundant + 1
+              else begin
+                Nodeset.iter
+                  (fun r ->
+                    Machine.set_tag m ~node:r b Tag.Read_only;
+                    Hashtbl.replace t.presended (r, b) ();
+                    if r <> h then push data (h, r) b)
+                  missing;
+                Directory.set dir b (Directory.Shared (Nodeset.union cur rs))
+              end
+          | Schedule.Writer w ->
+              if Tag.equal (Machine.tag m ~node:w b) Tag.Read_write then
+                t.st.presend_redundant <- t.st.presend_redundant + 1
+              else begin
+                let had_copy = Tag.permits_read (Machine.tag m ~node:w b) in
+                (match Directory.get dir b with
+                | Directory.Exclusive o ->
+                    invalidate o b;
+                    if o <> h then push recall (o, h) b
+                | Directory.Shared readers ->
+                    Nodeset.iter
+                      (fun r ->
+                        invalidate r b;
+                        if r <> h then bump inval (h, r))
+                      (Nodeset.remove w readers));
+                Machine.set_tag m ~node:w b Tag.Read_write;
+                Hashtbl.replace t.presended (w, b) ();
+                if w <> h then
+                  if had_copy then bump grant_only (h, w) else push data (h, w) b;
+                Directory.set dir b (Directory.Exclusive w)
+              end);
+      (* Flush the queues.  With coalescing on, each (source, destination)
+         pair exchanges one gather message: runs of neighbouring blocks share
+         an 8-byte address header, so contiguity still pays.  With coalescing
+         off (ablation), every block travels alone. *)
+      let send ~from_ ~bytes =
+        Machine.count_msg m ~node:from_ ~bytes;
+        Machine.charge m ~node:from_ Machine.Presend (Network.msg_cost net ~bytes);
+        t.st.presend_msgs <- t.st.presend_msgs + 1
+      in
+      let charge_home h cost = Machine.charge m ~node:h Machine.Presend cost in
+      (* (bytes, block-count) descriptors of the messages carrying a block
+         list: one gather message when coalescing, one per block otherwise. *)
+      let block_list_msgs blocks =
+        let runs = Bulk.runs blocks in
+        let nblocks = List.fold_left (fun acc (_, len) -> acc + len) 0 runs in
+        if t.coalesce then
+          [ (ctrl + (nblocks * Machine.block_bytes m) + (8 * List.length runs), nblocks) ]
+        else
+          List.concat_map
+            (fun (_, len) -> List.init len (fun _ -> (ctrl + Machine.block_bytes m, 1)))
+            runs
+      in
+      let sorted_keys q = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) q []) in
+      (* Recalls: request from home, bulk data back from the old owner; the
+         home stalls until the data is back, so it pays the round trip. *)
+      List.iter
+        (fun (o, h) ->
+          let blocks = !(Hashtbl.find recall (o, h)) in
+          Machine.count_msg m ~node:h ~bytes:ctrl;
+          charge_home h (Network.msg_cost net ~bytes:ctrl);
+          List.iter
+            (fun (bytes, blocks) ->
+              ignore blocks;
+              Machine.count_msg m ~node:o ~bytes;
+              charge_home h (Network.msg_cost net ~bytes);
+              t.st.presend_msgs <- t.st.presend_msgs + 2;
+              t.st.presend_bytes <- t.st.presend_bytes + bytes)
+            (block_list_msgs blocks))
+        (sorted_keys recall);
+      (* Invalidation notices: one batched notice per victim plus one ack. *)
+      List.iter
+        (fun (h, r) ->
+          let k = !(Hashtbl.find inval (h, r)) in
+          let bytes = ctrl + (4 * k) in
+          send ~from_:h ~bytes;
+          Machine.count_msg m ~node:r ~bytes:ctrl;
+          charge_home h (Network.msg_cost net ~bytes:ctrl);
+          t.st.presend_msgs <- t.st.presend_msgs + 1)
+        (sorted_keys inval);
+      (* Data grants. *)
+      List.iter
+        (fun (h, dest) ->
+          let blocks = !(Hashtbl.find data (h, dest)) in
+          let extra =
+            match Hashtbl.find_opt grant_only (h, dest) with
+            | Some r ->
+                Hashtbl.remove grant_only (h, dest);
+                4 * !r
+            | None -> 0
+          in
+          List.iteri
+            (fun i (bytes, blocks) ->
+              let bytes = if i = 0 then bytes + extra else bytes in
+              send ~from_:h ~bytes;
+              t.st.presend_blocks <- t.st.presend_blocks + blocks;
+              t.st.presend_bytes <- t.st.presend_bytes + bytes)
+            (block_list_msgs blocks))
+        (sorted_keys data);
+      (* Pure permission upgrades with no data riding along. *)
+      List.iter
+        (fun (h, dest) ->
+          ignore dest;
+          let k = !(Hashtbl.find grant_only (h, dest)) in
+          send ~from_:h ~bytes:(ctrl + (4 * k)))
+        (sorted_keys grant_only);
+      (* "the protocol enforces a global barrier synchronization to ensure
+         that all protocol cache block states are stable" (section 3.4). *)
+      Machine.barrier m ~bucket:Machine.Presend
+
+(* -- construction -------------------------------------------------------- *)
+
+let create ?(per_block_us = 1.0) ?(record_us = 2.0) ?(coalesce = true)
+    ?(conflict_action = `Ignore) machine =
+  let eng = Engine.create machine in
+  let t =
+    {
+      eng;
+      machine;
+      schedules = Hashtbl.create 16;
+      presended = Hashtbl.create 256;
+      current = None;
+      per_block_us;
+      record_us;
+      coalesce;
+      conflict_action;
+      st =
+        {
+          faults_recorded = 0;
+          presend_msgs = 0;
+          presend_blocks = 0;
+          presend_bytes = 0;
+          presend_redundant = 0;
+          presend_undone = 0;
+        };
+    }
+  in
+  Machine.install machine
+    {
+      Machine.on_read_fault =
+        (fun ~node b ->
+          Engine.demand_read eng ~bucket:Machine.Remote_wait ~node b;
+          record t ~node b ~write:false);
+      Machine.on_write_fault =
+        (fun ~node b ->
+          Engine.demand_write eng ~bucket:Machine.Remote_wait ~node b;
+          record t ~node b ~write:true);
+    };
+  t
+
+let coherence t =
+  {
+    Coherence.name = "predictive";
+    phase_begin =
+      (fun ~phase ->
+        t.current <- Some phase;
+        Hashtbl.reset t.presended;
+        presend t phase);
+    phase_end = (fun ~phase:_ -> t.current <- None);
+    flush_schedule =
+      (fun ~phase ->
+        match Hashtbl.find_opt t.schedules phase with
+        | Some s -> Schedule.clear s
+        | None -> ());
+    stats =
+      (fun () ->
+        let entries =
+          Hashtbl.fold (fun _ s acc -> acc + Schedule.cardinal s) t.schedules 0
+        in
+        let conflicts =
+          Hashtbl.fold (fun _ s acc -> acc + Schedule.conflicts s) t.schedules 0
+        in
+        [
+          ("schedules", float_of_int (Hashtbl.length t.schedules));
+          ("schedule_entries", float_of_int entries);
+          ("schedule_conflicts", float_of_int conflicts);
+          ("faults_recorded", float_of_int t.st.faults_recorded);
+          ("presend_msgs", float_of_int t.st.presend_msgs);
+          ("presend_blocks", float_of_int t.st.presend_blocks);
+          ("presend_bytes", float_of_int t.st.presend_bytes);
+          ("presend_redundant", float_of_int t.st.presend_redundant);
+          ("presend_undone", float_of_int t.st.presend_undone);
+        ]);
+  }

@@ -1,0 +1,63 @@
+(** The predictive cache-coherence protocol (paper section 3).
+
+    Augments Stache: while a compiler-demarcated parallel phase runs, every
+    faulting request routed through a block's home node is recorded in that
+    phase's {!Schedule}; when the phase is next entered, the home nodes
+    pre-send the scheduled blocks to their anticipated consumers, with
+    neighbouring blocks coalesced into bulk messages, and a global barrier
+    stabilizes all block states before computation resumes.
+
+    - Schedules are incremental: faults that the presend did not anticipate
+      extend the schedule for subsequent iterations (section 3.3).
+    - Readers-marked blocks: any current writer is downgraded (its copy
+      returns home) and ReadOnly copies are forwarded to all marked readers
+      that lack one.  Writer-marked blocks: all other holders are invalidated
+      and the marked writer receives the ReadWrite copy.  Conflict-marked
+      blocks get no action (section 3.4).
+    - Between directives the protocol behaves exactly like Stache, so a
+      wrongly-predicted (non-repetitive) phase is slower but still correct. *)
+
+module Machine = Ccdsm_tempest.Machine
+
+type t
+
+val create :
+  ?per_block_us:float ->
+  ?record_us:float ->
+  ?coalesce:bool ->
+  ?conflict_action:[ `Ignore | `First_stable ] ->
+  Machine.t ->
+  t
+(** Install the protocol on [machine].  [per_block_us] is the home node's
+    software cost to process one schedule entry during presend (default 1.0);
+    [record_us] is the added handler cost to record one fault into a schedule
+    (default 2.0) — the paper's "cost of building communication schedules in
+    augmented protocol handlers".  [coalesce] (default [true]) enables the
+    bulk-message coalescing of section 3.4; disabling it (one message per
+    block) exists for the ablation benchmarks. *)
+
+val coherence : t -> Ccdsm_proto.Coherence.t
+
+val engine : t -> Ccdsm_proto.Engine.t
+(** The underlying write-invalidate engine (directory access for tests). *)
+
+val schedule : t -> phase:int -> Schedule.t option
+(** The accumulated schedule for [phase], if any faults were recorded. *)
+
+val in_phase : t -> int option
+(** The phase currently recording, if any. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable faults_recorded : int;  (** faults added to some schedule *)
+  mutable presend_msgs : int;  (** bulk messages sent by presend phases *)
+  mutable presend_blocks : int;  (** block grants transferred by presend *)
+  mutable presend_bytes : int;
+  mutable presend_redundant : int;  (** schedule entries already satisfied *)
+  mutable presend_undone : int;
+      (** presend grants that nevertheless faulted again within the same
+          phase execution — evidence of conflicting or shifted patterns *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,63 @@
+open Ccdsm_util
+
+type block = Ccdsm_tempest.Machine.block
+
+type pre = Pre_readers of Nodeset.t | Pre_writer of int
+
+type mark = Readers of Nodeset.t | Writer of int | Conflict of pre
+
+type t = {
+  entries : (block, mark) Hashtbl.t;
+  mutable conflicts : int;
+  mutable rewrites : int;
+}
+
+let create () = { entries = Hashtbl.create 64; conflicts = 0; rewrites = 0 }
+
+let record_read t b ~reader =
+  match Hashtbl.find_opt t.entries b with
+  | None -> Hashtbl.replace t.entries b (Readers (Nodeset.singleton reader))
+  | Some (Readers r) -> Hashtbl.replace t.entries b (Readers (Nodeset.add reader r))
+  | Some (Writer w) ->
+      t.conflicts <- t.conflicts + 1;
+      Hashtbl.replace t.entries b (Conflict (Pre_writer w))
+  | Some (Conflict _) -> ()
+
+let record_write t b ~writer =
+  match Hashtbl.find_opt t.entries b with
+  | None -> Hashtbl.replace t.entries b (Writer writer)
+  | Some (Writer w) ->
+      if w <> writer then begin
+        t.rewrites <- t.rewrites + 1;
+        Hashtbl.replace t.entries b (Writer writer)
+      end
+  | Some (Readers r) ->
+      t.conflicts <- t.conflicts + 1;
+      Hashtbl.replace t.entries b (Conflict (Pre_readers r))
+  | Some (Conflict _) -> ()
+
+let find t b = Hashtbl.find_opt t.entries b
+let cardinal t = Hashtbl.length t.entries
+let conflicts t = t.conflicts
+let rewrites t = t.rewrites
+
+let iter_sorted t f =
+  let keys = Hashtbl.fold (fun b _ acc -> b :: acc) t.entries [] in
+  List.iter (fun b -> f b (Hashtbl.find t.entries b)) (List.sort compare keys)
+
+let clear t =
+  Hashtbl.reset t.entries;
+  t.conflicts <- 0;
+  t.rewrites <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule (%d entries, %d conflicts):" (cardinal t) t.conflicts;
+  iter_sorted t (fun b mark ->
+      match mark with
+      | Readers r -> Format.fprintf ppf "@ block %d -> readers %a" b Nodeset.pp r
+      | Writer w -> Format.fprintf ppf "@ block %d -> writer %d" b w
+      | Conflict (Pre_readers r) ->
+          Format.fprintf ppf "@ block %d -> conflict (was readers %a)" b Nodeset.pp r
+      | Conflict (Pre_writer w) ->
+          Format.fprintf ppf "@ block %d -> conflict (was writer %d)" b w);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/cstar/access.ml: Ast Format List Sema

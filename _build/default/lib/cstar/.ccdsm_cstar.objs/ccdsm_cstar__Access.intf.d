@@ -1,0 +1,1 @@
+lib/cstar/access.mli: Ast Format Sema

@@ -1,0 +1,1 @@
+lib/cstar/ast.ml: Float Format List Printf String

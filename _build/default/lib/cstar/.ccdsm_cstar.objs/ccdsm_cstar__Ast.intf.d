@@ -1,0 +1,1 @@
+lib/cstar/ast.mli: Format

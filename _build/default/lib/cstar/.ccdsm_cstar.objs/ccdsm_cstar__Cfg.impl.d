@@ -1,0 +1,1 @@
+lib/cstar/cfg.ml: Array Ast Format List Printf String

@@ -1,0 +1,1 @@
+lib/cstar/cfg.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/cstar/compile.ml: Access Ast Format List Parser Placement Reaching Sema String

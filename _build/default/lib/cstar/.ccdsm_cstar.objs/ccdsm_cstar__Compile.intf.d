@@ -1,0 +1,1 @@
+lib/cstar/compile.mli: Access Format Placement Sema

@@ -1,0 +1,1 @@
+lib/cstar/dataflow.ml: Array Bitvec Ccdsm_util Cfg List Queue

@@ -1,0 +1,1 @@
+lib/cstar/dataflow.mli: Bitvec Ccdsm_util Cfg

@@ -1,0 +1,1 @@
+lib/cstar/interp.ml: Array Ast Ccdsm_proto Ccdsm_runtime Compile Float Hashtbl Int64 List Placement Printf Sema

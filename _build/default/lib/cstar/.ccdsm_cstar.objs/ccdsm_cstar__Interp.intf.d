@@ -1,0 +1,1 @@
+lib/cstar/interp.mli: Ccdsm_runtime Compile

@@ -1,0 +1,1 @@
+lib/cstar/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/cstar/lexer.mli:

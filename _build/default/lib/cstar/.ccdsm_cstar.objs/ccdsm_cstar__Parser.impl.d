@@ -1,0 +1,1 @@
+lib/cstar/parser.ml: Array Ast Float Lexer List Printf

@@ -1,0 +1,1 @@
+lib/cstar/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/cstar/placement.ml: Access Ast Format Hashtbl List Printf Reaching Sema

@@ -1,0 +1,1 @@
+lib/cstar/placement.mli: Ast Format Sema

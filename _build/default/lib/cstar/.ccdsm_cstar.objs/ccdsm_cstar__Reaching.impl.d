@@ -1,0 +1,1 @@
+lib/cstar/reaching.ml: Access Array Ast Bitvec Ccdsm_util Cfg Dataflow Format List Sema String

@@ -1,0 +1,1 @@
+lib/cstar/reaching.mli: Access Ast Bitvec Ccdsm_util Cfg Dataflow Format Sema

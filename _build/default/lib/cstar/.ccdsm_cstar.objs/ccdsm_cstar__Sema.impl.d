@@ -1,0 +1,1 @@
+lib/cstar/sema.ml: Ast Format List Map Printf String

@@ -1,0 +1,1 @@
+lib/cstar/sema.mli: Ast

@@ -1,0 +1,102 @@
+open Ast
+
+type locality = Home | Non_home
+type direction = Read | Write
+
+type entry = { agg : string; dir : direction; loc : locality }
+
+type summary = entry list
+
+(* Default distribution per rank, used when a declaration omits [dist]. *)
+let effective_dist decl =
+  match decl.agg_dist with
+  | Some d -> d
+  | None -> if List.length decl.agg_dims = 1 then Dblock else Drow_block
+
+(* An access is Home when it provably lands on the executing invocation's own
+   node: exact positional indexing of an aggregate aligned (same shape, same
+   distribution) with the parallel aggregate. *)
+let is_home sema ~parallel_agg access =
+  let exact_positions =
+    match access.acc_idx with
+    | [ Pos 0 ] -> true
+    | [ Pos 0; Pos 1 ] -> true
+    | _ -> false
+  in
+  exact_positions
+  &&
+  if access.acc_agg = parallel_agg then true
+  else
+    let a = sema.Sema.agg_of_name access.acc_agg in
+    let p = sema.Sema.agg_of_name parallel_agg in
+    a.agg_dims = p.agg_dims && effective_dist a = effective_dist p
+
+let analyze sema (f : pfun) =
+  let parallel_agg =
+    (List.find (fun p -> p.par_parallel) f.pf_params).par_agg
+  in
+  let acc : entry list ref = ref [] in
+  let note agg dir loc =
+    let e = { agg; dir; loc } in
+    if not (List.mem e !acc) then acc := e :: !acc
+  in
+  let classify access dir =
+    note access.acc_agg dir (if is_home sema ~parallel_agg access then Home else Non_home)
+  in
+  let rec expr = function
+    | Num _ | Pos _ | Var _ -> ()
+    | Agg_read a ->
+        classify a Read;
+        List.iter expr a.acc_idx
+    | Binop (_, l, r) ->
+        expr l;
+        expr r
+    | Unop (_, e) -> expr e
+    | Intrinsic (_, args) -> List.iter expr args
+  in
+  let rec stmt = function
+    | Slet (_, e) | Sassign (_, e) -> expr e
+    | Sstore (a, e) ->
+        classify a Write;
+        List.iter expr a.acc_idx;
+        expr e
+    | Sif (c, t, el) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt el
+    | Swhile (c, b) ->
+        expr c;
+        List.iter stmt b
+    | Sfor (init, c, step, b) ->
+        stmt init;
+        expr c;
+        stmt step;
+        List.iter stmt b
+    | Scall _ | Sphase _ -> ()
+  in
+  List.iter stmt f.pf_body;
+  List.rev !acc
+
+let analyze_all sema =
+  List.map (fun f -> (f.pf_name, analyze sema f)) sema.Sema.prog.pfuns
+
+let has_unstructured summary agg =
+  List.exists (fun e -> e.agg = agg && e.loc = Non_home) summary
+
+let has_owner_write summary agg =
+  List.exists (fun e -> e.agg = agg && e.loc = Home && e.dir = Write) summary
+
+let home_only summary = List.for_all (fun e -> e.loc = Home) summary
+
+let aggregates summary =
+  List.fold_left (fun acc e -> if List.mem e.agg acc then acc else acc @ [ e.agg ]) [] summary
+
+let pp_entry ppf e =
+  Format.fprintf ppf "(%s, %s, %s)" e.agg
+    (match e.dir with Read -> "Read" | Write -> "Write")
+    (match e.loc with Home -> "Home" | Non_home -> "NonHome")
+
+let pp_summary ppf s =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_entry)
+    s

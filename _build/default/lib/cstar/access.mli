@@ -1,0 +1,42 @@
+(** Parallel-function access-pattern analysis (paper section 4.2).
+
+    For each parallel function the compiler builds a context-insensitive
+    summary of every aggregate member access that might require
+    communication.  Each access is conservatively classified:
+
+    - {b Home}: an access to the parallel ("own") element — the parallel
+      aggregate indexed by exactly [#0]/[#1] — or, by alignment, an exact
+      positional access to an aggregate with the same shape and distribution
+      as the parallel aggregate (statically known to be owner-local);
+    - {b Non-home}: everything else — neighbour offsets, accesses to other
+      aggregates, and indirection ("unstructured") accesses.
+
+    Section 4.3's transfer functions only distinguish owner writes from
+    unstructured (non-home) accesses, so this classification is exactly what
+    the data-flow pass consumes. *)
+
+type locality = Home | Non_home
+type direction = Read | Write
+
+type entry = { agg : string; dir : direction; loc : locality }
+
+type summary = entry list
+(** Deduplicated, in deterministic order. *)
+
+val analyze : Sema.t -> Ast.pfun -> summary
+
+val analyze_all : Sema.t -> (string * summary) list
+(** Summaries for every parallel function, keyed by name. *)
+
+val has_unstructured : summary -> string -> bool
+(** Does the summary contain a non-home access to the given aggregate? *)
+
+val has_owner_write : summary -> string -> bool
+val home_only : summary -> bool
+(** True when every access in the summary is a Home access. *)
+
+val aggregates : summary -> string list
+(** Aggregates touched, deduplicated. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,138 @@
+type dist = Dblock | Dcyclic | Drow_block | Dtiled of int * int
+
+type agg_decl = {
+  agg_name : string;
+  agg_dims : int list;
+  agg_fields : string list;
+  agg_dist : dist option;
+}
+
+type binop = Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+type unop = Neg | Not
+
+type agg_access = { acc_agg : string; acc_idx : expr list; acc_field : string option }
+
+and expr =
+  | Num of float
+  | Pos of int
+  | Var of string
+  | Agg_read of agg_access
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Intrinsic of string * expr list
+
+type stmt =
+  | Slet of string * expr
+  | Sassign of string * expr
+  | Sstore of agg_access * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt * expr * stmt * stmt list
+  | Scall of string
+  | Sphase of int * stmt list
+
+type pfun = { pf_name : string; pf_params : param list; pf_body : stmt list }
+and param = { par_parallel : bool; par_agg : string; par_name : string }
+
+type program = { aggs : agg_decl list; pfuns : pfun list; main : stmt list }
+
+let intrinsics =
+  [ ("sqrt", 1); ("abs", 1); ("floor", 1); ("min", 2); ("max", 2); ("noise", 2) ]
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Format.fprintf ppf "%d" (int_of_float f)
+      else Format.fprintf ppf "%g" f
+  | Pos k -> Format.fprintf ppf "#%d" k
+  | Var v -> Format.pp_print_string ppf v
+  | Agg_read a -> pp_access ppf a
+  | Binop (op, l, r) -> Format.fprintf ppf "(%a %s %a)" pp_expr l (binop_name op) pp_expr r
+  | Unop (Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Unop (Not, e) -> Format.fprintf ppf "(!%a)" pp_expr e
+  | Intrinsic (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_expr)
+        args
+
+and pp_access ppf a =
+  Format.fprintf ppf "%s%a%s" a.acc_agg
+    (fun ppf -> List.iter (Format.fprintf ppf "[%a]" pp_expr))
+    a.acc_idx
+    (match a.acc_field with None -> "" | Some f -> "." ^ f)
+
+let rec pp_stmt ppf = function
+  | Slet (x, e) -> Format.fprintf ppf "let %s = %a;" x pp_expr e
+  | Sassign (x, e) -> Format.fprintf ppf "%s = %a;" x pp_expr e
+  | Sstore (a, e) -> Format.fprintf ppf "%a = %a;" pp_access a pp_expr e
+  | Sif (c, t, []) -> Format.fprintf ppf "@[<v 2>if (%a) {%a@]@ }" pp_expr c pp_body t
+  | Sif (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {%a@]@ @[<v 2>} else {%a@]@ }" pp_expr c pp_body t
+        pp_body e
+  | Swhile (c, b) -> Format.fprintf ppf "@[<v 2>while (%a) {%a@]@ }" pp_expr c pp_body b
+  | Sfor (init, c, step, b) ->
+      Format.fprintf ppf "@[<v 2>for (%a %a; %a) {%a@]@ }" pp_stmt init pp_expr c pp_for_step
+        step pp_body b
+  | Scall f -> Format.fprintf ppf "%s();" f
+  | Sphase (id, b) -> Format.fprintf ppf "@[<v 2>phase %d {%a@]@ }" id pp_body b
+
+and pp_for_step ppf = function
+  | Sassign (x, e) -> Format.fprintf ppf "%s = %a" x pp_expr e
+  | s -> pp_stmt ppf s
+
+and pp_body ppf stmts = List.iter (fun s -> Format.fprintf ppf "@ %a" pp_stmt s) stmts
+
+let pp_stmts ppf stmts =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      pp_stmt ppf s)
+    stmts;
+  Format.fprintf ppf "@]"
+
+let pp_dist ppf = function
+  | Dblock -> Format.pp_print_string ppf "block"
+  | Dcyclic -> Format.pp_print_string ppf "cyclic"
+  | Drow_block -> Format.pp_print_string ppf "rowblock"
+  | Dtiled (r, c) -> Format.fprintf ppf "tiled(%d,%d)" r c
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "aggregate %s%s" a.agg_name
+        (String.concat "" (List.map (Printf.sprintf "[%d]") a.agg_dims));
+      (match a.agg_fields with
+      | [] -> ()
+      | fs -> Format.fprintf ppf " { %s }" (String.concat ", " fs));
+      (match a.agg_dist with None -> () | Some d -> Format.fprintf ppf " dist %a" pp_dist d);
+      Format.fprintf ppf ";@ ")
+    p.aggs;
+  List.iter
+    (fun f ->
+      let param ppf pr =
+        Format.fprintf ppf "%s%s %s"
+          (if pr.par_parallel then "parallel " else "")
+          pr.par_agg pr.par_name
+      in
+      Format.fprintf ppf "@[<v 2>parallel void %s(%a) {%a@]@ }@ " f.pf_name
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") param)
+        f.pf_params pp_body f.pf_body)
+    p.pfuns;
+  Format.fprintf ppf "@[<v 2>void main() {%a@]@ }@]" pp_body p.main

@@ -1,0 +1,66 @@
+(** Abstract syntax of the C\*\*-like data-parallel surface language.
+
+    The language keeps the features the paper's analysis consumes: global
+    Aggregates (1-D or 2-D collections of multi-field elements, section 4.1),
+    parallel functions operating element-wise with [#0]/[#1] position
+    pseudo-variables and arbitrary (neighbour or indirection) accesses to
+    aggregates, and a sequential [main] with structured control flow calling
+    the parallel functions.  See docs in the repository README for the
+    concrete grammar. *)
+
+type dist = Dblock | Dcyclic | Drow_block | Dtiled of int * int
+
+type agg_decl = {
+  agg_name : string;
+  agg_dims : int list;  (** 1 or 2 literal extents *)
+  agg_fields : string list;  (** [] means a single anonymous field *)
+  agg_dist : dist option;  (** None = default for the rank *)
+}
+
+type binop = Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+type unop = Neg | Not
+
+type agg_access = { acc_agg : string; acc_idx : expr list; acc_field : string option }
+
+and expr =
+  | Num of float
+  | Pos of int  (** [#0] or [#1] *)
+  | Var of string
+  | Agg_read of agg_access
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Intrinsic of string * expr list
+
+type stmt =
+  | Slet of string * expr
+  | Sassign of string * expr
+  | Sstore of agg_access * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt * expr * stmt * stmt list
+  | Scall of string  (** invoke a parallel function *)
+  | Sphase of int * stmt list
+      (** protocol-directive region inserted by {!Placement} — never produced
+          by the parser *)
+
+type pfun = {
+  pf_name : string;
+  pf_params : param list;
+  pf_body : stmt list;
+}
+
+and param = { par_parallel : bool; par_agg : string; par_name : string }
+
+type program = { aggs : agg_decl list; pfuns : pfun list; main : stmt list }
+
+val intrinsics : (string * int) list
+(** Available intrinsic functions with their arities: [sqrt], [abs], [min],
+    [max], [floor], and [noise] (a deterministic hash-based pseudo-random
+    value in [0,1)). *)
+
+val binop_name : binop -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_stmts : Format.formatter -> stmt list -> unit
+val pp_program : Format.formatter -> program -> unit

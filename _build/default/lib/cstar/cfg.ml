@@ -1,0 +1,112 @@
+open Ast
+
+type kind = Entry | Exit | Nop | Branch | Join | Call of { func : string; site : int }
+
+type t = {
+  kinds : kind array;
+  succs : int list array;
+  preds : int list array;
+  entry : int;
+  exit : int;
+}
+
+type builder = {
+  mutable nodes : kind list;  (* reversed *)
+  mutable n : int;
+  mutable edges : (int * int) list;
+  mutable next_site : int;
+}
+
+let add_node b kind =
+  let id = b.n in
+  b.nodes <- kind :: b.nodes;
+  b.n <- id + 1;
+  id
+
+let add_edge b src dst = b.edges <- (src, dst) :: b.edges
+
+(* Wire a statement sequence after node [pred]; returns the node that control
+   leaves through. *)
+let rec seq b pred stmts = List.fold_left (stmt b) pred stmts
+
+and stmt b pred = function
+  | Slet _ | Sassign _ | Sstore _ ->
+      let n = add_node b Nop in
+      add_edge b pred n;
+      n
+  | Scall func ->
+      let site = b.next_site in
+      b.next_site <- site + 1;
+      let n = add_node b (Call { func; site }) in
+      add_edge b pred n;
+      n
+  | Sphase (_, body) -> seq b pred body
+  | Sif (_, then_, else_) ->
+      let cond = add_node b Branch in
+      add_edge b pred cond;
+      let t_end = seq b cond then_ in
+      let e_end = seq b cond else_ in
+      let join = add_node b Join in
+      add_edge b t_end join;
+      add_edge b e_end join;
+      join
+  | Swhile (_, body) ->
+      let cond = add_node b Branch in
+      add_edge b pred cond;
+      let body_end = seq b cond body in
+      add_edge b body_end cond;
+      let exit = add_node b Join in
+      add_edge b cond exit;
+      exit
+  | Sfor (init, _, step, body) ->
+      let init_end = stmt b pred init in
+      let cond = add_node b Branch in
+      add_edge b init_end cond;
+      let body_end = seq b cond body in
+      let step_end = stmt b body_end step in
+      add_edge b step_end cond;
+      let exit = add_node b Join in
+      add_edge b cond exit;
+      exit
+
+let build stmts =
+  let b = { nodes = []; n = 0; edges = []; next_site = 0 } in
+  let entry = add_node b Entry in
+  let last = seq b entry stmts in
+  let exit = add_node b Exit in
+  add_edge b last exit;
+  let kinds = Array.of_list (List.rev b.nodes) in
+  let succs = Array.make b.n [] and preds = Array.make b.n [] in
+  List.iter
+    (fun (s, d) ->
+      succs.(s) <- d :: succs.(s);
+      preds.(d) <- s :: preds.(d))
+    b.edges;
+  { kinds; succs; preds; entry; exit }
+
+let num_nodes t = Array.length t.kinds
+
+let call_sites t =
+  let sites = ref [] in
+  Array.iter
+    (function Call { func; site } -> sites := (site, func) :: !sites | _ -> ())
+    t.kinds;
+  List.sort compare !sites
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i kind ->
+      let name =
+        match kind with
+        | Entry -> "entry"
+        | Exit -> "exit"
+        | Nop -> "nop"
+        | Branch -> "branch"
+        | Join -> "join"
+        | Call { func; site } -> Printf.sprintf "call %s (site %d)" func site
+      in
+      Format.fprintf ppf "%d: %s -> [%s]@ " i name
+        (String.concat "," (List.map string_of_int (List.sort compare t.succs.(i)))))
+    t.kinds;
+  Format.fprintf ppf "@]"

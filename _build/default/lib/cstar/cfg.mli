@@ -1,0 +1,35 @@
+(** Control-flow graph of the sequential [main] function (paper section 4.3).
+
+    Parallel calls are the only nodes with interesting transfer functions;
+    scalar statements become no-ops and structured control flow (if / while /
+    for) contributes branch and join nodes with the corresponding edges,
+    including loop back edges.  Each call node carries a {e call-site id}
+    assigned in left-to-right AST traversal order, which {!Placement} uses to
+    look up the data-flow fact at that site. *)
+
+type kind =
+  | Entry
+  | Exit
+  | Nop  (** scalar statement *)
+  | Branch  (** condition of if / while / for *)
+  | Join
+  | Call of { func : string; site : int }
+
+type t = {
+  kinds : kind array;  (** node id -> kind *)
+  succs : int list array;
+  preds : int list array;
+  entry : int;
+  exit : int;
+}
+
+val build : Ast.stmt list -> t
+(** Build the CFG of a main body.  [Sphase] regions are transparent (their
+    contents are linked inline). *)
+
+val num_nodes : t -> int
+val call_sites : t -> (int * string) list
+(** [(site, function)] pairs in site order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render nodes and edges, for [cstarc --dump-cfg]. *)

@@ -1,0 +1,34 @@
+type compiled = {
+  source : string;
+  sema : Sema.t;
+  summaries : (string * Access.summary) list;
+  placement : Placement.t;
+}
+
+let compile source =
+  match Parser.parse source with
+  | exception Parser.Error msg -> Error [ "syntax error: " ^ msg ]
+  | ast -> (
+      match Sema.check ast with
+      | Error errs -> Error errs
+      | Ok sema ->
+          let summaries = Access.analyze_all sema in
+          let placement = Placement.place sema in
+          Ok { source; sema; summaries; placement })
+
+let compile_exn source =
+  match compile source with
+  | Ok c -> c
+  | Error errs -> failwith (String.concat "\n" errs)
+
+let pp_report ppf c =
+  Format.fprintf ppf "@[<v>== access summaries ==@ ";
+  List.iter
+    (fun (name, s) -> Format.fprintf ppf "%s: %a@ " name Access.pp_summary s)
+    c.summaries;
+  let reaching =
+    Reaching.analyze c.sema ~summaries:c.summaries c.sema.Sema.prog.Ast.main
+  in
+  Format.fprintf ppf "== reaching unstructured accesses ==@ %a" Reaching.pp reaching;
+  Format.fprintf ppf "== placement ==@ %a" Placement.pp c.placement;
+  Format.fprintf ppf "== placed main ==@ %a@]" Ast.pp_stmts c.placement.Placement.placed_main

@@ -1,0 +1,19 @@
+(** Compiler pipeline driver: source text to placed program. *)
+
+type compiled = {
+  source : string;
+  sema : Sema.t;
+  summaries : (string * Access.summary) list;
+  placement : Placement.t;
+}
+
+val compile : string -> (compiled, string list) result
+(** Lex, parse, check, analyze and place.  Syntax errors and semantic errors
+    are returned as messages. *)
+
+val compile_exn : string -> compiled
+(** @raise Failure with the joined error messages. *)
+
+val pp_report : Format.formatter -> compiled -> unit
+(** Full compiler report: access summaries, reaching facts, placement, and
+    the placed main (what [cstarc --dump-all] prints). *)

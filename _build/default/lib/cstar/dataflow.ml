@@ -1,0 +1,50 @@
+open Ccdsm_util
+
+type result = { in_facts : Bitvec.t array; out_facts : Bitvec.t array }
+
+let last_iterations = ref 0
+let iterations_of_last_solve () = !last_iterations
+
+let solve_forward ~cfg ~width ~gen ~kill =
+  let n = Cfg.num_nodes cfg in
+  let gens = Array.init n gen and kills = Array.init n kill in
+  Array.iter
+    (fun v -> if Bitvec.length v <> width then invalid_arg "Dataflow: gen/kill width mismatch")
+    gens;
+  Array.iter
+    (fun v -> if Bitvec.length v <> width then invalid_arg "Dataflow: gen/kill width mismatch")
+    kills;
+  let in_facts = Array.init n (fun _ -> Bitvec.create width) in
+  let out_facts = Array.init n (fun _ -> Bitvec.create width) in
+  (* Worklist seeded with every node in id order (ids are roughly
+     topological for structured programs, so this converges quickly). *)
+  let on_list = Array.make n true in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    Queue.add i queue
+  done;
+  let iters = ref 0 in
+  let scratch = Bitvec.create width in
+  while not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    on_list.(node) <- false;
+    incr iters;
+    (* In(node) = union of predecessors' Out. *)
+    List.iter (fun p -> ignore (Bitvec.union_into ~dst:in_facts.(node) out_facts.(p))) cfg.Cfg.preds.(node);
+    (* Out(node) = Gen ∪ (In − Kill). *)
+    Bitvec.blit ~src:in_facts.(node) ~dst:scratch;
+    ignore (Bitvec.diff_into ~dst:scratch kills.(node));
+    ignore (Bitvec.union_into ~dst:scratch gens.(node));
+    if not (Bitvec.equal scratch out_facts.(node)) then begin
+      Bitvec.blit ~src:scratch ~dst:out_facts.(node);
+      List.iter
+        (fun s ->
+          if not on_list.(s) then begin
+            on_list.(s) <- true;
+            Queue.add s queue
+          end)
+        cfg.Cfg.succs.(node)
+    end
+  done;
+  last_iterations := !iters;
+  { in_facts; out_facts }

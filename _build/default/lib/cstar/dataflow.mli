@@ -1,0 +1,22 @@
+(** Iterative bit-vector data-flow framework.
+
+    A forward, any-path (may/union) gen-kill analysis on a {!Cfg.t} —
+    "a framework identical to the reaching-definition problem" (section 4.3).
+    Facts are {!Ccdsm_util.Bitvec.t} of a caller-chosen width; the solver
+    iterates a worklist to the (unique, because transfer functions are
+    monotone over a finite lattice) fixpoint. *)
+
+open Ccdsm_util
+
+type result = { in_facts : Bitvec.t array; out_facts : Bitvec.t array }
+
+val solve_forward :
+  cfg:Cfg.t -> width:int -> gen:(int -> Bitvec.t) -> kill:(int -> Bitvec.t) -> result
+(** [gen n]/[kill n] give node [n]'s sets (queried once per node).
+    Out(n) = Gen(n) ∪ (In(n) − Kill(n)); In(n) = ∪ Out(pred).  Entry starts
+    empty. *)
+
+val iterations_of_last_solve : unit -> int
+(** Number of node relaxations performed by the most recent solve (exposed
+    for tests and the bench harness; not thread-safe, like the rest of the
+    compiler). *)

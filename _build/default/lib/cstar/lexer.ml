@@ -1,0 +1,158 @@
+type token =
+  | IDENT of string
+  | NUM of float
+  | HASH of int
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ASSIGN
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type spanned = { tok : token; line : int; col : int }
+
+exception Error of string
+
+let keywords =
+  [ "aggregate"; "parallel"; "void"; "main"; "let"; "if"; "else"; "while"; "for"; "dist" ]
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUM f -> Printf.sprintf "number %g" f
+  | HASH k -> Printf.sprintf "#%d" k
+  | KW s -> Printf.sprintf "keyword %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | ASSIGN -> "'='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let fail i msg =
+    raise (Error (Printf.sprintf "line %d, column %d: %s" !line (i - !bol + 1) msg))
+  in
+  let out = ref [] in
+  let emit i tok = out := { tok; line = !line; col = i - !bol + 1 } :: !out in
+  let rec go i =
+    if i >= n then emit i EOF
+    else
+      match src.[i] with
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j >= n || src.[j] = '\n' then j else skip (j + 1) in
+          go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec skip j =
+            if j + 1 >= n then fail i "unterminated block comment"
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else begin
+              if src.[j] = '\n' then begin
+                incr line;
+                bol := j + 1
+              end;
+              skip (j + 1)
+            end
+          in
+          go (skip (i + 2))
+      | '#' ->
+          if i + 1 < n && is_digit src.[i + 1] then begin
+            let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+            let j = scan (i + 1) in
+            emit i (HASH (int_of_string (String.sub src (i + 1) (j - i - 1))));
+            go j
+          end
+          else fail i "expected digit after '#'"
+      | c when is_digit c ->
+          let rec scan j seen_dot =
+            if j < n && is_digit src.[j] then scan (j + 1) seen_dot
+            else if j < n && src.[j] = '.' && (not seen_dot) && j + 1 < n && is_digit src.[j + 1]
+            then scan (j + 1) true
+            else j
+          in
+          let j = scan i false in
+          emit i (NUM (float_of_string (String.sub src i (j - i))));
+          go j
+      | c when is_ident_start c ->
+          let rec scan j = if j < n && is_ident src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          let word = String.sub src i (j - i) in
+          emit i (if List.mem word keywords then KW word else IDENT word);
+          go j
+      | '(' -> emit i LPAREN; go (i + 1)
+      | ')' -> emit i RPAREN; go (i + 1)
+      | '{' -> emit i LBRACE; go (i + 1)
+      | '}' -> emit i RBRACE; go (i + 1)
+      | '[' -> emit i LBRACKET; go (i + 1)
+      | ']' -> emit i RBRACKET; go (i + 1)
+      | ';' -> emit i SEMI; go (i + 1)
+      | ',' -> emit i COMMA; go (i + 1)
+      | '.' -> emit i DOT; go (i + 1)
+      | '+' -> emit i PLUS; go (i + 1)
+      | '-' -> emit i MINUS; go (i + 1)
+      | '*' -> emit i STAR; go (i + 1)
+      | '/' -> emit i SLASH; go (i + 1)
+      | '%' -> emit i PERCENT; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit i LE; go (i + 2)
+      | '<' -> emit i LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit i GE; go (i + 2)
+      | '>' -> emit i GT; go (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit i EQEQ; go (i + 2)
+      | '=' -> emit i ASSIGN; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit i NE; go (i + 2)
+      | '!' -> emit i BANG; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit i ANDAND; go (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit i OROR; go (i + 2)
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !out

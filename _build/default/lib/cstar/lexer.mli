@@ -1,0 +1,44 @@
+(** Hand-written lexer for the C\*\*-like language. *)
+
+type token =
+  | IDENT of string
+  | NUM of float
+  | HASH of int  (** position pseudo-variable [#k] *)
+  | KW of string  (** keyword: aggregate parallel void main let if else while for dist *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ASSIGN
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type spanned = { tok : token; line : int; col : int }
+
+exception Error of string
+(** Raised on malformed input, with a message naming line and column. *)
+
+val tokenize : string -> spanned list
+(** Lex a whole source string.  The result always ends with [EOF].
+    Line ([//]) and block comments are skipped. *)
+
+val describe : token -> string
+(** Human-readable token name for diagnostics. *)

@@ -1,0 +1,367 @@
+open Ast
+
+exception Error of string
+
+type state = { toks : Lexer.spanned array; mutable pos : int }
+
+let peek st = st.toks.(st.pos).Lexer.tok
+
+let fail st msg =
+  let s = st.toks.(st.pos) in
+  raise
+    (Error
+       (Printf.sprintf "line %d, column %d: %s (found %s)" s.Lexer.line s.Lexer.col msg
+          (Lexer.describe s.Lexer.tok)))
+
+let advance st = st.pos <- st.pos + 1
+
+let eat st tok =
+  if peek st = tok then advance st else fail st (Printf.sprintf "expected %s" (Lexer.describe tok))
+
+let eat_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+let eat_int st =
+  match peek st with
+  | Lexer.NUM f when Float.is_integer f && f >= 0.0 ->
+      advance st;
+      int_of_float f
+  | _ -> fail st "expected integer literal"
+
+(* -- expressions ---------------------------------------------------------- *)
+
+let rec parse_or st =
+  let l = ref (parse_and st) in
+  while peek st = Lexer.OROR do
+    advance st;
+    l := Binop (Or, !l, parse_and st)
+  done;
+  !l
+
+and parse_and st =
+  let l = ref (parse_cmp st) in
+  while peek st = Lexer.ANDAND do
+    advance st;
+    l := Binop (And, !l, parse_cmp st)
+  done;
+  !l
+
+and parse_cmp st =
+  let l = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.LT -> Some Lt
+    | Lexer.LE -> Some Le
+    | Lexer.GT -> Some Gt
+    | Lexer.GE -> Some Ge
+    | Lexer.EQEQ -> Some Eq
+    | Lexer.NE -> Some Ne
+    | _ -> None
+  in
+  match op with
+  | None -> l
+  | Some op ->
+      advance st;
+      Binop (op, l, parse_add st)
+
+and parse_add st =
+  let l = ref (parse_mul st) in
+  let rec go () =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        l := Binop (Add, !l, parse_mul st);
+        go ()
+    | Lexer.MINUS ->
+        advance st;
+        l := Binop (Sub, !l, parse_mul st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !l
+
+and parse_mul st =
+  let l = ref (parse_unary st) in
+  let rec go () =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        l := Binop (Mul, !l, parse_unary st);
+        go ()
+    | Lexer.SLASH ->
+        advance st;
+        l := Binop (Div, !l, parse_unary st);
+        go ()
+    | Lexer.PERCENT ->
+        advance st;
+        l := Binop (Mod, !l, parse_unary st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !l
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+      advance st;
+      Unop (Neg, parse_unary st)
+  | Lexer.BANG ->
+      advance st;
+      Unop (Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_indices st =
+  let idx = ref [] in
+  while peek st = Lexer.LBRACKET do
+    advance st;
+    idx := parse_or st :: !idx;
+    eat st Lexer.RBRACKET
+  done;
+  List.rev !idx
+
+and parse_primary st =
+  match peek st with
+  | Lexer.NUM f ->
+      advance st;
+      Num f
+  | Lexer.HASH k ->
+      advance st;
+      Pos k
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_or st in
+      eat st Lexer.RPAREN;
+      e
+  | Lexer.IDENT name -> (
+      advance st;
+      match peek st with
+      | Lexer.LPAREN ->
+          advance st;
+          let args = ref [] in
+          if peek st <> Lexer.RPAREN then begin
+            args := [ parse_or st ];
+            while peek st = Lexer.COMMA do
+              advance st;
+              args := parse_or st :: !args
+            done
+          end;
+          eat st Lexer.RPAREN;
+          Intrinsic (name, List.rev !args)
+      | Lexer.LBRACKET ->
+          let idx = parse_indices st in
+          let field =
+            if peek st = Lexer.DOT then begin
+              advance st;
+              Some (eat_ident st)
+            end
+            else None
+          in
+          Agg_read { acc_agg = name; acc_idx = idx; acc_field = field }
+      | _ -> Var name)
+  | _ -> fail st "expected expression"
+
+(* -- statements ----------------------------------------------------------- *)
+
+(* A "simple" statement: assignment, aggregate store or parallel call
+   (no trailing ';'). *)
+let parse_simple st =
+  match peek st with
+  | Lexer.KW "let" ->
+      advance st;
+      let x = eat_ident st in
+      eat st Lexer.ASSIGN;
+      Slet (x, parse_or st)
+  | Lexer.IDENT name -> (
+      advance st;
+      match peek st with
+      | Lexer.LPAREN ->
+          advance st;
+          eat st Lexer.RPAREN;
+          Scall name
+      | Lexer.ASSIGN ->
+          advance st;
+          Sassign (name, parse_or st)
+      | Lexer.LBRACKET ->
+          let idx = parse_indices st in
+          let field =
+            if peek st = Lexer.DOT then begin
+              advance st;
+              Some (eat_ident st)
+            end
+            else None
+          in
+          eat st Lexer.ASSIGN;
+          Sstore ({ acc_agg = name; acc_idx = idx; acc_field = field }, parse_or st)
+      | _ -> fail st "expected '(', '=' or '[' after identifier")
+  | _ -> fail st "expected statement"
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.KW "if" ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let c = parse_or st in
+      eat st Lexer.RPAREN;
+      let t = parse_block st in
+      let e =
+        if peek st = Lexer.KW "else" then begin
+          advance st;
+          if peek st = Lexer.KW "if" then [ parse_stmt st ] else parse_block st
+        end
+        else []
+      in
+      Sif (c, t, e)
+  | Lexer.KW "while" ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let c = parse_or st in
+      eat st Lexer.RPAREN;
+      Swhile (c, parse_block st)
+  | Lexer.KW "for" ->
+      advance st;
+      eat st Lexer.LPAREN;
+      let init = parse_simple st in
+      eat st Lexer.SEMI;
+      let cond = parse_or st in
+      eat st Lexer.SEMI;
+      let step = parse_simple st in
+      eat st Lexer.RPAREN;
+      Sfor (init, cond, step, parse_block st)
+  | _ ->
+      let s = parse_simple st in
+      eat st Lexer.SEMI;
+      s
+
+and parse_block st =
+  eat st Lexer.LBRACE;
+  let stmts = ref [] in
+  while peek st <> Lexer.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  advance st;
+  List.rev !stmts
+
+(* -- declarations --------------------------------------------------------- *)
+
+let parse_aggdecl st =
+  eat st (Lexer.KW "aggregate");
+  let name = eat_ident st in
+  let dims = ref [] in
+  while peek st = Lexer.LBRACKET do
+    advance st;
+    dims := eat_int st :: !dims;
+    eat st Lexer.RBRACKET
+  done;
+  let dims = List.rev !dims in
+  if List.length dims < 1 || List.length dims > 2 then fail st "aggregates are 1-D or 2-D";
+  let fields =
+    if peek st = Lexer.LBRACE then begin
+      advance st;
+      let fs = ref [ eat_ident st ] in
+      while peek st = Lexer.COMMA do
+        advance st;
+        fs := eat_ident st :: !fs
+      done;
+      eat st Lexer.RBRACE;
+      List.rev !fs
+    end
+    else []
+  in
+  let dist =
+    if peek st = Lexer.KW "dist" then begin
+      advance st;
+      match eat_ident st with
+      | "block" -> Some Dblock
+      | "cyclic" -> Some Dcyclic
+      | "rowblock" -> Some Drow_block
+      | "tiled" ->
+          eat st Lexer.LPAREN;
+          let r = eat_int st in
+          eat st Lexer.COMMA;
+          let c = eat_int st in
+          eat st Lexer.RPAREN;
+          Some (Dtiled (r, c))
+      | other -> fail st (Printf.sprintf "unknown distribution %S" other)
+    end
+    else None
+  in
+  eat st Lexer.SEMI;
+  { agg_name = name; agg_dims = dims; agg_fields = fields; agg_dist = dist }
+
+let parse_params st =
+  eat st Lexer.LPAREN;
+  let params = ref [] in
+  if peek st <> Lexer.RPAREN then begin
+    let parse_param () =
+      let par_parallel =
+        if peek st = Lexer.KW "parallel" then begin
+          advance st;
+          true
+        end
+        else false
+      in
+      let par_agg = eat_ident st in
+      let par_name = eat_ident st in
+      { par_parallel; par_agg; par_name }
+    in
+    params := [ parse_param () ];
+    while peek st = Lexer.COMMA do
+      advance st;
+      params := parse_param () :: !params
+    done
+  end;
+  eat st Lexer.RPAREN;
+  List.rev !params
+
+let parse_program st =
+  let aggs = ref [] and pfuns = ref [] and main = ref None in
+  let rec go () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW "aggregate" ->
+        aggs := parse_aggdecl st :: !aggs;
+        go ()
+    | Lexer.KW "parallel" ->
+        advance st;
+        eat st (Lexer.KW "void");
+        let name = eat_ident st in
+        let params = parse_params st in
+        let body = parse_block st in
+        pfuns := { pf_name = name; pf_params = params; pf_body = body } :: !pfuns;
+        go ()
+    | Lexer.KW "void" ->
+        advance st;
+        eat st (Lexer.KW "main");
+        eat st Lexer.LPAREN;
+        eat st Lexer.RPAREN;
+        let body = parse_block st in
+        (match !main with
+        | None -> main := Some body
+        | Some _ -> fail st "duplicate main");
+        go ()
+    | _ -> fail st "expected 'aggregate', 'parallel' or 'void main'"
+  in
+  go ();
+  match !main with
+  | None -> raise (Error "program has no main function")
+  | Some m -> { aggs = List.rev !aggs; pfuns = List.rev !pfuns; main = m }
+
+let with_state src f =
+  let toks =
+    try Array.of_list (Lexer.tokenize src) with Lexer.Error msg -> raise (Error msg)
+  in
+  f { toks; pos = 0 }
+
+let parse src = with_state src parse_program
+
+let parse_expr src =
+  with_state src (fun st ->
+      let e = parse_or st in
+      eat st Lexer.EOF;
+      e)

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the C\*\*-like language.
+
+    Grammar sketch (see README for the full description):
+    {v
+    program  ::= (aggdecl | pfun)* ; exactly one main
+    aggdecl  ::= "aggregate" IDENT ("[" INT "]")+ ("{" IDENT,+ "}")?
+                 ("dist" (block|cyclic|rowblock|tiled "(" INT "," INT ")"))? ";"
+    pfun     ::= "parallel" "void" IDENT "(" param,* ")" block
+    param    ::= "parallel"? AGGNAME IDENT
+    main     ::= "void" "main" "(" ")" block
+    stmt     ::= "let" x "=" e ";" | x "=" e ";" | agg-lvalue "=" e ";"
+               | f "(" ")" ";" | "if" "(" e ")" block ("else" block)?
+               | "while" "(" e ")" block
+               | "for" "(" simple ";" e ";" simple ")" block
+    v} *)
+
+exception Error of string
+(** Parse error, message includes line/column. *)
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors (includes lexer errors re-raised). *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests). *)

@@ -1,0 +1,171 @@
+open Ast
+
+type reason = Not_needed | Has_unstructured | Reached_owner_write of string
+
+type decision = {
+  site : int;
+  func : string;
+  reason : reason;
+  phase : int option;
+  hoisted : bool;
+}
+
+type t = { placed_main : Ast.stmt list; decisions : decision list; num_phases : int }
+
+(* Intermediate tree with explicit call sites (assigned in the same
+   left-to-right order as Cfg.build, which Reaching's facts are keyed by). *)
+type istmt =
+  | IScalar of stmt
+  | ICall of int * string
+  | IIf of expr * istmt list * istmt list
+  | IWhile of expr * istmt list
+  | IFor of stmt * expr * stmt * istmt list
+
+let index_main main =
+  let site = ref 0 in
+  let rec stmts l = List.map stmt l
+  and stmt = function
+    | (Slet _ | Sassign _ | Sstore _) as s -> IScalar s
+    | Scall f ->
+        let s = !site in
+        incr site;
+        ICall (s, f)
+    | Sif (c, t, e) -> IIf (c, stmts t, stmts e)
+    | Swhile (c, b) -> IWhile (c, stmts b)
+    | Sfor (init, c, step, b) -> IFor (init, c, step, stmts b)
+    | Sphase _ -> invalid_arg "Placement: source already contains phase regions"
+  in
+  stmts main
+
+let rec calls_of istmts = List.concat_map calls_of_stmt istmts
+
+and calls_of_stmt = function
+  | IScalar _ -> []
+  | ICall (s, f) -> [ (s, f) ]
+  | IIf (_, t, e) -> calls_of t @ calls_of e
+  | IWhile (_, b) -> calls_of b
+  | IFor (_, _, _, b) -> calls_of b
+
+let place sema =
+  let summaries = Access.analyze_all sema in
+  let main = sema.Sema.prog.Ast.main in
+  let reaching = Reaching.analyze sema ~summaries main in
+  let indexed = index_main main in
+
+  (* Rule 1 and 2 per call site. *)
+  let reason_for site func =
+    let summary = List.assoc func summaries in
+    if List.exists (fun e -> e.Access.loc = Access.Non_home) summary then Has_unstructured
+    else
+      let witness =
+        List.find_opt
+          (fun agg ->
+            Access.has_owner_write summary agg && Reaching.reaches reaching ~site ~agg)
+          (Access.aggregates summary)
+      in
+      match witness with Some agg -> Reached_owner_write agg | None -> Not_needed
+  in
+  let all_sites = calls_of indexed in
+  let reasons = List.map (fun (s, f) -> (s, (f, reason_for s f))) all_sites in
+  let needs site = snd (List.assoc site reasons) <> Not_needed in
+  let home_only_call func = Access.home_only (List.assoc func summaries) in
+
+  (* A statement is coalescible when every call under it touches only Home
+     data (so a single region-level schedule covers it safely and the
+     directive may move outside enclosing loops). *)
+  let rec coalescible = function
+    | IScalar _ -> true
+    | ICall (_, f) -> home_only_call f
+    | IIf (_, t, e) -> List.for_all coalescible t && List.for_all coalescible e
+    | IWhile (_, b) -> List.for_all coalescible b
+    | IFor (_, _, _, b) -> List.for_all coalescible b
+  in
+  let contains_needing s = List.exists (fun (site, _) -> needs site) (calls_of_stmt s) in
+
+  let next_phase = ref 0 in
+  let decisions = Hashtbl.create 16 in
+  let decide site func phase hoisted =
+    Hashtbl.replace decisions site
+      { site; func; reason = snd (List.assoc site reasons); phase; hoisted }
+  in
+
+  (* Rebuild AST statements, recording per-call decisions.  [cover] is the
+     phase id of an enclosing region (None outside any region); [in_loop]
+     tracks whether we are under a loop nested inside that region. *)
+  let rec rebuild cover ~in_loop l = List.map (rebuild_stmt cover ~in_loop) l
+  and rebuild_stmt cover ~in_loop = function
+    | IScalar s -> s
+    | ICall (site, f) ->
+        decide site f cover (cover <> None && in_loop);
+        Scall f
+    | IIf (c, t, e) -> Sif (c, rebuild cover ~in_loop t, rebuild cover ~in_loop e)
+    | IWhile (c, b) -> Swhile (c, rebuild cover ~in_loop:(cover <> None) b)
+    | IFor (init, c, step, b) -> Sfor (init, c, step, rebuild cover ~in_loop:(cover <> None) b)
+  in
+
+  (* Top-level structure pass: group maximal runs of coalescible neighbours,
+     wrap runs (and solo unstructured calls) that need a schedule. *)
+  let rec structure l =
+    let flush_run acc run =
+      match run with
+      | [] -> acc
+      | _ ->
+          let run = List.rev run in
+          if List.exists contains_needing run then begin
+            let id = !next_phase in
+            incr next_phase;
+            Sphase (id, rebuild (Some id) ~in_loop:false run) :: acc
+          end
+          else List.rev_append (rebuild None ~in_loop:false run) acc
+    in
+    let rec go acc run = function
+      | [] -> List.rev (flush_run acc run)
+      | s :: rest ->
+          if coalescible s then go acc (s :: run) rest
+          else
+            let acc = flush_run acc run in
+            let acc = opaque s :: acc in
+            go acc [] rest
+    in
+    go [] [] l
+  (* A statement containing unstructured calls: wrap needing calls
+     individually, recurse into control structure. *)
+  and opaque = function
+    | IScalar s -> s
+    | ICall (site, f) ->
+        if needs site then begin
+          let id = !next_phase in
+          incr next_phase;
+          decide site f (Some id) false;
+          Sphase (id, [ Scall f ])
+        end
+        else begin
+          decide site f None false;
+          Scall f
+        end
+    | IIf (c, t, e) -> Sif (c, structure t, structure e)
+    | IWhile (c, b) -> Swhile (c, structure b)
+    | IFor (init, c, step, b) -> Sfor (init, c, step, structure b)
+  in
+  let placed_main = structure indexed in
+  let decisions =
+    List.map (fun (site, _) -> Hashtbl.find decisions site) all_sites
+    |> List.sort (fun a b -> compare a.site b.site)
+  in
+  { placed_main; decisions; num_phases = !next_phase }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d phase(s) placed@ " t.num_phases;
+  List.iter
+    (fun d ->
+      let reason =
+        match d.reason with
+        | Not_needed -> "no directive"
+        | Has_unstructured -> "unstructured accesses"
+        | Reached_owner_write agg -> Printf.sprintf "reached + owner writes %s" agg
+      in
+      Format.fprintf ppf "site %d (%s): %s%s%s@ " d.site d.func reason
+        (match d.phase with Some p -> Printf.sprintf " -> phase %d" p | None -> "")
+        (if d.hoisted then " (hoisted out of loop)" else ""))
+    t.decisions;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Protocol-directive placement (paper section 4.3).
+
+    A parallel call site receives a communication schedule and a preceding
+    predictive-protocol (pre-send) phase iff, for some aggregate, either
+
+    + the site is reached by unstructured accesses and itself performs owner
+      (home) writes on that aggregate, or
+    + the site itself performs unstructured accesses.
+
+    Placement then applies the paper's coalescing optimization with an
+    inside-out pass over the (structured) control flow: neighbouring phases
+    whose calls contain only home accesses are merged into one schedule, and
+    schedules are moved out of loops whose bodies contain only home accesses
+    (the [center_of_mass] loop of Figure 4), so one directive — and one
+    pre-send per dynamic execution of the region — covers many calls.
+
+    The result is the main body rewritten with [Sphase (id, region)] markers:
+    the runtime begins phase [id] (triggering the pre-send) on entry to the
+    region and ends it (closing the fault-recording window) on exit. *)
+
+type reason =
+  | Not_needed
+  | Has_unstructured  (** rule 2 *)
+  | Reached_owner_write of string  (** rule 1; the witnessing aggregate *)
+
+type decision = {
+  site : int;
+  func : string;
+  reason : reason;
+  phase : int option;  (** phase id covering this call, if any *)
+  hoisted : bool;  (** covered by a directive outside an enclosing loop *)
+}
+
+type t = {
+  placed_main : Ast.stmt list;
+  decisions : decision list;  (** in call-site order *)
+  num_phases : int;
+}
+
+val place : Sema.t -> t
+(** Runs {!Access} and {!Reaching} internally on [sema]'s program. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable placement report (for [cstarc --dump-placement]). *)

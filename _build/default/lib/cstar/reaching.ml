@@ -1,0 +1,67 @@
+open Ccdsm_util
+
+type t = {
+  cfg : Cfg.t;
+  agg_index : (string * int) list;
+  result : Dataflow.result;
+  site_in : Bitvec.t array;
+}
+
+let analyze sema ?summaries main =
+  let summaries = match summaries with Some s -> s | None -> Access.analyze_all sema in
+  let aggs = List.map (fun a -> a.Ast.agg_name) sema.Sema.prog.Ast.aggs in
+  let agg_index = List.mapi (fun i a -> (a, i)) aggs in
+  let width = List.length aggs in
+  let cfg = Cfg.build main in
+  let idx a = List.assoc a agg_index in
+  let gen node =
+    let v = Bitvec.create width in
+    (match cfg.Cfg.kinds.(node) with
+    | Cfg.Call { func; _ } ->
+        let summary = List.assoc func summaries in
+        List.iter
+          (fun e -> if e.Access.loc = Access.Non_home then Bitvec.set v (idx e.Access.agg))
+          summary
+    | _ -> ());
+    v
+  in
+  let kill node =
+    let v = Bitvec.create width in
+    (match cfg.Cfg.kinds.(node) with
+    | Cfg.Call { func; _ } ->
+        let summary = List.assoc func summaries in
+        List.iter
+          (fun e -> if e.Access.dir = Access.Write then Bitvec.set v (idx e.Access.agg))
+          summary
+    | _ -> ());
+    v
+  in
+  let result = Dataflow.solve_forward ~cfg ~width ~gen ~kill in
+  let nsites = List.length (Cfg.call_sites cfg) in
+  let site_in = Array.init nsites (fun _ -> Bitvec.create width) in
+  Array.iteri
+    (fun node kind ->
+      match kind with
+      | Cfg.Call { site; _ } -> site_in.(site) <- result.Dataflow.in_facts.(node)
+      | _ -> ())
+    cfg.Cfg.kinds;
+  { cfg; agg_index; result; site_in }
+
+let reaches t ~site ~agg =
+  match List.assoc_opt agg t.agg_index with
+  | None -> invalid_arg ("Reaching.reaches: unknown aggregate " ^ agg)
+  | Some i -> Bitvec.get t.site_in.(site) i
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (site, func) ->
+      let set =
+        List.filter_map
+          (fun (a, i) -> if Bitvec.get t.site_in.(site) i then Some a else None)
+          t.agg_index
+      in
+      Format.fprintf ppf "site %d (%s): reaching unstructured = {%s}@ " site func
+        (String.concat ", " set))
+    (Cfg.call_sites t.cfg);
+  Format.fprintf ppf "@]"

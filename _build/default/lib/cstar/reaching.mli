@@ -1,0 +1,30 @@
+(** The "reaching unstructured accesses" analysis (paper section 4.3).
+
+    For each aggregate at each program point: may cached copies of the
+    aggregate's elements exist on remote processors because of unstructured
+    (non-home) accesses on some path?  Transfer functions per parallel call,
+    per aggregate A (from the call's {!Access.summary}):
+
+    + owner (home) writes to A kill the property (remote copies invalidated);
+    + unstructured writes kill and re-generate it;
+    + unstructured reads generate it without killing.
+
+    Encoded as gen/kill bit vectors over the aggregate universe and solved
+    with {!Dataflow.solve_forward}. *)
+
+open Ccdsm_util
+
+type t = {
+  cfg : Cfg.t;
+  agg_index : (string * int) list;  (** aggregate name -> bit position *)
+  result : Dataflow.result;
+  site_in : Bitvec.t array;  (** in-fact per call site id *)
+}
+
+val analyze : Sema.t -> ?summaries:(string * Access.summary) list -> Ast.stmt list -> t
+(** Analyze a main body.  [summaries] defaults to {!Access.analyze_all}. *)
+
+val reaches : t -> site:int -> agg:string -> bool
+(** Does the property hold for [agg] on entry to call site [site]? *)
+
+val pp : Format.formatter -> t -> unit

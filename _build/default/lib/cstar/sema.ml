@@ -1,0 +1,240 @@
+open Ast
+
+type t = {
+  prog : Ast.program;
+  agg_of_name : string -> Ast.agg_decl;
+  pfun_of_name : string -> Ast.pfun;
+  parallel_agg : string -> string;
+}
+
+let field_index decl field =
+  match (decl.agg_fields, field) with
+  | [], None -> Ok 0
+  | [], Some f -> Error (Printf.sprintf "aggregate %s has no named fields (found .%s)" decl.agg_name f)
+  | _ :: _, None ->
+      Error (Printf.sprintf "aggregate %s requires a field selector" decl.agg_name)
+  | fields, Some f -> (
+      let rec find i = function
+        | [] -> Error (Printf.sprintf "aggregate %s has no field %s" decl.agg_name f)
+        | g :: _ when g = f -> Ok i
+        | _ :: rest -> find (i + 1) rest
+      in
+      find 0 fields)
+
+module Smap = Map.Make (String)
+
+let check prog =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+
+  (* Aggregate declarations. *)
+  let aggs = ref Smap.empty in
+  List.iter
+    (fun a ->
+      if Smap.mem a.agg_name !aggs then err "duplicate aggregate %s" a.agg_name
+      else aggs := Smap.add a.agg_name a !aggs;
+      let rank = List.length a.agg_dims in
+      List.iter (fun d -> if d <= 0 then err "aggregate %s: non-positive extent" a.agg_name) a.agg_dims;
+      let rec dup = function
+        | [] -> ()
+        | f :: rest -> if List.mem f rest then err "aggregate %s: duplicate field %s" a.agg_name f else dup rest
+      in
+      dup a.agg_fields;
+      match (a.agg_dist, rank) with
+      | None, _ -> ()
+      | Some (Dblock | Dcyclic), 1 | Some (Drow_block | Dtiled _), 2 -> ()
+      | Some _, _ -> err "aggregate %s: distribution does not fit rank %d" a.agg_name rank)
+    prog.aggs;
+  let aggs = !aggs in
+
+  (* Parallel function signatures. *)
+  let pfuns = ref Smap.empty in
+  List.iter
+    (fun f ->
+      if Smap.mem f.pf_name !pfuns then err "duplicate parallel function %s" f.pf_name
+      else if List.mem_assoc f.pf_name intrinsics then
+        err "parallel function %s shadows an intrinsic" f.pf_name
+      else pfuns := Smap.add f.pf_name f !pfuns;
+      (match List.filter (fun p -> p.par_parallel) f.pf_params with
+      | [ _ ] -> ()
+      | [] -> err "parallel function %s: no parallel parameter" f.pf_name
+      | _ -> err "parallel function %s: multiple parallel parameters" f.pf_name);
+      let rec dup = function
+        | [] -> ()
+        | p :: rest ->
+            if List.exists (fun q -> q.par_name = p.par_name) rest then
+              err "parallel function %s: duplicate parameter %s" f.pf_name p.par_name
+            else dup rest
+      in
+      dup f.pf_params;
+      List.iter
+        (fun p ->
+          if not (Smap.mem p.par_agg aggs) then
+            err "parallel function %s: unknown aggregate %s" f.pf_name p.par_agg)
+        f.pf_params)
+    prog.pfuns;
+  let pfuns = !pfuns in
+
+  (* Resolve and check one parallel function body. *)
+  let check_pfun f =
+    let alias =
+      List.fold_left (fun m p -> Smap.add p.par_name p.par_agg m) Smap.empty f.pf_params
+    in
+    let parallel_rank =
+      match List.find_opt (fun p -> p.par_parallel) f.pf_params with
+      | Some p -> (
+          match Smap.find_opt p.par_agg aggs with
+          | Some a -> List.length a.agg_dims
+          | None -> 2 (* error already reported *))
+      | None -> 2
+    in
+    let resolve_agg ctx name =
+      match Smap.find_opt name alias with
+      | Some agg -> Some agg
+      | None ->
+          if Smap.mem name aggs then Some name
+          else begin
+            err "%s: unknown aggregate or parameter %s" ctx name;
+            None
+          end
+    in
+    let rec rexpr ctx scope = function
+      | Num f -> Num f
+      | Pos k ->
+          if k < 0 || k >= parallel_rank then
+            err "%s: position #%d out of rank %d" ctx k parallel_rank;
+          Pos k
+      | Var v ->
+          if Smap.mem v alias || Smap.mem v aggs then
+            err "%s: aggregate %s used without index" ctx v
+          else if not (Smap.mem v scope) then err "%s: unbound variable %s" ctx v;
+          Var v
+      | Agg_read a -> Agg_read (raccess ctx scope a)
+      | Binop (op, l, r) -> Binop (op, rexpr ctx scope l, rexpr ctx scope r)
+      | Unop (op, e) -> Unop (op, rexpr ctx scope e)
+      | Intrinsic (name, args) ->
+          (match List.assoc_opt name intrinsics with
+          | None -> err "%s: unknown intrinsic %s" ctx name
+          | Some arity ->
+              if List.length args <> arity then
+                err "%s: intrinsic %s expects %d argument(s)" ctx name arity);
+          Intrinsic (name, List.map (rexpr ctx scope) args)
+    and raccess ctx scope a =
+      let agg_name =
+        match resolve_agg ctx a.acc_agg with Some n -> n | None -> a.acc_agg
+      in
+      (match Smap.find_opt agg_name aggs with
+      | None -> ()
+      | Some decl ->
+          if List.length a.acc_idx <> List.length decl.agg_dims then
+            err "%s: aggregate %s indexed with %d subscript(s), rank is %d" ctx agg_name
+              (List.length a.acc_idx) (List.length decl.agg_dims);
+          (match field_index decl a.acc_field with Ok _ -> () | Error e -> err "%s: %s" ctx e));
+      { acc_agg = agg_name; acc_idx = List.map (rexpr ctx scope) a.acc_idx; acc_field = a.acc_field }
+    in
+    let rec rstmts ctx scope = function
+      | [] -> []
+      | s :: rest ->
+          let s', scope' = rstmt ctx scope s in
+          s' :: rstmts ctx scope' rest
+    and rstmt ctx scope = function
+      | Slet (x, e) ->
+          let e = rexpr ctx scope e in
+          if Smap.mem x alias || Smap.mem x aggs then err "%s: let shadows aggregate %s" ctx x;
+          (Slet (x, e), Smap.add x () scope)
+      | Sassign (x, e) ->
+          if not (Smap.mem x scope) then err "%s: assignment to unbound variable %s" ctx x;
+          (Sassign (x, rexpr ctx scope e), scope)
+      | Sstore (a, e) -> (Sstore (raccess ctx scope a, rexpr ctx scope e), scope)
+      | Sif (c, t, e) ->
+          (Sif (rexpr ctx scope c, rstmts ctx scope t, rstmts ctx scope e), scope)
+      | Swhile (c, b) -> (Swhile (rexpr ctx scope c, rstmts ctx scope b), scope)
+      | Sfor (init, c, step, b) ->
+          let init', scope' = rstmt ctx scope init in
+          let c = rexpr ctx scope' c in
+          let step', _ = rstmt ctx scope' step in
+          (Sfor (init', c, step', rstmts ctx scope' b), scope)
+      | Scall name ->
+          err "%s: nested parallel call to %s (parallel functions cannot call each other)" ctx
+            name;
+          (Scall name, scope)
+      | Sphase _ -> err "%s: unexpected phase annotation in source" ctx;
+          (Sphase (0, []), scope)
+    in
+    { f with pf_body = rstmts ("function " ^ f.pf_name) Smap.empty f.pf_body }
+  in
+
+  (* Check main: control flow and parallel calls only. *)
+  let rec check_main scope = function
+    | [] -> ()
+    | s :: rest ->
+        let scope' = check_main_stmt scope s in
+        check_main scope' rest
+  and check_main_expr scope = function
+    | Num _ -> ()
+    | Pos k -> err "main: position #%d outside a parallel function" k
+    | Var v -> if not (Smap.mem v scope) then err "main: unbound variable %s" v
+    | Agg_read a -> err "main: direct aggregate access to %s in sequential code" a.acc_agg
+    | Binop (_, l, r) ->
+        check_main_expr scope l;
+        check_main_expr scope r
+    | Unop (_, e) -> check_main_expr scope e
+    | Intrinsic (name, args) ->
+        (match List.assoc_opt name intrinsics with
+        | None -> err "main: unknown intrinsic %s" name
+        | Some arity ->
+            if List.length args <> arity then err "main: intrinsic %s expects %d argument(s)" name arity);
+        List.iter (check_main_expr scope) args
+  and check_main_stmt scope = function
+    | Slet (x, e) ->
+        check_main_expr scope e;
+        Smap.add x () scope
+    | Sassign (x, e) ->
+        if not (Smap.mem x scope) then err "main: assignment to unbound variable %s" x;
+        check_main_expr scope e;
+        scope
+    | Sstore (a, _) ->
+        err "main: direct aggregate store to %s in sequential code" a.acc_agg;
+        scope
+    | Sif (c, t, e) ->
+        check_main_expr scope c;
+        check_main scope t;
+        check_main scope e;
+        scope
+    | Swhile (c, b) ->
+        check_main_expr scope c;
+        check_main scope b;
+        scope
+    | Sfor (init, c, step, b) ->
+        (match init with
+        | Slet _ | Sassign _ -> ()
+        | _ -> err "main: for-loop initializer must be a scalar statement");
+        (match step with
+        | Slet _ | Sassign _ -> ()
+        | _ -> err "main: for-loop step must be a scalar statement");
+        let scope' = check_main_stmt scope init in
+        check_main_expr scope' c;
+        ignore (check_main_stmt scope' step);
+        check_main scope' b;
+        scope
+    | Scall name ->
+        if not (Smap.mem name pfuns) then err "main: call to unknown parallel function %s" name;
+        scope
+    | Sphase _ ->
+        err "main: unexpected phase annotation in source";
+        scope
+  in
+  check_main Smap.empty prog.main;
+
+  let resolved_pfuns = List.map check_pfun prog.pfuns in
+  match List.rev !errors with
+  | [] ->
+      let prog = { prog with pfuns = resolved_pfuns } in
+      let agg_of_name n = List.find (fun a -> a.agg_name = n) prog.aggs in
+      let pfun_of_name n = List.find (fun f -> f.pf_name = n) prog.pfuns in
+      let parallel_agg n =
+        let f = pfun_of_name n in
+        (List.find (fun p -> p.par_parallel) f.pf_params).par_agg
+      in
+      Ok { prog; agg_of_name; pfun_of_name; parallel_agg }
+  | errs -> Error errs

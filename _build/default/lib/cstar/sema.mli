@@ -1,0 +1,26 @@
+(** Semantic analysis: name resolution and static checks.
+
+    Verifies declarations (unique names, 1-/2-D extents, distribution/rank
+    agreement), parallel functions (exactly one [parallel] parameter,
+    positions [#k] within the parallel aggregate's rank, index arities, field
+    names, intrinsic arities, scalar scoping) and the sequential [main]
+    (parallel calls resolve; no position pseudo-variables; no direct
+    aggregate element accesses — sequential code only orchestrates parallel
+    phases, as in the paper's restriction of analysis to the main function).
+
+    On success returns the program with every parameter alias rewritten to
+    the global aggregate it binds, so later passes never see aliases. *)
+
+type t = {
+  prog : Ast.program;  (** resolved program *)
+  agg_of_name : string -> Ast.agg_decl;  (** total on resolved programs *)
+  pfun_of_name : string -> Ast.pfun;
+  parallel_agg : string -> string;  (** parallel aggregate of a parallel function *)
+}
+
+val check : Ast.program -> (t, string list) result
+(** All detected errors are returned (not just the first). *)
+
+val field_index : Ast.agg_decl -> string option -> (int, string) result
+(** Resolve a field reference against a declaration: [None] is field 0 of a
+    single-field aggregate. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Ascii Buffer Ccdsm_apps Ccdsm_cstar Ccdsm_runtime Ccdsm_tempest Ccdsm_util Float Format List Measure Printf String Sys

@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Ccdsm_proto Ccdsm_runtime Ccdsm_tempest List

@@ -1,0 +1,1 @@
+lib/harness/measure.mli: Ccdsm_runtime Ccdsm_tempest

@@ -1,0 +1,64 @@
+(** Reproduction drivers: one entry per table/figure of the paper, plus the
+    section-5.4 block-size sweep and design ablations (see DESIGN.md for the
+    experiment index and EXPERIMENTS.md for recorded outcomes). *)
+
+type scale =
+  | Paper  (** the paper's data sets (Table 1): 128x128x100 / 16384x3 / 512x20 *)
+  | Scaled  (** reduced sizes for CI and the default bench run *)
+
+val scale_of_env : unit -> scale
+(** [Paper] when CCDSM_FULL is set to a non-empty, non-"0" value. *)
+
+type figure = {
+  id : string;
+  title : string;
+  rows : Measure.measurement list;
+  notes : string list;  (** expected shape, from the paper *)
+}
+
+val render : figure -> string
+(** Stacked bars (relative execution time, split into the paper's three
+    sections) followed by a counter table. *)
+
+val table1 : scale -> string
+(** The benchmark-description table. *)
+
+val fig4 : unit -> string
+(** Compiler report for the Barnes-Hut skeleton: access summaries, reaching
+    facts, directive placement (the paper's Figure 4). *)
+
+val fig5 : ?num_nodes:int -> scale -> figure
+(** Adaptive: unoptimized and optimized at 32- and 256-byte blocks. *)
+
+val fig6 : ?num_nodes:int -> scale -> figure
+(** Barnes: unopt/opt at 32- and 1024-byte blocks plus hand-optimized SPMD
+    (write-update) at 1024. *)
+
+val fig7 : ?num_nodes:int -> scale -> figure
+(** Water: unoptimized, optimized and Splash, each at its best block size
+    (chosen by sweeping, as the paper did). *)
+
+val block_sweep : ?num_nodes:int -> scale -> string
+(** Section 5.4: total time for each application, unoptimized vs optimized,
+    across block sizes 32..1024 — "the predictive protocol worked best for
+    small cache blocks". *)
+
+val ablations : ?num_nodes:int -> scale -> string
+(** Design ablations: presend bulk coalescing on/off; incremental schedules
+    vs flush-every-iteration; CM-5-class vs hardware-DSM network (the
+    section 5.4 latency-tradeoff discussion). *)
+
+val inspector : scale -> string
+(** Section 2 comparison: the predictive protocol vs. a CHAOS-style
+    inspector-executor on an irregular gather kernel whose indirection
+    pattern is static, incrementally evolving, or rewritten wholesale. *)
+
+val scaling : scale -> string
+(** Extension beyond the paper: total time and optimized speedup as the
+    machine grows from 4 to 48 nodes (Water, 32-byte blocks). *)
+
+val check_shapes : fig5:figure -> fig6:figure -> fig7:figure -> (string * bool) list
+(** Evaluate the paper's qualitative claims against measured figures
+    (used by the test suite and EXPERIMENTS.md): e.g. "optimized Adaptive
+    >= 1.2x over best unoptimized", "Barnes unopt(1024) within 15% of
+    opt(1024)", "optimized Water beats Splash". *)

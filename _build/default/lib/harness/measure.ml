@@ -1,0 +1,60 @@
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Coherence = Ccdsm_proto.Coherence
+
+type version = {
+  label : string;
+  protocol : Runtime.protocol;
+  block_bytes : int;
+  net : Ccdsm_tempest.Network.t;
+  coalesce : bool;
+  conflict_action : [ `Ignore | `First_stable ];
+  run : Runtime.t -> float;
+}
+
+let version ~label ~protocol ~block_bytes ?(net = Ccdsm_tempest.Network.default)
+    ?(coalesce = true) ?(conflict_action = `Ignore) run =
+  { label; protocol; block_bytes; net; coalesce; conflict_action; run }
+
+type measurement = {
+  label : string;
+  total_us : float;
+  compute_us : float;
+  remote_wait_us : float;
+  presend_us : float;
+  synch_us : float;
+  counters : Machine.counters;
+  proto_stats : (string * float) list;
+  checksum : float;
+  local_fraction : float;
+}
+
+let measure ?(num_nodes = 32) v =
+  let cfg = Machine.default_config ~num_nodes ~block_bytes:v.block_bytes ~net:v.net () in
+  let rt =
+    Runtime.create ~cfg ~presend_coalesce:v.coalesce ~conflict_action:v.conflict_action
+      ~protocol:v.protocol ()
+  in
+  let checksum = v.run rt in
+  let breakdown = Runtime.time_breakdown rt in
+  let bucket b = List.assoc b breakdown in
+  let counters = Machine.total_counters (Runtime.machine rt) in
+  let accesses = counters.Machine.local_reads + counters.Machine.local_writes in
+  let faults = counters.Machine.read_faults + counters.Machine.write_faults in
+  {
+    label = v.label;
+    total_us = Runtime.total_time rt;
+    compute_us = bucket Machine.Compute;
+    remote_wait_us = bucket Machine.Remote_wait;
+    presend_us = bucket Machine.Presend;
+    synch_us = bucket Machine.Synch;
+    counters;
+    proto_stats = (Runtime.coherence rt).Coherence.stats ();
+    checksum;
+    local_fraction =
+      (if accesses = 0 then 1.0 else 1.0 -. (float_of_int faults /. float_of_int accesses));
+  }
+
+let buckets m = [| m.compute_us +. m.synch_us; m.presend_us; m.remote_wait_us |]
+
+let segment_names = [ "Compute+Synch"; "Predictive protocol"; "Remote data wait" ]

@@ -1,0 +1,50 @@
+(** Measurement of one application version on one machine configuration. *)
+
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+
+type version = {
+  label : string;  (** e.g. "C** optimized (32)" *)
+  protocol : Runtime.protocol;
+  block_bytes : int;
+  net : Ccdsm_tempest.Network.t;  (** interconnect cost model *)
+  coalesce : bool;  (** predictive presend bulk coalescing *)
+  conflict_action : [ `Ignore | `First_stable ];  (** conflict-block presend policy *)
+  run : Runtime.t -> float;  (** execute the app, return its checksum *)
+}
+
+val version :
+  label:string ->
+  protocol:Runtime.protocol ->
+  block_bytes:int ->
+  ?net:Ccdsm_tempest.Network.t ->
+  ?coalesce:bool ->
+  ?conflict_action:[ `Ignore | `First_stable ] ->
+  (Runtime.t -> float) ->
+  version
+(** Smart constructor: {!Ccdsm_tempest.Network.default} and coalescing on. *)
+
+type measurement = {
+  label : string;
+  total_us : float;  (** simulated wall clock (max node time) *)
+  compute_us : float;  (** mean per node *)
+  remote_wait_us : float;
+  presend_us : float;
+  synch_us : float;
+  counters : Machine.counters;  (** summed over nodes *)
+  proto_stats : (string * float) list;
+  checksum : float;
+  local_fraction : float;
+      (** fraction of shared accesses satisfied locally without a fault — the
+          paper's "number of shared-data requests satisfied locally" *)
+}
+
+val measure : ?num_nodes:int -> version -> measurement
+(** Build a fresh machine (default 32 nodes, the paper's CM-5 size), run the
+    version, and collect the breakdown. *)
+
+val buckets : measurement -> float array
+(** [[| compute+synch; presend; remote_wait |]] — the three sections of the
+    paper's figures. *)
+
+val segment_names : string list

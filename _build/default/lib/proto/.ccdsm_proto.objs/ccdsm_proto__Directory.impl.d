@@ -1,0 +1,1 @@
+lib/proto/directory.ml: Array Ccdsm_tempest Ccdsm_util Format Nodeset

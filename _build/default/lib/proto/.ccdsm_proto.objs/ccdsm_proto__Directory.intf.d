@@ -1,0 +1,1 @@
+lib/proto/directory.mli: Ccdsm_tempest Ccdsm_util Nodeset

@@ -1,0 +1,1 @@
+lib/proto/engine.ml: Ccdsm_tempest Ccdsm_util Coherence Directory Nodeset

@@ -1,0 +1,1 @@
+lib/proto/engine.mli: Ccdsm_tempest Coherence Directory

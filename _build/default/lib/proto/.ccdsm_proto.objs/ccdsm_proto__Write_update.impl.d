@@ -1,0 +1,1 @@
+lib/proto/write_update.ml: Array Bulk Ccdsm_tempest Ccdsm_util Coherence Hashtbl List Nodeset

@@ -1,0 +1,1 @@
+lib/proto/write_update.mli: Ccdsm_tempest Coherence

@@ -1,0 +1,14 @@
+let runs blocks =
+  let sorted = List.sort_uniq compare blocks in
+  match sorted with
+  | [] -> []
+  | first :: rest ->
+      let acc, start, len =
+        List.fold_left
+          (fun (acc, start, len) b ->
+            if b = start + len then (acc, start, len + 1) else ((start, len) :: acc, b, 1))
+          ([], first, 1) rest
+      in
+      List.rev ((start, len) :: acc)
+
+let message_count blocks = List.length (runs blocks)

@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  phase_begin : phase:int -> unit;
+  phase_end : phase:int -> unit;
+  flush_schedule : phase:int -> unit;
+  stats : unit -> (string * float) list;
+}
+
+let passive ~name =
+  {
+    name;
+    phase_begin = (fun ~phase:_ -> ());
+    phase_end = (fun ~phase:_ -> ());
+    flush_schedule = (fun ~phase:_ -> ());
+    stats = (fun () -> []);
+  }

@@ -1,0 +1,25 @@
+(** First-class coherence-protocol interface.
+
+    A protocol installs its fault handlers into the machine at construction
+    time; the runtime only sees this record, through which the compiler's
+    directives drive the phase hooks.  [phase_begin]/[phase_end] are no-ops
+    for plain Stache, trigger the pre-send/record machinery for the
+    predictive protocol, and trigger producer-initiated updates for the
+    write-update baseline. *)
+
+type t = {
+  name : string;
+  phase_begin : phase:int -> unit;
+      (** Called (on all nodes, logically) when a parallel phase with a
+          communication schedule starts. *)
+  phase_end : phase:int -> unit;
+  flush_schedule : phase:int -> unit;
+      (** Discard accumulated prediction state for [phase] (paper section 3.3:
+          schedules with many deletions must be rebuilt by flushing). *)
+  stats : unit -> (string * float) list;
+      (** Protocol-specific counters for reports, e.g. schedule sizes and
+          presend traffic. *)
+}
+
+val passive : name:string -> t
+(** A protocol with no phase behaviour (used by Stache). *)

@@ -1,0 +1,62 @@
+open Ccdsm_util
+module Machine = Ccdsm_tempest.Machine
+module Tag = Ccdsm_tempest.Tag
+
+type entry = Exclusive of int | Shared of Nodeset.t
+
+type t = { machine : Machine.t; mutable entries : entry option array }
+
+let create machine = { machine; entries = Array.make 128 None }
+
+let ensure t b =
+  if b >= Array.length t.entries then begin
+    let cap = max (b + 1) (2 * Array.length t.entries) in
+    let entries = Array.make cap None in
+    Array.blit t.entries 0 entries 0 (Array.length t.entries);
+    t.entries <- entries
+  end
+
+let get t b =
+  ensure t b;
+  match t.entries.(b) with
+  | Some e -> e
+  | None -> Exclusive (Machine.home t.machine b)
+
+let set t b e =
+  ensure t b;
+  t.entries.(b) <- Some e
+
+let holders t b =
+  match get t b with Exclusive o -> Nodeset.singleton o | Shared readers -> readers
+
+let check_invariant t b =
+  let m = t.machine in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  match get t b with
+  | Exclusive o ->
+      let bad = ref None in
+      for n = 0 to Machine.num_nodes m - 1 do
+        let tg = Machine.tag m ~node:n b in
+        if n = o && not (Tag.equal tg Tag.Read_write) then
+          bad := Some (n, tg, "owner must be ReadWrite")
+        else if n <> o && not (Tag.equal tg Tag.Invalid) then
+          bad := Some (n, tg, "non-owner must be Invalid")
+      done;
+      (match !bad with
+      | None -> Ok ()
+      | Some (n, tg, why) -> fail "block %d Exclusive %d: node %d is %a (%s)" b o n Tag.pp tg why)
+  | Shared readers ->
+      if Nodeset.is_empty readers then fail "block %d Shared with empty reader set" b
+      else begin
+        let bad = ref None in
+        for n = 0 to Machine.num_nodes m - 1 do
+          let tg = Machine.tag m ~node:n b in
+          if Nodeset.mem n readers && not (Tag.equal tg Tag.Read_only) then
+            bad := Some (n, tg, "reader must be ReadOnly")
+          else if (not (Nodeset.mem n readers)) && not (Tag.equal tg Tag.Invalid) then
+            bad := Some (n, tg, "non-reader must be Invalid")
+        done;
+        match !bad with
+        | None -> Ok ()
+        | Some (n, tg, why) -> fail "block %d Shared: node %d is %a (%s)" b n Tag.pp tg why
+      end

@@ -1,0 +1,181 @@
+open Ccdsm_util
+module Machine = Ccdsm_tempest.Machine
+module Network = Ccdsm_tempest.Network
+module Tag = Ccdsm_tempest.Tag
+
+type t = { machine : Machine.t; dir : Directory.t }
+
+let create machine = { machine; dir = Directory.create machine }
+
+(* Serialization cost when one node must emit several invalidations: the
+   sends overlap, so each extra message adds only its injection overhead. *)
+let serialization_factor = 0.25
+
+let ctrl_bytes t = (Machine.net t.machine).Network.ctrl_bytes
+let data_bytes t = Machine.block_bytes t.machine
+let msg_cost t ~bytes = Network.msg_cost (Machine.net t.machine) ~bytes
+let fault_cost t = (Machine.net t.machine).Network.fault_us
+
+let invalidate t ~node b =
+  (Machine.counters t.machine ~node).Machine.invalidations <-
+    (Machine.counters t.machine ~node).Machine.invalidations + 1;
+  Machine.set_tag t.machine ~node b Tag.Invalid
+
+let downgrade t ~node b =
+  (Machine.counters t.machine ~node).Machine.downgrades <-
+    (Machine.counters t.machine ~node).Machine.downgrades + 1;
+  Machine.set_tag t.machine ~node b Tag.Read_only
+
+(* -- demand read -------------------------------------------------------- *)
+
+let demand_read t ~bucket ~node b =
+  let m = t.machine in
+  let h = Machine.home m b in
+  let ctrl = ctrl_bytes t and data = data_bytes t in
+  Machine.charge m ~node bucket (fault_cost t);
+  match Directory.get t.dir b with
+  | Shared readers ->
+      assert (not (Nodeset.mem node readers));
+      (* Home memory is current in Shared state. *)
+      if node <> h then begin
+        Machine.count_msg m ~node ~bytes:ctrl;
+        Machine.count_msg m ~node:h ~bytes:data;
+        Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+      end;
+      Machine.set_tag m ~node b Tag.Read_only;
+      Directory.set t.dir b (Shared (Nodeset.add node readers))
+  | Exclusive o ->
+      assert (o <> node);
+      (* The writer's copy returns to the home memory and the writer stays on
+         as a reader (standard Stache downgrade-on-read). *)
+      (if o = h then begin
+         (* Writer is the home node: simple request/response. *)
+         Machine.count_msg m ~node ~bytes:ctrl;
+         Machine.count_msg m ~node:h ~bytes:data;
+         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+       end
+       else if node = h then begin
+         (* Home itself faulted: recall the copy from the writer. *)
+         Machine.count_msg m ~node:h ~bytes:ctrl;
+         Machine.count_msg m ~node:o ~bytes:data;
+         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+       end
+       else begin
+         (* The 4-message producer/consumer chain of section 3.2. *)
+         Machine.count_msg m ~node ~bytes:ctrl;
+         Machine.count_msg m ~node:h ~bytes:ctrl;
+         Machine.count_msg m ~node:o ~bytes:data;
+         Machine.count_msg m ~node:h ~bytes:data;
+         Machine.charge m ~node bucket
+           (2.0 *. msg_cost t ~bytes:ctrl +. 2.0 *. msg_cost t ~bytes:data)
+       end);
+      downgrade t ~node:o b;
+      Machine.set_tag m ~node b Tag.Read_only;
+      Directory.set t.dir b (Shared (Nodeset.add node (Nodeset.singleton o)))
+
+(* -- invalidation of all other holders ----------------------------------- *)
+
+let invalidate_holders t ~except ~payer ~bucket b =
+  let m = t.machine in
+  let h = Machine.home m b in
+  let ctrl = ctrl_bytes t and data = data_bytes t in
+  (match Directory.get t.dir b with
+  | Exclusive o when o = except -> ()
+  | Exclusive o ->
+      (* Recall the dirty copy into home memory, then drop it. *)
+      if o <> h then begin
+        Machine.count_msg m ~node:h ~bytes:ctrl;
+        Machine.count_msg m ~node:o ~bytes:data;
+        Machine.charge m ~node:payer bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+      end;
+      invalidate t ~node:o b
+  | Shared readers ->
+      let others = Nodeset.remove except readers in
+      let remote = Nodeset.remove h others in
+      let k = Nodeset.cardinal remote in
+      if k > 0 then begin
+        Nodeset.iter
+          (fun r ->
+            Machine.count_msg m ~node:h ~bytes:ctrl;
+            Machine.count_msg m ~node:r ~bytes:ctrl)
+          remote;
+        (* Invalidations overlap: one round trip plus injection overhead for
+           each additional message. *)
+        Machine.charge m ~node:payer bucket
+          (2.0 *. msg_cost t ~bytes:ctrl
+          +. serialization_factor
+             *. (Machine.net m).Network.msg_startup_us
+             *. float_of_int (k - 1))
+      end;
+      Nodeset.iter (fun r -> invalidate t ~node:r b) others);
+  Directory.set t.dir b (Exclusive except)
+
+let recall_to_home t ~payer ~bucket b =
+  let m = t.machine in
+  let h = Machine.home m b in
+  match Directory.get t.dir b with
+  | Shared _ -> ()
+  | Exclusive o ->
+      let ctrl = ctrl_bytes t and data = data_bytes t in
+      if o <> h then begin
+        Machine.count_msg m ~node:h ~bytes:ctrl;
+        Machine.count_msg m ~node:o ~bytes:data;
+        Machine.charge m ~node:payer bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+      end;
+      downgrade t ~node:o b;
+      Directory.set t.dir b (Shared (Nodeset.singleton o))
+
+(* -- demand write -------------------------------------------------------- *)
+
+let demand_write t ~bucket ~node b =
+  let m = t.machine in
+  let h = Machine.home m b in
+  let ctrl = ctrl_bytes t and data = data_bytes t in
+  Machine.charge m ~node bucket (fault_cost t);
+  match Directory.get t.dir b with
+  | Exclusive o ->
+      assert (o <> node);
+      (if o = h then begin
+         Machine.count_msg m ~node ~bytes:ctrl;
+         Machine.count_msg m ~node:h ~bytes:data;
+         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+       end
+       else if node = h then begin
+         Machine.count_msg m ~node:h ~bytes:ctrl;
+         Machine.count_msg m ~node:o ~bytes:data;
+         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+       end
+       else begin
+         Machine.count_msg m ~node ~bytes:ctrl;
+         Machine.count_msg m ~node:h ~bytes:ctrl;
+         Machine.count_msg m ~node:o ~bytes:data;
+         Machine.count_msg m ~node:h ~bytes:data;
+         Machine.charge m ~node bucket
+           (2.0 *. msg_cost t ~bytes:ctrl +. 2.0 *. msg_cost t ~bytes:data)
+       end);
+      invalidate t ~node:o b;
+      Machine.set_tag m ~node b Tag.Read_write;
+      Directory.set t.dir b (Exclusive node)
+  | Shared readers ->
+      let had_copy = Nodeset.mem node readers in
+      (* Request/upgrade leg to the home node. *)
+      if node <> h then begin
+        Machine.count_msg m ~node ~bytes:ctrl;
+        let reply = if had_copy then ctrl else data in
+        Machine.count_msg m ~node:h ~bytes:reply;
+        Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:reply)
+      end;
+      invalidate_holders t ~except:node ~payer:node ~bucket b;
+      Machine.set_tag m ~node b Tag.Read_write;
+      Directory.set t.dir b (Exclusive node)
+
+(* -- Stache -------------------------------------------------------------- *)
+
+let stache machine =
+  let t = create machine in
+  Machine.install machine
+    {
+      Machine.on_read_fault = (fun ~node b -> demand_read t ~bucket:Machine.Remote_wait ~node b);
+      Machine.on_write_fault = (fun ~node b -> demand_write t ~bucket:Machine.Remote_wait ~node b);
+    };
+  (t, Coherence.passive ~name:"stache")

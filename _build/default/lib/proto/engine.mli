@@ -1,0 +1,47 @@
+(** Write-invalidate protocol transitions (the Teapot-analogue layer).
+
+    The paper's protocols were written in Teapot, a DSL for specifying
+    coherence handlers.  Here the equivalent role is played by this module:
+    it implements the directory state transitions, tag updates, message
+    counting and latency charging for the standard write-invalidate actions,
+    and the other protocols (Stache, predictive, write-update) are composed
+    from these primitives instead of repeating the message bookkeeping.
+
+    Latency convention: the faulting node stalls for the whole miss, so the
+    full message chain cost is charged to that node's [bucket] (Remote_wait
+    on the demand path; the predictive protocol charges its own presend
+    bucket when it reuses these primitives).  Message counts are attributed
+    to the node that sends each message. *)
+
+module Machine = Ccdsm_tempest.Machine
+
+type t = { machine : Machine.t; dir : Directory.t }
+
+val create : Machine.t -> t
+(** Build an engine (with a fresh directory) over [machine].  Does not
+    install any handlers. *)
+
+val demand_read : t -> bucket:Machine.bucket -> node:int -> Machine.block -> unit
+(** Full read-fault transition: obtain a ReadOnly copy at [node], downgrading
+    a remote writer if necessary (the 4-message chain of section 3.2 when
+    producer, consumer and home are distinct). *)
+
+val demand_write : t -> bucket:Machine.bucket -> node:int -> Machine.block -> unit
+(** Full write-fault transition: obtain the ReadWrite copy at [node],
+    invalidating all other holders. *)
+
+val invalidate_holders : t -> except:int -> payer:int -> bucket:Machine.bucket -> Machine.block -> unit
+(** Invalidate every valid copy except [except]'s, leaving the directory
+    entry Exclusive [except] if [except] holds a copy, charging latency to
+    [payer].  Building block for upgrades and presend-write actions. *)
+
+val recall_to_home : t -> payer:int -> bucket:Machine.bucket -> Machine.block -> unit
+(** If the block is Exclusive at a non-home node, downgrade that writer to a
+    reader (its copy returns to the home's memory).  Afterwards the home
+    memory is current.  Charges [payer]. *)
+
+val stache : Machine.t -> t * Coherence.t
+(** The default Blizzard protocol: sequentially-consistent directory-based
+    write-invalidate.  Installs handlers on the machine and returns both the
+    engine (so a wrapping protocol can share the directory) and the
+    coherence interface. *)

@@ -1,0 +1,28 @@
+(** Producer-initiated write-update protocol (baseline).
+
+    Models the hand-written application-specific protocols of Falsafi et al.
+    that the paper's hand-optimized SPMD Barnes uses: instead of invalidating
+    consumers, a producer pushes fresh copies of the blocks it wrote to every
+    subscribed consumer at the end of each parallel phase, so steady-state
+    producer-consumer data moves with one bulk message instead of the
+    4-message invalidate/request/response chain.
+
+    As the paper notes (section 3.2), update protocols do not provide
+    sequential consistency in general; they are safe here because the SPMD
+    applications that use them synchronize with barriers at phase boundaries
+    and never race within a phase.  Consequently this protocol does not
+    maintain the {!Directory} reader/writer invariant — it keeps its own
+    owner + subscriber state:
+
+    - the first read by a node subscribes it to the block (a demand miss);
+      its ReadOnly copy is thereafter kept fresh by updates and never
+      invalidated;
+    - a write by the owning node re-arms dirty tracking with a cheap local
+      fault (block re-protection at phase boundaries); a write by any other
+      node migrates ownership with a round trip;
+    - [phase_end] pushes every dirty block to its subscribers in
+      neighbouring-block-coalesced bulk messages, charged to the producer's
+      presend bucket. *)
+
+val coherence : Ccdsm_tempest.Machine.t -> Coherence.t
+(** Installs the protocol's fault handlers on the machine. *)

@@ -1,0 +1,1 @@
+lib/runtime/aggregate.ml: Array Ccdsm_tempest Distribution Printf

@@ -1,0 +1,1 @@
+lib/runtime/aggregate.mli: Ccdsm_tempest Distribution

@@ -1,0 +1,1 @@
+lib/runtime/distribution.ml: Array Format

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Aggregate Array Ccdsm_core Ccdsm_proto Ccdsm_tempest Distribution List Option Shared_heap

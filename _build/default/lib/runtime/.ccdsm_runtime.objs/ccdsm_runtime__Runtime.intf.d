@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Aggregate Ccdsm_core Ccdsm_proto Ccdsm_tempest Shared_heap

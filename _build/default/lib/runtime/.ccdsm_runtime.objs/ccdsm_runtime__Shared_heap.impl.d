@@ -1,0 +1,1 @@
+lib/runtime/shared_heap.ml: Array Ccdsm_tempest

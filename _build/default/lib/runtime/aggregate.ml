@@ -1,0 +1,73 @@
+module Machine = Ccdsm_tempest.Machine
+
+type t = {
+  name : string;
+  machine : Machine.t;
+  dims : int array;
+  elem_words : int;
+  dist : Distribution.t;
+  bases : Machine.addr array;  (* base of each node's contiguous region *)
+  nodes : int;
+}
+
+let mk machine ~name ~elem_words ~dims ~dist counts =
+  let nodes = Machine.num_nodes machine in
+  (match Distribution.validate dist ~nodes ~dims with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Aggregate %s: %s" name msg));
+  let bases =
+    Array.init nodes (fun node ->
+        let words = max 1 (counts node * elem_words) in
+        Machine.alloc machine ~words ~home:node)
+  in
+  { name; machine; dims; elem_words; dist; bases; nodes }
+
+let create_1d machine ~name ?(elem_words = 1) ~n ~dist () =
+  if n <= 0 then invalid_arg "Aggregate.create_1d: empty";
+  mk machine ~name ~elem_words ~dims:[| n |] ~dist (fun node ->
+      Distribution.owned_count1 dist ~nodes:(Machine.num_nodes machine) ~n ~node)
+
+let create_2d machine ~name ?(elem_words = 1) ~rows ~cols ~dist () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Aggregate.create_2d: empty";
+  mk machine ~name ~elem_words ~dims:[| rows; cols |] ~dist (fun node ->
+      Distribution.owned_count2 dist ~nodes:(Machine.num_nodes machine) ~rows ~cols ~node)
+
+let name t = t.name
+let dims t = t.dims
+let size t = Array.fold_left ( * ) 1 t.dims
+let elem_words t = t.elem_words
+let dist t = t.dist
+
+let check_field t field =
+  if field < 0 || field >= t.elem_words then
+    invalid_arg (Printf.sprintf "Aggregate %s: field %d out of range" t.name field)
+
+let owner1 t i = Distribution.owner1 t.dist ~nodes:t.nodes ~n:t.dims.(0) i
+
+let owner2 t i j =
+  Distribution.owner2 t.dist ~nodes:t.nodes ~rows:t.dims.(0) ~cols:t.dims.(1) i j
+
+let addr1 t i ~field =
+  check_field t field;
+  if i < 0 || i >= t.dims.(0) then invalid_arg (Printf.sprintf "Aggregate %s: index %d" t.name i);
+  let o = owner1 t i in
+  let r = Distribution.rank1 t.dist ~nodes:t.nodes ~n:t.dims.(0) i in
+  t.bases.(o) + (r * t.elem_words) + field
+
+let addr2 t i j ~field =
+  check_field t field;
+  if i < 0 || i >= t.dims.(0) || j < 0 || j >= t.dims.(1) then
+    invalid_arg (Printf.sprintf "Aggregate %s: index (%d,%d)" t.name i j);
+  let o = owner2 t i j in
+  let r = Distribution.rank2 t.dist ~nodes:t.nodes ~rows:t.dims.(0) ~cols:t.dims.(1) i j in
+  t.bases.(o) + (r * t.elem_words) + field
+
+let read1 t ~node i ~field = Machine.read t.machine ~node (addr1 t i ~field)
+let write1 t ~node i ~field v = Machine.write t.machine ~node (addr1 t i ~field) v
+let read2 t ~node i j ~field = Machine.read t.machine ~node (addr2 t i j ~field)
+let write2 t ~node i j ~field v = Machine.write t.machine ~node (addr2 t i j ~field) v
+
+let peek1 t i ~field = Machine.peek t.machine (addr1 t i ~field)
+let peek2 t i j ~field = Machine.peek t.machine (addr2 t i j ~field)
+let poke1 t i ~field v = Machine.poke t.machine (addr1 t i ~field) v
+let poke2 t i j ~field v = Machine.poke t.machine (addr2 t i j ~field) v

@@ -1,0 +1,130 @@
+type t = Block1d | Row_block | Tiled of { pr : int; pc : int } | Cyclic
+
+let validate t ~nodes ~dims =
+  let rank = Array.length dims in
+  match t with
+  | Block1d | Cyclic -> if rank = 1 then Ok () else Error "1-D distribution on non-1-D aggregate"
+  | Row_block -> if rank = 2 then Ok () else Error "row-block distribution on non-2-D aggregate"
+  | Tiled { pr; pc } ->
+      if rank <> 2 then Error "tiled distribution on non-2-D aggregate"
+      else if pr <= 0 || pc <= 0 then Error "tiled distribution with non-positive grid"
+      else if pr * pc <> nodes then Error "tiled grid does not match node count"
+      else Ok ()
+
+let chunk ~n ~parts ~part =
+  (* The first [n mod parts] chunks get one extra element. *)
+  let q = n / parts and r = n mod parts in
+  let lo = (part * q) + min part r in
+  let hi = lo + q + if part < r then 1 else 0 in
+  (lo, hi)
+
+let chunk_owner ~n ~parts i =
+  let q = n / parts and r = n mod parts in
+  let boundary = r * (q + 1) in
+  if i < boundary then i / (q + 1) else r + ((i - boundary) / max q 1)
+
+let owner1 t ~nodes ~n i =
+  match t with
+  | Block1d -> chunk_owner ~n ~parts:nodes i
+  | Cyclic -> i mod nodes
+  | Row_block | Tiled _ -> invalid_arg "Distribution.owner1: 2-D distribution"
+
+let owner2 t ~nodes ~rows ~cols i j =
+  match t with
+  | Row_block ->
+      ignore cols;
+      chunk_owner ~n:rows ~parts:nodes i
+  | Tiled { pr; pc } ->
+      let oi = chunk_owner ~n:rows ~parts:pr i in
+      let oj = chunk_owner ~n:cols ~parts:pc j in
+      (oi * pc) + oj
+  | Block1d | Cyclic ->
+      ignore nodes;
+      invalid_arg "Distribution.owner2: 1-D distribution"
+
+let rank1 t ~nodes ~n i =
+  match t with
+  | Block1d ->
+      let o = chunk_owner ~n ~parts:nodes i in
+      let lo, _ = chunk ~n ~parts:nodes ~part:o in
+      i - lo
+  | Cyclic -> i / nodes
+  | Row_block | Tiled _ -> invalid_arg "Distribution.rank1: 2-D distribution"
+
+let rank2 t ~nodes ~rows ~cols i j =
+  match t with
+  | Row_block ->
+      let o = chunk_owner ~n:rows ~parts:nodes i in
+      let lo, _ = chunk ~n:rows ~parts:nodes ~part:o in
+      ((i - lo) * cols) + j
+  | Tiled { pr; pc } ->
+      let oi = chunk_owner ~n:rows ~parts:pr i in
+      let oj = chunk_owner ~n:cols ~parts:pc j in
+      let rlo, _ = chunk ~n:rows ~parts:pr ~part:oi in
+      let clo, chi = chunk ~n:cols ~parts:pc ~part:oj in
+      ((i - rlo) * (chi - clo)) + (j - clo)
+  | Block1d | Cyclic ->
+      ignore nodes;
+      invalid_arg "Distribution.rank2: 1-D distribution"
+
+let owned_count1 t ~nodes ~n ~node =
+  match t with
+  | Block1d ->
+      let lo, hi = chunk ~n ~parts:nodes ~part:node in
+      hi - lo
+  | Cyclic -> ((n - node - 1) / nodes) + if node < n then 1 else 0
+  | Row_block | Tiled _ -> invalid_arg "Distribution.owned_count1"
+
+let owned_count2 t ~nodes ~rows ~cols ~node =
+  match t with
+  | Row_block ->
+      let lo, hi = chunk ~n:rows ~parts:nodes ~part:node in
+      (hi - lo) * cols
+  | Tiled { pr; pc } ->
+      let oi = node / pc and oj = node mod pc in
+      let rlo, rhi = chunk ~n:rows ~parts:pr ~part:oi in
+      let clo, chi = chunk ~n:cols ~parts:pc ~part:oj in
+      (rhi - rlo) * (chi - clo)
+  | Block1d | Cyclic -> invalid_arg "Distribution.owned_count2"
+
+let iter_owned1 t ~nodes ~n ~node f =
+  match t with
+  | Block1d ->
+      let lo, hi = chunk ~n ~parts:nodes ~part:node in
+      for i = lo to hi - 1 do
+        f i
+      done
+  | Cyclic ->
+      let i = ref node in
+      while !i < n do
+        f !i;
+        i := !i + nodes
+      done
+  | Row_block | Tiled _ -> invalid_arg "Distribution.iter_owned1"
+
+let iter_owned2 t ~nodes ~rows ~cols ~node f =
+  match t with
+  | Row_block ->
+      let lo, hi = chunk ~n:rows ~parts:nodes ~part:node in
+      for i = lo to hi - 1 do
+        for j = 0 to cols - 1 do
+          f i j
+        done
+      done
+  | Tiled { pr; pc } ->
+      ignore nodes;
+      let oi = node / pc and oj = node mod pc in
+      let rlo, rhi = chunk ~n:rows ~parts:pr ~part:oi in
+      let clo, chi = chunk ~n:cols ~parts:pc ~part:oj in
+      for i = rlo to rhi - 1 do
+        for j = clo to chi - 1 do
+          f i j
+        done
+      done
+  | Block1d | Cyclic -> invalid_arg "Distribution.iter_owned2"
+
+let pp ppf = function
+  | Block1d -> Format.pp_print_string ppf "block"
+  | Row_block -> Format.pp_print_string ppf "row-block"
+  | Tiled { pr; pc } -> Format.fprintf ppf "tiled(%dx%d)" pr pc
+  | Cyclic -> Format.pp_print_string ppf "cyclic"

@@ -1,0 +1,43 @@
+(** Computation and data distributions for aggregates.
+
+    C\*\* provides "block distributions on 1-dimensional Aggregates and
+    row-block and tiled distributions on 2-dimensional Aggregates"
+    (section 4.1); Cyclic is included for load-balance experiments.  The
+    distribution determines both which node *executes* each element's
+    parallel-function invocation and where the element's data is *homed*
+    (each element lives in its owner's region of the shared segment). *)
+
+type t =
+  | Block1d  (** contiguous chunks of a 1-D aggregate *)
+  | Row_block  (** contiguous bands of rows of a 2-D aggregate *)
+  | Tiled of { pr : int; pc : int }  (** pr x pc processor grid over a 2-D aggregate *)
+  | Cyclic  (** round-robin over a 1-D aggregate *)
+
+val validate : t -> nodes:int -> dims:int array -> (unit, string) result
+(** Check the distribution fits the aggregate's rank and the node count. *)
+
+val chunk : n:int -> parts:int -> part:int -> int * int
+(** Balanced block partition: [chunk ~n ~parts ~part] is the half-open range
+    of indices owned by [part]; ranges are contiguous, cover [0, n) and
+    differ in size by at most one. *)
+
+val owner1 : t -> nodes:int -> n:int -> int -> int
+(** Owning node of element [i] of a 1-D aggregate of size [n]. *)
+
+val owner2 : t -> nodes:int -> rows:int -> cols:int -> int -> int -> int
+
+val rank1 : t -> nodes:int -> n:int -> int -> int
+(** Position of element [i] within its owner's contiguous region. *)
+
+val rank2 : t -> nodes:int -> rows:int -> cols:int -> int -> int -> int
+
+val owned_count1 : t -> nodes:int -> n:int -> node:int -> int
+val owned_count2 : t -> nodes:int -> rows:int -> cols:int -> node:int -> int
+
+val iter_owned1 : t -> nodes:int -> n:int -> node:int -> (int -> unit) -> unit
+(** Iterate the elements owned by [node] in ascending index order. *)
+
+val iter_owned2 :
+  t -> nodes:int -> rows:int -> cols:int -> node:int -> (int -> int -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,150 @@
+module Machine = Ccdsm_tempest.Machine
+module Network = Ccdsm_tempest.Network
+module Coherence = Ccdsm_proto.Coherence
+module Engine = Ccdsm_proto.Engine
+module Predictive = Ccdsm_core.Predictive
+
+type protocol = Stache | Predictive | Write_update
+
+type phase = { id : int; pname : string; scheduled : bool }
+
+type t = {
+  machine : Machine.t;
+  coherence : Coherence.t;
+  predictive : Predictive.t option;
+  heap : Shared_heap.t;
+  proto_kind : protocol;
+  mutable next_phase : int;
+  task_us : float;
+}
+
+let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = `Ignore)
+    ~protocol () =
+  let cfg = match cfg with Some c -> c | None -> Machine.default_config () in
+  let machine = Machine.create cfg in
+  let coherence, predictive =
+    match protocol with
+    | Stache ->
+        let _, c = Engine.stache machine in
+        (c, None)
+    | Predictive ->
+        let p = Predictive.create ~coalesce:presend_coalesce ~conflict_action machine in
+        (Predictive.coherence p, Some p)
+    | Write_update -> (Ccdsm_proto.Write_update.coherence machine, None)
+  in
+  {
+    machine;
+    coherence;
+    predictive;
+    heap = Shared_heap.create machine;
+    proto_kind = protocol;
+    next_phase = 0;
+    task_us;
+  }
+
+let machine t = t.machine
+let heap t = t.heap
+let coherence t = t.coherence
+let predictive t = t.predictive
+let protocol t = t.proto_kind
+let nodes t = Machine.num_nodes t.machine
+
+let make_phase t ~name ~scheduled =
+  let id = t.next_phase in
+  t.next_phase <- id + 1;
+  { id; pname = name; scheduled }
+
+let phase_name p = p.pname
+let phase_id p = p.id
+let phase_scheduled p = p.scheduled
+
+let flush_phase t p = t.coherence.Coherence.flush_schedule ~phase:p.id
+
+let charge_compute t ~node us = Machine.charge t.machine ~node Machine.Compute us
+
+let barrier t = Machine.barrier t.machine ~bucket:Machine.Synch
+
+let run_phase t phase body =
+  let bracketed = match phase with Some p when p.scheduled -> Some p | _ -> None in
+  (match bracketed with
+  | Some p -> t.coherence.Coherence.phase_begin ~phase:p.id
+  | None -> ());
+  body ();
+  (match bracketed with
+  | Some p -> t.coherence.Coherence.phase_end ~phase:p.id
+  | None -> ());
+  barrier t
+
+let parallel_for_1d t ?phase ?task_us agg body =
+  let task_us = Option.value task_us ~default:t.task_us in
+  let n = (Aggregate.dims agg).(0) in
+  run_phase t phase (fun () ->
+      for node = 0 to nodes t - 1 do
+        Distribution.iter_owned1 (Aggregate.dist agg) ~nodes:(nodes t) ~n ~node (fun i ->
+            charge_compute t ~node task_us;
+            body ~node ~i)
+      done)
+
+let parallel_for_2d t ?phase ?task_us agg body =
+  let task_us = Option.value task_us ~default:t.task_us in
+  let dims = Aggregate.dims agg in
+  if Array.length dims <> 2 then invalid_arg "Runtime.parallel_for_2d: 1-D aggregate";
+  run_phase t phase (fun () ->
+      for node = 0 to nodes t - 1 do
+        Distribution.iter_owned2 (Aggregate.dist agg) ~nodes:(nodes t) ~rows:dims.(0)
+          ~cols:dims.(1) ~node (fun i j ->
+            charge_compute t ~node task_us;
+            body ~node ~i ~j)
+      done)
+
+let parallel_nodes t ?phase body =
+  run_phase t phase (fun () ->
+      for node = 0 to nodes t - 1 do
+        charge_compute t ~node t.task_us;
+        body ~node
+      done)
+
+let phase_region t p body =
+  if p.scheduled then begin
+    t.coherence.Coherence.phase_begin ~phase:p.id;
+    let finish () = t.coherence.Coherence.phase_end ~phase:p.id in
+    match body () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+  else body ()
+
+let allreduce_sum t contrib =
+  let p = nodes t in
+  let net = Machine.net t.machine in
+  let levels =
+    let rec go n acc = if n <= 1 then acc else go ((n + 1) / 2) (acc + 1) in
+    go p 0
+  in
+  let bytes = net.Network.ctrl_bytes + 8 in
+  let per_node = float_of_int levels *. Network.msg_cost net ~bytes in
+  let sum = ref 0.0 in
+  for node = 0 to p - 1 do
+    Machine.count_msg t.machine ~node ~bytes;
+    Machine.charge t.machine ~node Machine.Remote_wait per_node;
+    sum := !sum +. contrib node
+  done;
+  barrier t;
+  !sum
+
+let time_breakdown t =
+  let p = float_of_int (nodes t) in
+  List.map
+    (fun b ->
+      let total = ref 0.0 in
+      for node = 0 to nodes t - 1 do
+        total := !total +. Machine.bucket_time t.machine ~node b
+      done;
+      (b, !total /. p))
+    Machine.all_buckets
+
+let total_time t = Machine.max_time t.machine

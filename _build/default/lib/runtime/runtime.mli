@@ -1,0 +1,100 @@
+(** The data-parallel runtime: protocol selection, parallel phases, barriers.
+
+    This layer plays the role of the C\*\* runtime system: it executes
+    data-parallel operations over aggregates on the simulated DSM and honours
+    the compiler's protocol directives.  A parallel operation whose phase is
+    [scheduled] is bracketed by {!Ccdsm_proto.Coherence.t} phase hooks — for
+    the predictive protocol that means pre-sending the phase's schedule on
+    entry and recording faults while it runs.
+
+    Parallel tasks are executed grouped by owning node, in node order, which
+    is deterministic and — because C\*\* guarantees independent parallel
+    invocations — produces the same values as a concurrent execution (see
+    DESIGN.md, "Execution model note"). *)
+
+module Machine = Ccdsm_tempest.Machine
+module Predictive = Ccdsm_core.Predictive
+
+type protocol = Stache | Predictive | Write_update
+
+type phase
+(** A static parallel-phase identity (one per directive site the compiler
+    emits, shared across iterations so schedules accumulate). *)
+
+type t
+
+val create :
+  ?cfg:Machine.config ->
+  ?task_us:float ->
+  ?presend_coalesce:bool ->
+  ?conflict_action:[ `Ignore | `First_stable ] ->
+  protocol:protocol ->
+  unit ->
+  t
+(** [task_us] is the per-task scheduling overhead charged as compute
+    (default 1.0 microseconds).  [presend_coalesce] (default true) controls
+    the predictive protocol's bulk-message coalescing and [conflict_action]
+    its handling of conflict-marked schedule blocks (ablation hooks; ignored
+    by the other protocols). *)
+
+val machine : t -> Machine.t
+val heap : t -> Shared_heap.t
+val coherence : t -> Ccdsm_proto.Coherence.t
+val predictive : t -> Predictive.t option
+(** The predictive protocol instance when [protocol = Predictive]. *)
+
+val protocol : t -> protocol
+val nodes : t -> int
+
+val make_phase : t -> name:string -> scheduled:bool -> phase
+(** Declare a parallel-phase site.  [scheduled] is the compiler's decision:
+    [true] places a predictive-protocol directive at this site. *)
+
+val phase_name : phase -> string
+val phase_id : phase -> int
+val phase_scheduled : phase -> bool
+
+val flush_phase : t -> phase -> unit
+(** Flush the accumulated communication schedule for [phase] (applications
+    whose pattern changed with many deletions rebuild from scratch). *)
+
+val charge_compute : t -> node:int -> float -> unit
+(** Account [us] microseconds of application computation on [node]. *)
+
+val barrier : t -> unit
+(** Global barrier; skew is charged to the Synch bucket. *)
+
+val parallel_for_1d :
+  t -> ?phase:phase -> ?task_us:float -> Aggregate.t -> (node:int -> i:int -> unit) -> unit
+(** Run one task per element of a 1-D aggregate on the element's owner,
+    followed by an implicit barrier. *)
+
+val parallel_for_2d :
+  t ->
+  ?phase:phase ->
+  ?task_us:float ->
+  Aggregate.t ->
+  (node:int -> i:int -> j:int -> unit) ->
+  unit
+
+val parallel_nodes : t -> ?phase:phase -> (node:int -> unit) -> unit
+(** One task per node (SPMD-style chunked phase), with the same phase
+    bracketing and final barrier. *)
+
+val phase_region : t -> phase -> (unit -> 'a) -> 'a
+(** Open [phase] around a whole region — the shape the compiler produces when
+    it hoists a directive out of a loop (one pre-send, one fault-recording
+    window covering every parallel operation inside).  Parallel operations
+    executed within the region must not carry their own [?phase]. *)
+
+val allreduce_sum : t -> (int -> float) -> float
+(** [allreduce_sum t contrib] reduces [contrib node] over all nodes with a
+    combining tree, charging each node the tree's message costs, and returns
+    the sum.  Reductions use the language's built-in support, not the
+    predictive protocol (section 1). *)
+
+val time_breakdown : t -> (Machine.bucket * float) list
+(** Mean over nodes of each time bucket, in microseconds. *)
+
+val total_time : t -> float
+(** Wall-clock of the simulated run: the maximum node time. *)

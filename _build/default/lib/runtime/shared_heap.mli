@@ -1,0 +1,21 @@
+(** Dynamic allocation in the shared segment.
+
+    The adaptive applications allocate tree nodes (quad-trees in Adaptive,
+    the oct-tree in Barnes) at run time.  Each node of the machine gets a
+    bump allocator over arenas of whole cache blocks homed on it, so an
+    object is homed where it was allocated and small objects share blocks —
+    reproducing both the locality and the false-sharing behaviour of a real
+    shared-memory heap. *)
+
+type t
+
+val create : ?arena_blocks:int -> Ccdsm_tempest.Machine.t -> t
+(** [arena_blocks] is the number of cache blocks grabbed from the machine per
+    arena refill (default 64). *)
+
+val alloc : t -> node:int -> words:int -> Ccdsm_tempest.Machine.addr
+(** Allocate [words] contiguous shared words homed on [node].  Requests
+    larger than an arena get a dedicated allocation. *)
+
+val allocated_words : t -> node:int -> int
+(** Total words handed out to [node] so far (excludes arena slack). *)

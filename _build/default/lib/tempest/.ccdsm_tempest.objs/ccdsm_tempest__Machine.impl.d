@@ -1,0 +1,1 @@
+lib/tempest/machine.ml: Array Bytes Ccdsm_util Float Network Tag

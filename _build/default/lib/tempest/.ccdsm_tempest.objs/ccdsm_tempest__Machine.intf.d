@@ -1,0 +1,1 @@
+lib/tempest/machine.mli: Network Tag

@@ -1,0 +1,1 @@
+lib/tempest/network.mli:

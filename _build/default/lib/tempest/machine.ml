@@ -1,0 +1,272 @@
+type addr = int
+type block = int
+type bucket = Compute | Remote_wait | Presend | Synch
+
+let all_buckets = [ Compute; Remote_wait; Presend; Synch ]
+
+let bucket_name = function
+  | Compute -> "compute"
+  | Remote_wait -> "remote_wait"
+  | Presend -> "presend"
+  | Synch -> "synch"
+
+let bucket_index = function Compute -> 0 | Remote_wait -> 1 | Presend -> 2 | Synch -> 3
+
+type config = {
+  num_nodes : int;
+  block_bytes : int;
+  net : Network.t;
+  local_access_us : float;
+}
+
+let default_config ?(num_nodes = 32) ?(block_bytes = 32) ?(net = Network.default) () =
+  { num_nodes; block_bytes; net; local_access_us = 0.05 }
+
+type counters = {
+  mutable local_reads : int;
+  mutable local_writes : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable msgs : int;
+  mutable bytes : int;
+  mutable invalidations : int;
+  mutable downgrades : int;
+}
+
+let fresh_counters () =
+  {
+    local_reads = 0;
+    local_writes = 0;
+    read_faults = 0;
+    write_faults = 0;
+    msgs = 0;
+    bytes = 0;
+    invalidations = 0;
+    downgrades = 0;
+  }
+
+type handlers = {
+  on_read_fault : node:int -> block -> unit;
+  on_write_fault : node:int -> block -> unit;
+}
+
+type node_state = {
+  mutable tags : Bytes.t;  (* one byte per block; grows with the segment *)
+  times : float array;  (* indexed by bucket *)
+  ctr : counters;
+}
+
+type t = {
+  cfg : config;
+  words_per_block : int;
+  mutable mem : float array;
+  mutable homes : int array;  (* per block *)
+  mutable nblocks : int;  (* blocks allocated so far *)
+  nodes : node_state array;
+  mutable handlers : handlers option;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create cfg =
+  if cfg.num_nodes < 1 || cfg.num_nodes > Ccdsm_util.Nodeset.max_nodes then
+    invalid_arg "Machine.create: num_nodes out of range";
+  if (not (is_pow2 cfg.block_bytes)) || cfg.block_bytes < 8 then
+    invalid_arg "Machine.create: block_bytes must be a power of two >= 8";
+  let words_per_block = cfg.block_bytes / 8 in
+  {
+    cfg;
+    words_per_block;
+    mem = Array.make 1024 0.0;
+    homes = Array.make 128 (-1);
+    nblocks = 0;
+    nodes =
+      Array.init cfg.num_nodes (fun _ ->
+          { tags = Bytes.make 128 (Tag.to_char Tag.Invalid); times = Array.make 4 0.0; ctr = fresh_counters () });
+    handlers = None;
+  }
+
+let config t = t.cfg
+let num_nodes t = t.cfg.num_nodes
+let block_bytes t = t.cfg.block_bytes
+let words_per_block t = t.words_per_block
+let net t = t.cfg.net
+let install t h = t.handlers <- Some h
+
+let num_blocks t = t.nblocks
+let block_of t a = a / t.words_per_block
+let base_addr t b = b * t.words_per_block
+
+let home t b =
+  if b < 0 || b >= t.nblocks then invalid_arg "Machine.home: bad block";
+  t.homes.(b)
+
+(* -- growth ------------------------------------------------------------ *)
+
+let ensure_blocks t n =
+  if n > Array.length t.homes then begin
+    let cap = max n (2 * Array.length t.homes) in
+    let homes = Array.make cap (-1) in
+    Array.blit t.homes 0 homes 0 t.nblocks;
+    t.homes <- homes
+  end;
+  if n * t.words_per_block > Array.length t.mem then begin
+    let cap = max (n * t.words_per_block) (2 * Array.length t.mem) in
+    let mem = Array.make cap 0.0 in
+    Array.blit t.mem 0 mem 0 (t.nblocks * t.words_per_block);
+    t.mem <- mem
+  end;
+  Array.iter
+    (fun ns ->
+      if n > Bytes.length ns.tags then begin
+        let cap = max n (2 * Bytes.length ns.tags) in
+        let tags = Bytes.make cap (Tag.to_char Tag.Invalid) in
+        Bytes.blit ns.tags 0 tags 0 t.nblocks;
+        ns.tags <- tags
+      end)
+    t.nodes
+
+let alloc t ~words ~home =
+  if words <= 0 then invalid_arg "Machine.alloc: words must be positive";
+  if home < 0 || home >= t.cfg.num_nodes then invalid_arg "Machine.alloc: bad home node";
+  let blocks = (words + t.words_per_block - 1) / t.words_per_block in
+  let first = t.nblocks in
+  ensure_blocks t (first + blocks);
+  for b = first to first + blocks - 1 do
+    t.homes.(b) <- home;
+    Bytes.set (t.nodes.(home)).tags b (Tag.to_char Tag.Read_write)
+  done;
+  t.nblocks <- first + blocks;
+  first * t.words_per_block
+
+(* -- tags --------------------------------------------------------------- *)
+
+let check_node t node = if node < 0 || node >= t.cfg.num_nodes then invalid_arg "Machine: bad node"
+
+let check_block t b = if b < 0 || b >= t.nblocks then invalid_arg "Machine: bad block"
+
+let tag t ~node b =
+  check_node t node;
+  check_block t b;
+  Tag.of_char (Bytes.get (t.nodes.(node)).tags b)
+
+let set_tag t ~node b tg =
+  check_node t node;
+  check_block t b;
+  Bytes.set (t.nodes.(node)).tags b (Tag.to_char tg)
+
+(* -- time --------------------------------------------------------------- *)
+
+let charge t ~node bucket us =
+  check_node t node;
+  let times = (t.nodes.(node)).times in
+  let i = bucket_index bucket in
+  times.(i) <- times.(i) +. us
+
+let bucket_time t ~node bucket =
+  check_node t node;
+  (t.nodes.(node)).times.(bucket_index bucket)
+
+let time t ~node =
+  check_node t node;
+  Array.fold_left ( +. ) 0.0 (t.nodes.(node)).times
+
+let max_time t =
+  let m = ref 0.0 in
+  for n = 0 to t.cfg.num_nodes - 1 do
+    m := Float.max !m (time t ~node:n)
+  done;
+  !m
+
+let barrier t ~bucket =
+  let target = max_time t +. Network.barrier_cost t.cfg.net ~nodes:t.cfg.num_nodes in
+  for n = 0 to t.cfg.num_nodes - 1 do
+    charge t ~node:n bucket (target -. time t ~node:n)
+  done
+
+(* -- counters ----------------------------------------------------------- *)
+
+let counters t ~node =
+  check_node t node;
+  (t.nodes.(node)).ctr
+
+let count_msg t ~node ~bytes =
+  let c = counters t ~node in
+  c.msgs <- c.msgs + 1;
+  c.bytes <- c.bytes + bytes
+
+let total_counters t =
+  let acc = fresh_counters () in
+  Array.iter
+    (fun ns ->
+      let c = ns.ctr in
+      acc.local_reads <- acc.local_reads + c.local_reads;
+      acc.local_writes <- acc.local_writes + c.local_writes;
+      acc.read_faults <- acc.read_faults + c.read_faults;
+      acc.write_faults <- acc.write_faults + c.write_faults;
+      acc.msgs <- acc.msgs + c.msgs;
+      acc.bytes <- acc.bytes + c.bytes;
+      acc.invalidations <- acc.invalidations + c.invalidations;
+      acc.downgrades <- acc.downgrades + c.downgrades)
+    t.nodes;
+  acc
+
+let reset_stats t =
+  Array.iter
+    (fun ns ->
+      Array.fill ns.times 0 4 0.0;
+      let c = ns.ctr in
+      c.local_reads <- 0;
+      c.local_writes <- 0;
+      c.read_faults <- 0;
+      c.write_faults <- 0;
+      c.msgs <- 0;
+      c.bytes <- 0;
+      c.invalidations <- 0;
+      c.downgrades <- 0)
+    t.nodes
+
+(* -- data path ---------------------------------------------------------- *)
+
+let peek t a =
+  if a < 0 || a >= t.nblocks * t.words_per_block then invalid_arg "Machine.peek: bad addr";
+  t.mem.(a)
+
+let poke t a v =
+  if a < 0 || a >= t.nblocks * t.words_per_block then invalid_arg "Machine.poke: bad addr";
+  t.mem.(a) <- v
+
+let handlers_exn t =
+  match t.handlers with
+  | Some h -> h
+  | None -> failwith "Machine: access fault with no protocol installed"
+
+let read t ~node a =
+  let b = a / t.words_per_block in
+  check_node t node;
+  check_block t b;
+  let ns = t.nodes.(node) in
+  let tg = Bytes.get ns.tags b in
+  if tg = '\000' (* Invalid *) then begin
+    ns.ctr.read_faults <- ns.ctr.read_faults + 1;
+    (handlers_exn t).on_read_fault ~node b;
+    assert (Tag.permits_read (Tag.of_char (Bytes.get ns.tags b)))
+  end;
+  ns.ctr.local_reads <- ns.ctr.local_reads + 1;
+  ns.times.(0) <- ns.times.(0) +. t.cfg.local_access_us;
+  t.mem.(a)
+
+let write t ~node a v =
+  let b = a / t.words_per_block in
+  check_node t node;
+  check_block t b;
+  let ns = t.nodes.(node) in
+  let tg = Bytes.get ns.tags b in
+  if tg <> '\002' (* not ReadWrite *) then begin
+    ns.ctr.write_faults <- ns.ctr.write_faults + 1;
+    (handlers_exn t).on_write_fault ~node b;
+    assert (Tag.permits_write (Tag.of_char (Bytes.get ns.tags b)))
+  end;
+  ns.ctr.local_writes <- ns.ctr.local_writes + 1;
+  ns.times.(0) <- ns.times.(0) +. t.cfg.local_access_us;
+  t.mem.(a) <- v

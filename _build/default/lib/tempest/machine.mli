@@ -1,0 +1,126 @@
+(** The simulated fine-grain DSM multiprocessor (the Tempest substrate).
+
+    A machine is [num_nodes] processors sharing one word-addressed global
+    segment, split into cache blocks of [block_bytes].  Every (node, block)
+    pair carries an access tag ({!Tag.t}); an application access that the tag
+    does not permit vectors to the installed protocol handler, exactly as
+    Blizzard vectors access faults to user-level Stache handlers.
+
+    Timing is virtual and deterministic.  Each node owns four time buckets —
+    the decomposition used in the paper's figures — and coherence protocols
+    charge message and fault costs to them explicitly.  Data values are held
+    in one global array: because parallel phases are executed in a
+    deterministic order and applications are race-free within a phase, the
+    values are the ones a real parallel execution would produce, while the
+    tag and directory state still exposes every inter-node block movement. *)
+
+type addr = int
+(** A shared-memory address, in 8-byte word units. *)
+
+type block = int
+(** A cache-block index ([addr / words_per_block]). *)
+
+type bucket =
+  | Compute  (** application computation, incl. local shared accesses *)
+  | Remote_wait  (** stalled on a demand miss (fault + protocol messages) *)
+  | Presend  (** executing the predictive protocol's pre-send phase *)
+  | Synch  (** waiting at barriers (includes load imbalance) *)
+
+val all_buckets : bucket list
+val bucket_name : bucket -> string
+
+type config = {
+  num_nodes : int;
+  block_bytes : int;  (** power of two, >= 8 *)
+  net : Network.t;
+  local_access_us : float;  (** compute charge per tag-permitted shared access *)
+}
+
+val default_config : ?num_nodes:int -> ?block_bytes:int -> ?net:Network.t -> unit -> config
+(** 32 nodes, 32-byte blocks, {!Network.default} unless overridden. *)
+
+type counters = {
+  mutable local_reads : int;
+  mutable local_writes : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable msgs : int;
+  mutable bytes : int;
+  mutable invalidations : int;  (** copies invalidated at this node *)
+  mutable downgrades : int;  (** ReadWrite copies demoted to ReadOnly here *)
+}
+
+type handlers = {
+  on_read_fault : node:int -> block -> unit;
+      (** must leave the block readable at [node] *)
+  on_write_fault : node:int -> block -> unit;
+      (** must leave the block writable at [node] *)
+}
+
+type t
+
+val create : config -> t
+val config : t -> config
+val num_nodes : t -> int
+val block_bytes : t -> int
+val words_per_block : t -> int
+val net : t -> Network.t
+
+val install : t -> handlers -> unit
+(** Install the coherence protocol's fault handlers.  Until installed, any
+    fault raises [Failure]. *)
+
+(** {1 Allocation} *)
+
+val alloc : t -> words:int -> home:int -> addr
+(** Allocate [words] of shared memory, rounded up to whole blocks, all homed
+    on node [home].  The home node starts with a ReadWrite tag for each new
+    block (it owns the only copy). *)
+
+val num_blocks : t -> int
+val block_of : t -> addr -> block
+val base_addr : t -> block -> addr
+val home : t -> block -> int
+
+(** {1 Tags (protocol-side)} *)
+
+val tag : t -> node:int -> block -> Tag.t
+val set_tag : t -> node:int -> block -> Tag.t -> unit
+
+(** {1 Application data path} *)
+
+val read : t -> node:int -> addr -> float
+val write : t -> node:int -> addr -> float -> unit
+
+(** {1 Protocol data path (no tags, no cost)} *)
+
+val peek : t -> addr -> float
+val poke : t -> addr -> float -> unit
+
+(** {1 Virtual time} *)
+
+val charge : t -> node:int -> bucket -> float -> unit
+val time : t -> node:int -> float
+(** Sum of the node's buckets. *)
+
+val bucket_time : t -> node:int -> bucket -> float
+val max_time : t -> float
+val barrier : t -> bucket:bucket -> unit
+(** Advance every node to the global maximum time (charging the skew to
+    [bucket], normally [Synch]) plus the network's barrier cost. *)
+
+(** {1 Messages and counters} *)
+
+val count_msg : t -> node:int -> bytes:int -> unit
+(** Record one message sent by [node] (counters only; the caller charges the
+    time cost to whichever node waits for it). *)
+
+val counters : t -> node:int -> counters
+(** The live (mutable) counter record for a node. *)
+
+val total_counters : t -> counters
+(** Fresh record summing all nodes. *)
+
+val reset_stats : t -> unit
+(** Zero all buckets and counters; tags, data and homes are preserved.  Used
+    to exclude initialization from measurements. *)

@@ -1,0 +1,20 @@
+type t = Invalid | Read_only | Read_write
+
+let permits_read = function Invalid -> false | Read_only | Read_write -> true
+let permits_write = function Invalid | Read_only -> false | Read_write -> true
+
+let to_char = function Invalid -> '\000' | Read_only -> '\001' | Read_write -> '\002'
+
+let of_char = function
+  | '\000' -> Invalid
+  | '\001' -> Read_only
+  | '\002' -> Read_write
+  | _ -> invalid_arg "Tag.of_char"
+
+let to_string = function
+  | Invalid -> "Invalid"
+  | Read_only -> "ReadOnly"
+  | Read_write -> "ReadWrite"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) b = a = b

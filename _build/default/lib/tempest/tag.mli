@@ -1,0 +1,22 @@
+(** Fine-grain access-control tags.
+
+    Tempest attaches an access tag to every cache block on every node; an
+    access that is inconsistent with the block's tag (read of Invalid, write
+    of Invalid or ReadOnly) vectors to a user-level protocol handler.  This
+    is the mechanism Blizzard provides at 32-128-byte granularity and the
+    whole coherence layer is written against it. *)
+
+type t = Invalid | Read_only | Read_write
+
+val permits_read : t -> bool
+val permits_write : t -> bool
+
+val to_char : t -> char
+(** One-byte encoding used by the per-node tag tables. *)
+
+val of_char : char -> t
+(** @raise Invalid_argument on a byte that encodes no tag. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

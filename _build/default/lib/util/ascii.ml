@@ -1,0 +1,84 @@
+let table ~header rows =
+  let ncol = List.length header in
+  List.iter
+    (fun r -> if List.length r <> ncol then invalid_arg "Ascii.table: ragged row")
+    rows;
+  let widths = Array.make ncol 0 in
+  let note r = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) r in
+  note header;
+  List.iter note rows;
+  let buf = Buffer.create 256 in
+  let pad i cell =
+    Buffer.add_string buf cell;
+    Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' ')
+  in
+  let line r =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        pad i cell)
+      r;
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  line (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter line rows;
+  Buffer.contents buf
+
+let segment_chars = [| '#'; '%'; '.'; '+'; '='; '*'; 'o' |]
+
+let stacked_bars ~title ~segments ~rows ?(width = 60) ?value_label () =
+  let nseg = List.length segments in
+  if nseg > Array.length segment_chars then invalid_arg "Ascii.stacked_bars: too many segments";
+  List.iter
+    (fun (_, v) ->
+      if Array.length v <> nseg then invalid_arg "Ascii.stacked_bars: ragged row")
+    rows;
+  let totals = List.map (fun (_, v) -> Array.fold_left ( +. ) 0.0 v) rows in
+  let vmax = List.fold_left Float.max 1e-30 totals in
+  let vmin = List.fold_left Float.min infinity totals in
+  let value_label =
+    match value_label with
+    | Some f -> f
+    | None -> fun total -> Printf.sprintf "%.2fx" (total /. vmin)
+  in
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length title) '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.make (label_w - String.length label) ' ');
+      Buffer.add_string buf " |";
+      let total = Array.fold_left ( +. ) 0.0 v in
+      (* Give each segment a length proportional to its share of the bar,
+         rounding while keeping the bar's total length proportional to the
+         row total. *)
+      let bar_len = int_of_float (Float.round (total /. vmax *. float_of_int width)) in
+      let drawn = ref 0 in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun i x ->
+          acc := !acc +. x;
+          let upto =
+            if total = 0.0 then 0
+            else int_of_float (Float.round (!acc /. total *. float_of_int bar_len))
+          in
+          let n = max 0 (upto - !drawn) in
+          Buffer.add_string buf (String.make n segment_chars.(i));
+          drawn := !drawn + n)
+        v;
+      Buffer.add_string buf (String.make (width - !drawn) ' ');
+      Buffer.add_string buf "| ";
+      Buffer.add_string buf (value_label total);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf "legend:";
+  List.iteri
+    (fun i name -> Buffer.add_string buf (Printf.sprintf " [%c]=%s" segment_chars.(i) name))
+    segments;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

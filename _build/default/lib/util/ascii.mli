@@ -1,0 +1,19 @@
+(** Plain-text rendering of tables and the paper's stacked-bar figures. *)
+
+val table : header:string list -> string list list -> string
+(** Render rows under a header with aligned columns.  Every row must have the
+    same arity as the header. *)
+
+val stacked_bars :
+  title:string ->
+  segments:string list ->
+  rows:(string * float array) list ->
+  ?width:int ->
+  ?value_label:(float -> string) ->
+  unit ->
+  string
+(** Render one bar per row, split into [segments] (each value array must have
+    one entry per segment).  Bars are scaled so the longest fits in [width]
+    characters; each segment uses a distinct fill character, explained in a
+    legend.  [value_label] formats the total printed after each bar (default:
+    relative to the smallest total, like the paper's figures). *)

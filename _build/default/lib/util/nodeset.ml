@@ -1,0 +1,46 @@
+type t = int
+
+let max_nodes = 63
+
+let check i =
+  if i < 0 || i >= max_nodes then invalid_arg "Nodeset: node id out of range"
+
+let empty = 0
+let is_empty t = t = 0
+
+let singleton i = check i; 1 lsl i
+let add i t = check i; t lor (1 lsl i)
+let remove i t = check i; t land lnot (1 lsl i)
+let mem i t = check i; t land (1 lsl i) <> 0
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let cardinal t =
+  let rec go t acc = if t = 0 then acc else go (t land (t - 1)) (acc + 1) in
+  go t 0
+
+let equal (a : t) b = a = b
+let subset a b = a land lnot b = 0
+
+let choose t =
+  if t = 0 then raise Not_found;
+  let rec go i = if t land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+let iter f t =
+  for i = 0 to max_nodes - 1 do
+    if t land (1 lsl i) <> 0 then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (elements t)))

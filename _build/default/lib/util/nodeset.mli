@@ -1,0 +1,34 @@
+(** Compact sets of processor-node identifiers.
+
+    Directory entries and communication-schedule marks store sets of nodes on
+    the hot path of every simulated coherence action, so the representation is
+    a single immutable bit mask.  Node ids must lie in [\[0, 62\]]; the machine
+    configuration enforces this bound (the paper's experiments use 32). *)
+
+type t
+
+val max_nodes : int
+(** Largest representable node id plus one (63). *)
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val choose : t -> int
+(** Smallest member. @raise Not_found on the empty set. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int list -> t
+val pp : Format.formatter -> t -> unit

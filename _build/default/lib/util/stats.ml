@@ -1,0 +1,46 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+let total a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Stats.mean: empty";
+  total a /. float_of_int (Array.length a)
+
+let summarize a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let m = mean a in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a /. float_of_int n in
+  {
+    n;
+    mean = m;
+    stddev = sqrt var;
+    min = Array.fold_left Float.min a.(0) a;
+    max = Array.fold_left Float.max a.(0) a;
+    total = total a;
+  }
+
+let max_index a =
+  if Array.length a = 0 then invalid_arg "Stats.max_index: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let relative ~baseline v =
+  if baseline = 0.0 then invalid_arg "Stats.relative: zero baseline";
+  v /. baseline
+
+let pct ~part ~whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g total=%.4g" s.n s.mean s.stddev
+    s.min s.max s.total

@@ -1,0 +1,27 @@
+(** Summary statistics for measurement results. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty array. *)
+
+val mean : float array -> float
+val total : float array -> float
+val max_index : float array -> int
+(** Index of the maximum element (smallest index on ties). *)
+
+val relative : baseline:float -> float -> float
+(** [relative ~baseline v] is [v /. baseline]; how many times slower than the
+    baseline a measurement is (the units of the paper's figures). *)
+
+val pct : part:float -> whole:float -> float
+(** Percentage, safe when [whole = 0]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

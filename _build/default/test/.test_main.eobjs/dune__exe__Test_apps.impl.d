@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Ccdsm_apps Ccdsm_cstar Ccdsm_proto Ccdsm_runtime Ccdsm_tempest Float List Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ccdsm_core Ccdsm_proto Ccdsm_tempest Ccdsm_util List Nodeset Printf QCheck2 QCheck_alcotest

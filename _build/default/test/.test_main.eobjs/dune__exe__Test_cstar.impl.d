@@ -1,0 +1,1 @@
+test/test_cstar.ml: Access Alcotest Array Ast Ccdsm_cstar Ccdsm_runtime Ccdsm_tempest Cfg Compile Dataflow Format Interp Lexer List Parser Placement Printf Reaching Sema String

@@ -1,0 +1,1 @@
+test/test_cstar_files.ml: Alcotest Ast Ccdsm_cstar Ccdsm_runtime Ccdsm_tempest Compile Filename Float Fun Interp List Placement Printf Sema String

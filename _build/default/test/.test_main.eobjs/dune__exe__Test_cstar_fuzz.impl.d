@@ -1,0 +1,1 @@
+test/test_cstar_fuzz.ml: Ast Ccdsm_cstar Ccdsm_runtime Ccdsm_tempest Compile Float Format Fun Int64 Interp List Option Placement Printf QCheck2 QCheck_alcotest Sema String

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Ccdsm_apps Ccdsm_core Ccdsm_proto Ccdsm_runtime Ccdsm_tempest List Printf

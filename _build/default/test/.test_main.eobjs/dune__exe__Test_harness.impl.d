@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Ccdsm_apps Ccdsm_harness Ccdsm_runtime Ccdsm_tempest List String Sys

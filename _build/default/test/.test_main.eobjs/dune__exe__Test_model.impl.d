@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Buffer Ccdsm_core Ccdsm_proto Ccdsm_tempest Ccdsm_util Format Fun Hashtbl List Nodeset Printf Queue String

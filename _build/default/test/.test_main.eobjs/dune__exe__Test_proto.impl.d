@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Ccdsm_proto Ccdsm_tempest Ccdsm_util List Nodeset Printf Prng QCheck2 QCheck_alcotest

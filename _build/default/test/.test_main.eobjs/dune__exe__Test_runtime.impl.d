@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Ccdsm_core Ccdsm_proto Ccdsm_runtime Ccdsm_tempest Hashtbl List Option Printf QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Ccdsm_cstar Ccdsm_runtime Ccdsm_tempest Compile Interp Printf

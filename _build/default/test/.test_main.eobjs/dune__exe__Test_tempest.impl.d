@@ -1,0 +1,1 @@
+test/test_tempest.ml: Alcotest Ccdsm_tempest List Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii Bitvec Ccdsm_util Float List Nodeset Prng QCheck2 QCheck_alcotest Stats String Vec3

@@ -1,0 +1,266 @@
+(* Application-level tests: each benchmark must compute exactly the same
+   physics on the simulated DSM (under every protocol) as its sequential
+   reference, and the predictive protocol must actually cut demand faults on
+   the repetitive phases. *)
+
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Adaptive = Ccdsm_apps.Adaptive
+module Barnes = Ccdsm_apps.Barnes
+module Barnes_spmd = Ccdsm_apps.Barnes_spmd
+module Water = Ccdsm_apps.Water
+module Irregular = Ccdsm_apps.Irregular
+
+let check = Alcotest.check
+
+let rt ?(num_nodes = 8) ?(block_bytes = 32) protocol =
+  Runtime.create ~cfg:(Machine.default_config ~num_nodes ~block_bytes ()) ~protocol ()
+
+let total_faults rt =
+  let c = Machine.total_counters (Runtime.machine rt) in
+  c.Machine.read_faults + c.Machine.write_faults
+
+(* -- Adaptive ---------------------------------------------------------------- *)
+
+let test_adaptive_matches_reference () =
+  let cfg = Adaptive.small in
+  let expected = Adaptive.reference cfg in
+  List.iter
+    (fun proto ->
+      let r = rt proto in
+      let got = Adaptive.run r cfg in
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "checksum (%s)" (Runtime.coherence r).Ccdsm_proto.Coherence.name)
+        expected.Adaptive.checksum got.Adaptive.checksum;
+      check Alcotest.int "refined cells" expected.Adaptive.refined_cells got.Adaptive.refined_cells)
+    [ Runtime.Stache; Runtime.Predictive ]
+
+let test_adaptive_refines () =
+  let s = Adaptive.reference Adaptive.small in
+  Alcotest.(check bool) "some cells refined" true (s.Adaptive.refined_cells > 0);
+  Alcotest.(check bool) "not everything refined" true
+    (s.Adaptive.refined_cells < Adaptive.small.Adaptive.n * Adaptive.small.Adaptive.n / 4)
+
+let test_adaptive_predictive_cuts_faults () =
+  let r_s = rt Runtime.Stache and r_p = rt Runtime.Predictive in
+  ignore (Adaptive.run r_s Adaptive.small);
+  ignore (Adaptive.run r_p Adaptive.small);
+  Alcotest.(check bool)
+    (Printf.sprintf "predictive %d < stache %d" (total_faults r_p) (total_faults r_s))
+    true
+    (total_faults r_p < total_faults r_s)
+
+let test_adaptive_remote_wait_drops () =
+  let wait r =
+    List.assoc Machine.Remote_wait (Runtime.time_breakdown r)
+  in
+  let r_s = rt Runtime.Stache and r_p = rt Runtime.Predictive in
+  ignore (Adaptive.run r_s Adaptive.small);
+  ignore (Adaptive.run r_p Adaptive.small);
+  Alcotest.(check bool) "remote wait reduced" true (wait r_p < wait r_s)
+
+let test_adaptive_skeleton_placement () =
+  (* The compiler must schedule all three phases of the skeleton. *)
+  let c = Ccdsm_cstar.Compile.compile_exn Adaptive.skeleton_src in
+  let p = c.Ccdsm_cstar.Compile.placement in
+  Alcotest.(check bool) "all calls phased" true
+    (List.for_all
+       (fun d -> d.Ccdsm_cstar.Placement.phase <> None)
+       p.Ccdsm_cstar.Placement.decisions)
+
+(* -- Barnes ------------------------------------------------------------------ *)
+
+let test_barnes_matches_reference () =
+  let cfg = Barnes.small in
+  let expected = Barnes.reference cfg in
+  List.iter
+    (fun proto ->
+      let r = rt proto in
+      let got = Barnes.run r cfg in
+      check (Alcotest.float 0.0) "checksum" expected.Barnes.checksum got.Barnes.checksum;
+      check Alcotest.int "tree nodes" expected.Barnes.tree_nodes got.Barnes.tree_nodes;
+      check Alcotest.int "max depth" expected.Barnes.max_depth got.Barnes.max_depth)
+    [ Runtime.Stache; Runtime.Predictive ]
+
+let test_barnes_tree_shape () =
+  let s = Barnes.reference Barnes.small in
+  Alcotest.(check bool) "enough nodes for all bodies" true
+    (s.Barnes.tree_nodes > Barnes.small.Barnes.n_bodies);
+  Alcotest.(check bool) "depth sane" true (s.Barnes.max_depth >= 3 && s.Barnes.max_depth < 40)
+
+let test_barnes_predictive_cuts_faults () =
+  let cfg = { Barnes.small with Barnes.iterations = 3 } in
+  let r_s = rt Runtime.Stache and r_p = rt Runtime.Predictive in
+  ignore (Barnes.run r_s cfg);
+  ignore (Barnes.run r_p cfg);
+  Alcotest.(check bool)
+    (Printf.sprintf "predictive %d < stache %d" (total_faults r_p) (total_faults r_s))
+    true
+    (total_faults r_p < total_faults r_s)
+
+let test_barnes_deterministic () =
+  let a = Barnes.reference Barnes.small and b = Barnes.reference Barnes.small in
+  check (Alcotest.float 0.0) "reference deterministic" a.Barnes.checksum b.Barnes.checksum
+
+let test_barnes_spmd_baseline () =
+  let cfg = Barnes.small in
+  let expected = Barnes.reference cfg in
+  let r = rt Runtime.Write_update in
+  let got = Barnes_spmd.run r cfg in
+  check (Alcotest.float 0.0) "spmd checksum matches" expected.Barnes.checksum
+    got.Barnes.checksum;
+  (* The write-update protocol must actually have pushed updates. *)
+  let stats = (Runtime.coherence r).Ccdsm_proto.Coherence.stats () in
+  Alcotest.(check bool) "updates pushed" true (List.assoc "update_msgs" stats > 0.0);
+  (* And refuse to run under the wrong protocol. *)
+  Alcotest.(check bool) "protocol check" true
+    (try
+       ignore (Barnes_spmd.run (rt Runtime.Stache) cfg);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Water ------------------------------------------------------------------- *)
+
+let test_water_matches_reference () =
+  let cfg = Water.small in
+  let expected = Water.reference ~nodes:8 cfg in
+  List.iter
+    (fun proto ->
+      let r = rt proto in
+      let got = Water.run r cfg in
+      check (Alcotest.float 0.0) "checksum" expected.Water.checksum got.Water.checksum;
+      check Alcotest.int "interactions" expected.Water.interactions got.Water.interactions)
+    [ Runtime.Stache; Runtime.Predictive ]
+
+let test_water_splash_matches_reference () =
+  let cfg = Water.small in
+  let expected = Water.reference_splash ~nodes:8 cfg in
+  let r = rt Runtime.Stache in
+  let got = Water.run_splash r cfg in
+  check (Alcotest.float 0.0) "checksum" expected.Water.checksum got.Water.checksum
+
+let test_water_variants_agree_physically () =
+  (* Same physics, different accumulation order (reduction rows vs in-place):
+     checksums agree to float tolerance and pair counts exactly. *)
+  let cfg = Water.small in
+  let a = Water.reference cfg and b = Water.reference_splash cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "checksums close (%g vs %g)" a.Water.checksum b.Water.checksum)
+    true
+    (Float.abs (a.Water.checksum -. b.Water.checksum)
+    < 1e-9 *. Float.max 1.0 (Float.abs a.Water.checksum));
+  check Alcotest.int "same pair computations" a.Water.interactions b.Water.interactions
+
+let test_water_predictive_cuts_faults () =
+  let r_s = rt Runtime.Stache and r_p = rt Runtime.Predictive in
+  ignore (Water.run r_s Water.small);
+  ignore (Water.run r_p Water.small);
+  Alcotest.(check bool)
+    (Printf.sprintf "predictive %d < stache %d" (total_faults r_p) (total_faults r_s))
+    true
+    (total_faults r_p < total_faults r_s)
+
+let test_water_skeleton_placement () =
+  let c = Ccdsm_cstar.Compile.compile_exn Water.skeleton_src in
+  let p = c.Ccdsm_cstar.Compile.placement in
+  let by_func f =
+    List.find (fun d -> d.Ccdsm_cstar.Placement.func = f) p.Ccdsm_cstar.Placement.decisions
+  in
+  (* The interaction and combine phases carry rule-2 directives; predict and
+     zero_partials are owner-write phases reached by unstructured accesses
+     (rule 1); correct touches only data never cached remotely. *)
+  Alcotest.(check bool) "interf phased" true ((by_func "interf").Ccdsm_cstar.Placement.phase <> None);
+  (match (by_func "interf").Ccdsm_cstar.Placement.reason with
+  | Ccdsm_cstar.Placement.Has_unstructured -> ()
+  | _ -> Alcotest.fail "interf must need a directive by rule 2");
+  (match (by_func "combine").Ccdsm_cstar.Placement.reason with
+  | Ccdsm_cstar.Placement.Has_unstructured -> ()
+  | _ -> Alcotest.fail "combine must need a directive by rule 2");
+  (match (by_func "predict").Ccdsm_cstar.Placement.reason with
+  | Ccdsm_cstar.Placement.Reached_owner_write "Pos" -> ()
+  | _ -> Alcotest.fail "predict must need a directive by rule 1 on Pos");
+  (match (by_func "zero_partials").Ccdsm_cstar.Placement.reason with
+  | Ccdsm_cstar.Placement.Reached_owner_write "Partial" -> ()
+  | _ -> Alcotest.fail "zero_partials must need a directive by rule 1 on Partial");
+  Alcotest.(check bool) "correct unphased" true
+    ((by_func "correct").Ccdsm_cstar.Placement.phase = None)
+
+(* -- Irregular (inspector-executor comparison kernel) ------------------------ *)
+
+let test_irregular_strategies_agree () =
+  let cfg = Irregular.small in
+  let expected = Irregular.reference cfg in
+  let dsm proto flush =
+    let r = rt proto in
+    Irregular.run_dsm ~flush_on_change:flush r cfg
+  in
+  let a = dsm Runtime.Stache false in
+  let b = dsm Runtime.Predictive false in
+  let c = dsm Runtime.Predictive true in
+  let d = Irregular.run_inspector (rt Runtime.Stache) cfg in
+  List.iter
+    (fun (name, s) ->
+      check (Alcotest.float 0.0) (name ^ " checksum") expected.Irregular.checksum
+        s.Irregular.checksum;
+      check Alcotest.int (name ^ " changes") expected.Irregular.pattern_changes
+        s.Irregular.pattern_changes)
+    [ ("stache", a); ("predictive", b); ("pred+flush", c); ("inspector", d) ]
+
+let test_irregular_predictive_beats_stache () =
+  let cfg = Irregular.small in
+  let time proto =
+    let r = rt proto in
+    ignore (Irregular.run_dsm r cfg);
+    Runtime.total_time r
+  in
+  Alcotest.(check bool) "predictive faster" true (time Runtime.Predictive < time Runtime.Stache)
+
+let test_irregular_static_pattern_no_changes () =
+  let cfg = { Irregular.small with Irregular.change_every = 0 } in
+  let s = Irregular.reference cfg in
+  check Alcotest.int "no changes when static" 0 s.Irregular.pattern_changes
+
+let test_irregular_inspector_counts_messages () =
+  let cfg = Irregular.small in
+  let r = rt Runtime.Stache in
+  ignore (Irregular.run_inspector r cfg);
+  let c = Machine.total_counters (Runtime.machine r) in
+  Alcotest.(check bool) "gathers sent" true (c.Machine.msgs > 0);
+  check Alcotest.int "no coherence faults" 0 (c.Machine.read_faults + c.Machine.write_faults)
+
+let suite =
+  [
+    ( "apps.adaptive",
+      [
+        Alcotest.test_case "matches reference" `Quick test_adaptive_matches_reference;
+        Alcotest.test_case "refinement happens" `Quick test_adaptive_refines;
+        Alcotest.test_case "predictive cuts faults" `Quick test_adaptive_predictive_cuts_faults;
+        Alcotest.test_case "remote wait drops" `Quick test_adaptive_remote_wait_drops;
+        Alcotest.test_case "skeleton placement" `Quick test_adaptive_skeleton_placement;
+      ] );
+    ( "apps.barnes",
+      [
+        Alcotest.test_case "matches reference" `Quick test_barnes_matches_reference;
+        Alcotest.test_case "tree shape" `Quick test_barnes_tree_shape;
+        Alcotest.test_case "predictive cuts faults" `Quick test_barnes_predictive_cuts_faults;
+        Alcotest.test_case "deterministic" `Quick test_barnes_deterministic;
+        Alcotest.test_case "spmd write-update baseline" `Quick test_barnes_spmd_baseline;
+      ] );
+    ( "apps.water",
+      [
+        Alcotest.test_case "matches reference" `Quick test_water_matches_reference;
+        Alcotest.test_case "splash matches reference" `Quick test_water_splash_matches_reference;
+        Alcotest.test_case "variants agree physically" `Quick test_water_variants_agree_physically;
+        Alcotest.test_case "predictive cuts faults" `Quick test_water_predictive_cuts_faults;
+        Alcotest.test_case "skeleton placement" `Quick
+          test_water_skeleton_placement;
+      ] );
+    ( "apps.irregular",
+      [
+        Alcotest.test_case "strategies agree" `Quick test_irregular_strategies_agree;
+        Alcotest.test_case "predictive beats stache" `Quick
+          test_irregular_predictive_beats_stache;
+        Alcotest.test_case "static pattern" `Quick test_irregular_static_pattern_no_changes;
+        Alcotest.test_case "inspector messaging" `Quick test_irregular_inspector_counts_messages;
+      ] );
+  ]

@@ -1,0 +1,614 @@
+(* Tests for the C** compiler: lexer, parser, sema, access analysis, CFG,
+   data-flow, directive placement (the paper's Figure 4) and end-to-end
+   execution on the DSM runtime. *)
+
+open Ccdsm_cstar
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Aggregate = Ccdsm_runtime.Aggregate
+
+let check = Alcotest.check
+
+(* -- sources --------------------------------------------------------------- *)
+
+let stencil_src =
+  {|
+  // 4-point stencil with double buffering (paper Figure 2 flavour).
+  aggregate Grid[8][8];
+  aggregate Old[8][8];
+
+  parallel void init(parallel Old o) {
+    o[#0][#1] = noise(#0, #1);
+  }
+
+  parallel void smooth(parallel Grid g, Old o) {
+    g[#0][#1] = 0.25 * (o[max(#0 - 1, 0)][#1] + o[min(#0 + 1, 7)][#1]
+              + o[#0][max(#1 - 1, 0)] + o[#0][min(#1 + 1, 7)]);
+  }
+
+  parallel void copyback(parallel Old o, Grid g) {
+    o[#0][#1] = g[#0][#1];
+  }
+
+  void main() {
+    init();
+    let t = 0;
+    for (t = 0; t < 10; t = t + 1) {
+      smooth();
+      copyback();
+    }
+  }
+  |}
+
+(* The paper's Figure 4: the Barnes-Hut main loop.  make_tree writes the tree
+   unstructured; center_of_mass touches only its own tree element (and runs
+   in a loop); forces reads tree and other bodies unstructured and writes its
+   own body; update touches only its own body. *)
+let barnes_skeleton_src =
+  {|
+  aggregate Bodies[256] { mass, px, pf };
+  aggregate Tree[512] { m, c };
+
+  parallel void make_tree(parallel Bodies b, Tree t) {
+    t[floor(b[#0].px * 511)].c = b[#0].mass;
+  }
+
+  parallel void center_of_mass(parallel Tree t) {
+    t[#0].m = t[#0].m + t[#0].c;
+  }
+
+  parallel void forces(parallel Bodies b, Tree t) {
+    let f = t[floor(b[#0].px * 511)].m;
+    let g = b[floor(noise(#0, 1) * 255)].px;
+    b[#0].pf = f + g;
+  }
+
+  parallel void update(parallel Bodies b) {
+    b[#0].px = b[#0].px + 0.0001 * b[#0].pf;
+    if (b[#0].px > 1) { b[#0].px = b[#0].px - 1; }
+  }
+
+  void main() {
+    let i = 0;
+    for (i = 0; i < 3; i = i + 1) {
+      make_tree();
+      let k = 0;
+      while (k < 4) {
+        center_of_mass();
+        k = k + 1;
+      }
+      forces();
+      update();
+    }
+  }
+  |}
+
+let compile_ok src =
+  match Compile.compile src with
+  | Ok c -> c
+  | Error errs -> Alcotest.failf "unexpected compile errors: %s" (String.concat "; " errs)
+
+let compile_err src =
+  match Compile.compile src with
+  | Ok _ -> Alcotest.fail "expected compile error"
+  | Error errs -> errs
+
+(* -- lexer ----------------------------------------------------------------- *)
+
+let toks src = List.map (fun s -> s.Lexer.tok) (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  check Alcotest.int "token count" 7 (List.length (toks "a = #0 + 1.5;"));
+  (match toks "#12" with
+  | [ Lexer.HASH 12; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "hash token");
+  (match toks "x // comment\ny" with
+  | [ Lexer.IDENT "x"; Lexer.IDENT "y"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "line comment");
+  match toks "x /* a\nb */ y" with
+  | [ Lexer.IDENT "x"; Lexer.IDENT "y"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "block comment"
+
+let test_lexer_operators () =
+  match toks "<= >= == != && || < >" with
+  | [ Lexer.LE; Lexer.GE; Lexer.EQEQ; Lexer.NE; Lexer.ANDAND; Lexer.OROR; Lexer.LT; Lexer.GT; Lexer.EOF ]
+    -> ()
+  | _ -> Alcotest.fail "operators"
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "bad char" true
+    (try
+       ignore (Lexer.tokenize "a $ b");
+       false
+     with Lexer.Error msg -> String.length msg > 0);
+  Alcotest.(check bool) "unterminated comment" true
+    (try
+       ignore (Lexer.tokenize "/* oops");
+       false
+     with Lexer.Error _ -> true);
+  Alcotest.(check bool) "hash without digit" true
+    (try
+       ignore (Lexer.tokenize "#x");
+       false
+     with Lexer.Error _ -> true)
+
+let test_lexer_positions () =
+  let spans = Lexer.tokenize "x\n  y" in
+  let y = List.nth spans 1 in
+  check Alcotest.int "line" 2 y.Lexer.line;
+  check Alcotest.int "col" 3 y.Lexer.col
+
+(* -- parser ---------------------------------------------------------------- *)
+
+let test_parser_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3 < 4 && 5 + 6 == 11" in
+  let s = Format.asprintf "%a" Ast.pp_expr e in
+  check Alcotest.string "precedence" "(((1 + (2 * 3)) < 4) && ((5 + 6) == 11))" s
+
+let test_parser_unary_and_assoc () =
+  let s e = Format.asprintf "%a" Ast.pp_expr (Parser.parse_expr e) in
+  check Alcotest.string "unary binds tight" "((-1) + 2)" (s "-1 + 2");
+  check Alcotest.string "left assoc" "((1 - 2) - 3)" (s "1 - 2 - 3");
+  check Alcotest.string "parens" "(2 * (1 + 3))" (s "2 * (1 + 3)")
+
+let test_parser_program_roundtrip () =
+  let c = compile_ok stencil_src in
+  let printed = Format.asprintf "%a" Ast.pp_program c.Compile.sema.Sema.prog in
+  (* The pretty-printed program must itself parse and check. *)
+  let c2 = compile_ok printed in
+  check Alcotest.int "same function count"
+    (List.length c.Compile.sema.Sema.prog.Ast.pfuns)
+    (List.length c2.Compile.sema.Sema.prog.Ast.pfuns)
+
+let test_parser_errors () =
+  let has_err src =
+    match Compile.compile src with
+    | Error (e :: _) -> String.length e > 0
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing main" true (has_err "aggregate A[4];");
+  Alcotest.(check bool) "missing semi" true (has_err "aggregate A[4] void main() {}");
+  Alcotest.(check bool) "3-D aggregate" true (has_err "aggregate A[2][2][2]; void main() {}")
+
+(* -- sema ------------------------------------------------------------------ *)
+
+let test_sema_errors () =
+  let expect_err frag src =
+    let errs = compile_err src in
+    Alcotest.(check bool)
+      (Printf.sprintf "error mentioning %S (got: %s)" frag (String.concat "; " errs))
+      true
+      (List.exists
+         (fun e ->
+           let rec contains i =
+             i + String.length frag <= String.length e
+             && (String.sub e i (String.length frag) = frag || contains (i + 1))
+           in
+           contains 0)
+         errs)
+  in
+  expect_err "unknown aggregate"
+    "parallel void f(parallel Nope n) { n[#0] = 1; } void main() { f(); }";
+  expect_err "no parallel parameter"
+    "aggregate A[4]; parallel void f(A a) { a[#0] = 1; } void main() { f(); }";
+  expect_err "out of rank"
+    "aggregate A[4]; parallel void f(parallel A a) { a[#1] = 1; } void main() { f(); }";
+  expect_err "rank is 1"
+    "aggregate A[4]; parallel void f(parallel A a) { a[#0][#0] = 1; } void main() { f(); }";
+  expect_err "no field"
+    "aggregate A[4] { x }; parallel void f(parallel A a) { a[#0].y = 1; } void main() { f(); }";
+  expect_err "requires a field"
+    "aggregate A[4] { x, y }; parallel void f(parallel A a) { a[#0] = 1; } void main() { f(); }";
+  expect_err "unbound variable"
+    "aggregate A[4]; parallel void f(parallel A a) { a[#0] = zz; } void main() { f(); }";
+  expect_err "unknown parallel function" "aggregate A[4]; void main() { g(); }";
+  expect_err "direct aggregate"
+    "aggregate A[4]; parallel void f(parallel A a) { a[#0] = 1; } void main() { A[0] = 1; }";
+  expect_err "position"
+    "aggregate A[4]; parallel void f(parallel A a) { a[#0] = 1; } void main() { let x = #0; }";
+  expect_err "duplicate aggregate" "aggregate A[4]; aggregate A[5]; void main() {}";
+  expect_err "intrinsic min expects 2"
+    "aggregate A[4]; parallel void f(parallel A a) { a[#0] = min(1); } void main() { f(); }"
+
+let test_sema_alias_resolution () =
+  let c =
+    compile_ok
+      "aggregate Data[8]; parallel void f(parallel Data d) { d[#0] = d[#0] + 1; } void main() { f(); }"
+  in
+  let f = c.Compile.sema.Sema.pfun_of_name "f" in
+  (* The alias d must have been rewritten to the aggregate name. *)
+  match f.Ast.pf_body with
+  | [ Ast.Sstore ({ Ast.acc_agg = "Data"; _ }, _) ] -> ()
+  | _ -> Alcotest.fail "alias not resolved"
+
+(* -- access analysis ------------------------------------------------------- *)
+
+let summaries_of src =
+  let c = compile_ok src in
+  (c, c.Compile.summaries)
+
+let entry_mem s agg dir loc =
+  List.mem { Access.agg; dir; loc } s
+
+let test_access_stencil () =
+  let _, summaries = summaries_of stencil_src in
+  let init = List.assoc "init" summaries in
+  Alcotest.(check bool) "init home write" true
+    (entry_mem init "Old" Access.Write Access.Home);
+  check Alcotest.int "init single entry" 1 (List.length init);
+  let smooth = List.assoc "smooth" summaries in
+  Alcotest.(check bool) "smooth home write Grid" true
+    (entry_mem smooth "Grid" Access.Write Access.Home);
+  Alcotest.(check bool) "smooth non-home read Old" true
+    (entry_mem smooth "Old" Access.Read Access.Non_home);
+  Alcotest.(check bool) "smooth not home-only" false (Access.home_only smooth);
+  let copyback = List.assoc "copyback" summaries in
+  Alcotest.(check bool) "copyback aligned read is Home" true
+    (entry_mem copyback "Grid" Access.Read Access.Home);
+  Alcotest.(check bool) "copyback home-only" true (Access.home_only copyback)
+
+let test_access_alignment_requires_same_dist () =
+  (* Same shape but different distribution: positional access cannot be
+     proven local. *)
+  let _, summaries =
+    summaries_of
+      {|
+      aggregate A[8][8] dist rowblock;
+      aggregate B[8][8] dist tiled(2, 2);
+      parallel void f(parallel A a, B b) { a[#0][#1] = b[#0][#1]; }
+      void main() { f(); }
+      |}
+  in
+  let f = List.assoc "f" summaries in
+  Alcotest.(check bool) "misaligned read is non-home" true
+    (entry_mem f "B" Access.Read Access.Non_home)
+
+let test_access_indirection () =
+  let _, summaries =
+    summaries_of
+      {|
+      aggregate A[8]; aggregate P[8];
+      parallel void f(parallel A a, P p) { a[#0] = a[p[#0]]; }
+      void main() { f(); }
+      |}
+  in
+  let f = List.assoc "f" summaries in
+  Alcotest.(check bool) "indirect read non-home" true
+    (entry_mem f "A" Access.Read Access.Non_home);
+  (* p[#0] is aligned with the parallel aggregate: Home read. *)
+  Alcotest.(check bool) "index array read home" true (entry_mem f "P" Access.Read Access.Home)
+
+let test_access_barnes () =
+  let _, summaries = summaries_of barnes_skeleton_src in
+  let mt = List.assoc "make_tree" summaries in
+  Alcotest.(check bool) "make_tree unstructured write Tree" true
+    (entry_mem mt "Tree" Access.Write Access.Non_home);
+  Alcotest.(check bool) "make_tree home read Bodies" true
+    (entry_mem mt "Bodies" Access.Read Access.Home);
+  let com = List.assoc "center_of_mass" summaries in
+  Alcotest.(check bool) "center_of_mass home only" true (Access.home_only com);
+  let fo = List.assoc "forces" summaries in
+  Alcotest.(check bool) "forces unstructured Tree" true (Access.has_unstructured fo "Tree");
+  Alcotest.(check bool) "forces unstructured Bodies" true (Access.has_unstructured fo "Bodies");
+  Alcotest.(check bool) "forces owner-writes Bodies" true (Access.has_owner_write fo "Bodies")
+
+(* -- CFG ------------------------------------------------------------------- *)
+
+let test_cfg_structure () =
+  let c = compile_ok barnes_skeleton_src in
+  let cfg = Cfg.build c.Compile.sema.Sema.prog.Ast.main in
+  check
+    Alcotest.(list (pair int string))
+    "call sites in order"
+    [ (0, "make_tree"); (1, "center_of_mass"); (2, "forces"); (3, "update") ]
+    (Cfg.call_sites cfg);
+  (* Every node except exit must have a successor; every node except entry a
+     predecessor. *)
+  Array.iteri
+    (fun i succs ->
+      if i <> cfg.Cfg.exit then
+        Alcotest.(check bool) (Printf.sprintf "node %d has successor" i) true (succs <> []))
+    cfg.Cfg.succs;
+  Array.iteri
+    (fun i preds ->
+      if i <> cfg.Cfg.entry then
+        Alcotest.(check bool) (Printf.sprintf "node %d has predecessor" i) true (preds <> []))
+    cfg.Cfg.preds
+
+let test_cfg_loop_backedge () =
+  let c = compile_ok "aggregate A[4]; parallel void f(parallel A a) { a[#0] = 1; } void main() { let i = 0; while (i < 3) { f(); i = i + 1; } }" in
+  let cfg = Cfg.build c.Compile.sema.Sema.prog.Ast.main in
+  (* Find the branch node: it must have two successors (body and exit) and at
+     least two predecessors (entry path and back edge). *)
+  let branch =
+    Array.to_list (Array.mapi (fun i k -> (i, k)) cfg.Cfg.kinds)
+    |> List.find (fun (_, k) -> k = Cfg.Branch)
+    |> fst
+  in
+  check Alcotest.int "branch successors" 2 (List.length cfg.Cfg.succs.(branch));
+  Alcotest.(check bool) "branch has back edge" true (List.length cfg.Cfg.preds.(branch) >= 2)
+
+(* -- dataflow / reaching ---------------------------------------------------- *)
+
+let test_reaching_stencil () =
+  let c = compile_ok stencil_src in
+  let r = Reaching.analyze c.Compile.sema c.Compile.sema.Sema.prog.Ast.main in
+  (* Site 0 = init: nothing reaches program entry. *)
+  Alcotest.(check bool) "entry clean" false (Reaching.reaches r ~site:0 ~agg:"Old");
+  (* Site 1 = smooth: copyback's owner writes at the end of the previous
+     iteration invalidated all remote copies of Old, so nothing reaches the
+     loop header — smooth needs its directive by rule 2, not rule 1. *)
+  Alcotest.(check bool) "smooth not reached (killed by copyback)" false
+    (Reaching.reaches r ~site:1 ~agg:"Old");
+  (* Site 2 = copyback: smooth generated unstructured accesses on Old. *)
+  Alcotest.(check bool) "copyback reached by Old" true (Reaching.reaches r ~site:2 ~agg:"Old");
+  Alcotest.(check bool) "copyback not reached by Grid" false
+    (Reaching.reaches r ~site:2 ~agg:"Grid")
+
+let test_reaching_kill () =
+  (* An owner write kills the property; with no loop the later home-writer is
+     not reached. *)
+  let src =
+    {|
+    aggregate A[8]; aggregate B[8];
+    parallel void gather(parallel B b, A a) { b[#0] = a[b[#0]]; }
+    parallel void rebuild(parallel A a) { a[#0] = 1; }
+    parallel void refill(parallel A a) { a[#0] = 2; }
+    void main() { gather(); rebuild(); refill(); }
+    |}
+  in
+  let c = compile_ok src in
+  let r = Reaching.analyze c.Compile.sema c.Compile.sema.Sema.prog.Ast.main in
+  Alcotest.(check bool) "rebuild reached by A" true (Reaching.reaches r ~site:1 ~agg:"A");
+  Alcotest.(check bool) "refill not reached (killed by rebuild)" false
+    (Reaching.reaches r ~site:2 ~agg:"A")
+
+let test_dataflow_fixpoint_terminates () =
+  (* Nested loops with conflicting gen/kill must still converge. *)
+  let src =
+    {|
+    aggregate A[8];
+    parallel void scatter(parallel A a) { a[a[#0]] = 1; }
+    parallel void own(parallel A a) { a[#0] = 0; }
+    void main() {
+      let i = 0;
+      for (i = 0; i < 3; i = i + 1) {
+        let j = 0;
+        while (j < 2) {
+          scatter();
+          own();
+          j = j + 1;
+        }
+        own();
+      }
+    }
+    |}
+  in
+  let c = compile_ok src in
+  let r = Reaching.analyze c.Compile.sema c.Compile.sema.Sema.prog.Ast.main in
+  Alcotest.(check bool) "converged with finite work" true
+    (Dataflow.iterations_of_last_solve () < 1000);
+  (* own() inside the loop is reached via the back edge. *)
+  Alcotest.(check bool) "inner own reached" true (Reaching.reaches r ~site:1 ~agg:"A")
+
+(* -- placement (Figure 4) --------------------------------------------------- *)
+
+let test_placement_barnes_figure4 () =
+  let c = compile_ok barnes_skeleton_src in
+  let p = c.Compile.placement in
+  (* The paper: "The compiler inserts directives for 4 parallel phases". *)
+  check Alcotest.int "four phases" 4 p.Placement.num_phases;
+  let d site = List.nth p.Placement.decisions site in
+  (* make_tree: unstructured accesses (rule 2). *)
+  (match (d 0).Placement.reason with
+  | Placement.Has_unstructured -> ()
+  | _ -> Alcotest.fail "make_tree must need a directive by rule 2");
+  Alcotest.(check bool) "make_tree not hoisted" false (d 0).Placement.hoisted;
+  (* center_of_mass: rule 1, and its directive is hoisted out of the loop
+     ("this optimization allowed a single directive for phase 3"). *)
+  (match (d 1).Placement.reason with
+  | Placement.Reached_owner_write "Tree" -> ()
+  | _ -> Alcotest.fail "center_of_mass must need a directive by rule 1 on Tree");
+  Alcotest.(check bool) "center_of_mass hoisted" true (d 1).Placement.hoisted;
+  (* forces: rule 2. *)
+  (match (d 2).Placement.reason with
+  | Placement.Has_unstructured -> ()
+  | _ -> Alcotest.fail "forces must need a directive by rule 2");
+  (* update: rule 1 via Bodies. *)
+  (match (d 3).Placement.reason with
+  | Placement.Reached_owner_write "Bodies" -> ()
+  | _ -> Alcotest.fail "update must need a directive by rule 1 on Bodies");
+  (* All four calls have distinct phases. *)
+  let phases = List.filter_map (fun d -> d.Placement.phase) p.Placement.decisions in
+  check Alcotest.int "distinct phase per call" 4 (List.length (List.sort_uniq compare phases))
+
+let test_placement_stencil () =
+  let c = compile_ok stencil_src in
+  let p = c.Compile.placement in
+  check Alcotest.int "two phases" 2 p.Placement.num_phases;
+  let d site = List.nth p.Placement.decisions site in
+  (match (d 0).Placement.reason with
+  | Placement.Not_needed -> ()
+  | _ -> Alcotest.fail "init needs no directive");
+  check Alcotest.bool "init has no phase" true ((d 0).Placement.phase = None);
+  Alcotest.(check bool) "smooth phased" true ((d 1).Placement.phase <> None);
+  Alcotest.(check bool) "copyback phased" true ((d 2).Placement.phase <> None)
+
+let test_placement_coalesces_home_neighbours () =
+  (* Two adjacent home-only calls that both need schedules must share one. *)
+  let src =
+    {|
+    aggregate A[8];
+    parallel void scatter(parallel A a) { a[a[#0]] = 1; }
+    parallel void own1(parallel A a) { a[#0] = 1; }
+    parallel void own2(parallel A a) { a[#0] = 2; }
+    void main() {
+      let i = 0;
+      for (i = 0; i < 3; i = i + 1) {
+        scatter();
+        own1();
+        own2();
+      }
+    }
+    |}
+  in
+  let c = compile_ok src in
+  let p = c.Compile.placement in
+  let d site = List.nth p.Placement.decisions site in
+  check Alcotest.int "two phases total" 2 p.Placement.num_phases;
+  Alcotest.(check bool) "own1/own2 share a phase" true
+    ((d 1).Placement.phase = (d 2).Placement.phase && (d 1).Placement.phase <> None)
+
+let test_placement_no_directives_for_static_program () =
+  (* A purely home-access program gets no directives at all. *)
+  let src =
+    {|
+    aggregate A[8];
+    parallel void own(parallel A a) { a[#0] = a[#0] + 1; }
+    void main() { let i = 0; for (i = 0; i < 5; i = i + 1) { own(); } }
+    |}
+  in
+  let c = compile_ok src in
+  check Alcotest.int "no phases" 0 c.Compile.placement.Placement.num_phases
+
+(* -- end-to-end execution --------------------------------------------------- *)
+
+let run_stencil protocol =
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:4 ~block_bytes:32 ()) ~protocol ()
+  in
+  let c = compile_ok stencil_src in
+  let env = Interp.load rt c in
+  Interp.run env;
+  let grid = Interp.aggregate env "Grid" in
+  let values = ref [] in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      values := Aggregate.peek2 grid i j ~field:0 :: !values
+    done
+  done;
+  (rt, !values)
+
+let test_interp_runs_and_is_deterministic () =
+  let _, v1 = run_stencil Runtime.Stache in
+  let _, v2 = run_stencil Runtime.Stache in
+  Alcotest.(check (list (float 0.0))) "deterministic" v1 v2;
+  Alcotest.(check bool) "values non-trivial" true (List.exists (fun v -> v <> 0.0) v1)
+
+let test_interp_protocols_agree () =
+  let _, v_stache = run_stencil Runtime.Stache in
+  let _, v_pred = run_stencil Runtime.Predictive in
+  Alcotest.(check (list (float 0.0))) "same values under predictive" v_stache v_pred
+
+let test_interp_predictive_reduces_faults () =
+  let rt_s, _ = run_stencil Runtime.Stache in
+  let rt_p, _ = run_stencil Runtime.Predictive in
+  let faults rt =
+    let c = Machine.total_counters (Runtime.machine rt) in
+    c.Machine.read_faults + c.Machine.write_faults
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "predictive faults (%d) < stache faults (%d)" (faults rt_p) (faults rt_s))
+    true
+    (faults rt_p < faults rt_s)
+
+let test_interp_bounds_error () =
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:2 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+  in
+  let src =
+    "aggregate A[4]; parallel void f(parallel A a) { a[#0] = a[#0 + 1]; } void main() { f(); }"
+  in
+  let env = Interp.load rt (compile_ok src) in
+  Alcotest.(check bool) "out of bounds raises" true
+    (try
+       Interp.run env;
+       false
+     with Invalid_argument _ | Interp.Runtime_error _ -> true)
+
+let test_interp_barnes_skeleton_runs () =
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:4 ~block_bytes:32 ()) ~protocol:Runtime.Predictive ()
+  in
+  let c = compile_ok barnes_skeleton_src in
+  let env = Interp.load rt c in
+  Interp.run env;
+  Alcotest.(check bool) "time advanced" true (Runtime.total_time rt > 0.0)
+
+let test_interp_intrinsics () =
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:2 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+  in
+  let src =
+    {|
+    aggregate A[6];
+    parallel void f(parallel A a) {
+      a[#0] = sqrt(16) + abs(0 - 2) + min(9, 3) + max(1, 4) + floor(2.9);
+    }
+    void main() { f(); }
+    |}
+  in
+  let env = Interp.load rt (compile_ok src) in
+  Interp.run env;
+  let a = Interp.aggregate env "A" in
+  check (Alcotest.float 1e-9) "intrinsic arithmetic" 15.0 (Aggregate.peek1 a 0 ~field:0)
+
+let suite =
+  [
+    ( "cstar.lexer",
+      [
+        Alcotest.test_case "basics" `Quick test_lexer_basics;
+        Alcotest.test_case "operators" `Quick test_lexer_operators;
+        Alcotest.test_case "errors" `Quick test_lexer_errors;
+        Alcotest.test_case "positions" `Quick test_lexer_positions;
+      ] );
+    ( "cstar.parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parser_precedence;
+        Alcotest.test_case "unary/assoc" `Quick test_parser_unary_and_assoc;
+        Alcotest.test_case "roundtrip through printer" `Quick test_parser_program_roundtrip;
+        Alcotest.test_case "errors" `Quick test_parser_errors;
+      ] );
+    ( "cstar.sema",
+      [
+        Alcotest.test_case "errors" `Quick test_sema_errors;
+        Alcotest.test_case "alias resolution" `Quick test_sema_alias_resolution;
+      ] );
+    ( "cstar.access",
+      [
+        Alcotest.test_case "stencil summaries" `Quick test_access_stencil;
+        Alcotest.test_case "alignment needs same dist" `Quick
+          test_access_alignment_requires_same_dist;
+        Alcotest.test_case "indirection" `Quick test_access_indirection;
+        Alcotest.test_case "barnes summaries" `Quick test_access_barnes;
+      ] );
+    ( "cstar.cfg",
+      [
+        Alcotest.test_case "structure" `Quick test_cfg_structure;
+        Alcotest.test_case "loop back edge" `Quick test_cfg_loop_backedge;
+      ] );
+    ( "cstar.reaching",
+      [
+        Alcotest.test_case "stencil facts" `Quick test_reaching_stencil;
+        Alcotest.test_case "owner write kills" `Quick test_reaching_kill;
+        Alcotest.test_case "fixpoint terminates" `Quick test_dataflow_fixpoint_terminates;
+      ] );
+    ( "cstar.placement",
+      [
+        Alcotest.test_case "barnes = paper figure 4" `Quick test_placement_barnes_figure4;
+        Alcotest.test_case "stencil" `Quick test_placement_stencil;
+        Alcotest.test_case "coalesces home neighbours" `Quick
+          test_placement_coalesces_home_neighbours;
+        Alcotest.test_case "static program: no directives" `Quick
+          test_placement_no_directives_for_static_program;
+      ] );
+    ( "cstar.interp",
+      [
+        Alcotest.test_case "deterministic execution" `Quick test_interp_runs_and_is_deterministic;
+        Alcotest.test_case "protocols agree on values" `Quick test_interp_protocols_agree;
+        Alcotest.test_case "predictive reduces faults" `Quick test_interp_predictive_reduces_faults;
+        Alcotest.test_case "bounds error" `Quick test_interp_bounds_error;
+        Alcotest.test_case "barnes skeleton runs" `Quick test_interp_barnes_skeleton_runs;
+        Alcotest.test_case "intrinsics" `Quick test_interp_intrinsics;
+      ] );
+  ]

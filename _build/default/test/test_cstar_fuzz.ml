@@ -1,0 +1,264 @@
+(* Differential fuzzing of the whole compiler + runtime stack.
+
+   A generator produces random well-formed C** programs whose parallel
+   functions write only their own element (race-free by construction, as
+   C** requires) but read anywhere (clamped into bounds).  Properties:
+
+   - the pretty-printer's output reparses to a program with identical
+     behaviour (printer/parser coherence);
+   - execution produces bit-identical aggregate contents on 1 node and on
+     8 nodes, under Stache and under the predictive protocol, with any
+     block size — i.e. distribution, execution interleaving and protocol
+     choice never affect values;
+   - compilation (analysis + placement) never crashes, and placement only
+     adds phase markers (the call sequence is preserved). *)
+
+open Ccdsm_cstar
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Aggregate = Ccdsm_runtime.Aggregate
+module Gen = QCheck2.Gen
+
+(* -- program generator ------------------------------------------------------ *)
+
+type agg_info = { name : string; dims : int list; fields : string list }
+
+let gen_agg idx =
+  let open Gen in
+  let* rank = int_range 1 2 in
+  let* dims = if rank = 1 then map (fun n -> [ n ]) (int_range 6 12)
+              else map2 (fun a b -> [ a; b ]) (int_range 3 6) (int_range 3 6) in
+  let* nfields = int_range 0 2 in
+  let fields = List.init nfields (fun k -> Printf.sprintf "f%d" k) in
+  return { name = Printf.sprintf "A%d" idx; dims; fields }
+
+let field_of info =
+  match info.fields with
+  | [] -> Gen.return None
+  | fs -> Gen.map Option.some (Gen.oneofl fs)
+
+(* An index expression clamped into [0, extent). *)
+let gen_index ~rank extent =
+  let open Gen in
+  let* base =
+    oneof
+      [
+        map (fun k -> Ast.Pos k) (int_range 0 (rank - 1));
+        map (fun c -> Ast.Num (float_of_int c)) (int_range 0 (extent - 1));
+        map2
+          (fun k c -> Ast.Binop (Ast.Add, Ast.Pos (min k (rank - 1)), Ast.Num (float_of_int c)))
+          (int_range 0 (rank - 1)) (int_range 0 3);
+        map (fun s -> Ast.Intrinsic ("floor", [ Ast.Binop (Ast.Mul, Ast.Intrinsic ("noise", [ Ast.Pos 0; Ast.Num (float_of_int s) ]), Ast.Num (float_of_int extent)) ])) (int_range 0 99);
+      ]
+  in
+  return
+    (Ast.Intrinsic
+       ( "min",
+         [
+           Ast.Intrinsic ("max", [ base; Ast.Num 0.0 ]);
+           Ast.Num (float_of_int (extent - 1));
+         ] ))
+
+let gen_read aggs ~rank =
+  let open Gen in
+  let* info = oneofl aggs in
+  let* idx = flatten_l (List.map (gen_index ~rank) info.dims) in
+  let* field = field_of info in
+  return (Ast.Agg_read { Ast.acc_agg = info.name; acc_idx = idx; acc_field = field })
+
+let rec gen_expr aggs ~rank ~depth =
+  let open Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun f -> Ast.Num (Float.of_int f /. 4.0)) (int_range (-8) 8);
+        map (fun k -> Ast.Pos k) (int_range 0 (rank - 1));
+        gen_read aggs ~rank;
+      ]
+  else
+    oneof
+      [
+        gen_read aggs ~rank;
+        (let* op = oneofl [ Ast.Add; Ast.Sub; Ast.Mul ] in
+         let* l = gen_expr aggs ~rank ~depth:(depth - 1) in
+         let* r = gen_expr aggs ~rank ~depth:(depth - 1) in
+         return (Ast.Binop (op, l, r)));
+        (let* e = gen_expr aggs ~rank ~depth:(depth - 1) in
+         return (Ast.Intrinsic ("abs", [ e ])));
+        (let* a = gen_expr aggs ~rank ~depth:(depth - 1) in
+         let* b = gen_expr aggs ~rank ~depth:(depth - 1) in
+         return (Ast.Intrinsic ("min", [ a; b ])));
+      ]
+
+(* A parallel function over [own]: stores only to its own element. *)
+let gen_pfun aggs idx own =
+  let open Gen in
+  let rank = List.length own.dims in
+  let own_pos = List.mapi (fun k _ -> Ast.Pos k) own.dims in
+  let* nstmts = int_range 1 3 in
+  let* stores =
+    flatten_l
+      (List.init nstmts (fun _ ->
+           let* field = field_of own in
+           let* e = gen_expr aggs ~rank ~depth:2 in
+           return
+             (Ast.Sstore ({ Ast.acc_agg = own.name; acc_idx = own_pos; acc_field = field }, e))))
+  in
+  (* Occasionally compute through a local. *)
+  let* use_let = Gen.bool in
+  let body =
+    if use_let then
+      match stores with
+      | Ast.Sstore (acc, e) :: rest ->
+          Ast.Slet ("tmp", e) :: Ast.Sstore (acc, Ast.Var "tmp") :: rest
+      | rest -> rest
+    else stores
+  in
+  return
+    {
+      Ast.pf_name = Printf.sprintf "fn%d" idx;
+      pf_params = [ { Ast.par_parallel = true; par_agg = own.name; par_name = "self" } ];
+      pf_body = body;
+    }
+
+let gen_main pfuns =
+  let open Gen in
+  let call_of (f : Ast.pfun) = Ast.Scall f.Ast.pf_name in
+  let* prologue = map (fun k -> List.filteri (fun i _ -> i < k) pfuns) (int_range 0 (List.length pfuns)) in
+  let* iters = int_range 1 4 in
+  let* loop_body = Gen.map (fun k -> List.filteri (fun i _ -> i >= k) pfuns) (int_range 0 1) in
+  let loop_body = if loop_body = [] then pfuns else loop_body in
+  return
+    (List.map call_of prologue
+    @ [
+        Ast.Sfor
+          ( Ast.Slet ("t", Ast.Num 0.0),
+            Ast.Binop (Ast.Lt, Ast.Var "t", Ast.Num (float_of_int iters)),
+            Ast.Sassign ("t", Ast.Binop (Ast.Add, Ast.Var "t", Ast.Num 1.0)),
+            List.map call_of loop_body );
+      ])
+
+let gen_program =
+  let open Gen in
+  let* naggs = int_range 1 3 in
+  let* aggs = flatten_l (List.init naggs gen_agg) in
+  let decls =
+    List.map
+      (fun a ->
+        { Ast.agg_name = a.name; agg_dims = a.dims; agg_fields = a.fields; agg_dist = None })
+      aggs
+  in
+  let* pfuns =
+    flatten_l
+      (List.mapi
+         (fun i _ ->
+           let* own = oneofl aggs in
+           gen_pfun aggs i own)
+         (List.init (min 3 naggs + 1) Fun.id))
+  in
+  let* main = gen_main pfuns in
+  return { Ast.aggs = decls; pfuns; main }
+
+(* -- execution oracle --------------------------------------------------------- *)
+
+(* Run a compiled program; return every aggregate word as raw bits (so NaNs
+   compare equal). *)
+let run_bits compiled ~num_nodes ~block_bytes ~protocol =
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes ~block_bytes ()) ~protocol ()
+  in
+  let env = Interp.load rt compiled in
+  Interp.run env;
+  let out = ref [] in
+  List.iter
+    (fun (decl : Ast.agg_decl) ->
+      let agg = Interp.aggregate env decl.Ast.agg_name in
+      let words = max 1 (List.length decl.Ast.agg_fields) in
+      let push v = out := Int64.bits_of_float v :: !out in
+      match decl.Ast.agg_dims with
+      | [ n ] ->
+          for i = 0 to n - 1 do
+            for f = 0 to words - 1 do
+              push (Aggregate.peek1 agg i ~field:f)
+            done
+          done
+      | [ rows; cols ] ->
+          for i = 0 to rows - 1 do
+            for j = 0 to cols - 1 do
+              for f = 0 to words - 1 do
+                push (Aggregate.peek2 agg i j ~field:f)
+              done
+            done
+          done
+      | _ -> assert false)
+    compiled.Compile.sema.Sema.prog.Ast.aggs;
+  !out
+
+let compile_ast ast =
+  (* Go through the full pipeline from *source text* so the printer and
+     parser are part of what is fuzzed. *)
+  let printed = Format.asprintf "%a" Ast.pp_program ast in
+  match Compile.compile printed with
+  | Ok c -> Ok (printed, c)
+  | Error errs -> Error (printed, errs)
+
+let qtest ?(count = 60) name prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen_program prop)
+
+let test_fuzz_compiles =
+  qtest "generated programs print, reparse and compile" (fun ast ->
+      match compile_ast ast with
+      | Ok _ -> true
+      | Error (printed, errs) ->
+          QCheck2.Test.fail_reportf "did not compile:@.%s@.errors: %s" printed
+            (String.concat "; " errs))
+
+let test_fuzz_node_count_invariance =
+  qtest "values independent of node count" (fun ast ->
+      match compile_ast ast with
+      | Error _ -> QCheck2.Test.fail_report "did not compile"
+      | Ok (_, compiled) ->
+          let one = run_bits compiled ~num_nodes:1 ~block_bytes:32 ~protocol:Runtime.Stache in
+          let eight = run_bits compiled ~num_nodes:8 ~block_bytes:32 ~protocol:Runtime.Stache in
+          one = eight)
+
+let test_fuzz_protocol_invariance =
+  qtest "values independent of protocol and block size" (fun ast ->
+      match compile_ast ast with
+      | Error _ -> QCheck2.Test.fail_report "did not compile"
+      | Ok (_, compiled) ->
+          let s = run_bits compiled ~num_nodes:4 ~block_bytes:32 ~protocol:Runtime.Stache in
+          let p = run_bits compiled ~num_nodes:4 ~block_bytes:32 ~protocol:Runtime.Predictive in
+          let p2 =
+            run_bits compiled ~num_nodes:4 ~block_bytes:128 ~protocol:Runtime.Predictive
+          in
+          s = p && s = p2)
+
+let test_fuzz_placement_preserves_calls =
+  qtest "placement preserves the call sequence" (fun ast ->
+      match compile_ast ast with
+      | Error _ -> QCheck2.Test.fail_report "did not compile"
+      | Ok (_, compiled) ->
+          let rec calls acc = function
+            | [] -> acc
+            | Ast.Scall f :: rest -> calls (f :: acc) rest
+            | Ast.Sphase (_, b) :: rest | Ast.Swhile (_, b) :: rest ->
+                calls (calls acc b) rest
+            | Ast.Sfor (_, _, _, b) :: rest -> calls (calls acc b) rest
+            | Ast.Sif (_, t, e) :: rest -> calls (calls (calls acc t) e) rest
+            | _ :: rest -> calls acc rest
+          in
+          let original = calls [] compiled.Compile.sema.Sema.prog.Ast.main in
+          let placed = calls [] compiled.Compile.placement.Placement.placed_main in
+          original = placed)
+
+let suite =
+  [
+    ( "cstar.fuzz",
+      [
+        test_fuzz_compiles;
+        test_fuzz_node_count_invariance;
+        test_fuzz_protocol_invariance;
+        test_fuzz_placement_preserves_calls;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(* Tests for the measurement harness and experiment drivers (at tiny sizes:
+   the full figures run in bench/ and bin/repro). *)
+
+module Machine = Ccdsm_tempest.Machine
+module Network = Ccdsm_tempest.Network
+module Runtime = Ccdsm_runtime.Runtime
+module Measure = Ccdsm_harness.Measure
+module E = Ccdsm_harness.Experiments
+module Water = Ccdsm_apps.Water
+
+let check = Alcotest.check
+
+let tiny_water = { Water.small with Water.n_molecules = 32; iterations = 2 }
+
+let water_version ?net ?coalesce protocol block_bytes =
+  Measure.version ~label:"v" ~protocol ~block_bytes ?net ?coalesce (fun rt ->
+      (Water.run rt tiny_water).Water.checksum)
+
+let test_measure_consistency () =
+  let m = Measure.measure ~num_nodes:4 (water_version Runtime.Stache 32) in
+  (* After the final barrier all nodes have equal times, so the bucket means
+     must sum to the simulated wall clock. *)
+  check (Alcotest.float 1e-6) "buckets sum to total" m.Measure.total_us
+    (m.Measure.compute_us +. m.Measure.remote_wait_us +. m.Measure.presend_us
+   +. m.Measure.synch_us);
+  Alcotest.(check bool) "nonzero time" true (m.Measure.total_us > 0.0);
+  Alcotest.(check bool) "local fraction sane" true
+    (m.Measure.local_fraction > 0.0 && m.Measure.local_fraction <= 1.0);
+  check Alcotest.int "bucket array arity" 3 (Array.length (Measure.buckets m));
+  check Alcotest.int "segment names arity" 3 (List.length Measure.segment_names)
+
+let test_measure_deterministic () =
+  let a = Measure.measure ~num_nodes:4 (water_version Runtime.Predictive 32) in
+  let b = Measure.measure ~num_nodes:4 (water_version Runtime.Predictive 32) in
+  check (Alcotest.float 0.0) "same total" a.Measure.total_us b.Measure.total_us;
+  check (Alcotest.float 0.0) "same checksum" a.Measure.checksum b.Measure.checksum;
+  check Alcotest.int "same msgs" a.Measure.counters.Machine.msgs b.Measure.counters.Machine.msgs
+
+let test_measure_protocol_changes_time_not_values () =
+  let s = Measure.measure ~num_nodes:4 (water_version Runtime.Stache 32) in
+  let p = Measure.measure ~num_nodes:4 (water_version Runtime.Predictive 32) in
+  check (Alcotest.float 0.0) "same physics" s.Measure.checksum p.Measure.checksum;
+  Alcotest.(check bool) "different communication" true
+    (s.Measure.counters.Machine.msgs <> p.Measure.counters.Machine.msgs)
+
+let test_measure_network_override () =
+  let slow = Measure.measure ~num_nodes:4 (water_version Runtime.Stache 32) in
+  let fast =
+    Measure.measure ~num_nodes:4 (water_version ~net:Network.hardware_dsm Runtime.Stache 32)
+  in
+  Alcotest.(check bool) "hardware DSM is faster" true
+    (fast.Measure.total_us < slow.Measure.total_us);
+  check (Alcotest.float 0.0) "same physics" slow.Measure.checksum fast.Measure.checksum
+
+let test_measure_coalesce_override () =
+  let on = Measure.measure ~num_nodes:4 (water_version Runtime.Predictive 32) in
+  let off =
+    Measure.measure ~num_nodes:4 (water_version ~coalesce:false Runtime.Predictive 32)
+  in
+  Alcotest.(check bool) "uncoalesced presend costs more" true
+    (off.Measure.presend_us > on.Measure.presend_us);
+  check (Alcotest.float 0.0) "same physics" on.Measure.checksum off.Measure.checksum
+
+let test_table1_contents () =
+  let t = E.table1 E.Paper in
+  let contains sub =
+    let n = String.length sub and m = String.length t in
+    let rec go i = i + n <= m && (String.sub t i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "adaptive row" true (contains "128x128 mesh, 100 iterations");
+  Alcotest.(check bool) "barnes row" true (contains "16384 bodies, 3 iterations");
+  Alcotest.(check bool) "water row" true (contains "512 molecules, 20 iterations")
+
+let test_fig4_report () =
+  let r = E.fig4 () in
+  let contains sub =
+    let n = String.length sub and m = String.length r in
+    let rec go i = i + n <= m && (String.sub r i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "4 phases" true (contains "4 phase(s) placed");
+  Alcotest.(check bool) "hoisting reported" true (contains "hoisted out of loop")
+
+let test_scale_of_env () =
+  (* Without CCDSM_FULL (or with "0") the default is Scaled. *)
+  match Sys.getenv_opt "CCDSM_FULL" with
+  | None | Some "" | Some "0" ->
+      Alcotest.(check bool) "default scaled" true (E.scale_of_env () = E.Scaled)
+  | Some _ -> Alcotest.(check bool) "full requested" true (E.scale_of_env () = E.Paper)
+
+let test_render_figure () =
+  let m = Measure.measure ~num_nodes:4 (water_version Runtime.Stache 32) in
+  let fig =
+    { E.id = "figX"; title = "test"; rows = [ m; { m with Measure.label = "w" } ]; notes = [ "n" ] }
+  in
+  let s = E.render fig in
+  Alcotest.(check bool) "renders bars and table" true
+    (String.length s > 100 && String.index_opt s '|' <> None);
+  Alcotest.(check bool) "includes notes" true
+    (let sub = "expected shape" in
+     let n = String.length sub and len = String.length s in
+     let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
+     go 0)
+
+let suite =
+  [
+    ( "harness.measure",
+      [
+        Alcotest.test_case "bucket consistency" `Quick test_measure_consistency;
+        Alcotest.test_case "deterministic" `Quick test_measure_deterministic;
+        Alcotest.test_case "protocol changes time not values" `Quick
+          test_measure_protocol_changes_time_not_values;
+        Alcotest.test_case "network override" `Quick test_measure_network_override;
+        Alcotest.test_case "coalesce override" `Quick test_measure_coalesce_override;
+      ] );
+    ( "harness.experiments",
+      [
+        Alcotest.test_case "table1" `Quick test_table1_contents;
+        Alcotest.test_case "fig4 report" `Quick test_fig4_report;
+        Alcotest.test_case "scale from env" `Quick test_scale_of_env;
+        Alcotest.test_case "figure rendering" `Quick test_render_figure;
+      ] );
+  ]

@@ -1,0 +1,193 @@
+(* Language-semantics tests for the C** interpreter: operators, control
+   flow, intrinsics, scoping — each checked by executing a small program and
+   peeking at aggregate contents. *)
+
+open Ccdsm_cstar
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Aggregate = Ccdsm_runtime.Aggregate
+
+let check = Alcotest.check
+
+(* Run a single parallel function over A[4] and return element 0. *)
+let eval_body body =
+  let src =
+    Printf.sprintf "aggregate A[4]; aggregate B[4]; parallel void f(parallel A a, B b) { %s } void main() { f(); }"
+      body
+  in
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:2 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+  in
+  let env = Interp.load rt (Compile.compile_exn src) in
+  Interp.run env;
+  Aggregate.peek1 (Interp.aggregate env "A") 0 ~field:0
+
+let expr e = eval_body (Printf.sprintf "a[#0] = %s;" e)
+
+let test_arithmetic () =
+  check (Alcotest.float 1e-12) "precedence" 7.0 (expr "1 + 2 * 3");
+  check (Alcotest.float 1e-12) "sub assoc" (-4.0) (expr "1 - 2 - 3");
+  check (Alcotest.float 1e-12) "division" 2.5 (expr "5 / 2");
+  check (Alcotest.float 1e-12) "modulo" 1.0 (expr "7 % 3");
+  check (Alcotest.float 1e-12) "negation" (-3.0) (expr "-(1 + 2)");
+  check (Alcotest.float 1e-12) "nested parens" 9.0 (expr "(1 + 2) * (4 - 1)")
+
+let test_comparisons () =
+  check (Alcotest.float 0.0) "lt true" 1.0 (expr "1 < 2");
+  check (Alcotest.float 0.0) "lt false" 0.0 (expr "2 < 1");
+  check (Alcotest.float 0.0) "le" 1.0 (expr "2 <= 2");
+  check (Alcotest.float 0.0) "gt" 1.0 (expr "3 > 2");
+  check (Alcotest.float 0.0) "ge false" 0.0 (expr "1 >= 2");
+  check (Alcotest.float 0.0) "eq" 1.0 (expr "2 == 2");
+  check (Alcotest.float 0.0) "ne" 1.0 (expr "2 != 3")
+
+let test_logical () =
+  check (Alcotest.float 0.0) "and" 1.0 (expr "1 && 2");
+  check (Alcotest.float 0.0) "and false" 0.0 (expr "1 && 0");
+  check (Alcotest.float 0.0) "or" 1.0 (expr "0 || 3");
+  check (Alcotest.float 0.0) "or false" 0.0 (expr "0 || 0");
+  check (Alcotest.float 0.0) "not" 1.0 (expr "!0");
+  check (Alcotest.float 0.0) "not truthy" 0.0 (expr "!2.5");
+  (* Short-circuit: the right side would be out of bounds. *)
+  check (Alcotest.float 0.0) "and short-circuits" 0.0 (expr "0 && b[9]");
+  check (Alcotest.float 0.0) "or short-circuits" 1.0 (expr "1 || b[9]")
+
+let test_intrinsics () =
+  check (Alcotest.float 1e-12) "sqrt" 3.0 (expr "sqrt(9)");
+  check (Alcotest.float 1e-12) "abs" 2.0 (expr "abs(0 - 2)");
+  check (Alcotest.float 1e-12) "floor" 2.0 (expr "floor(2.9)");
+  check (Alcotest.float 1e-12) "min" 1.0 (expr "min(1, 2)");
+  check (Alcotest.float 1e-12) "max" 2.0 (expr "max(1, 2)");
+  let n1 = expr "noise(3, 4)" and n2 = expr "noise(3, 4)" in
+  check (Alcotest.float 0.0) "noise deterministic" n1 n2;
+  Alcotest.(check bool) "noise in [0,1)" true (n1 >= 0.0 && n1 < 1.0);
+  Alcotest.(check bool) "noise varies" true (expr "noise(3, 4)" <> expr "noise(4, 3)")
+
+let test_control_flow_in_pfun () =
+  check (Alcotest.float 0.0) "if taken" 5.0 (eval_body "if (#0 == 0) { a[#0] = 5; } else { a[#0] = 6; }");
+  check (Alcotest.float 0.0) "while accumulates" 10.0
+    (eval_body "let s = 0; let i = 0; while (i < 4) { s = s + i; i = i + 1; } a[#0] = s + 4;");
+  check (Alcotest.float 0.0) "for accumulates" 6.0
+    (eval_body "let s = 0; let i = 0; for (i = 0; i < 4; i = i + 1) { s = s + i; } a[#0] = s;");
+  check (Alcotest.float 0.0) "nested loops" 16.0
+    (eval_body
+       "let s = 0; let i = 0; let j = 0; for (i = 0; i < 4; i = i + 1) { for (j = 0; j < 4; j = j + 1) { s = s + 1; } } a[#0] = s;")
+
+let test_let_scoping () =
+  check (Alcotest.float 0.0) "let then use" 3.0 (eval_body "let x = 1; let y = x + 2; a[#0] = y;");
+  check (Alcotest.float 0.0) "assignment" 2.0 (eval_body "let x = 1; x = x + 1; a[#0] = x;")
+
+let test_main_control_flow () =
+  let src =
+    {|
+    aggregate A[4];
+    parallel void inc(parallel A a) { a[#0] = a[#0] + 1; }
+    void main() {
+      let n = 0;
+      if (1 < 2) { n = 3; } else { n = 100; }
+      let i = 0;
+      while (i < n) {
+        inc();
+        i = i + 1;
+      }
+    }
+    |}
+  in
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:2 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+  in
+  let env = Interp.load rt (Compile.compile_exn src) in
+  Interp.run env;
+  check (Alcotest.float 0.0) "main if/while drive calls" 3.0
+    (Aggregate.peek1 (Interp.aggregate env "A") 2 ~field:0)
+
+let test_fields_and_2d () =
+  let src =
+    {|
+    aggregate G[3][5] { v, w };
+    parallel void f(parallel G g) {
+      g[#0][#1].v = #0 * 10 + #1;
+      g[#0][#1].w = g[#0][#1].v * 2;
+    }
+    void main() { f(); }
+    |}
+  in
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:2 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+  in
+  let env = Interp.load rt (Compile.compile_exn src) in
+  Interp.run env;
+  let g = Interp.aggregate env "G" in
+  check (Alcotest.float 0.0) "positions" 23.0 (Aggregate.peek2 g 2 3 ~field:0);
+  check (Alcotest.float 0.0) "field chain" 46.0 (Aggregate.peek2 g 2 3 ~field:1)
+
+let test_run_pfun_directly () =
+  let src =
+    "aggregate A[4]; parallel void f(parallel A a) { a[#0] = 2; } void main() { }"
+  in
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:2 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+  in
+  let env = Interp.load rt (Compile.compile_exn src) in
+  Interp.run_pfun env "f";
+  check (Alcotest.float 0.0) "host-driven call" 2.0
+    (Aggregate.peek1 (Interp.aggregate env "A") 1 ~field:0);
+  Alcotest.(check bool) "unknown pfun raises" true
+    (try
+       Interp.run_pfun env "nope";
+       false
+     with Interp.Runtime_error _ -> true)
+
+let test_distributions_in_language () =
+  (* Declared distributions reach the runtime: cyclic 1-D and tiled 2-D. *)
+  let src =
+    {|
+    aggregate C[8] dist cyclic;
+    aggregate T[4][4] dist tiled(2, 1);
+    parallel void fc(parallel C c) { c[#0] = #0; }
+    parallel void ft(parallel T t) { t[#0][#1] = #0 + #1; }
+    void main() { fc(); ft(); }
+    |}
+  in
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:2 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+  in
+  let env = Interp.load rt (Compile.compile_exn src) in
+  Interp.run env;
+  let c = Interp.aggregate env "C" in
+  check Alcotest.int "cyclic owner" 1 (Aggregate.owner1 c 3);
+  check (Alcotest.float 0.0) "cyclic values" 3.0 (Aggregate.peek1 c 3 ~field:0);
+  let t = Interp.aggregate env "T" in
+  check Alcotest.int "tiled owner" 1 (Aggregate.owner2 t 3 0);
+  check (Alcotest.float 0.0) "tiled values" 5.0 (Aggregate.peek2 t 3 2 ~field:0)
+
+let test_tiled_mismatch_rejected () =
+  let src =
+    "aggregate T[4][4] dist tiled(3, 1); parallel void f(parallel T t) { t[#0][#1] = 1; } void main() { f(); }"
+  in
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes:2 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+  in
+  Alcotest.(check bool) "grid/node mismatch raises Runtime_error" true
+    (try
+       ignore (Interp.load rt (Compile.compile_exn src));
+       false
+     with Interp.Runtime_error _ -> true)
+
+let suite =
+  [
+    ( "cstar.semantics",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "comparisons" `Quick test_comparisons;
+        Alcotest.test_case "logical + short-circuit" `Quick test_logical;
+        Alcotest.test_case "intrinsics" `Quick test_intrinsics;
+        Alcotest.test_case "control flow in functions" `Quick test_control_flow_in_pfun;
+        Alcotest.test_case "let scoping" `Quick test_let_scoping;
+        Alcotest.test_case "control flow in main" `Quick test_main_control_flow;
+        Alcotest.test_case "fields and 2-D positions" `Quick test_fields_and_2d;
+        Alcotest.test_case "host-driven pfun" `Quick test_run_pfun_directly;
+        Alcotest.test_case "declared distributions" `Quick test_distributions_in_language;
+        Alcotest.test_case "tiled mismatch rejected" `Quick test_tiled_mismatch_rejected;
+      ] );
+  ]
