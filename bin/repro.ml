@@ -4,10 +4,13 @@
      repro table1
      repro fig5 --full          # paper-scale data set
      repro fig6 --nodes 16
+     repro fig5 --trace out.jsonl   # capture the coherence event trace
+     repro trace out.jsonl          # summarize a captured trace
      repro all                  # everything, plus the shape checklist *)
 
 open Cmdliner
 module E = Ccdsm_harness.Experiments
+module Trace = Ccdsm_tempest.Trace
 
 let scale full = if full then E.Paper else E.scale_of_env ()
 
@@ -20,51 +23,96 @@ let nodes_arg =
     & opt int 32
     & info [ "nodes" ] ~docv:"N" ~doc:"Number of simulated processors (the paper uses 32).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the coherence event trace (faults, messages, tag transitions, \
+           presends) of every simulated machine to $(docv) as JSON lines. \
+           Summarize it afterwards with $(b,repro trace) $(docv).")
+
+(* Install the JSONL sink as the process-global trace sink for the duration
+   of [f]: experiment drivers create machines internally, and each machine
+   picks the sink up at creation time. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "repro: cannot open trace file: %s\n" msg;
+          exit 1
+      in
+      Trace.set_global (Some (Trace.jsonl_sink oc));
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.set_global None;
+          close_out_noerr oc)
+        f
+
 let print_figure fig =
   print_string (E.render fig);
   print_newline ()
 
 let run_table1 full = print_string (E.table1 (scale full))
 let run_fig4 () = print_string (E.fig4 ())
-let run_fig5 full nodes = print_figure (E.fig5 ~num_nodes:nodes (scale full))
-let run_fig6 full nodes = print_figure (E.fig6 ~num_nodes:nodes (scale full))
-let run_fig7 full nodes = print_figure (E.fig7 ~num_nodes:nodes (scale full))
+
+let run_fig5 full nodes trace =
+  with_trace trace (fun () -> print_figure (E.fig5 ~num_nodes:nodes (scale full)))
+
+let run_fig6 full nodes trace =
+  with_trace trace (fun () -> print_figure (E.fig6 ~num_nodes:nodes (scale full)))
+
+let run_fig7 full nodes trace =
+  with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes (scale full)))
+
 let run_sweep full nodes = print_string (E.block_sweep ~num_nodes:nodes (scale full))
 let run_ablate full nodes = print_string (E.ablations ~num_nodes:nodes (scale full))
 let run_scaling full = print_string (E.scaling (scale full))
 let run_inspector full = print_string (E.inspector (scale full))
+let run_trace file = print_string (Ccdsm_harness.Trace_summary.of_file file)
 
-let run_all full nodes =
-  let s = scale full in
-  print_endline "== Table 1 ==";
-  print_string (E.table1 s);
-  print_newline ();
-  print_endline "== Figure 4 ==";
-  print_string (E.fig4 ());
-  print_newline ();
-  let fig5 = E.fig5 ~num_nodes:nodes s in
-  print_figure fig5;
-  let fig6 = E.fig6 ~num_nodes:nodes s in
-  print_figure fig6;
-  let fig7 = E.fig7 ~num_nodes:nodes s in
-  print_figure fig7;
-  print_string (E.block_sweep ~num_nodes:nodes s);
-  print_newline ();
-  print_string (E.ablations ~num_nodes:nodes s);
-  print_newline ();
-  print_string (E.scaling s);
-  print_newline ();
-  print_string (E.inspector s);
-  print_newline ();
-  print_endline "== shape checks (paper claims) ==";
-  let checks = E.check_shapes ~fig5 ~fig6 ~fig7 in
-  List.iter
-    (fun (claim, ok) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "MISS") claim)
-    checks;
-  if List.for_all snd checks then print_endline "all shape checks hold"
-  else print_endline "some shape checks missed (see above)"
+let run_all full nodes trace =
+  with_trace trace (fun () ->
+      let s = scale full in
+      print_endline "== Table 1 ==";
+      print_string (E.table1 s);
+      print_newline ();
+      print_endline "== Figure 4 ==";
+      print_string (E.fig4 ());
+      print_newline ();
+      let fig5 = E.fig5 ~num_nodes:nodes s in
+      print_figure fig5;
+      let fig6 = E.fig6 ~num_nodes:nodes s in
+      print_figure fig6;
+      let fig7 = E.fig7 ~num_nodes:nodes s in
+      print_figure fig7;
+      print_string (E.block_sweep ~num_nodes:nodes s);
+      print_newline ();
+      print_string (E.ablations ~num_nodes:nodes s);
+      print_newline ();
+      print_string (E.scaling s);
+      print_newline ();
+      print_string (E.inspector s);
+      print_newline ();
+      print_endline "== shape checks (paper claims) ==";
+      let checks = E.check_shapes ~fig5 ~fig6 ~fig7 in
+      List.iter
+        (fun (claim, ok) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "MISS") claim)
+        checks;
+      if List.for_all snd checks then print_endline "all shape checks hold"
+      else print_endline "some shape checks missed (see above)")
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"A JSONL trace written by --trace.")
 
 let cmds =
   [
@@ -72,11 +120,11 @@ let cmds =
     cmd "fig4" "Compiler report for the Barnes-Hut skeleton (Figure 4)"
       Term.(const run_fig4 $ const ());
     cmd "fig5" "Adaptive execution-time breakdown (Figure 5)"
-      Term.(const run_fig5 $ full_arg $ nodes_arg);
+      Term.(const run_fig5 $ full_arg $ nodes_arg $ trace_arg);
     cmd "fig6" "Barnes execution-time breakdown (Figure 6)"
-      Term.(const run_fig6 $ full_arg $ nodes_arg);
+      Term.(const run_fig6 $ full_arg $ nodes_arg $ trace_arg);
     cmd "fig7" "Water execution-time breakdown (Figure 7)"
-      Term.(const run_fig7 $ full_arg $ nodes_arg);
+      Term.(const run_fig7 $ full_arg $ nodes_arg $ trace_arg);
     cmd "sweep" "Block-size sensitivity sweep (section 5.4)"
       Term.(const run_sweep $ full_arg $ nodes_arg);
     cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
@@ -84,8 +132,10 @@ let cmds =
     cmd "scaling" "Node-count scaling (extension)" Term.(const run_scaling $ full_arg);
     cmd "inspector" "Inspector-executor comparison (section 2)"
       Term.(const run_inspector $ full_arg);
+    cmd "trace" "Summarize a JSONL coherence trace captured with --trace"
+      Term.(const run_trace $ trace_file_arg);
     cmd "all" "Everything, plus the qualitative shape checklist"
-      Term.(const run_all $ full_arg $ nodes_arg);
+      Term.(const run_all $ full_arg $ nodes_arg $ trace_arg);
   ]
 
 let () =

@@ -134,7 +134,7 @@ let run_inspector rt cfg =
           let ids = List.sort_uniq compare !(Hashtbl.find pairs key) in
           (* Request list travels requester -> owner. *)
           let bytes = ctrl + (8 * List.length ids) in
-          Machine.count_msg machine ~node:req ~bytes;
+          Machine.count_msg machine ~node:req ~dst:own ~kind:Ccdsm_tempest.Trace.Req ~bytes ();
           Machine.charge machine ~node:req Machine.Presend (Network.msg_cost net ~bytes);
           (own, req, ids))
         keys;
@@ -144,10 +144,10 @@ let run_inspector rt cfg =
     (* Owners push the scheduled values in one bulk message per requester;
        contiguous ids share run headers like the presend. *)
     List.iter
-      (fun (own, _req, ids) ->
+      (fun (own, req, ids) ->
         let runs = Bulk.runs ids in
         let bytes = ctrl + (8 * List.length ids) + (8 * List.length runs) in
-        Machine.count_msg machine ~node:own ~bytes;
+        Machine.count_msg machine ~node:own ~dst:req ~kind:Ccdsm_tempest.Trace.Data ~bytes ();
         Machine.charge machine ~node:own Machine.Presend (Network.msg_cost net ~bytes))
       !schedule;
     Machine.barrier machine ~bucket:Machine.Presend

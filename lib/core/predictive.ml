@@ -2,6 +2,7 @@ open Ccdsm_util
 module Machine = Ccdsm_tempest.Machine
 module Network = Ccdsm_tempest.Network
 module Tag = Ccdsm_tempest.Tag
+module Trace = Ccdsm_tempest.Trace
 module Engine = Ccdsm_proto.Engine
 module Directory = Ccdsm_proto.Directory
 module Bulk = Ccdsm_proto.Bulk
@@ -49,7 +50,13 @@ let record t ~node b ~write =
       if Hashtbl.mem t.presended (node, b) then t.st.presend_undone <- t.st.presend_undone + 1;
       Machine.charge t.machine ~node Machine.Remote_wait t.record_us;
       let s = schedule_for t p in
+      let conflicts_before = Schedule.conflicts s in
       if write then Schedule.record_write s b ~writer:node else Schedule.record_read s b ~reader:node;
+      if Machine.traced t.machine then begin
+        Machine.emit t.machine (Trace.Sched_record { phase = p; block = b; node; write });
+        if Schedule.conflicts s > conflicts_before then
+          Machine.emit t.machine (Trace.Sched_conflict { phase = p; block = b })
+      end;
       t.st.faults_recorded <- t.st.faults_recorded + 1
 
 (* -- presend ------------------------------------------------------------- *)
@@ -129,6 +136,8 @@ let presend t phase =
                   (fun r ->
                     Machine.set_tag m ~node:r b Tag.Read_only;
                     Hashtbl.replace t.presended (r, b) ();
+                    if Machine.traced m then
+                      Machine.emit m (Trace.Presend { phase; block = b; dst = r; write = false });
                     if r <> h then push data (h, r) b)
                   missing;
                 Directory.set dir b (Directory.Shared (Nodeset.union cur rs))
@@ -150,6 +159,8 @@ let presend t phase =
                       (Nodeset.remove w readers));
                 Machine.set_tag m ~node:w b Tag.Read_write;
                 Hashtbl.replace t.presended (w, b) ();
+                if Machine.traced m then
+                  Machine.emit m (Trace.Presend { phase; block = b; dst = w; write = true });
                 if w <> h then
                   if had_copy then bump grant_only (h, w) else push data (h, w) b;
                 Directory.set dir b (Directory.Exclusive w)
@@ -158,8 +169,8 @@ let presend t phase =
          pair exchanges one gather message: runs of neighbouring blocks share
          an 8-byte address header, so contiguity still pays.  With coalescing
          off (ablation), every block travels alone. *)
-      let send ~from_ ~bytes =
-        Machine.count_msg m ~node:from_ ~bytes;
+      let send ~from_ ~dst ~kind ~bytes =
+        Machine.count_msg m ~node:from_ ~dst ~kind ~bytes ();
         Machine.charge m ~node:from_ Machine.Presend (Network.msg_cost net ~bytes);
         t.st.presend_msgs <- t.st.presend_msgs + 1
       in
@@ -182,12 +193,12 @@ let presend t phase =
       List.iter
         (fun (o, h) ->
           let blocks = !(Hashtbl.find recall (o, h)) in
-          Machine.count_msg m ~node:h ~bytes:ctrl;
+          Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
           charge_home h (Network.msg_cost net ~bytes:ctrl);
           List.iter
             (fun (bytes, blocks) ->
               ignore blocks;
-              Machine.count_msg m ~node:o ~bytes;
+              Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes ();
               charge_home h (Network.msg_cost net ~bytes);
               t.st.presend_msgs <- t.st.presend_msgs + 2;
               t.st.presend_bytes <- t.st.presend_bytes + bytes)
@@ -198,8 +209,8 @@ let presend t phase =
         (fun (h, r) ->
           let k = !(Hashtbl.find inval (h, r)) in
           let bytes = ctrl + (4 * k) in
-          send ~from_:h ~bytes;
-          Machine.count_msg m ~node:r ~bytes:ctrl;
+          send ~from_:h ~dst:r ~kind:Trace.Inval ~bytes;
+          Machine.count_msg m ~node:r ~dst:h ~kind:Trace.Ack ~bytes:ctrl ();
           charge_home h (Network.msg_cost net ~bytes:ctrl);
           t.st.presend_msgs <- t.st.presend_msgs + 1)
         (sorted_keys inval);
@@ -217,7 +228,7 @@ let presend t phase =
           List.iteri
             (fun i (bytes, blocks) ->
               let bytes = if i = 0 then bytes + extra else bytes in
-              send ~from_:h ~bytes;
+              send ~from_:h ~dst:dest ~kind:Trace.Data ~bytes;
               t.st.presend_blocks <- t.st.presend_blocks + blocks;
               t.st.presend_bytes <- t.st.presend_bytes + bytes)
             (block_list_msgs blocks))
@@ -225,9 +236,8 @@ let presend t phase =
       (* Pure permission upgrades with no data riding along. *)
       List.iter
         (fun (h, dest) ->
-          ignore dest;
           let k = !(Hashtbl.find grant_only (h, dest)) in
-          send ~from_:h ~bytes:(ctrl + (4 * k)))
+          send ~from_:h ~dst:dest ~kind:Trace.Grant ~bytes:(ctrl + (4 * k)))
         (sorted_keys grant_only);
       (* "the protocol enforces a global barrier synchronization to ensure
          that all protocol cache block states are stable" (section 3.4). *)
@@ -274,6 +284,7 @@ let create ?(per_block_us = 1.0) ?(record_us = 2.0) ?(coalesce = true)
   t
 
 let coherence t =
+  Coherence.traced t.machine
   {
     Coherence.name = "predictive";
     phase_begin =

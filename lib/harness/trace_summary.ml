@@ -1,0 +1,142 @@
+module Ascii = Ccdsm_util.Ascii
+
+(* -- naive field extraction over our own fixed JSONL format -------------- *)
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let int_field line key =
+  match find_sub line ("\"" ^ key ^ "\":") with
+  | None -> None
+  | Some j ->
+      let n = String.length line in
+      let k = ref j in
+      if !k < n && line.[!k] = '-' then incr k;
+      while !k < n && line.[!k] >= '0' && line.[!k] <= '9' do
+        incr k
+      done;
+      if !k = j || (!k = j + 1 && line.[j] = '-') then None
+      else int_of_string_opt (String.sub line j (!k - j))
+
+let string_field line key =
+  match find_sub line ("\"" ^ key ^ "\":\"") with
+  | None -> None
+  | Some j -> (
+      match String.index_from_opt line j '"' with
+      | None -> None
+      | Some k -> Some (String.sub line j (k - j)))
+
+(* -- accumulation --------------------------------------------------------- *)
+
+type acc = {
+  by_type : (string, int ref) Hashtbl.t;
+  msg_by_kind : (string, (int * int) ref) Hashtbl.t;  (* count, bytes *)
+  mutable lines : int;
+  mutable unparsed : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable presend_writes : int;
+  mutable conflicts : int;
+}
+
+let create () =
+  {
+    by_type = Hashtbl.create 16;
+    msg_by_kind = Hashtbl.create 16;
+    lines = 0;
+    unparsed = 0;
+    read_faults = 0;
+    write_faults = 0;
+    presend_writes = 0;
+    conflicts = 0;
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
+
+let add acc line =
+  acc.lines <- acc.lines + 1;
+  match string_field line "type" with
+  | None -> acc.unparsed <- acc.unparsed + 1
+  | Some ty -> (
+      bump acc.by_type ty;
+      match ty with
+      | "msg" ->
+          let kind = Option.value (string_field line "kind") ~default:"?" in
+          let bytes = Option.value (int_field line "bytes") ~default:0 in
+          let cell =
+            match Hashtbl.find_opt acc.msg_by_kind kind with
+            | Some r -> r
+            | None ->
+                let r = ref (0, 0) in
+                Hashtbl.add acc.msg_by_kind kind r;
+                r
+          in
+          let c, b = !cell in
+          cell := (c + 1, b + bytes)
+      | "fault" ->
+          if string_field line "kind" = Some "write" then
+            acc.write_faults <- acc.write_faults + 1
+          else acc.read_faults <- acc.read_faults + 1
+      | "presend" ->
+          if string_field line "kind" = Some "write" then
+            acc.presend_writes <- acc.presend_writes + 1
+      | "sched_conflict" -> acc.conflicts <- acc.conflicts + 1
+      | _ -> ())
+
+(* -- rendering ------------------------------------------------------------ *)
+
+let sorted_assoc tbl read =
+  Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let get acc ty =
+  match Hashtbl.find_opt acc.by_type ty with Some r -> !r | None -> 0
+
+let render acc =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "trace: %d events (%d unparsed lines)\n\n" acc.lines acc.unparsed);
+  Buffer.add_string b
+    (Ascii.table ~header:[ "event"; "count" ]
+       (List.map
+          (fun (ty, n) -> [ ty; string_of_int n ])
+          (sorted_assoc acc.by_type (fun r -> !r))));
+  let msgs = sorted_assoc acc.msg_by_kind (fun r -> !r) in
+  if msgs <> [] then begin
+    Buffer.add_char b '\n';
+    Buffer.add_string b
+      (Ascii.table ~header:[ "msg kind"; "msgs"; "bytes" ]
+         (List.map
+            (fun (kind, (c, bytes)) -> [ kind; string_of_int c; string_of_int bytes ])
+            msgs))
+  end;
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf
+       "faults: %d read, %d write; presends: %d (%d ownership grants); schedule \
+        conflicts: %d; barriers: %d\n"
+       acc.read_faults acc.write_faults (get acc "presend") acc.presend_writes
+       acc.conflicts (get acc "barrier"));
+  Buffer.contents b
+
+let of_channel ic =
+  let acc = create () in
+  (try
+     while true do
+       add acc (input_line ic)
+     done
+   with End_of_file -> ());
+  render acc
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> of_channel ic)

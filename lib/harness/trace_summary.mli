@@ -1,0 +1,13 @@
+(** Summarize a JSONL coherence trace (the [repro --trace FILE] output).
+
+    Reads the single-line JSON objects written by
+    {!Ccdsm_tempest.Trace.jsonl_sink} and renders aggregate tables: event
+    counts by type, message count/volume by kind, fault and presend totals.
+    The parser only understands that fixed, flat format — it is a reporting
+    aid, not a general JSON reader. *)
+
+val of_channel : in_channel -> string
+(** Consume the channel to EOF and render the summary. *)
+
+val of_file : string -> string
+(** [of_channel] over the named file. *)

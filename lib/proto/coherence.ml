@@ -14,3 +14,23 @@ let passive ~name =
     flush_schedule = (fun ~phase:_ -> ());
     stats = (fun () -> []);
   }
+
+module Machine = Ccdsm_tempest.Machine
+module Trace = Ccdsm_tempest.Trace
+
+let traced machine t =
+  {
+    t with
+    phase_begin =
+      (fun ~phase ->
+        Machine.emit machine (Trace.Phase_begin { phase });
+        t.phase_begin ~phase);
+    phase_end =
+      (fun ~phase ->
+        t.phase_end ~phase;
+        Machine.emit machine (Trace.Phase_end { phase }));
+    flush_schedule =
+      (fun ~phase ->
+        t.flush_schedule ~phase;
+        Machine.emit machine (Trace.Sched_flush { phase }));
+  }

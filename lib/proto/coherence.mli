@@ -23,3 +23,10 @@ type t = {
 
 val passive : name:string -> t
 (** A protocol with no phase behaviour (used by Stache). *)
+
+val traced : Ccdsm_tempest.Machine.t -> t -> t
+(** Wrap the phase hooks so that they publish {!Ccdsm_tempest.Trace} events
+    on [machine]'s bus: [Phase_begin] before the protocol's own entry work
+    (so presend events nest inside the bracket), [Phase_end] and
+    [Sched_flush] after it.  Every protocol constructor applies this wrapper
+    to the record it returns. *)

@@ -2,6 +2,7 @@ open Ccdsm_util
 module Machine = Ccdsm_tempest.Machine
 module Network = Ccdsm_tempest.Network
 module Tag = Ccdsm_tempest.Tag
+module Trace = Ccdsm_tempest.Trace
 
 type t = { machine : Machine.t; dir : Directory.t }
 
@@ -38,8 +39,8 @@ let demand_read t ~bucket ~node b =
       assert (not (Nodeset.mem node readers));
       (* Home memory is current in Shared state. *)
       if node <> h then begin
-        Machine.count_msg m ~node ~bytes:ctrl;
-        Machine.count_msg m ~node:h ~bytes:data;
+        Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
+        Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
       end;
       Machine.set_tag m ~node b Tag.Read_only;
@@ -50,22 +51,22 @@ let demand_read t ~bucket ~node b =
          as a reader (standard Stache downgrade-on-read). *)
       (if o = h then begin
          (* Writer is the home node: simple request/response. *)
-         Machine.count_msg m ~node ~bytes:ctrl;
-         Machine.count_msg m ~node:h ~bytes:data;
+         Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
+         Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
          Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
        end
        else if node = h then begin
          (* Home itself faulted: recall the copy from the writer. *)
-         Machine.count_msg m ~node:h ~bytes:ctrl;
-         Machine.count_msg m ~node:o ~bytes:data;
+         Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
+         Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
          Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
        end
        else begin
          (* The 4-message producer/consumer chain of section 3.2. *)
-         Machine.count_msg m ~node ~bytes:ctrl;
-         Machine.count_msg m ~node:h ~bytes:ctrl;
-         Machine.count_msg m ~node:o ~bytes:data;
-         Machine.count_msg m ~node:h ~bytes:data;
+         Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
+         Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
+         Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
+         Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
          Machine.charge m ~node bucket
            (2.0 *. msg_cost t ~bytes:ctrl +. 2.0 *. msg_cost t ~bytes:data)
        end);
@@ -84,8 +85,8 @@ let invalidate_holders t ~except ~payer ~bucket b =
   | Exclusive o ->
       (* Recall the dirty copy into home memory, then drop it. *)
       if o <> h then begin
-        Machine.count_msg m ~node:h ~bytes:ctrl;
-        Machine.count_msg m ~node:o ~bytes:data;
+        Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
+        Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
         Machine.charge m ~node:payer bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
       end;
       invalidate t ~node:o b
@@ -96,8 +97,8 @@ let invalidate_holders t ~except ~payer ~bucket b =
       if k > 0 then begin
         Nodeset.iter
           (fun r ->
-            Machine.count_msg m ~node:h ~bytes:ctrl;
-            Machine.count_msg m ~node:r ~bytes:ctrl)
+            Machine.count_msg m ~node:h ~dst:r ~kind:Trace.Inval ~bytes:ctrl ();
+            Machine.count_msg m ~node:r ~dst:h ~kind:Trace.Ack ~bytes:ctrl ())
           remote;
         (* Invalidations overlap: one round trip plus injection overhead for
            each additional message. *)
@@ -118,8 +119,8 @@ let recall_to_home t ~payer ~bucket b =
   | Exclusive o ->
       let ctrl = ctrl_bytes t and data = data_bytes t in
       if o <> h then begin
-        Machine.count_msg m ~node:h ~bytes:ctrl;
-        Machine.count_msg m ~node:o ~bytes:data;
+        Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
+        Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
         Machine.charge m ~node:payer bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
       end;
       downgrade t ~node:o b;
@@ -136,20 +137,20 @@ let demand_write t ~bucket ~node b =
   | Exclusive o ->
       assert (o <> node);
       (if o = h then begin
-         Machine.count_msg m ~node ~bytes:ctrl;
-         Machine.count_msg m ~node:h ~bytes:data;
+         Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
+         Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
          Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
        end
        else if node = h then begin
-         Machine.count_msg m ~node:h ~bytes:ctrl;
-         Machine.count_msg m ~node:o ~bytes:data;
+         Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
+         Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
          Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
        end
        else begin
-         Machine.count_msg m ~node ~bytes:ctrl;
-         Machine.count_msg m ~node:h ~bytes:ctrl;
-         Machine.count_msg m ~node:o ~bytes:data;
-         Machine.count_msg m ~node:h ~bytes:data;
+         Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
+         Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
+         Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
+         Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
          Machine.charge m ~node bucket
            (2.0 *. msg_cost t ~bytes:ctrl +. 2.0 *. msg_cost t ~bytes:data)
        end);
@@ -160,9 +161,11 @@ let demand_write t ~bucket ~node b =
       let had_copy = Nodeset.mem node readers in
       (* Request/upgrade leg to the home node. *)
       if node <> h then begin
-        Machine.count_msg m ~node ~bytes:ctrl;
+        Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
         let reply = if had_copy then ctrl else data in
-        Machine.count_msg m ~node:h ~bytes:reply;
+        Machine.count_msg m ~node:h ~dst:node
+          ~kind:(if had_copy then Trace.Grant else Trace.Data)
+          ~bytes:reply ();
         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:reply)
       end;
       invalidate_holders t ~except:node ~payer:node ~bucket b;
@@ -178,4 +181,4 @@ let stache machine =
       Machine.on_read_fault = (fun ~node b -> demand_read t ~bucket:Machine.Remote_wait ~node b);
       Machine.on_write_fault = (fun ~node b -> demand_write t ~bucket:Machine.Remote_wait ~node b);
     };
-  (t, Coherence.passive ~name:"stache")
+  (t, Coherence.traced machine (Coherence.passive ~name:"stache"))

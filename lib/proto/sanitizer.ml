@@ -1,0 +1,162 @@
+module Machine = Ccdsm_tempest.Machine
+module Tag = Ccdsm_tempest.Tag
+module Trace = Ccdsm_tempest.Trace
+open Ccdsm_util
+
+type mode = Invalidate | Update
+
+exception Violation of string
+
+(* Ring buffer of the most recent events, for violation diagnostics. *)
+let history_len = 16
+
+type t = {
+  machine : Machine.t;
+  mode : mode;
+  dir : Directory.t option;
+  check_races : bool;
+  mutable seen : int;
+  dirty : (Machine.block, unit) Hashtbl.t;
+      (* blocks whose tags changed since the last stable point *)
+  recorded : (int * Machine.block, Nodeset.t) Hashtbl.t;
+      (* (phase, block) -> consumers recorded in the communication schedule *)
+  writers : (Machine.addr, int) Hashtbl.t;
+      (* word -> node that wrote it in the current barrier interval *)
+  history : Trace.event option array;
+  mutable hist_next : int;
+}
+
+let remember t ev =
+  t.history.(t.hist_next mod history_len) <- Some ev;
+  t.hist_next <- t.hist_next + 1
+
+let recent t =
+  let n = min t.hist_next history_len in
+  List.init n (fun i ->
+      match t.history.((t.hist_next - n + i) mod history_len) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let fail t fmt =
+  Format.kasprintf
+    (fun msg ->
+      let b = Buffer.create 256 in
+      let f = Format.formatter_of_buffer b in
+      Format.fprintf f "sanitizer: %s@\nrecent events (oldest first):" msg;
+      List.iter (fun ev -> Format.fprintf f "@\n  %a" Trace.pp ev) (recent t);
+      Format.pp_print_flush f ();
+      raise (Violation (Buffer.contents b)))
+    fmt
+
+(* Single-writer/multi-reader over the machine's tags for one block.  In
+   Update mode the writer legitimately coexists with update-fed ReadOnly
+   copies, so only the at-most-one-writer half applies. *)
+let check_swmr t b =
+  let m = t.machine in
+  let writers = ref [] and readers = ref 0 in
+  for node = 0 to Machine.num_nodes m - 1 do
+    match Machine.tag m ~node b with
+    | Tag.Read_write -> writers := node :: !writers
+    | Tag.Read_only -> incr readers
+    | Tag.Invalid -> ()
+  done;
+  (match !writers with
+  | [] | [ _ ] -> ()
+  | ws ->
+      fail t "block %d has %d ReadWrite copies (nodes %s)" b (List.length ws)
+        (String.concat "," (List.rev_map string_of_int ws)));
+  if t.mode = Invalidate && !writers <> [] && !readers > 0 then
+    fail t
+      "block %d has a ReadWrite copy at node %d alongside %d ReadOnly \
+       cop%s (write-invalidate protocol)"
+      b (List.hd !writers) !readers
+      (if !readers = 1 then "y" else "ies")
+
+let check_dir_agreement t =
+  match t.dir with
+  | None -> Hashtbl.reset t.dirty
+  | Some dir ->
+      Hashtbl.iter
+        (fun b () ->
+          match Directory.check_invariant dir b with
+          | Ok () -> ()
+          | Error msg -> fail t "directory/tag disagreement: %s" msg)
+        t.dirty;
+      Hashtbl.reset t.dirty
+
+let on_event t ev =
+  t.seen <- t.seen + 1;
+  remember t ev;
+  match ev with
+  | Trace.Tag_change { block; _ } ->
+      Hashtbl.replace t.dirty block ();
+      check_swmr t block
+  | Trace.Msg { src; dst; bytes; kind } ->
+      let n = Machine.num_nodes t.machine in
+      if src < 0 || src >= n then
+        fail t "message source %d out of range [0,%d)" src n;
+      if dst >= n then fail t "message destination %d out of range [0,%d)" dst n;
+      if bytes <= 0 then
+        fail t "non-positive %s message size %d from node %d"
+          (Trace.msg_kind_name kind) bytes src
+  | Trace.Sched_record { phase; block; node; write = _ } ->
+      let key = (phase, block) in
+      let cur =
+        Option.value (Hashtbl.find_opt t.recorded key) ~default:Nodeset.empty
+      in
+      Hashtbl.replace t.recorded key (Nodeset.add node cur)
+  | Trace.Sched_flush { phase } ->
+      Hashtbl.iter
+        (fun ((p, _) as key) _ -> if p = phase then Hashtbl.remove t.recorded key)
+        (Hashtbl.copy t.recorded);
+      check_dir_agreement t
+  | Trace.Presend { phase; block; dst; write = _ } -> (
+      match Hashtbl.find_opt t.recorded (phase, block) with
+      | Some consumers when Nodeset.mem dst consumers -> ()
+      | Some _ ->
+          fail t
+            "presend of block %d (phase %d) to node %d, which the schedule \
+             never recorded as a consumer"
+            block phase dst
+      | None ->
+          fail t
+            "presend of block %d for phase %d, but the schedule holds no \
+             record for that (phase, block) — stale after a flush?"
+            block phase)
+  | Trace.Access { node; addr; write; faulted = _ } ->
+      (if write && t.check_races then
+         match Hashtbl.find_opt t.writers addr with
+         | Some w when w <> node ->
+             fail t
+               "write race on word %d: nodes %d and %d both wrote it with no \
+                intervening barrier"
+               addr w node
+         | _ -> Hashtbl.replace t.writers addr node);
+      check_dir_agreement t
+  | Trace.Barrier _ ->
+      Hashtbl.reset t.writers;
+      check_dir_agreement t
+  | Trace.Phase_end _ -> check_dir_agreement t
+  | Trace.Init _ | Trace.Alloc _ | Trace.Fault _ | Trace.Phase_begin _
+  | Trace.Sched_conflict _ ->
+      ()
+
+let attach ?(mode = Invalidate) ?dir ?(check_races = true) machine =
+  let t =
+    {
+      machine;
+      mode;
+      dir;
+      check_races;
+      seen = 0;
+      dirty = Hashtbl.create 64;
+      recorded = Hashtbl.create 64;
+      writers = Hashtbl.create 1024;
+      history = Array.make history_len None;
+      hist_next = 0;
+    }
+  in
+  Machine.subscribe machine (on_event t);
+  t
+
+let events_seen t = t.seen

@@ -1,0 +1,56 @@
+(** Online coherence-invariant sanitizer.
+
+    A {!Ccdsm_tempest.Trace} subscriber that validates protocol invariants
+    on every event, in the spirit of the directory-protocol verification
+    role Teapot played for the paper's protocols — but online, during any
+    run, so the exhaustive model checker, the differential fuzzer, golden
+    traces and ordinary application runs all check transition-level
+    invariants rather than only end values.
+
+    Checks, by event:
+
+    - [Tag_change]: single-writer/multi-reader on the affected block — at
+      most one ReadWrite copy, and (in {!Invalidate} mode) never a
+      ReadWrite and a ReadOnly copy simultaneously.  Checked on the raw
+      transition, so even transient protocol states must stay safe.
+    - [Msg]: source/destination in range, positive size.
+    - [Access]/[Barrier]/[Phase_end]/[Sched_flush] (stable points):
+      directory/tag agreement ({!Directory.check_invariant}) for every
+      block whose tags changed since the last stable point.  Mid-transaction
+      disagreement is legal (a fault updates tags before the directory);
+      by the time an access completes or a barrier/phase boundary is
+      reached the two must agree exactly.
+    - [Presend]: the destination must appear in the communication schedule
+      recorded for that (phase, block) — presends go only to recorded
+      consumers.  A schedule flush clears the recorded set, so this also
+      checks schedule/directory consistency after a flush: no presend may
+      happen for a flushed phase until new faults are recorded.
+    - [Access] with [write = true]: per-phase write-ownership race check —
+      two different nodes writing the same word between consecutive
+      barriers violates the race-freedom the execution model rests on
+      (disable with [~check_races:false] for raw protocol exploration that
+      has no phase structure, e.g. the model checker's op sequences).
+
+    On violation the sanitizer raises {!Violation} with a diagnostic that
+    includes the failing invariant and the most recent events for context. *)
+
+module Machine = Ccdsm_tempest.Machine
+
+type mode =
+  | Invalidate  (** write-invalidate protocols (Stache, predictive) *)
+  | Update
+      (** the write-update baseline: one writer may legitimately coexist
+          with update-fed ReadOnly copies, and there is no directory *)
+
+type t
+
+exception Violation of string
+
+val attach :
+  ?mode:mode -> ?dir:Directory.t -> ?check_races:bool -> Machine.t -> t
+(** Create a sanitizer and subscribe it to [machine]'s event bus.  [mode]
+    defaults to [Invalidate]; pass [dir] to enable directory/tag agreement
+    checking; [check_races] defaults to [true]. *)
+
+val events_seen : t -> int
+(** Number of events validated so far (sanity hook for tests). *)

@@ -2,6 +2,7 @@ open Ccdsm_util
 module Machine = Ccdsm_tempest.Machine
 module Network = Ccdsm_tempest.Network
 module Tag = Ccdsm_tempest.Tag
+module Trace = Ccdsm_tempest.Trace
 
 type state = {
   machine : Machine.t;
@@ -41,8 +42,8 @@ let on_read_fault t ~node b =
   if o <> node then begin
     (* Demand miss: request the block from its owner (first touch only —
        afterwards updates keep the copy fresh). *)
-    Machine.count_msg m ~node ~bytes:(ctrl_bytes t);
-    Machine.count_msg m ~node:o ~bytes:(Machine.block_bytes m);
+    Machine.count_msg m ~node ~dst:o ~kind:Trace.Req ~bytes:(ctrl_bytes t) ();
+    Machine.count_msg m ~node:o ~dst:node ~kind:Trace.Data ~bytes:(Machine.block_bytes m) ();
     Machine.charge m ~node Machine.Remote_wait
       (msg_cost t ~bytes:(ctrl_bytes t) +. msg_cost t ~bytes:(Machine.block_bytes m))
   end;
@@ -64,8 +65,8 @@ let on_write_fault t ~node b =
   if o <> node then begin
     (* Ownership migration: fetch the block and the write privilege. *)
     t.migrations <- t.migrations + 1;
-    Machine.count_msg m ~node ~bytes:(ctrl_bytes t);
-    Machine.count_msg m ~node:o ~bytes:(Machine.block_bytes m);
+    Machine.count_msg m ~node ~dst:o ~kind:Trace.Req ~bytes:(ctrl_bytes t) ();
+    Machine.count_msg m ~node:o ~dst:node ~kind:Trace.Data ~bytes:(Machine.block_bytes m) ();
     Machine.charge m ~node Machine.Remote_wait
       (msg_cost t ~bytes:(ctrl_bytes t) +. msg_cost t ~bytes:(Machine.block_bytes m));
     (* The previous owner keeps a consumer copy. *)
@@ -97,12 +98,12 @@ let push_updates t =
     t.dirty;
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) pairs [] in
   List.iter
-    (fun ((o, _s) as key) ->
+    (fun ((o, s) as key) ->
       let blocks = !(Hashtbl.find pairs key) in
       List.iter
         (fun (_, len) ->
           let bytes = (len * Machine.block_bytes m) + (Machine.net m).Network.ctrl_bytes in
-          Machine.count_msg m ~node:o ~bytes;
+          Machine.count_msg m ~node:o ~dst:s ~kind:Trace.Update ~bytes ();
           Machine.charge m ~node:o Machine.Presend (msg_cost t ~bytes);
           t.update_msgs <- t.update_msgs + 1;
           t.update_blocks <- t.update_blocks + len;
@@ -131,6 +132,7 @@ let coherence machine =
       Machine.on_read_fault = (fun ~node b -> on_read_fault t ~node b);
       Machine.on_write_fault = (fun ~node b -> on_write_fault t ~node b);
     };
+  Coherence.traced machine
   {
     Coherence.name = "write-update";
     phase_begin = (fun ~phase:_ -> ());

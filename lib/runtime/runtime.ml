@@ -1,7 +1,9 @@
 module Machine = Ccdsm_tempest.Machine
 module Network = Ccdsm_tempest.Network
+module Trace = Ccdsm_tempest.Trace
 module Coherence = Ccdsm_proto.Coherence
 module Engine = Ccdsm_proto.Engine
+module Sanitizer = Ccdsm_proto.Sanitizer
 module Predictive = Ccdsm_core.Predictive
 
 type protocol = Stache | Predictive | Write_update
@@ -19,19 +21,25 @@ type t = {
 }
 
 let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = `Ignore)
-    ~protocol () =
+    ?(sanitize = false) ~protocol () =
   let cfg = match cfg with Some c -> c | None -> Machine.default_config () in
   let machine = Machine.create cfg in
-  let coherence, predictive =
+  let coherence, predictive, dir =
     match protocol with
     | Stache ->
-        let _, c = Engine.stache machine in
-        (c, None)
+        let eng, c = Engine.stache machine in
+        (c, None, Some eng.Engine.dir)
     | Predictive ->
         let p = Predictive.create ~coalesce:presend_coalesce ~conflict_action machine in
-        (Predictive.coherence p, Some p)
-    | Write_update -> (Ccdsm_proto.Write_update.coherence machine, None)
+        (Predictive.coherence p, Some p, Some (Predictive.engine p).Engine.dir)
+    | Write_update -> (Ccdsm_proto.Write_update.coherence machine, None, None)
   in
+  if sanitize then begin
+    let mode =
+      match protocol with Write_update -> Sanitizer.Update | _ -> Sanitizer.Invalidate
+    in
+    ignore (Sanitizer.attach ~mode ?dir machine)
+  end;
   {
     machine;
     coherence;
@@ -129,7 +137,7 @@ let allreduce_sum t contrib =
   let per_node = float_of_int levels *. Network.msg_cost net ~bytes in
   let sum = ref 0.0 in
   for node = 0 to p - 1 do
-    Machine.count_msg t.machine ~node ~bytes;
+    Machine.count_msg t.machine ~node ~kind:Trace.Reduce ~bytes ();
     Machine.charge t.machine ~node Machine.Remote_wait per_node;
     sum := !sum +. contrib node
   done;

@@ -28,6 +28,7 @@ val create :
   ?task_us:float ->
   ?presend_coalesce:bool ->
   ?conflict_action:[ `Ignore | `First_stable ] ->
+  ?sanitize:bool ->
   protocol:protocol ->
   unit ->
   t
@@ -35,7 +36,10 @@ val create :
     (default 1.0 microseconds).  [presend_coalesce] (default true) controls
     the predictive protocol's bulk-message coalescing and [conflict_action]
     its handling of conflict-marked schedule blocks (ablation hooks; ignored
-    by the other protocols). *)
+    by the other protocols).  [sanitize] (default false) attaches an online
+    {!Ccdsm_proto.Sanitizer} to the machine, in the mode matching [protocol];
+    any coherence-invariant violation then raises
+    [Ccdsm_proto.Sanitizer.Violation]. *)
 
 val machine : t -> Machine.t
 val heap : t -> Shared_heap.t

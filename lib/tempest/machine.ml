@@ -64,6 +64,7 @@ type t = {
   mutable nblocks : int;  (* blocks allocated so far *)
   nodes : node_state array;
   mutable handlers : handlers option;
+  mutable tracers : (Trace.event -> unit) list;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -74,17 +75,30 @@ let create cfg =
   if (not (is_pow2 cfg.block_bytes)) || cfg.block_bytes < 8 then
     invalid_arg "Machine.create: block_bytes must be a power of two >= 8";
   let words_per_block = cfg.block_bytes / 8 in
-  {
-    cfg;
-    words_per_block;
-    mem = Array.make 1024 0.0;
-    homes = Array.make 128 (-1);
-    nblocks = 0;
-    nodes =
-      Array.init cfg.num_nodes (fun _ ->
-          { tags = Bytes.make 128 (Tag.to_char Tag.Invalid); times = Array.make 4 0.0; ctr = fresh_counters () });
-    handlers = None;
-  }
+  let t =
+    {
+      cfg;
+      words_per_block;
+      mem = Array.make 1024 0.0;
+      homes = Array.make 128 (-1);
+      nblocks = 0;
+      nodes =
+        Array.init cfg.num_nodes (fun _ ->
+            { tags = Bytes.make 128 (Tag.to_char Tag.Invalid); times = Array.make 4 0.0; ctr = fresh_counters () });
+      handlers = None;
+      tracers = (match Trace.global () with Some f -> [ f ] | None -> []);
+    }
+  in
+  (match t.tracers with
+  | [] -> ()
+  | l -> List.iter (fun f -> f (Trace.Init { nodes = cfg.num_nodes; block_bytes = cfg.block_bytes })) l);
+  t
+
+(* -- tracing ------------------------------------------------------------- *)
+
+let traced t = t.tracers <> []
+let subscribe t f = t.tracers <- t.tracers @ [ f ]
+let emit t ev = List.iter (fun f -> f ev) t.tracers
 
 let config t = t.cfg
 let num_nodes t = t.cfg.num_nodes
@@ -137,6 +151,7 @@ let alloc t ~words ~home =
     Bytes.set (t.nodes.(home)).tags b (Tag.to_char Tag.Read_write)
   done;
   t.nblocks <- first + blocks;
+  if traced t then emit t (Trace.Alloc { first_block = first; blocks; home });
   first * t.words_per_block
 
 (* -- tags --------------------------------------------------------------- *)
@@ -153,7 +168,15 @@ let tag t ~node b =
 let set_tag t ~node b tg =
   check_node t node;
   check_block t b;
-  Bytes.set (t.nodes.(node)).tags b (Tag.to_char tg)
+  if traced t then begin
+    let before = Tag.of_char (Bytes.get (t.nodes.(node)).tags b) in
+    (* Write first, then publish: subscribers that inspect machine state
+       (the sanitizer's tag scans) must observe the post-transition world. *)
+    Bytes.set (t.nodes.(node)).tags b (Tag.to_char tg);
+    if not (Tag.equal before tg) then
+      emit t (Trace.Tag_change { node; block = b; before; after = tg })
+  end
+  else Bytes.set (t.nodes.(node)).tags b (Tag.to_char tg)
 
 (* -- time --------------------------------------------------------------- *)
 
@@ -179,6 +202,7 @@ let max_time t =
   !m
 
 let barrier t ~bucket =
+  if traced t then emit t (Trace.Barrier { bucket = bucket_name bucket });
   let target = max_time t +. Network.barrier_cost t.cfg.net ~nodes:t.cfg.num_nodes in
   for n = 0 to t.cfg.num_nodes - 1 do
     charge t ~node:n bucket (target -. time t ~node:n)
@@ -190,10 +214,11 @@ let counters t ~node =
   check_node t node;
   (t.nodes.(node)).ctr
 
-let count_msg t ~node ~bytes =
+let count_msg t ~node ?(dst = -1) ?(kind = Trace.Data) ~bytes () =
   let c = counters t ~node in
   c.msgs <- c.msgs + 1;
-  c.bytes <- c.bytes + bytes
+  c.bytes <- c.bytes + bytes;
+  if traced t then emit t (Trace.Msg { src = node; dst; bytes; kind })
 
 let total_counters t =
   let acc = fresh_counters () in
@@ -247,13 +272,16 @@ let read t ~node a =
   check_block t b;
   let ns = t.nodes.(node) in
   let tg = Bytes.get ns.tags b in
-  if tg = '\000' (* Invalid *) then begin
+  let faulted = tg = '\000' (* Invalid *) in
+  if faulted then begin
     ns.ctr.read_faults <- ns.ctr.read_faults + 1;
+    if traced t then emit t (Trace.Fault { node; block = b; write = false });
     (handlers_exn t).on_read_fault ~node b;
     assert (Tag.permits_read (Tag.of_char (Bytes.get ns.tags b)))
   end;
   ns.ctr.local_reads <- ns.ctr.local_reads + 1;
   ns.times.(0) <- ns.times.(0) +. t.cfg.local_access_us;
+  if traced t then emit t (Trace.Access { node; addr = a; write = false; faulted });
   t.mem.(a)
 
 let write t ~node a v =
@@ -262,11 +290,14 @@ let write t ~node a v =
   check_block t b;
   let ns = t.nodes.(node) in
   let tg = Bytes.get ns.tags b in
-  if tg <> '\002' (* not ReadWrite *) then begin
+  let faulted = tg <> '\002' (* not ReadWrite *) in
+  if faulted then begin
     ns.ctr.write_faults <- ns.ctr.write_faults + 1;
+    if traced t then emit t (Trace.Fault { node; block = b; write = true });
     (handlers_exn t).on_write_fault ~node b;
     assert (Tag.permits_write (Tag.of_char (Bytes.get ns.tags b)))
   end;
   ns.ctr.local_writes <- ns.ctr.local_writes + 1;
   ns.times.(0) <- ns.times.(0) +. t.cfg.local_access_us;
+  if traced t then emit t (Trace.Access { node; addr = a; write = true; faulted });
   t.mem.(a) <- v

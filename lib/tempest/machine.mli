@@ -70,6 +70,28 @@ val install : t -> handlers -> unit
 (** Install the coherence protocol's fault handlers.  Until installed, any
     fault raises [Failure]. *)
 
+(** {1 Event tracing}
+
+    Machines publish {!Trace.event}s describing every observable coherence
+    action: faults, completed accesses, messages, tag transitions, barriers
+    and allocations (upper layers add phase, schedule and presend events
+    through {!emit}).  Emission is free when no subscriber is attached.  A
+    machine created while {!Trace.set_global} holds a sink starts with that
+    sink subscribed (and announces itself with an [Init] event). *)
+
+val subscribe : t -> (Trace.event -> unit) -> unit
+(** Add an event subscriber.  Subscribers run synchronously, in subscription
+    order, at the emission point — an exception raised by a subscriber (the
+    sanitizer's [Violation]) propagates to the faulting access. *)
+
+val traced : t -> bool
+(** [true] when at least one subscriber is attached; guards event
+    construction on hot paths. *)
+
+val emit : t -> Trace.event -> unit
+(** Publish an event to all subscribers (used by the protocol, schedule and
+    runtime layers; no-op without subscribers). *)
+
 (** {1 Allocation} *)
 
 val alloc : t -> words:int -> home:int -> addr
@@ -111,9 +133,11 @@ val barrier : t -> bucket:bucket -> unit
 
 (** {1 Messages and counters} *)
 
-val count_msg : t -> node:int -> bytes:int -> unit
+val count_msg : t -> node:int -> ?dst:int -> ?kind:Trace.msg_kind -> bytes:int -> unit -> unit
 (** Record one message sent by [node] (counters only; the caller charges the
-    time cost to whichever node waits for it). *)
+    time cost to whichever node waits for it).  [dst] (default [-1] =
+    unspecified/collective) and [kind] (default [Data]) annotate the traced
+    {!Trace.Msg} event and do not affect counters. *)
 
 val counters : t -> node:int -> counters
 (** The live (mutable) counter record for a node. *)

@@ -1,0 +1,88 @@
+type msg_kind = Req | Data | Inval | Ack | Grant | Recall | Update | Reduce
+
+let msg_kind_name = function
+  | Req -> "req"
+  | Data -> "data"
+  | Inval -> "inval"
+  | Ack -> "ack"
+  | Grant -> "grant"
+  | Recall -> "recall"
+  | Update -> "update"
+  | Reduce -> "reduce"
+
+type event =
+  | Init of { nodes : int; block_bytes : int }
+  | Alloc of { first_block : int; blocks : int; home : int }
+  | Fault of { node : int; block : int; write : bool }
+  | Access of { node : int; addr : int; write : bool; faulted : bool }
+  | Msg of { src : int; dst : int; bytes : int; kind : msg_kind }
+  | Tag_change of { node : int; block : int; before : Tag.t; after : Tag.t }
+  | Barrier of { bucket : string }
+  | Phase_begin of { phase : int }
+  | Phase_end of { phase : int }
+  | Sched_record of { phase : int; block : int; node : int; write : bool }
+  | Sched_conflict of { phase : int; block : int }
+  | Sched_flush of { phase : int }
+  | Presend of { phase : int; block : int; dst : int; write : bool }
+
+let type_name = function
+  | Init _ -> "init"
+  | Alloc _ -> "alloc"
+  | Fault _ -> "fault"
+  | Access _ -> "access"
+  | Msg _ -> "msg"
+  | Tag_change _ -> "tag"
+  | Barrier _ -> "barrier"
+  | Phase_begin _ -> "phase_begin"
+  | Phase_end _ -> "phase_end"
+  | Sched_record _ -> "sched_record"
+  | Sched_conflict _ -> "sched_conflict"
+  | Sched_flush _ -> "sched_flush"
+  | Presend _ -> "presend"
+
+let rw write = if write then "write" else "read"
+
+let to_json ev =
+  let ty = type_name ev in
+  match ev with
+  | Init { nodes; block_bytes } ->
+      Printf.sprintf {|{"type":"%s","nodes":%d,"block_bytes":%d}|} ty nodes block_bytes
+  | Alloc { first_block; blocks; home } ->
+      Printf.sprintf {|{"type":"%s","first_block":%d,"blocks":%d,"home":%d}|} ty first_block
+        blocks home
+  | Fault { node; block; write } ->
+      Printf.sprintf {|{"type":"%s","node":%d,"block":%d,"kind":"%s"}|} ty node block (rw write)
+  | Access { node; addr; write; faulted } ->
+      Printf.sprintf {|{"type":"%s","node":%d,"addr":%d,"kind":"%s","faulted":%b}|} ty node
+        addr (rw write) faulted
+  | Msg { src; dst; bytes; kind } ->
+      Printf.sprintf {|{"type":"%s","src":%d,"dst":%d,"bytes":%d,"kind":"%s"}|} ty src dst
+        bytes (msg_kind_name kind)
+  | Tag_change { node; block; before; after } ->
+      Printf.sprintf {|{"type":"%s","node":%d,"block":%d,"before":"%s","after":"%s"}|} ty node
+        block (Tag.to_string before) (Tag.to_string after)
+  | Barrier { bucket } -> Printf.sprintf {|{"type":"%s","bucket":"%s"}|} ty bucket
+  | Phase_begin { phase } -> Printf.sprintf {|{"type":"%s","phase":%d}|} ty phase
+  | Phase_end { phase } -> Printf.sprintf {|{"type":"%s","phase":%d}|} ty phase
+  | Sched_record { phase; block; node; write } ->
+      Printf.sprintf {|{"type":"%s","phase":%d,"block":%d,"node":%d,"kind":"%s"}|} ty phase
+        block node (rw write)
+  | Sched_conflict { phase; block } ->
+      Printf.sprintf {|{"type":"%s","phase":%d,"block":%d}|} ty phase block
+  | Sched_flush { phase } -> Printf.sprintf {|{"type":"%s","phase":%d}|} ty phase
+  | Presend { phase; block; dst; write } ->
+      Printf.sprintf {|{"type":"%s","phase":%d,"block":%d,"dst":%d,"kind":"%s"}|} ty phase
+        block dst (rw write)
+
+let pp ppf ev = Format.pp_print_string ppf (to_json ev)
+
+let global_sink : (event -> unit) option ref = ref None
+let set_global s = global_sink := s
+let global () = !global_sink
+
+let jsonl_sink ?(accesses = false) oc ev =
+  match ev with
+  | Access _ when not accesses -> ()
+  | _ ->
+      output_string oc (to_json ev);
+      output_char oc '\n'

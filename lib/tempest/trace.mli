@@ -1,0 +1,71 @@
+(** Structured coherence event tracing.
+
+    The paper's results are explained entirely by *which cache blocks move
+    between which nodes*; this module makes that stream observable.  Every
+    layer of the simulator publishes typed events onto a per-machine bus
+    ({!Machine.subscribe}): access faults, protocol messages with
+    source/destination/size/kind, per-node tag transitions, barriers, phase
+    brackets, communication-schedule records and flushes, and presend legs.
+
+    The bus is zero-cost when nobody subscribes (emission sites are guarded
+    by an empty-subscriber check).  On top of it sit the JSONL sink used by
+    [repro --trace], the golden-trace regression tests, and the online
+    invariant sanitizer ({!Ccdsm_proto.Sanitizer}). *)
+
+type msg_kind =
+  | Req  (** demand request (read or write miss) *)
+  | Data  (** a message carrying block data *)
+  | Inval  (** invalidation notice *)
+  | Ack  (** invalidation acknowledgement *)
+  | Grant  (** permission-only upgrade, no data *)
+  | Recall  (** home recalling a dirty copy from its owner *)
+  | Update  (** write-update push to a consumer *)
+  | Reduce  (** reduction-tree traffic (built-in language support) *)
+
+val msg_kind_name : msg_kind -> string
+
+type event =
+  | Init of { nodes : int; block_bytes : int }
+      (** machine creation (emitted only to the global sink, which is the
+          only subscriber that can exist that early) *)
+  | Alloc of { first_block : int; blocks : int; home : int }
+  | Fault of { node : int; block : int; write : bool }
+      (** an access the tag did not permit, about to vector to the protocol *)
+  | Access of { node : int; addr : int; write : bool; faulted : bool }
+      (** a completed application access (emitted after fault handling) *)
+  | Msg of { src : int; dst : int; bytes : int; kind : msg_kind }
+      (** [dst = -1] for collective traffic with no single destination *)
+  | Tag_change of { node : int; block : int; before : Tag.t; after : Tag.t }
+  | Barrier of { bucket : string }
+  | Phase_begin of { phase : int }
+  | Phase_end of { phase : int }
+  | Sched_record of { phase : int; block : int; node : int; write : bool }
+  | Sched_conflict of { phase : int; block : int }
+  | Sched_flush of { phase : int }
+  | Presend of { phase : int; block : int; dst : int; write : bool }
+      (** one presend leg: [dst] is granted a copy ([write]: ownership) *)
+
+val type_name : event -> string
+(** Stable lowercase discriminator, identical to the JSON "type" field. *)
+
+val to_json : event -> string
+(** One-line JSON object with a fixed field order; the JSONL trace format.
+    Deterministic: equal events render to equal strings. *)
+
+val pp : Format.formatter -> event -> unit
+(** Human-readable one-liner (used in sanitizer diagnostics). *)
+
+(** {1 Global sink}
+
+    A process-wide sink consulted by {!Machine.create}: when set, every
+    machine created afterwards forwards its events to it.  This is how the
+    [repro --trace FILE] flag captures experiment drivers that create many
+    machines internally. *)
+
+val set_global : (event -> unit) option -> unit
+val global : unit -> (event -> unit) option
+
+val jsonl_sink : ?accesses:bool -> out_channel -> event -> unit
+(** A sink writing one JSON object per line.  [accesses] (default [false])
+    controls whether (voluminous, non-faulting) {!Access} events are
+    written; faults, messages and tag transitions always are. *)

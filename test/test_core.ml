@@ -5,6 +5,7 @@ open Ccdsm_util
 module Machine = Ccdsm_tempest.Machine
 module Tag = Ccdsm_tempest.Tag
 module Directory = Ccdsm_proto.Directory
+module Bulk = Ccdsm_proto.Bulk
 module Engine = Ccdsm_proto.Engine
 module Coherence = Ccdsm_proto.Coherence
 module Schedule = Ccdsm_core.Schedule
@@ -101,6 +102,54 @@ let test_schedule_sorted_iteration () =
   let order = ref [] in
   Schedule.iter_sorted s (fun b _ -> order := b :: !order);
   check Alcotest.(list int) "ascending" [ 1; 2; 5; 9 ] (List.rev !order)
+
+let test_schedule_record_after_flush () =
+  (* A flushed schedule rebuilds from scratch: no stale marks, no stale
+     conflict or rewrite counts leaking into the new pattern. *)
+  let s = Schedule.create () in
+  Schedule.record_write s 4 ~writer:0;
+  Schedule.record_read s 4 ~reader:2;  (* conflict *)
+  Schedule.clear s;
+  Schedule.record_read s 4 ~reader:3;
+  check Alcotest.int "rebuilt with one entry" 1 (Schedule.cardinal s);
+  check Alcotest.int "old conflict gone" 0 (Schedule.conflicts s);
+  match Schedule.find s 4 with
+  | Some (Schedule.Readers r) ->
+      check Alcotest.(list int) "only the new reader" [ 3 ] (Nodeset.elements r)
+  | _ -> Alcotest.fail "expected a clean Readers mark after flush"
+
+let test_schedule_duplicate_records_idempotent () =
+  let s = Schedule.create () in
+  Schedule.record_read s 6 ~reader:1;
+  Schedule.record_read s 6 ~reader:1;
+  Schedule.record_read s 6 ~reader:1;
+  check Alcotest.int "one entry" 1 (Schedule.cardinal s);
+  (match Schedule.find s 6 with
+  | Some (Schedule.Readers r) -> check Alcotest.(list int) "one reader" [ 1 ] (Nodeset.elements r)
+  | _ -> Alcotest.fail "expected Readers");
+  Schedule.record_write s 8 ~writer:2;
+  Schedule.record_write s 8 ~writer:2;
+  check Alcotest.int "same writer is not a rewrite" 0 (Schedule.rewrites s);
+  check Alcotest.int "no conflicts from duplicates" 0 (Schedule.conflicts s)
+
+(* -- Bulk coalescing ------------------------------------------------------- *)
+
+let runs_t = Alcotest.(list (pair int int))
+
+let test_bulk_runs_adjacent () =
+  check runs_t "adjacent blocks form one run" [ (3, 3) ] (Bulk.runs [ 3; 4; 5 ]);
+  check Alcotest.int "one message" 1 (Bulk.message_count [ 3; 4; 5 ])
+
+let test_bulk_runs_non_adjacent () =
+  check runs_t "gaps split runs" [ (1, 1); (3, 1); (5, 1) ] (Bulk.runs [ 1; 3; 5 ]);
+  check Alcotest.int "one message each" 3 (Bulk.message_count [ 1; 3; 5 ])
+
+let test_bulk_runs_unsorted_dups () =
+  (* Order must not matter and duplicates must merge. *)
+  check runs_t "unsorted input with duplicates" [ (1, 2); (5, 2) ]
+    (Bulk.runs [ 5; 1; 2; 2; 6 ]);
+  check runs_t "empty" [] (Bulk.runs []);
+  check runs_t "singleton" [ (7, 1) ] (Bulk.runs [ 7; 7 ])
 
 (* -- Predictive protocol -------------------------------------------------- *)
 
@@ -375,6 +424,12 @@ let suite =
         Alcotest.test_case "pre-conflict capture" `Quick test_schedule_pre_conflict;
         Alcotest.test_case "clear" `Quick test_schedule_clear;
         Alcotest.test_case "sorted iteration" `Quick test_schedule_sorted_iteration;
+        Alcotest.test_case "record after flush" `Quick test_schedule_record_after_flush;
+        Alcotest.test_case "duplicate records idempotent" `Quick
+          test_schedule_duplicate_records_idempotent;
+        Alcotest.test_case "bulk runs: adjacent" `Quick test_bulk_runs_adjacent;
+        Alcotest.test_case "bulk runs: non-adjacent" `Quick test_bulk_runs_non_adjacent;
+        Alcotest.test_case "bulk runs: unsorted, duplicates" `Quick test_bulk_runs_unsorted_dups;
       ] );
     ( "core.predictive",
       [

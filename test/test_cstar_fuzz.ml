@@ -165,7 +165,8 @@ let gen_program =
    compare equal). *)
 let run_bits compiled ~num_nodes ~block_bytes ~protocol =
   let rt =
-    Runtime.create ~cfg:(Machine.default_config ~num_nodes ~block_bytes ()) ~protocol ()
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes ~block_bytes ()) ~sanitize:true
+      ~protocol ()
   in
   let env = Interp.load rt compiled in
   Interp.run env;

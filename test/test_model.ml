@@ -14,7 +14,14 @@
 
    States are canonicalized (tags + directory + schedule contents + phase
    status) and deduplicated, so the exploration covers the reachable state
-   graph rather than the exponential sequence space. *)
+   graph rather than the exponential sequence space.
+
+   The online sanitizer (Ccdsm_proto.Sanitizer) rides along on every
+   explored sequence, so its transition-level checks — including the
+   presend/schedule consistency ones this file cannot express — run against
+   the full reachable state space.  Races are expected here (the op
+   alphabet writes from different nodes with no barriers), so the
+   sanitizer's race check is off. *)
 
 open Ccdsm_util
 module Machine = Ccdsm_tempest.Machine
@@ -22,6 +29,7 @@ module Tag = Ccdsm_tempest.Tag
 module Directory = Ccdsm_proto.Directory
 module Engine = Ccdsm_proto.Engine
 module Coherence = Ccdsm_proto.Coherence
+module Sanitizer = Ccdsm_proto.Sanitizer
 module Schedule = Ccdsm_core.Schedule
 module Predictive = Ccdsm_core.Predictive
 
@@ -63,6 +71,7 @@ let make_sys ~predictive () =
       let eng, coh = Engine.stache machine in
       (coh, eng.Engine.dir, None)
   in
+  ignore (Sanitizer.attach ~dir ~check_races:false machine);
   (* One block homed on node 0, one on node 1. *)
   let a0 = Machine.alloc machine ~words:4 ~home:0 in
   let a1 = Machine.alloc machine ~words:4 ~home:1 in
@@ -149,7 +158,8 @@ let replay ~predictive seq =
   check_invariants sys ~after:"init";
   List.iter
     (fun op ->
-      apply sys op;
+      (try apply sys op
+       with Sanitizer.Violation msg -> raise (Violation (op_name op ^ ": " ^ msg)));
       check_invariants sys ~after:(op_name op))
     seq;
   state_of sys

@@ -117,7 +117,7 @@ let test_counters () =
   let a = Machine.alloc m ~words:4 ~home:0 in
   ignore (Machine.read m ~node:1 a);
   Machine.write m ~node:1 a 1.0;
-  Machine.count_msg m ~node:1 ~bytes:100;
+  Machine.count_msg m ~node:1 ~bytes:100 ();
   let c = Machine.counters m ~node:1 in
   check Alcotest.int "read faults" 1 c.Machine.read_faults;
   check Alcotest.int "write faults" 1 c.Machine.write_faults;
