@@ -5,7 +5,10 @@
    the regeneration machinery and the protocol hot paths with Bechamel —
    one Test.make per table/figure plus micro-benchmarks.
 
-   dune exec bench/main.exe *)
+   dune exec bench/main.exe           # print figures + Bechamel table
+   dune exec bench/main.exe -- --json [FILE]
+                                      # also write the machine-readable
+                                      # baseline (default FILE: BENCH.json) *)
 
 open Bechamel
 open Toolkit
@@ -13,8 +16,11 @@ module E = Ccdsm_harness.Experiments
 module Measure_h = Ccdsm_harness.Measure
 module Machine = Ccdsm_tempest.Machine
 module Runtime = Ccdsm_runtime.Runtime
+module Aggregate = Ccdsm_runtime.Aggregate
+module Distribution = Ccdsm_runtime.Distribution
 module Schedule = Ccdsm_core.Schedule
 module Predictive = Ccdsm_core.Predictive
+module Parjobs = Ccdsm_harness.Parjobs
 module Adaptive = Ccdsm_apps.Adaptive
 module Barnes = Ccdsm_apps.Barnes
 module Water = Ccdsm_apps.Water
@@ -182,6 +188,49 @@ let test_bulk_runs =
        (let blocks = List.init 256 (fun i -> (i * 7) mod 512) in
         fun () -> Sys.opaque_identity (Ccdsm_proto.Bulk.runs blocks)))
 
+let test_aggregate_addr =
+  Test.make ~name:"micro-aggregate-addr"
+    (Staged.stage
+       (let m = Machine.create (small_machine ()) in
+        let agg =
+          Aggregate.create_2d m ~name:"bench" ~elem_words:4 ~rows:64 ~cols:64
+            ~dist:Distribution.Row_block ()
+        in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          let r = !i land 63 and c = (!i * 7) land 63 in
+          ignore (Sys.opaque_identity (Aggregate.addr2 agg r c ~field:(!i land 3)))))
+
+let test_read_range =
+  Test.make ~name:"micro-read-range-block"
+    (Staged.stage
+       (let m = Machine.create (small_machine ()) in
+        let _ = Ccdsm_proto.Engine.stache m in
+        let a = Machine.alloc m ~words:4096 ~home:0 in
+        let buf = Array.make 8 0.0 in
+        let i = ref 0 in
+        fun () ->
+          (* Home-node reads: the steady-state (no-fault) batched path. *)
+          incr i;
+          Machine.read_range m ~node:0 (a + (!i land 511) * 8) buf;
+          ignore (Sys.opaque_identity buf.(0))))
+
+let test_presend_cached_sort =
+  Test.make ~name:"micro-presend-cached-sort"
+    (Staged.stage
+       (let s = Schedule.create () in
+        (* Record 1024 keys once, then iterate: after the first call the
+           sorted key array is served from the cache. *)
+        for b = 0 to 1023 do
+          Schedule.record_read s ((b * 17) land 1023) ~reader:(b land 7)
+        done;
+        let acc = ref 0 in
+        fun () ->
+          acc := 0;
+          Schedule.iter_sorted s (fun b _ -> acc := !acc + b);
+          ignore (Sys.opaque_identity !acc)))
+
 let tests =
   Test.make_grouped ~name:"ccdsm"
     [
@@ -199,20 +248,32 @@ let tests =
       test_dataflow;
       test_compile;
       test_bulk_runs;
+      test_aggregate_addr;
+      test_read_range;
+      test_presend_cached_sort;
     ]
 
+(* Returns [(name, ns_per_run)] sorted by name; [None] when Bechamel could
+   not produce an estimate. *)
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ~kde:None () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  print_endline "== Bechamel timings (host time per regeneration/operation) ==";
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.sort compare rows
+  |> List.map (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] -> (name, Some est)
+         | _ -> (name, None))
+
+let print_benchmarks rows =
+  print_endline "== Bechamel timings (host time per regeneration/operation) ==";
   List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] ->
+    (fun (name, est) ->
+      match est with
+      | Some est ->
           let pretty =
             if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
             else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
@@ -220,9 +281,100 @@ let run_benchmarks () =
             else Printf.sprintf "%8.2f ns" est
           in
           Printf.printf "  %-36s %s/run\n" name pretty
-      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
-    (List.sort compare rows)
+      | None -> Printf.printf "  %-36s (no estimate)\n" name)
+    rows
+
+(* -- machine-readable baseline (--json) -------------------------------------- *)
+
+(* Wall-clock per experiment driver, run through the multicore fan-out at the
+   default job count (CCDSM_JOBS or the available cores).  These are the
+   end-to-end numbers the ISSUE's perf criterion is judged on; the Bechamel
+   rows above are per-operation micro costs of the paths the fast-path work
+   touched. *)
+let wall_measurements scale jobs =
+  let wall name f =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    (name, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  [
+    wall "table1" (fun () -> E.table1 scale);
+    wall "fig4" (fun () -> E.fig4 ());
+    wall "fig5" (fun () -> E.render (E.fig5 ~jobs scale));
+    wall "fig6" (fun () -> E.render (E.fig6 ~jobs scale));
+    wall "fig7" (fun () -> E.render (E.fig7 ~jobs scale));
+    wall "block_sweep" (fun () -> E.block_sweep ~jobs scale);
+    wall "ablations" (fun () -> E.ablations scale);
+    wall "inspector" (fun () -> E.inspector scale);
+    wall "scaling" (fun () -> E.scaling ~jobs scale);
+  ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~scale ~jobs ~wall ~micro =
+  let oc = open_out path in
+  let field last (name, v) =
+    Printf.fprintf oc "    \"%s\": %.3f%s\n" (json_escape name) v (if last then "" else ",")
+  in
+  let obj entries =
+    let n = List.length entries in
+    List.iteri (fun i e -> field (i = n - 1) e) entries
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"ccdsm-bench-1\",\n";
+  Printf.fprintf oc "  \"scale\": \"%s\",\n"
+    (match scale with E.Paper -> "paper" | E.Scaled -> "scaled");
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"wall_ms\": {\n";
+  obj wall;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"micro_ns_per_op\": {\n";
+  obj (List.filter_map (fun (n, e) -> Option.map (fun v -> (n, v)) e) micro);
+  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let json_mode () =
+  (* "--json" or "--json FILE" anywhere on the command line. *)
+  let argv = Array.to_list Sys.argv in
+  let rec scan = function
+    | [] -> None
+    | "--json" :: path :: _ when String.length path > 0 && path.[0] <> '-' -> Some path
+    | "--json" :: _ -> Some "BENCH.json"
+    | _ :: rest -> scan rest
+  in
+  scan argv
 
 let () =
-  print_figures ();
-  run_benchmarks ()
+  (try ignore (Parjobs.env_jobs ())
+   with Invalid_argument msg ->
+     Printf.eprintf "bench: %s\n" msg;
+     exit 2);
+  match json_mode () with
+  | None ->
+      print_figures ();
+      print_benchmarks (run_benchmarks ())
+  | Some path ->
+      let scale = E.scale_of_env () in
+      let jobs = Parjobs.default_jobs () in
+      Printf.printf "bench: measuring wall time per figure (scale=%s, jobs=%d)...\n%!"
+        (match scale with E.Paper -> "paper" | E.Scaled -> "scaled")
+        jobs;
+      let wall = wall_measurements scale jobs in
+      Printf.printf "bench: running Bechamel micro-benchmarks...\n%!";
+      let micro = run_benchmarks () in
+      write_json path ~scale ~jobs ~wall ~micro;
+      List.iter (fun (name, ms) -> Printf.printf "  wall %-14s %8.1f ms\n" name ms) wall;
+      print_benchmarks micro;
+      Printf.printf "bench: wrote %s\n" path

@@ -23,6 +23,17 @@ let nodes_arg =
     & opt int 32
     & info [ "nodes" ] ~docv:"N" ~doc:"Number of simulated processors (the paper uses 32).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run up to $(docv) independent simulated versions concurrently on \
+           OCaml domains (default: $(b,CCDSM_JOBS) or the available cores; \
+           output is byte-identical at any job count).  Forced to 1 while \
+           $(b,--trace) is active.")
+
 let trace_arg =
   Arg.(
     value
@@ -60,22 +71,22 @@ let print_figure fig =
 let run_table1 full = print_string (E.table1 (scale full))
 let run_fig4 () = print_string (E.fig4 ())
 
-let run_fig5 full nodes trace =
-  with_trace trace (fun () -> print_figure (E.fig5 ~num_nodes:nodes (scale full)))
+let run_fig5 full nodes jobs trace =
+  with_trace trace (fun () -> print_figure (E.fig5 ~num_nodes:nodes ?jobs (scale full)))
 
-let run_fig6 full nodes trace =
-  with_trace trace (fun () -> print_figure (E.fig6 ~num_nodes:nodes (scale full)))
+let run_fig6 full nodes jobs trace =
+  with_trace trace (fun () -> print_figure (E.fig6 ~num_nodes:nodes ?jobs (scale full)))
 
-let run_fig7 full nodes trace =
-  with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes (scale full)))
+let run_fig7 full nodes jobs trace =
+  with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes ?jobs (scale full)))
 
-let run_sweep full nodes = print_string (E.block_sweep ~num_nodes:nodes (scale full))
+let run_sweep full nodes jobs = print_string (E.block_sweep ~num_nodes:nodes ?jobs (scale full))
 let run_ablate full nodes = print_string (E.ablations ~num_nodes:nodes (scale full))
-let run_scaling full = print_string (E.scaling (scale full))
+let run_scaling full jobs = print_string (E.scaling ?jobs (scale full))
 let run_inspector full = print_string (E.inspector (scale full))
 let run_trace file = print_string (Ccdsm_harness.Trace_summary.of_file file)
 
-let run_all full nodes trace =
+let run_all full nodes jobs trace =
   with_trace trace (fun () ->
       let s = scale full in
       print_endline "== Table 1 ==";
@@ -84,17 +95,17 @@ let run_all full nodes trace =
       print_endline "== Figure 4 ==";
       print_string (E.fig4 ());
       print_newline ();
-      let fig5 = E.fig5 ~num_nodes:nodes s in
+      let fig5 = E.fig5 ~num_nodes:nodes ?jobs s in
       print_figure fig5;
-      let fig6 = E.fig6 ~num_nodes:nodes s in
+      let fig6 = E.fig6 ~num_nodes:nodes ?jobs s in
       print_figure fig6;
-      let fig7 = E.fig7 ~num_nodes:nodes s in
+      let fig7 = E.fig7 ~num_nodes:nodes ?jobs s in
       print_figure fig7;
-      print_string (E.block_sweep ~num_nodes:nodes s);
+      print_string (E.block_sweep ~num_nodes:nodes ?jobs s);
       print_newline ();
       print_string (E.ablations ~num_nodes:nodes s);
       print_newline ();
-      print_string (E.scaling s);
+      print_string (E.scaling ?jobs s);
       print_newline ();
       print_string (E.inspector s);
       print_newline ();
@@ -120,25 +131,32 @@ let cmds =
     cmd "fig4" "Compiler report for the Barnes-Hut skeleton (Figure 4)"
       Term.(const run_fig4 $ const ());
     cmd "fig5" "Adaptive execution-time breakdown (Figure 5)"
-      Term.(const run_fig5 $ full_arg $ nodes_arg $ trace_arg);
+      Term.(const run_fig5 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
     cmd "fig6" "Barnes execution-time breakdown (Figure 6)"
-      Term.(const run_fig6 $ full_arg $ nodes_arg $ trace_arg);
+      Term.(const run_fig6 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
     cmd "fig7" "Water execution-time breakdown (Figure 7)"
-      Term.(const run_fig7 $ full_arg $ nodes_arg $ trace_arg);
+      Term.(const run_fig7 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
     cmd "sweep" "Block-size sensitivity sweep (section 5.4)"
-      Term.(const run_sweep $ full_arg $ nodes_arg);
+      Term.(const run_sweep $ full_arg $ nodes_arg $ jobs_arg);
     cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
       Term.(const run_ablate $ full_arg $ nodes_arg);
-    cmd "scaling" "Node-count scaling (extension)" Term.(const run_scaling $ full_arg);
+    cmd "scaling" "Node-count scaling (extension)"
+      Term.(const run_scaling $ full_arg $ jobs_arg);
     cmd "inspector" "Inspector-executor comparison (section 2)"
       Term.(const run_inspector $ full_arg);
     cmd "trace" "Summarize a JSONL coherence trace captured with --trace"
       Term.(const run_trace $ trace_file_arg);
     cmd "all" "Everything, plus the qualitative shape checklist"
-      Term.(const run_all $ full_arg $ nodes_arg $ trace_arg);
+      Term.(const run_all $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
   ]
 
 let () =
+  (* Validate CCDSM_JOBS up front for a clean usage error instead of a
+     backtrace from inside an experiment driver. *)
+  (try ignore (Ccdsm_harness.Parjobs.env_jobs ())
+   with Invalid_argument msg ->
+     Printf.eprintf "repro: %s\n" msg;
+     exit 124);
   let info =
     Cmd.info "repro" ~version:"1.0"
       ~doc:"Reproduce the evaluation of 'Compiler-directed Shared-Memory Communication'"

@@ -70,15 +70,28 @@ let skeleton_src =
   }
   |}
 
-(* Directive placement derived from the skeleton, computed once. *)
-let scheduled_phases =
-  lazy
-    (let c = Ccdsm_cstar.Compile.compile_exn skeleton_src in
-     List.filter_map
-       (fun d -> if d.Placement.phase <> None then Some d.Placement.func else None)
-       c.Ccdsm_cstar.Compile.placement.Placement.decisions)
+(* Directive placement derived from the skeleton, computed on first use.
+   Memoized through an [Atomic] rather than [lazy]: experiment drivers run
+   versions on several domains, and a shared lazy forced concurrently raises
+   [CamlinternalLazy.Undefined].  The computation is pure and deterministic,
+   so a racy first-wins publish is safe — a duplicated compile just produces
+   the same list. *)
+let scheduled_phases_memo : string list option Atomic.t = Atomic.make None
 
-let phase_scheduled name = List.mem name (Lazy.force scheduled_phases)
+let scheduled_phases () =
+  match Atomic.get scheduled_phases_memo with
+  | Some v -> v
+  | None ->
+      let c = Ccdsm_cstar.Compile.compile_exn skeleton_src in
+      let v =
+        List.filter_map
+          (fun d -> if d.Placement.phase <> None then Some d.Placement.func else None)
+          c.Ccdsm_cstar.Compile.placement.Placement.decisions
+      in
+      Atomic.set scheduled_phases_memo (Some v);
+      v
+
+let phase_scheduled name = List.mem name (scheduled_phases ())
 
 (* -- shared numeric kernel ------------------------------------------------- *)
 

@@ -10,13 +10,21 @@ type t = {
   entries : (block, mark) Hashtbl.t;
   mutable conflicts : int;
   mutable rewrites : int;
+  (* Ascending key cache for [iter_sorted].  Schedules are built during the
+     first execution of a phase and then replayed by every later presend, so
+     the sort is paid once per key-set change, not once per phase occurrence.
+     Only the addition of a new block invalidates it — re-marking an existing
+     block keeps the key set intact. *)
+  mutable sorted : block array option;
 }
 
-let create () = { entries = Hashtbl.create 64; conflicts = 0; rewrites = 0 }
+let create () = { entries = Hashtbl.create 64; conflicts = 0; rewrites = 0; sorted = None }
 
 let record_read t b ~reader =
   match Hashtbl.find_opt t.entries b with
-  | None -> Hashtbl.replace t.entries b (Readers (Nodeset.singleton reader))
+  | None ->
+      t.sorted <- None;
+      Hashtbl.replace t.entries b (Readers (Nodeset.singleton reader))
   | Some (Readers r) -> Hashtbl.replace t.entries b (Readers (Nodeset.add reader r))
   | Some (Writer w) ->
       t.conflicts <- t.conflicts + 1;
@@ -25,7 +33,9 @@ let record_read t b ~reader =
 
 let record_write t b ~writer =
   match Hashtbl.find_opt t.entries b with
-  | None -> Hashtbl.replace t.entries b (Writer writer)
+  | None ->
+      t.sorted <- None;
+      Hashtbl.replace t.entries b (Writer writer)
   | Some (Writer w) ->
       if w <> writer then begin
         t.rewrites <- t.rewrites + 1;
@@ -41,14 +51,29 @@ let cardinal t = Hashtbl.length t.entries
 let conflicts t = t.conflicts
 let rewrites t = t.rewrites
 
+let sorted_keys t =
+  match t.sorted with
+  | Some keys -> keys
+  | None ->
+      let keys = Array.make (Hashtbl.length t.entries) 0 in
+      let i = ref 0 in
+      Hashtbl.iter
+        (fun b _ ->
+          keys.(!i) <- b;
+          incr i)
+        t.entries;
+      Array.sort (fun (a : block) b -> Stdlib.compare a b) keys;
+      t.sorted <- Some keys;
+      keys
+
 let iter_sorted t f =
-  let keys = Hashtbl.fold (fun b _ acc -> b :: acc) t.entries [] in
-  List.iter (fun b -> f b (Hashtbl.find t.entries b)) (List.sort compare keys)
+  Array.iter (fun b -> f b (Hashtbl.find t.entries b)) (sorted_keys t)
 
 let clear t =
   Hashtbl.reset t.entries;
   t.conflicts <- 0;
-  t.rewrites <- 0
+  t.rewrites <- 0;
+  t.sorted <- None
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>schedule (%d entries, %d conflicts):" (cardinal t) t.conflicts;

@@ -145,24 +145,24 @@ let fig4 () =
 
 (* -- Figures 5-7 ---------------------------------------------------------------- *)
 
-let fig5 ?num_nodes scale =
+let fig5 ?num_nodes ?jobs scale =
   let cfg = adaptive_cfg scale in
   let run rt = (Adaptive.run rt cfg).Adaptive.checksum in
-  let v label protocol block_bytes =
-    Measure.measure ?num_nodes (Measure.version ~label ~protocol ~block_bytes run)
-  in
   {
     id = "fig5";
     title =
       Printf.sprintf "Adaptive (%dx%d, %d iterations)" cfg.Adaptive.n cfg.Adaptive.n
         cfg.Adaptive.iterations;
     rows =
-      [
-        v "C** unoptimized (32)" Runtime.Stache 32;
-        v "C** unoptimized (256)" Runtime.Stache 256;
-        v "C** optimized (32)" Runtime.Predictive 32;
-        v "C** optimized (256)" Runtime.Predictive 256;
-      ];
+      Parjobs.map ?jobs
+        (fun (label, protocol, block_bytes) ->
+          Measure.measure ?num_nodes (Measure.version ~label ~protocol ~block_bytes run))
+        [
+          ("C** unoptimized (32)", Runtime.Stache, 32);
+          ("C** unoptimized (256)", Runtime.Stache, 256);
+          ("C** optimized (32)", Runtime.Predictive, 32);
+          ("C** optimized (256)", Runtime.Predictive, 256);
+        ];
     notes =
       [
         "best optimized ~1.5x faster than best unoptimized";
@@ -171,26 +171,26 @@ let fig5 ?num_nodes scale =
       ];
   }
 
-let fig6 ?num_nodes scale =
+let fig6 ?num_nodes ?jobs scale =
   let cfg = barnes_cfg scale in
   let run rt = (Barnes.run rt cfg).Barnes.checksum in
   let run_spmd rt = (Barnes_spmd.run rt cfg).Barnes.checksum in
-  let v label protocol block_bytes run =
-    Measure.measure ?num_nodes (Measure.version ~label ~protocol ~block_bytes run)
-  in
   {
     id = "fig6";
     title =
       Printf.sprintf "Barnes (%d bodies, %d iterations)" cfg.Barnes.n_bodies
         cfg.Barnes.iterations;
     rows =
-      [
-        v "C** unoptimized (32)" Runtime.Stache 32 run;
-        v "C** unoptimized (1024)" Runtime.Stache 1024 run;
-        v "C** optimized (32)" Runtime.Predictive 32 run;
-        v "C** optimized (1024)" Runtime.Predictive 1024 run;
-        v "SPMD write-update (1024)" Runtime.Write_update 1024 run_spmd;
-      ];
+      Parjobs.map ?jobs
+        (fun (label, protocol, block_bytes, run) ->
+          Measure.measure ?num_nodes (Measure.version ~label ~protocol ~block_bytes run))
+        [
+          ("C** unoptimized (32)", Runtime.Stache, 32, run);
+          ("C** unoptimized (1024)", Runtime.Stache, 1024, run);
+          ("C** optimized (32)", Runtime.Predictive, 32, run);
+          ("C** optimized (1024)", Runtime.Predictive, 1024, run);
+          ("SPMD write-update (1024)", Runtime.Write_update, 1024, run_spmd);
+        ];
     notes =
       [
         "at 32B the predictive protocol cuts remote-wait sharply";
@@ -201,33 +201,46 @@ let fig6 ?num_nodes scale =
 
 let water_block_candidates = [ 32; 64; 128; 256 ]
 
-let fig7 ?num_nodes scale =
+let fig7 ?num_nodes ?jobs scale =
   let cfg = water_cfg scale in
-  let best label protocol run =
-    let candidates =
-      List.map
-        (fun bs ->
-          Measure.measure ?num_nodes
-            (Measure.version
-               ~label:(Printf.sprintf "%s (%d)" label bs)
-               ~protocol ~block_bytes:bs run))
-        water_block_candidates
-    in
+  let versions =
+    [
+      ("C** unoptimized", Runtime.Stache, fun rt -> (Water.run rt cfg).Water.checksum);
+      ("C** optimized", Runtime.Predictive, fun rt -> (Water.run rt cfg).Water.checksum);
+      ("Splash", Runtime.Stache, fun rt -> (Water.run_splash rt cfg).Water.checksum);
+    ]
+  in
+  (* One flat fan-out over every (version, block size) candidate; the
+     best-of fold happens on the joined, input-ordered results. *)
+  let candidates =
+    Parjobs.map ?jobs
+      (fun ((label, protocol, run), bs) ->
+        Measure.measure ?num_nodes
+          (Measure.version
+             ~label:(Printf.sprintf "%s (%d)" label bs)
+             ~protocol ~block_bytes:bs run))
+      (List.concat_map (fun v -> List.map (fun bs -> (v, bs)) water_block_candidates) versions)
+  in
+  let best_of ms =
     List.fold_left
       (fun acc m -> if m.Measure.total_us < acc.Measure.total_us then m else acc)
-      (List.hd candidates) (List.tl candidates)
+      (List.hd ms) (List.tl ms)
+  in
+  let nbs = List.length water_block_candidates in
+  let rec chunks = function
+    | [] -> []
+    | ms ->
+        let rec split k l = if k = 0 then ([], l) else
+          match l with x :: tl -> let a, b = split (k - 1) tl in (x :: a, b) | [] -> (l, []) in
+        let c, rest = split nbs ms in
+        c :: chunks rest
   in
   {
     id = "fig7";
     title =
       Printf.sprintf "Water (%d molecules, %d iterations; best block size per version)"
         cfg.Water.n_molecules cfg.Water.iterations;
-    rows =
-      [
-        best "C** unoptimized" Runtime.Stache (fun rt -> (Water.run rt cfg).Water.checksum);
-        best "C** optimized" Runtime.Predictive (fun rt -> (Water.run rt cfg).Water.checksum);
-        best "Splash" Runtime.Stache (fun rt -> (Water.run_splash rt cfg).Water.checksum);
-      ];
+    rows = List.map best_of (chunks candidates);
     notes =
       [
         "optimized modestly faster than unoptimized (~1.05x in the paper)";
@@ -240,7 +253,7 @@ let fig7 ?num_nodes scale =
 
 let block_sizes = [ 32; 64; 128; 256; 512; 1024 ]
 
-let block_sweep ?num_nodes scale =
+let block_sweep ?num_nodes ?jobs scale =
   let apps =
     [
       ( "Adaptive",
@@ -251,25 +264,21 @@ let block_sweep ?num_nodes scale =
     ]
   in
   let rows =
-    List.concat_map
-      (fun (name, run) ->
-        List.map
-          (fun bs ->
-            let m protocol label =
-              Measure.measure ?num_nodes
-                (Measure.version ~label ~protocol ~block_bytes:bs run)
-            in
-            let unopt = m Runtime.Stache "unopt" in
-            let opt = m Runtime.Predictive "opt" in
-            [
-              name;
-              string_of_int bs;
-              Printf.sprintf "%.1f" (unopt.Measure.total_us /. 1000.0);
-              Printf.sprintf "%.1f" (opt.Measure.total_us /. 1000.0);
-              Printf.sprintf "%.2f" (unopt.Measure.total_us /. opt.Measure.total_us);
-            ])
-          block_sizes)
-      apps
+    Parjobs.map ?jobs
+      (fun ((name, run), bs) ->
+        let m protocol label =
+          Measure.measure ?num_nodes (Measure.version ~label ~protocol ~block_bytes:bs run)
+        in
+        let unopt = m Runtime.Stache "unopt" in
+        let opt = m Runtime.Predictive "opt" in
+        [
+          name;
+          string_of_int bs;
+          Printf.sprintf "%.1f" (unopt.Measure.total_us /. 1000.0);
+          Printf.sprintf "%.1f" (opt.Measure.total_us /. 1000.0);
+          Printf.sprintf "%.2f" (unopt.Measure.total_us /. opt.Measure.total_us);
+        ])
+      (List.concat_map (fun app -> List.map (fun bs -> (app, bs)) block_sizes) apps)
   in
   "Section 5.4: block-size sensitivity (speedup = unopt/opt; >1 means the\n\
    predictive protocol wins — expected to shrink as blocks grow)\n"
@@ -448,11 +457,11 @@ let inspector scale =
 
 (* -- node-count scaling (extension; not in the paper) ------------------------- *)
 
-let scaling scale =
+let scaling ?jobs scale =
   let cfg = water_cfg scale in
   let run rt = (Water.run rt cfg).Water.checksum in
   let rows =
-    List.map
+    Parjobs.map ?jobs
       (fun p ->
         let m protocol label =
           Measure.measure ~num_nodes:p (Measure.version ~label ~protocol ~block_bytes:32 run)

@@ -27,18 +27,24 @@ val fig4 : unit -> string
 (** Compiler report for the Barnes-Hut skeleton: access summaries, reaching
     facts, directive placement (the paper's Figure 4). *)
 
-val fig5 : ?num_nodes:int -> scale -> figure
+(** The figure drivers below measure their independent (version x block-size)
+    simulations on OCaml 5 domains via {!Parjobs.map} — up to [jobs] at a
+    time (default {!Parjobs.default_jobs}: [CCDSM_JOBS] or the available
+    cores), joined in fixed input order so the rendered output is
+    byte-identical at any job count. *)
+
+val fig5 : ?num_nodes:int -> ?jobs:int -> scale -> figure
 (** Adaptive: unoptimized and optimized at 32- and 256-byte blocks. *)
 
-val fig6 : ?num_nodes:int -> scale -> figure
+val fig6 : ?num_nodes:int -> ?jobs:int -> scale -> figure
 (** Barnes: unopt/opt at 32- and 1024-byte blocks plus hand-optimized SPMD
     (write-update) at 1024. *)
 
-val fig7 : ?num_nodes:int -> scale -> figure
+val fig7 : ?num_nodes:int -> ?jobs:int -> scale -> figure
 (** Water: unoptimized, optimized and Splash, each at its best block size
     (chosen by sweeping, as the paper did). *)
 
-val block_sweep : ?num_nodes:int -> scale -> string
+val block_sweep : ?num_nodes:int -> ?jobs:int -> scale -> string
 (** Section 5.4: total time for each application, unoptimized vs optimized,
     across block sizes 32..1024 — "the predictive protocol worked best for
     small cache blocks". *)
@@ -53,7 +59,7 @@ val inspector : scale -> string
     inspector-executor on an irregular gather kernel whose indirection
     pattern is static, incrementally evolving, or rewritten wholesale. *)
 
-val scaling : scale -> string
+val scaling : ?jobs:int -> scale -> string
 (** Extension beyond the paper: total time and optimized speedup as the
     machine grows from 4 to 48 nodes (Water, 32-byte blocks). *)
 

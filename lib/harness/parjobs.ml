@@ -1,0 +1,55 @@
+(* Multicore fan-out for independent experiment versions.
+
+   Every simulated version owns a private [Machine] (created inside
+   [Measure.measure]), so distinct versions share no mutable state and can
+   run on OCaml 5 domains.  Determinism survives because the work is
+   *partitioned*, not *raced*: inputs are indexed up front, each domain
+   pulls indices from an atomic counter, writes its result into the slot of
+   its index, and the caller reads the slots back in input order after
+   joining every domain.  Scheduling affects only which domain computes a
+   slot, never its value or the assembled order.
+
+   The one piece of process-global state in a simulation's path is the
+   global trace sink ([Trace.set_global]): machines subscribe it at creation
+   and a JSONL sink writes to one channel, so when a sink is installed the
+   map degrades to sequential execution — the trace byte stream stays the
+   deterministic single-threaded one. *)
+
+let env_jobs () =
+  match Sys.getenv_opt "CCDSM_JOBS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> invalid_arg "CCDSM_JOBS must be a positive integer")
+
+let default_jobs () =
+  match env_jobs () with Some n -> n | None -> Domain.recommended_domain_count ()
+
+let map ?jobs f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs = min n (match jobs with Some j -> max 1 j | None -> default_jobs ()) in
+  if jobs <= 1 || Ccdsm_tempest.Trace.global () <> None then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <- Some (try Ok (f items.(i)) with e -> Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    (* Re-raise the first failure in input order, for a deterministic error. *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

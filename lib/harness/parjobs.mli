@@ -1,0 +1,21 @@
+(** Deterministic multicore fan-out for independent experiment versions.
+
+    [map ?jobs f xs] applies [f] to every element of [xs] on up to [jobs]
+    OCaml domains (default {!default_jobs}) and returns the results in input
+    order, re-raising the first (by input order) exception if any call
+    failed.  Each call of [f] must be self-contained: the experiment drivers
+    qualify because every simulated version builds its own private machine.
+
+    Falls back to a plain sequential [List.map] when [jobs <= 1], when there
+    is at most one element, or when a process-global trace sink
+    ({!Ccdsm_tempest.Trace.set_global}) is installed — tracing serializes so
+    the JSONL byte stream stays the single-threaded one. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val default_jobs : unit -> int
+(** [CCDSM_JOBS] when set (rejecting non-positive values), otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val env_jobs : unit -> int option
+(** Just the [CCDSM_JOBS] override, if any. *)

@@ -1,14 +1,28 @@
-let runs blocks =
-  let sorted = List.sort_uniq compare blocks in
-  match sorted with
-  | [] -> []
-  | first :: rest ->
-      let acc, start, len =
-        List.fold_left
-          (fun (acc, start, len) b ->
-            if b = start + len then (acc, start, len + 1) else ((start, len) :: acc, b, 1))
-          ([], first, 1) rest
-      in
-      List.rev ((start, len) :: acc)
+(* Run coalescing is array-based: one allocation, an in-place monomorphic
+   sort and a single backwards scan that drops duplicates while folding
+   maximal [start, len] runs — no intermediate sorted list. *)
+
+let runs_of_array a =
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    Array.sort (fun (x : int) y -> Stdlib.compare x y) a;
+    let acc = ref [] in
+    let hi = ref a.(n - 1) in
+    let lo = ref a.(n - 1) in
+    for k = n - 2 downto 0 do
+      let b = a.(k) in
+      if b = !lo then () (* duplicate *)
+      else if b = !lo - 1 then lo := b
+      else begin
+        acc := (!lo, !hi - !lo + 1) :: !acc;
+        hi := b;
+        lo := b
+      end
+    done;
+    (!lo, !hi - !lo + 1) :: !acc
+  end
+
+let runs blocks = runs_of_array (Array.of_list blocks)
 
 let message_count blocks = List.length (runs blocks)

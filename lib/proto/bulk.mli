@@ -9,5 +9,8 @@ val runs : int list -> (int * int) list
     consecutive ids, returned as [(first, count)] in ascending order.  The
     input need not be sorted; duplicates are merged. *)
 
+val runs_of_array : int array -> (int * int) list
+(** As {!runs}, over an array.  The array is sorted in place. *)
+
 val message_count : int list -> int
 (** Number of bulk messages needed for the given blocks. *)

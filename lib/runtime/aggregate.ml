@@ -8,6 +8,14 @@ type t = {
   dist : Distribution.t;
   bases : Machine.addr array;  (* base of each node's contiguous region *)
   nodes : int;
+  (* Flat per-element tables, built once at creation: the owner/rank
+     divisions of Distribution leave the per-access path entirely.
+     [addrs.(flat index)] is the word address of the element's field 0,
+     [owners.(flat index)] its owning node; 2-D indices flatten as
+     [i * cols + j]. *)
+  addrs : int array;
+  owners : int array;
+  cols : int;  (* dims.(1), or 1 for 1-D *)
 }
 
 let mk machine ~name ~elem_words ~dims ~dist counts =
@@ -20,7 +28,28 @@ let mk machine ~name ~elem_words ~dims ~dist counts =
         let words = max 1 (counts node * elem_words) in
         Machine.alloc machine ~words ~home:node)
   in
-  { name; machine; dims; elem_words; dist; bases; nodes }
+  let size = Array.fold_left ( * ) 1 dims in
+  let addrs = Array.make size 0 and owners = Array.make size 0 in
+  let cols = if Array.length dims = 2 then dims.(1) else 1 in
+  (match dims with
+  | [| n |] ->
+      for i = 0 to n - 1 do
+        let o = Distribution.owner1 dist ~nodes ~n i in
+        let r = Distribution.rank1 dist ~nodes ~n i in
+        owners.(i) <- o;
+        addrs.(i) <- bases.(o) + (r * elem_words)
+      done
+  | [| rows; cols |] ->
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          let o = Distribution.owner2 dist ~nodes ~rows ~cols i j in
+          let r = Distribution.rank2 dist ~nodes ~rows ~cols i j in
+          owners.((i * cols) + j) <- o;
+          addrs.((i * cols) + j) <- bases.(o) + (r * elem_words)
+        done
+      done
+  | _ -> invalid_arg (Printf.sprintf "Aggregate %s: rank" name));
+  { name; machine; dims; elem_words; dist; bases; nodes; addrs; owners; cols }
 
 let create_1d machine ~name ?(elem_words = 1) ~n ~dist () =
   if n <= 0 then invalid_arg "Aggregate.create_1d: empty";
@@ -42,25 +71,32 @@ let check_field t field =
   if field < 0 || field >= t.elem_words then
     invalid_arg (Printf.sprintf "Aggregate %s: field %d out of range" t.name field)
 
-let owner1 t i = Distribution.owner1 t.dist ~nodes:t.nodes ~n:t.dims.(0) i
+let check1 t i =
+  if Array.length t.dims <> 1 then invalid_arg (Printf.sprintf "Aggregate %s: 2-D" t.name);
+  if i < 0 || i >= t.dims.(0) then invalid_arg (Printf.sprintf "Aggregate %s: index %d" t.name i)
+
+let check2 t i j =
+  if Array.length t.dims <> 2 then invalid_arg (Printf.sprintf "Aggregate %s: 1-D" t.name);
+  if i < 0 || i >= t.dims.(0) || j < 0 || j >= t.dims.(1) then
+    invalid_arg (Printf.sprintf "Aggregate %s: index (%d,%d)" t.name i j)
+
+let owner1 t i =
+  check1 t i;
+  Array.unsafe_get t.owners i
 
 let owner2 t i j =
-  Distribution.owner2 t.dist ~nodes:t.nodes ~rows:t.dims.(0) ~cols:t.dims.(1) i j
+  check2 t i j;
+  Array.unsafe_get t.owners ((i * t.cols) + j)
 
 let addr1 t i ~field =
   check_field t field;
-  if i < 0 || i >= t.dims.(0) then invalid_arg (Printf.sprintf "Aggregate %s: index %d" t.name i);
-  let o = owner1 t i in
-  let r = Distribution.rank1 t.dist ~nodes:t.nodes ~n:t.dims.(0) i in
-  t.bases.(o) + (r * t.elem_words) + field
+  check1 t i;
+  Array.unsafe_get t.addrs i + field
 
 let addr2 t i j ~field =
   check_field t field;
-  if i < 0 || i >= t.dims.(0) || j < 0 || j >= t.dims.(1) then
-    invalid_arg (Printf.sprintf "Aggregate %s: index (%d,%d)" t.name i j);
-  let o = owner2 t i j in
-  let r = Distribution.rank2 t.dist ~nodes:t.nodes ~rows:t.dims.(0) ~cols:t.dims.(1) i j in
-  t.bases.(o) + (r * t.elem_words) + field
+  check2 t i j;
+  Array.unsafe_get t.addrs ((i * t.cols) + j) + field
 
 let read1 t ~node i ~field = Machine.read t.machine ~node (addr1 t i ~field)
 let write1 t ~node i ~field v = Machine.write t.machine ~node (addr1 t i ~field) v
@@ -71,3 +107,29 @@ let peek1 t i ~field = Machine.peek t.machine (addr1 t i ~field)
 let peek2 t i j ~field = Machine.peek t.machine (addr2 t i j ~field)
 let poke1 t i ~field v = Machine.poke t.machine (addr1 t i ~field) v
 let poke2 t i j ~field v = Machine.poke t.machine (addr2 t i j ~field) v
+
+(* -- batched element accessors ------------------------------------------- *)
+
+let check_elem_span t len =
+  if len < 0 || len > t.elem_words then
+    invalid_arg (Printf.sprintf "Aggregate %s: element span %d" t.name len)
+
+let read_elem1 t ~node i dst =
+  check_elem_span t (Array.length dst);
+  check1 t i;
+  Machine.read_range t.machine ~node (Array.unsafe_get t.addrs i) dst
+
+let write_elem1 t ~node i src =
+  check_elem_span t (Array.length src);
+  check1 t i;
+  Machine.write_range t.machine ~node (Array.unsafe_get t.addrs i) src
+
+let read_elem2 t ~node i j dst =
+  check_elem_span t (Array.length dst);
+  check2 t i j;
+  Machine.read_range t.machine ~node (Array.unsafe_get t.addrs ((i * t.cols) + j)) dst
+
+let write_elem2 t ~node i j src =
+  check_elem_span t (Array.length src);
+  check2 t i j;
+  Machine.write_range t.machine ~node (Array.unsafe_get t.addrs ((i * t.cols) + j)) src

@@ -83,14 +83,30 @@ let run_phase t phase body =
   | None -> ());
   barrier t
 
+(* Task-dispatch charging, batched: repeated [+. task_us] per task is the
+   same float sum as [float tasks *. task_us] only when [task_us] is exactly
+   representable arithmetic (the defaults are small integers), so the charge
+   accumulates task-at-a-time into a local and hits the machine's bucket once
+   per node per phase — one [Machine.charge] instead of one per task. *)
+let charge_tasks t ~node ~task_us tasks =
+  if tasks > 0 then begin
+    let acc = ref 0.0 in
+    for _ = 1 to tasks do
+      acc := !acc +. task_us
+    done;
+    Machine.charge t.machine ~node Machine.Compute !acc
+  end
+
 let parallel_for_1d t ?phase ?task_us agg body =
   let task_us = Option.value task_us ~default:t.task_us in
   let n = (Aggregate.dims agg).(0) in
   run_phase t phase (fun () ->
       for node = 0 to nodes t - 1 do
+        let tasks = ref 0 in
         Distribution.iter_owned1 (Aggregate.dist agg) ~nodes:(nodes t) ~n ~node (fun i ->
-            charge_compute t ~node task_us;
-            body ~node ~i)
+            incr tasks;
+            body ~node ~i);
+        charge_tasks t ~node ~task_us !tasks
       done)
 
 let parallel_for_2d t ?phase ?task_us agg body =
@@ -99,10 +115,12 @@ let parallel_for_2d t ?phase ?task_us agg body =
   if Array.length dims <> 2 then invalid_arg "Runtime.parallel_for_2d: 1-D aggregate";
   run_phase t phase (fun () ->
       for node = 0 to nodes t - 1 do
+        let tasks = ref 0 in
         Distribution.iter_owned2 (Aggregate.dist agg) ~nodes:(nodes t) ~rows:dims.(0)
           ~cols:dims.(1) ~node (fun i j ->
-            charge_compute t ~node task_us;
-            body ~node ~i ~j)
+            incr tasks;
+            body ~node ~i ~j);
+        charge_tasks t ~node ~task_us !tasks
       done)
 
 let parallel_nodes t ?phase body =

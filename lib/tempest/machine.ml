@@ -58,16 +58,31 @@ type node_state = {
 
 type t = {
   cfg : config;
+  nnodes : int;  (* = cfg.num_nodes, here to keep the access fast path flat *)
+  local_us : float;  (* = cfg.local_access_us *)
   words_per_block : int;
+  block_shift : int;  (* log2 words_per_block: block_of is a shift, not a division *)
   mutable mem : float array;
   mutable homes : int array;  (* per block *)
   mutable nblocks : int;  (* blocks allocated so far *)
+  mutable word_limit : int;  (* = nblocks * words_per_block *)
   nodes : node_state array;
   mutable handlers : handlers option;
-  mutable tracers : (Trace.event -> unit) list;
+  mutable tracers : (Trace.event -> unit) array;  (* first [ntracers] slots live *)
+  mutable ntracers : int;
+  mutable traced : bool;  (* = ntracers > 0, checked on every access *)
 }
 
+(* Tag bytes as stored in [node_state.tags].  Derived from the one source of
+   truth in Tag so the raw-byte fast path cannot drift from the encoding. *)
+let tag_invalid_char = Tag.to_char Tag.Invalid
+let tag_read_write_char = Tag.to_char Tag.Read_write
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
 
 let create cfg =
   if cfg.num_nodes < 1 || cfg.num_nodes > Ccdsm_util.Nodeset.max_nodes then
@@ -75,30 +90,53 @@ let create cfg =
   if (not (is_pow2 cfg.block_bytes)) || cfg.block_bytes < 8 then
     invalid_arg "Machine.create: block_bytes must be a power of two >= 8";
   let words_per_block = cfg.block_bytes / 8 in
+  let sink = Trace.global () in
   let t =
     {
       cfg;
+      nnodes = cfg.num_nodes;
+      local_us = cfg.local_access_us;
       words_per_block;
+      block_shift = log2 words_per_block;
       mem = Array.make 1024 0.0;
       homes = Array.make 128 (-1);
       nblocks = 0;
+      word_limit = 0;
       nodes =
         Array.init cfg.num_nodes (fun _ ->
-            { tags = Bytes.make 128 (Tag.to_char Tag.Invalid); times = Array.make 4 0.0; ctr = fresh_counters () });
+            { tags = Bytes.make 128 tag_invalid_char; times = Array.make 4 0.0; ctr = fresh_counters () });
       handlers = None;
-      tracers = (match Trace.global () with Some f -> [ f ] | None -> []);
+      tracers = (match sink with Some f -> [| f |] | None -> [||]);
+      ntracers = (match sink with Some _ -> 1 | None -> 0);
+      traced = sink <> None;
     }
   in
-  (match t.tracers with
-  | [] -> ()
-  | l -> List.iter (fun f -> f (Trace.Init { nodes = cfg.num_nodes; block_bytes = cfg.block_bytes })) l);
+  (match sink with
+  | None -> ()
+  | Some f -> f (Trace.Init { nodes = cfg.num_nodes; block_bytes = cfg.block_bytes }));
   t
 
 (* -- tracing ------------------------------------------------------------- *)
 
-let traced t = t.tracers <> []
-let subscribe t f = t.tracers <- t.tracers @ [ f ]
-let emit t ev = List.iter (fun f -> f ev) t.tracers
+let traced t = t.traced
+
+let subscribe t f =
+  (* Amortized O(1): doubling push, not a list append. *)
+  let n = t.ntracers in
+  if n = Array.length t.tracers then begin
+    let cap = max 4 (2 * n) in
+    let bigger = Array.make cap f in
+    Array.blit t.tracers 0 bigger 0 n;
+    t.tracers <- bigger
+  end;
+  t.tracers.(n) <- f;
+  t.ntracers <- n + 1;
+  t.traced <- true
+
+let emit t ev =
+  for i = 0 to t.ntracers - 1 do
+    (Array.unsafe_get t.tracers i) ev
+  done
 
 let config t = t.cfg
 let num_nodes t = t.cfg.num_nodes
@@ -108,8 +146,8 @@ let net t = t.cfg.net
 let install t h = t.handlers <- Some h
 
 let num_blocks t = t.nblocks
-let block_of t a = a / t.words_per_block
-let base_addr t b = b * t.words_per_block
+let block_of t a = a asr t.block_shift
+let base_addr t b = b lsl t.block_shift
 
 let home t b =
   if b < 0 || b >= t.nblocks then invalid_arg "Machine.home: bad block";
@@ -134,7 +172,7 @@ let ensure_blocks t n =
     (fun ns ->
       if n > Bytes.length ns.tags then begin
         let cap = max n (2 * Bytes.length ns.tags) in
-        let tags = Bytes.make cap (Tag.to_char Tag.Invalid) in
+        let tags = Bytes.make cap tag_invalid_char in
         Bytes.blit ns.tags 0 tags 0 t.nblocks;
         ns.tags <- tags
       end)
@@ -148,10 +186,11 @@ let alloc t ~words ~home =
   ensure_blocks t (first + blocks);
   for b = first to first + blocks - 1 do
     t.homes.(b) <- home;
-    Bytes.set (t.nodes.(home)).tags b (Tag.to_char Tag.Read_write)
+    Bytes.set (t.nodes.(home)).tags b tag_read_write_char
   done;
   t.nblocks <- first + blocks;
-  if traced t then emit t (Trace.Alloc { first_block = first; blocks; home });
+  t.word_limit <- t.nblocks * t.words_per_block;
+  if t.traced then emit t (Trace.Alloc { first_block = first; blocks; home });
   first * t.words_per_block
 
 (* -- tags --------------------------------------------------------------- *)
@@ -168,7 +207,7 @@ let tag t ~node b =
 let set_tag t ~node b tg =
   check_node t node;
   check_block t b;
-  if traced t then begin
+  if t.traced then begin
     let before = Tag.of_char (Bytes.get (t.nodes.(node)).tags b) in
     (* Write first, then publish: subscribers that inspect machine state
        (the sanitizer's tag scans) must observe the post-transition world. *)
@@ -202,7 +241,7 @@ let max_time t =
   !m
 
 let barrier t ~bucket =
-  if traced t then emit t (Trace.Barrier { bucket = bucket_name bucket });
+  if t.traced then emit t (Trace.Barrier { bucket = bucket_name bucket });
   let target = max_time t +. Network.barrier_cost t.cfg.net ~nodes:t.cfg.num_nodes in
   for n = 0 to t.cfg.num_nodes - 1 do
     charge t ~node:n bucket (target -. time t ~node:n)
@@ -218,7 +257,7 @@ let count_msg t ~node ?(dst = -1) ?(kind = Trace.Data) ~bytes () =
   let c = counters t ~node in
   c.msgs <- c.msgs + 1;
   c.bytes <- c.bytes + bytes;
-  if traced t then emit t (Trace.Msg { src = node; dst; bytes; kind })
+  if t.traced then emit t (Trace.Msg { src = node; dst; bytes; kind })
 
 let total_counters t =
   let acc = fresh_counters () in
@@ -266,38 +305,108 @@ let handlers_exn t =
   | Some h -> h
   | None -> failwith "Machine: access fault with no protocol installed"
 
-let read t ~node a =
-  let b = a / t.words_per_block in
+(* Cold path of the fused bounds check: re-run the precise tests so callers
+   see the same exceptions (and messages) as the word-at-a-time era. *)
+let bad_access t ~node a =
   check_node t node;
-  check_block t b;
-  let ns = t.nodes.(node) in
-  let tg = Bytes.get ns.tags b in
-  let faulted = tg = '\000' (* Invalid *) in
-  if faulted then begin
-    ns.ctr.read_faults <- ns.ctr.read_faults + 1;
-    if traced t then emit t (Trace.Fault { node; block = b; write = false });
-    (handlers_exn t).on_read_fault ~node b;
-    assert (Tag.permits_read (Tag.of_char (Bytes.get ns.tags b)))
-  end;
+  check_block t (a asr t.block_shift);
+  assert false
+
+let[@inline] check_access t ~node a =
+  if (node lor a) < 0 || node >= t.nnodes || a >= t.word_limit then bad_access t ~node a
+
+let read_fault t ns ~node b =
+  ns.ctr.read_faults <- ns.ctr.read_faults + 1;
+  if t.traced then emit t (Trace.Fault { node; block = b; write = false });
+  (handlers_exn t).on_read_fault ~node b;
+  assert (Tag.permits_read (Tag.of_char (Bytes.get ns.tags b)))
+
+let write_fault t ns ~node b =
+  ns.ctr.write_faults <- ns.ctr.write_faults + 1;
+  if t.traced then emit t (Trace.Fault { node; block = b; write = true });
+  (handlers_exn t).on_write_fault ~node b;
+  assert (Tag.permits_write (Tag.of_char (Bytes.get ns.tags b)))
+
+let read t ~node a =
+  check_access t ~node a;
+  let ns = Array.unsafe_get t.nodes node in
+  let b = a lsr t.block_shift in
+  let faulted = Bytes.unsafe_get ns.tags b = tag_invalid_char in
+  if faulted then read_fault t ns ~node b;
   ns.ctr.local_reads <- ns.ctr.local_reads + 1;
-  ns.times.(0) <- ns.times.(0) +. t.cfg.local_access_us;
-  if traced t then emit t (Trace.Access { node; addr = a; write = false; faulted });
-  t.mem.(a)
+  let times = ns.times in
+  Array.unsafe_set times 0 (Array.unsafe_get times 0 +. t.local_us);
+  if t.traced then emit t (Trace.Access { node; addr = a; write = false; faulted });
+  Array.unsafe_get t.mem a
 
 let write t ~node a v =
-  let b = a / t.words_per_block in
-  check_node t node;
-  check_block t b;
-  let ns = t.nodes.(node) in
-  let tg = Bytes.get ns.tags b in
-  let faulted = tg <> '\002' (* not ReadWrite *) in
-  if faulted then begin
-    ns.ctr.write_faults <- ns.ctr.write_faults + 1;
-    if traced t then emit t (Trace.Fault { node; block = b; write = true });
-    (handlers_exn t).on_write_fault ~node b;
-    assert (Tag.permits_write (Tag.of_char (Bytes.get ns.tags b)))
-  end;
+  check_access t ~node a;
+  let ns = Array.unsafe_get t.nodes node in
+  let b = a lsr t.block_shift in
+  let faulted = Bytes.unsafe_get ns.tags b <> tag_read_write_char in
+  if faulted then write_fault t ns ~node b;
   ns.ctr.local_writes <- ns.ctr.local_writes + 1;
-  ns.times.(0) <- ns.times.(0) +. t.cfg.local_access_us;
-  if traced t then emit t (Trace.Access { node; addr = a; write = true; faulted });
-  t.mem.(a) <- v
+  let times = ns.times in
+  Array.unsafe_set times 0 (Array.unsafe_get times 0 +. t.local_us);
+  if t.traced then emit t (Trace.Access { node; addr = a; write = true; faulted });
+  Array.unsafe_set t.mem a v
+
+(* -- batched data path --------------------------------------------------- *)
+
+(* Observationally identical to a word-at-a-time loop (values, counters,
+   bucket times, emitted events — the qcheck suite pins this), but the tag is
+   validated once per block rather than once per word, and when untraced the
+   per-word event branch disappears and the data moves with a blit. *)
+
+let read_range t ~node a dst =
+  let n = Array.length dst in
+  if n > 0 then begin
+    check_access t ~node a;
+    check_access t ~node (a + n - 1);
+    let ns = Array.unsafe_get t.nodes node in
+    let times = ns.times in
+    let pos = ref 0 in
+    while !pos < n do
+      let w = a + !pos in
+      let b = w lsr t.block_shift in
+      (* words of this block remaining in the range *)
+      let stop = min n (!pos + (((b + 1) lsl t.block_shift) - w)) in
+      let faulted = Bytes.unsafe_get ns.tags b = tag_invalid_char in
+      if faulted then read_fault t ns ~node b;
+      ns.ctr.local_reads <- ns.ctr.local_reads + (stop - !pos);
+      (* Word-at-a-time, only the word that trips the fault reports
+         [faulted]; later words of the block see the now-valid tag. *)
+      for k = !pos to stop - 1 do
+        Array.unsafe_set times 0 (Array.unsafe_get times 0 +. t.local_us);
+        if t.traced then
+          emit t (Trace.Access { node; addr = a + k; write = false; faulted = faulted && k = !pos })
+      done;
+      Array.blit t.mem w dst !pos (stop - !pos);
+      pos := stop
+    done
+  end
+
+let write_range t ~node a src =
+  let n = Array.length src in
+  if n > 0 then begin
+    check_access t ~node a;
+    check_access t ~node (a + n - 1);
+    let ns = Array.unsafe_get t.nodes node in
+    let times = ns.times in
+    let pos = ref 0 in
+    while !pos < n do
+      let w = a + !pos in
+      let b = w lsr t.block_shift in
+      let stop = min n (!pos + (((b + 1) lsl t.block_shift) - w)) in
+      let faulted = Bytes.unsafe_get ns.tags b <> tag_read_write_char in
+      if faulted then write_fault t ns ~node b;
+      ns.ctr.local_writes <- ns.ctr.local_writes + (stop - !pos);
+      for k = !pos to stop - 1 do
+        Array.unsafe_set times 0 (Array.unsafe_get times 0 +. t.local_us);
+        if t.traced then
+          emit t (Trace.Access { node; addr = a + k; write = true; faulted = faulted && k = !pos })
+      done;
+      Array.blit src !pos t.mem w (stop - !pos);
+      pos := stop
+    done
+  end

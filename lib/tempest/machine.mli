@@ -114,6 +114,18 @@ val set_tag : t -> node:int -> block -> Tag.t -> unit
 val read : t -> node:int -> addr -> float
 val write : t -> node:int -> addr -> float -> unit
 
+val read_range : t -> node:int -> addr -> float array -> unit
+(** [read_range t ~node a dst] reads [Array.length dst] consecutive words
+    starting at [a] into [dst].  Observationally identical to a word-at-a-time
+    {!read} loop — same values, counters, bucket charges and emitted trace
+    events — but the tag is validated once per cache block instead of once
+    per word, and the data moves with a blit.  The whole range is bounds
+    checked up front, so an out-of-range tail raises before any access. *)
+
+val write_range : t -> node:int -> addr -> float array -> unit
+(** [write_range t ~node a src] writes the words of [src] starting at [a];
+    the batched dual of {!read_range}, equivalent to a {!write} loop. *)
+
 (** {1 Protocol data path (no tags, no cost)} *)
 
 val peek : t -> addr -> float

@@ -1,0 +1,289 @@
+(* Tests for the simulator fast path and the multicore experiment driver.
+
+   The fast-path rewrites (fused bounds checks, batched range accessors,
+   table-driven aggregate addressing, domain fan-out) all promise the same
+   thing: *observational identity* — same values, same counters, same bucket
+   times (bit-for-bit), same emitted trace events.  These tests pin that
+   promise, plus the byte encoding of tags that the hot path now compares
+   directly as chars. *)
+
+module Machine = Ccdsm_tempest.Machine
+module Tag = Ccdsm_tempest.Tag
+module Trace = Ccdsm_tempest.Trace
+module Engine = Ccdsm_proto.Engine
+module Aggregate = Ccdsm_runtime.Aggregate
+module Distribution = Ccdsm_runtime.Distribution
+module E = Ccdsm_harness.Experiments
+module Parjobs = Ccdsm_harness.Parjobs
+
+let check = Alcotest.check
+
+(* -- tag byte encoding ------------------------------------------------------- *)
+
+(* The machine's access path compares raw tag bytes ([Tag.to_char]) against
+   precomputed constants; this pins the on-the-wire encoding so a reordering
+   of the [Tag.t] constructors cannot silently change fault behaviour. *)
+let test_tag_bytes () =
+  check Alcotest.char "Invalid is \\000" '\000' (Tag.to_char Tag.Invalid);
+  check Alcotest.char "Read_only is \\001" '\001' (Tag.to_char Tag.Read_only);
+  check Alcotest.char "Read_write is \\002" '\002' (Tag.to_char Tag.Read_write);
+  List.iter
+    (fun t ->
+      check (Alcotest.testable Tag.pp Tag.equal) "roundtrip" t (Tag.of_char (Tag.to_char t)))
+    [ Tag.Invalid; Tag.Read_only; Tag.Read_write ]
+
+(* -- observational equality helpers ------------------------------------------ *)
+
+let counters_equal c1 c2 =
+  let open Machine in
+  c1.local_reads = c2.local_reads
+  && c1.local_writes = c2.local_writes
+  && c1.read_faults = c2.read_faults
+  && c1.write_faults = c2.write_faults
+  && c1.msgs = c2.msgs && c1.bytes = c2.bytes
+  && c1.invalidations = c2.invalidations
+  && c1.downgrades = c2.downgrades
+
+(* Bucket times must agree *exactly*: the batched paths are required to
+   reproduce the word-at-a-time float accumulation bit for bit. *)
+let machines_equal ~nodes ~words ~a1 ~a2 m1 m2 =
+  let ok = ref true in
+  for node = 0 to nodes - 1 do
+    if not (counters_equal (Machine.counters m1 ~node) (Machine.counters m2 ~node)) then
+      ok := false;
+    List.iter
+      (fun b ->
+        if Machine.bucket_time m1 ~node b <> Machine.bucket_time m2 ~node b then ok := false)
+      Machine.all_buckets
+  done;
+  for i = 0 to words - 1 do
+    if Machine.peek m1 (a1 + i) <> Machine.peek m2 (a2 + i) then ok := false
+  done;
+  !ok
+
+(* -- read_range/write_range == word-at-a-time loops -------------------------- *)
+
+(* Four nodes, 64 words spread over four 16-word allocations homed at nodes
+   0..3, stache protocol, a JSON-recording subscriber on each machine (which
+   also exercises the [traced] flag on the batched path). *)
+let mk_traced_machine () =
+  let m = Machine.create (Machine.default_config ~num_nodes:4 ~block_bytes:32 ()) in
+  ignore (Engine.stache m);
+  let a0 = Machine.alloc m ~words:16 ~home:0 in
+  for h = 1 to 3 do
+    ignore (Machine.alloc m ~words:16 ~home:h)
+  done;
+  for i = 0 to 63 do
+    Machine.poke m (a0 + i) (float_of_int (i * i) *. 0.125)
+  done;
+  let evs = ref [] in
+  Machine.subscribe m (fun e -> evs := Trace.to_json e :: !evs);
+  (m, a0, evs)
+
+let test_range_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"read_range/write_range = word loops"
+       QCheck2.Gen.(
+         let* warm = list_size (0 -- 20) (triple (0 -- 3) (0 -- 63) bool) in
+         let* node = 0 -- 3 in
+         let* start = 0 -- 63 in
+         let* len = 0 -- (64 - start) in
+         let* write = bool in
+         let+ vals = list_size (return len) (map float_of_int (0 -- 1000)) in
+         (warm, node, start, Array.of_list vals, write))
+       (fun (warm, node, start, vals, write) ->
+         let m1, a1, ev1 = mk_traced_machine () in
+         let m2, a2, ev2 = mk_traced_machine () in
+         (* Identical word-granular warm-up on both machines: puts the two
+            tag states into the same arbitrary mid-run configuration. *)
+         List.iter
+           (fun (n, i, w) ->
+             if w then (
+               Machine.write m1 ~node:n (a1 + i) 2.5;
+               Machine.write m2 ~node:n (a2 + i) 2.5)
+             else (
+               ignore (Machine.read m1 ~node:n (a1 + i));
+               ignore (Machine.read m2 ~node:n (a2 + i))))
+           warm;
+         let len = Array.length vals in
+         (* Probe: word loop on m1, one batched call on m2. *)
+         (if write then (
+            Array.iteri (fun k v -> Machine.write m1 ~node (a1 + start + k) v) vals;
+            Machine.write_range m2 ~node (a2 + start) vals)
+          else
+            let r1 = Array.init len (fun k -> Machine.read m1 ~node (a1 + start + k)) in
+            let r2 = Array.make len 0.0 in
+            Machine.read_range m2 ~node (a2 + start) r2;
+            if r1 <> r2 then QCheck2.Test.fail_report "returned values differ");
+         if not (machines_equal ~nodes:4 ~words:64 ~a1 ~a2 m1 m2) then
+           QCheck2.Test.fail_report "counters/bucket times/memory differ";
+         if List.rev !ev1 <> List.rev !ev2 then
+           QCheck2.Test.fail_reportf "trace events differ:@.%s@.vs@.%s"
+             (String.concat "\n" (List.rev !ev1))
+             (String.concat "\n" (List.rev !ev2));
+         true))
+
+(* -- aggregate address tables ------------------------------------------------ *)
+
+(* The precomputed per-element tables must match the Distribution functions
+   plus the creation-time allocation layout: node regions allocated in node
+   order, each rounded up to whole cache blocks, element [i]'s field [f] at
+   [base(owner) + rank * elem_words + f], and the element's block homed at
+   its owner. *)
+let expected_bases m ~nodes counts_of_node =
+  let wpb = Machine.words_per_block m in
+  let round_up w = (w + wpb - 1) / wpb * wpb in
+  let bases = Array.make nodes 0 in
+  let next = ref 0 in
+  for node = 0 to nodes - 1 do
+    bases.(node) <- !next;
+    next := !next + round_up (max 1 (counts_of_node node))
+  done;
+  bases
+
+let check_agg_1d ~nodes ~n ~elem_words dist =
+  let m = Machine.create (Machine.default_config ~num_nodes:nodes ~block_bytes:32 ()) in
+  let agg = Aggregate.create_1d m ~name:"t1" ~elem_words ~n ~dist () in
+  let bases =
+    expected_bases m ~nodes (fun node ->
+        Distribution.owned_count1 dist ~nodes ~n ~node * elem_words)
+  in
+  for i = 0 to n - 1 do
+    let o = Distribution.owner1 dist ~nodes ~n i in
+    let r = Distribution.rank1 dist ~nodes ~n i in
+    check Alcotest.int "owner1" o (Aggregate.owner1 agg i);
+    for f = 0 to elem_words - 1 do
+      check Alcotest.int "addr1" (bases.(o) + (r * elem_words) + f) (Aggregate.addr1 agg i ~field:f)
+    done;
+    check Alcotest.int "homed at owner" o
+      (Machine.home m (Machine.block_of m (Aggregate.addr1 agg i ~field:0)))
+  done
+
+let check_agg_2d ~nodes ~rows ~cols ~elem_words dist =
+  let m = Machine.create (Machine.default_config ~num_nodes:nodes ~block_bytes:32 ()) in
+  let agg = Aggregate.create_2d m ~name:"t2" ~elem_words ~rows ~cols ~dist () in
+  let bases =
+    expected_bases m ~nodes (fun node ->
+        Distribution.owned_count2 dist ~nodes ~rows ~cols ~node * elem_words)
+  in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let o = Distribution.owner2 dist ~nodes ~rows ~cols i j in
+      let r = Distribution.rank2 dist ~nodes ~rows ~cols i j in
+      check Alcotest.int "owner2" o (Aggregate.owner2 agg i j);
+      for f = 0 to elem_words - 1 do
+        check Alcotest.int "addr2"
+          (bases.(o) + (r * elem_words) + f)
+          (Aggregate.addr2 agg i j ~field:f)
+      done;
+      check Alcotest.int "homed at owner" o
+        (Machine.home m (Machine.block_of m (Aggregate.addr2 agg i j ~field:0)))
+    done
+  done
+
+let test_aggregate_tables () =
+  List.iter
+    (fun (nodes, n, elem_words, dist) -> check_agg_1d ~nodes ~n ~elem_words dist)
+    [
+      (1, 7, 1, Distribution.Block1d);
+      (4, 16, 3, Distribution.Block1d);
+      (4, 13, 2, Distribution.Block1d);
+      (4, 16, 1, Distribution.Cyclic);
+      (3, 17, 4, Distribution.Cyclic);
+    ];
+  List.iter
+    (fun (nodes, rows, cols, elem_words, dist) -> check_agg_2d ~nodes ~rows ~cols ~elem_words dist)
+    [
+      (4, 8, 8, 1, Distribution.Row_block);
+      (4, 10, 6, 4, Distribution.Row_block);
+      (4, 8, 8, 2, Distribution.Tiled { pr = 2; pc = 2 });
+      (6, 9, 10, 3, Distribution.Tiled { pr = 2; pc = 3 });
+    ]
+
+(* Batched element accessors against the field-at-a-time loops, through two
+   identical machine+aggregate pairs. *)
+let test_elem_accessors () =
+  let mk () =
+    let m = Machine.create (Machine.default_config ~num_nodes:4 ~block_bytes:32 ()) in
+    ignore (Engine.stache m);
+    let agg =
+      Aggregate.create_2d m ~name:"mesh" ~elem_words:3 ~rows:8 ~cols:8
+        ~dist:Distribution.Row_block ()
+    in
+    for i = 0 to 7 do
+      for j = 0 to 7 do
+        for f = 0 to 2 do
+          Aggregate.poke2 agg i j ~field:f (float_of_int (((i * 8) + j) * 3 + f))
+        done
+      done
+    done;
+    (m, agg)
+  in
+  let m1, g1 = mk () and m2, g2 = mk () in
+  let probes = [ (0, 1, 2); (1, 7, 0); (2, 3, 3); (3, 0, 1) ] in
+  List.iter
+    (fun (node, i, j) ->
+      let buf1 = Array.init 3 (fun f -> Aggregate.read2 g1 ~node i j ~field:f) in
+      let buf2 = Array.make 3 0.0 in
+      Aggregate.read_elem2 g2 ~node i j buf2;
+      check Alcotest.(array (float 0.0)) "element values" buf1 buf2;
+      let upd = Array.map (fun v -> v +. 100.0) buf1 in
+      Array.iteri (fun f v -> Aggregate.write2 g1 ~node i j ~field:f v) upd;
+      Aggregate.write_elem2 g2 ~node i j upd)
+    probes;
+  Alcotest.(check bool) "counters and bucket times identical" true
+    (let ok = ref true in
+     for node = 0 to 3 do
+       if not (counters_equal (Machine.counters m1 ~node) (Machine.counters m2 ~node)) then
+         ok := false;
+       List.iter
+         (fun b ->
+           if Machine.bucket_time m1 ~node b <> Machine.bucket_time m2 ~node b then ok := false)
+         Machine.all_buckets
+     done;
+     for i = 0 to 7 do
+       for j = 0 to 7 do
+         for f = 0 to 2 do
+           if Aggregate.peek2 g1 i j ~field:f <> Aggregate.peek2 g2 i j ~field:f then ok := false
+         done
+       done
+     done;
+     !ok)
+
+(* -- multicore driver determinism -------------------------------------------- *)
+
+let test_parjobs_order () =
+  let xs = List.init 100 Fun.id in
+  check
+    Alcotest.(list int)
+    "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Parjobs.map ~jobs:4 (fun x -> x * x) xs)
+
+let test_parjobs_error () =
+  (* The first failure *by input order* is the one re-raised, regardless of
+     which domain hits its failure first. *)
+  Alcotest.check_raises "first input-order failure" (Failure "boom10") (fun () ->
+      ignore
+        (Parjobs.map ~jobs:4
+           (fun x -> if x >= 10 then failwith (Printf.sprintf "boom%d" x) else x)
+           (List.init 20 (fun i -> i + 1))))
+
+let test_jobs_byte_identical () =
+  let render jobs = E.render (E.fig5 ~num_nodes:8 ~jobs E.Scaled) in
+  check Alcotest.string "fig5 jobs=1 = jobs=4" (render 1) (render 4)
+
+let suite =
+  [
+    ( "fastpath",
+      [
+        Alcotest.test_case "tag byte encoding pinned" `Quick test_tag_bytes;
+        test_range_equivalence;
+        Alcotest.test_case "aggregate address tables" `Quick test_aggregate_tables;
+        Alcotest.test_case "batched element accessors" `Quick test_elem_accessors;
+        Alcotest.test_case "parjobs preserves order" `Quick test_parjobs_order;
+        Alcotest.test_case "parjobs deterministic error" `Quick test_parjobs_error;
+        Alcotest.test_case "figure text identical across job counts" `Slow
+          test_jobs_byte_identical;
+      ] );
+  ]
