@@ -81,6 +81,7 @@ let run_fig7 full nodes jobs trace =
   with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes ?jobs (scale full)))
 
 let run_sweep full nodes jobs = print_string (E.block_sweep ~num_nodes:nodes ?jobs (scale full))
+let run_faults full nodes jobs = print_string (E.faults_grid ~num_nodes:nodes ?jobs (scale full))
 let run_ablate full nodes = print_string (E.ablations ~num_nodes:nodes (scale full))
 let run_scaling full jobs = print_string (E.scaling ?jobs (scale full))
 let run_inspector full = print_string (E.inspector (scale full))
@@ -140,6 +141,8 @@ let cmds =
       Term.(const run_sweep $ full_arg $ nodes_arg $ jobs_arg);
     cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
       Term.(const run_ablate $ full_arg $ nodes_arg);
+    cmd "faults" "Fault-injection robustness grid (drops/dups/delays/schedule corruption)"
+      Term.(const run_faults $ full_arg $ nodes_arg $ jobs_arg);
     cmd "scaling" "Node-count scaling (extension)"
       Term.(const run_scaling $ full_arg $ jobs_arg);
     cmd "inspector" "Inspector-executor comparison (section 2)"
@@ -151,12 +154,17 @@ let cmds =
   ]
 
 let () =
-  (* Validate CCDSM_JOBS up front for a clean usage error instead of a
-     backtrace from inside an experiment driver. *)
+  (* Validate CCDSM_JOBS and CCDSM_FAULTS up front for a clean one-line
+     usage error instead of a backtrace from inside an experiment driver. *)
   (try ignore (Ccdsm_harness.Parjobs.env_jobs ())
    with Invalid_argument msg ->
      Printf.eprintf "repro: %s\n" msg;
      exit 124);
+  (match Ccdsm_tempest.Faults.env_plan () with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "repro: %s\n" msg;
+      exit 124);
   let info =
     Cmd.info "repro" ~version:"1.0"
       ~doc:"Reproduce the evaluation of 'Compiler-directed Shared-Memory Communication'"

@@ -3,6 +3,7 @@ module Machine = Ccdsm_tempest.Machine
 module Network = Ccdsm_tempest.Network
 module Tag = Ccdsm_tempest.Tag
 module Trace = Ccdsm_tempest.Trace
+module Faults = Ccdsm_tempest.Faults
 module Engine = Ccdsm_proto.Engine
 module Directory = Ccdsm_proto.Directory
 module Bulk = Ccdsm_proto.Bulk
@@ -22,6 +23,10 @@ type t = {
   machine : Machine.t;
   schedules : (int, Schedule.t) Hashtbl.t;
   presended : (int * Machine.block, unit) Hashtbl.t;
+  lost : (int * Machine.block, unit) Hashtbl.t;
+      (* (node, block) presend grants dropped by the fault injector this
+         phase: the node believes it holds the block, the simulator knows it
+         does not, and the next access falls back to a demand miss. *)
   mutable current : int option;
   per_block_us : float;
   coalesce : bool;
@@ -48,6 +53,16 @@ let record t ~node b ~write =
   | None -> ()
   | Some p ->
       if Hashtbl.mem t.presended (node, b) then t.st.presend_undone <- t.st.presend_undone + 1;
+      if Hashtbl.mem t.lost (node, b) then begin
+        (* The presend grant for this block was dropped in flight, so this
+           demand miss is the recovery path; the record_read/record_write
+           below doubles as the incremental schedule repair. *)
+        Hashtbl.remove t.lost (node, b);
+        let c = Machine.counters t.machine ~node in
+        c.Machine.presend_fallbacks <- c.Machine.presend_fallbacks + 1;
+        if Machine.traced t.machine then
+          Machine.emit t.machine (Trace.Presend_fallback { phase = p; block = b; node; write })
+      end;
       Machine.charge t.machine ~node Machine.Remote_wait t.record_us;
       let s = schedule_for t p in
       let conflicts_before = Schedule.conflicts s in
@@ -98,6 +113,40 @@ let presend t phase =
           (Machine.counters m ~node).Machine.invalidations + 1;
         Machine.set_tag m ~node b Tag.Invalid
       in
+      (* Fault injection interposes on the per-(block, destination) grants —
+         the presend's semantic unit — and the verdict is drawn BEFORE any
+         tag or directory mutation.  A dropped grant therefore simply never
+         happens: machine state stays trivially consistent and the receiver's
+         next access degrades to a demand miss (recorded in [t.lost], counted
+         as a presend fallback when it fires).  The lost message still
+         travelled and is counted; only remote destinations draw a verdict,
+         since a grant to the home node moves no message.  The bulk
+         recall/invalidation legs stay reliable — the injector models lossy
+         delivery of the speculative grants, which is where the predictive
+         protocol's graceful degradation lives. *)
+      let inj = Machine.faults m in
+      let verdict_for ~dst ~h = match inj with Some f when dst <> h -> Faults.verdict f | _ -> Faults.Deliver in
+      let drop_grant ~h ~dst ~kind ~bytes b =
+        (match inj with Some f -> Faults.note_drop f | None -> assert false);
+        Machine.count_msg m ~node:h ~dst ~kind ~bytes ();
+        Machine.charge m ~node:h Machine.Presend (Network.msg_cost net ~bytes);
+        t.st.presend_msgs <- t.st.presend_msgs + 1;
+        t.st.presend_bytes <- t.st.presend_bytes + bytes;
+        if Machine.traced m then Machine.emit m (Trace.Msg_drop { src = h; dst; kind });
+        Hashtbl.replace t.lost (dst, b) ()
+      in
+      (* Duplicate / Delay side effects for a delivered grant; Deliver is free. *)
+      let grant_noise ~h ~dst ~kind ~bytes v =
+        match (v, inj) with
+        | Faults.Duplicate, Some f ->
+            Faults.note_dup f;
+            Machine.count_msg m ~node:h ~dst ~kind ~bytes ();
+            t.st.presend_msgs <- t.st.presend_msgs + 1
+        | Faults.Delay, Some f ->
+            Faults.note_delay f;
+            Machine.charge m ~node:h Machine.Presend (Faults.plan f).Faults.delay_us
+        | _ -> ()
+      in
       Schedule.iter_sorted sched (fun b mark ->
           let h = Machine.home m b in
           Machine.charge m ~node:h Machine.Presend t.per_block_us;
@@ -132,38 +181,59 @@ let presend t phase =
               if Nodeset.is_empty missing then
                 t.st.presend_redundant <- t.st.presend_redundant + 1
               else begin
+                let dropped = ref Nodeset.empty in
                 Nodeset.iter
                   (fun r ->
-                    Machine.set_tag m ~node:r b Tag.Read_only;
-                    Hashtbl.replace t.presended (r, b) ();
-                    if Machine.traced m then
-                      Machine.emit m (Trace.Presend { phase; block = b; dst = r; write = false });
-                    if r <> h then push data (h, r) b)
+                    let bytes = ctrl + Machine.block_bytes m in
+                    match verdict_for ~dst:r ~h with
+                    | Faults.Drop ->
+                        dropped := Nodeset.add r !dropped;
+                        drop_grant ~h ~dst:r ~kind:Trace.Data ~bytes b
+                    | v ->
+                        grant_noise ~h ~dst:r ~kind:Trace.Data ~bytes v;
+                        Machine.set_tag m ~node:r b Tag.Read_only;
+                        Hashtbl.replace t.presended (r, b) ();
+                        if Machine.traced m then
+                          Machine.emit m (Trace.Presend { phase; block = b; dst = r; write = false });
+                        if r <> h then push data (h, r) b)
                   missing;
-                Directory.set dir b (Directory.Shared (Nodeset.union cur rs))
+                let granted =
+                  if Nodeset.is_empty !dropped then rs else Nodeset.diff rs !dropped
+                in
+                Directory.set dir b (Directory.Shared (Nodeset.union cur granted))
               end
           | Schedule.Writer w ->
               if Tag.equal (Machine.tag m ~node:w b) Tag.Read_write then
                 t.st.presend_redundant <- t.st.presend_redundant + 1
               else begin
                 let had_copy = Tag.permits_read (Machine.tag m ~node:w b) in
-                (match Directory.get dir b with
-                | Directory.Exclusive o ->
-                    invalidate o b;
-                    if o <> h then push recall (o, h) b
-                | Directory.Shared readers ->
-                    Nodeset.iter
-                      (fun r ->
-                        invalidate r b;
-                        if r <> h then bump inval (h, r))
-                      (Nodeset.remove w readers));
-                Machine.set_tag m ~node:w b Tag.Read_write;
-                Hashtbl.replace t.presended (w, b) ();
-                if Machine.traced m then
-                  Machine.emit m (Trace.Presend { phase; block = b; dst = w; write = true });
-                if w <> h then
-                  if had_copy then bump grant_only (h, w) else push data (h, w) b;
-                Directory.set dir b (Directory.Exclusive w)
+                let kind = if had_copy then Trace.Grant else Trace.Data in
+                let bytes = if had_copy then ctrl else ctrl + Machine.block_bytes m in
+                match verdict_for ~dst:w ~h with
+                | Faults.Drop ->
+                    (* The write grant never arrives, so the whole block
+                       action is skipped — no invalidations, no directory
+                       change: the writer's demand miss does them later. *)
+                    drop_grant ~h ~dst:w ~kind ~bytes b
+                | v ->
+                    grant_noise ~h ~dst:w ~kind ~bytes v;
+                    (match Directory.get dir b with
+                    | Directory.Exclusive o ->
+                        invalidate o b;
+                        if o <> h then push recall (o, h) b
+                    | Directory.Shared readers ->
+                        Nodeset.iter
+                          (fun r ->
+                            invalidate r b;
+                            if r <> h then bump inval (h, r))
+                          (Nodeset.remove w readers));
+                    Machine.set_tag m ~node:w b Tag.Read_write;
+                    Hashtbl.replace t.presended (w, b) ();
+                    if Machine.traced m then
+                      Machine.emit m (Trace.Presend { phase; block = b; dst = w; write = true });
+                    if w <> h then
+                      if had_copy then bump grant_only (h, w) else push data (h, w) b;
+                    Directory.set dir b (Directory.Exclusive w)
               end);
       (* Flush the queues.  With coalescing on, each (source, destination)
          pair exchanges one gather message: runs of neighbouring blocks share
@@ -243,6 +313,42 @@ let presend t phase =
          that all protocol cache block states are stable" (section 3.4). *)
       Machine.barrier m ~bucket:Machine.Presend
 
+(* -- schedule corruption (fault injection) -------------------------------- *)
+
+(* With probability [plan.corrupt] per phase entry, one recorded entry is
+   corrupted before the presend runs: either invalidated outright (the
+   presend forgets a transfer — consumers fall back to demand misses) or
+   retargeted to a random node (the presend moves the block to the wrong
+   place — wasted traffic, and the real consumers still demand-miss).  The
+   next faults re-record the truth, which is the incremental repair. *)
+let corrupt_schedule t phase =
+  match Machine.faults t.machine with
+  | None -> ()
+  | Some f -> (
+      let plan = Faults.plan f in
+      if plan.Faults.corrupt > 0.0 then
+        match Hashtbl.find_opt t.schedules phase with
+        | Some s when Schedule.cardinal s > 0 && Faults.flip f plan.Faults.corrupt ->
+            Faults.note_corruption f;
+            let m = t.machine in
+            let b = Schedule.nth_sorted s (Faults.draw_int f (Schedule.cardinal s)) in
+            if Faults.draw_bool f then begin
+              Schedule.remove s b;
+              if Machine.traced m then
+                Machine.emit m (Trace.Sched_corrupt { phase; block = b; node = None })
+            end
+            else begin
+              let victim = Faults.draw_int f (Machine.num_nodes m) in
+              let mark =
+                if Faults.draw_bool f then Schedule.Writer victim
+                else Schedule.Readers (Nodeset.singleton victim)
+              in
+              Schedule.set_mark s b mark;
+              if Machine.traced m then
+                Machine.emit m (Trace.Sched_corrupt { phase; block = b; node = Some victim })
+            end
+        | _ -> ())
+
 (* -- construction -------------------------------------------------------- *)
 
 let create ?(per_block_us = 1.0) ?(record_us = 2.0) ?(coalesce = true)
@@ -254,6 +360,7 @@ let create ?(per_block_us = 1.0) ?(record_us = 2.0) ?(coalesce = true)
       machine;
       schedules = Hashtbl.create 16;
       presended = Hashtbl.create 256;
+      lost = Hashtbl.create 32;
       current = None;
       per_block_us;
       record_us;
@@ -291,6 +398,8 @@ let coherence t =
       (fun ~phase ->
         t.current <- Some phase;
         Hashtbl.reset t.presended;
+        Hashtbl.reset t.lost;
+        corrupt_schedule t phase;
         presend t phase);
     phase_end = (fun ~phase:_ -> t.current <- None);
     flush_schedule =

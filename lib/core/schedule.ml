@@ -9,6 +9,7 @@ type mark = Readers of Nodeset.t | Writer of int | Conflict of pre
 type t = {
   entries : (block, mark) Hashtbl.t;
   mutable conflicts : int;
+  mutable conflict_hits : int;
   mutable rewrites : int;
   (* Ascending key cache for [iter_sorted].  Schedules are built during the
      first execution of a phase and then replayed by every later presend, so
@@ -18,7 +19,8 @@ type t = {
   mutable sorted : block array option;
 }
 
-let create () = { entries = Hashtbl.create 64; conflicts = 0; rewrites = 0; sorted = None }
+let create () =
+  { entries = Hashtbl.create 64; conflicts = 0; conflict_hits = 0; rewrites = 0; sorted = None }
 
 let record_read t b ~reader =
   match Hashtbl.find_opt t.entries b with
@@ -29,7 +31,7 @@ let record_read t b ~reader =
   | Some (Writer w) ->
       t.conflicts <- t.conflicts + 1;
       Hashtbl.replace t.entries b (Conflict (Pre_writer w))
-  | Some (Conflict _) -> ()
+  | Some (Conflict _) -> t.conflict_hits <- t.conflict_hits + 1
 
 let record_write t b ~writer =
   match Hashtbl.find_opt t.entries b with
@@ -44,12 +46,25 @@ let record_write t b ~writer =
   | Some (Readers r) ->
       t.conflicts <- t.conflicts + 1;
       Hashtbl.replace t.entries b (Conflict (Pre_readers r))
-  | Some (Conflict _) -> ()
+  | Some (Conflict _) -> t.conflict_hits <- t.conflict_hits + 1
 
 let find t b = Hashtbl.find_opt t.entries b
 let cardinal t = Hashtbl.length t.entries
 let conflicts t = t.conflicts
+let conflict_hits t = t.conflict_hits
 let rewrites t = t.rewrites
+
+(* -- fault-injection hooks ----------------------------------------------- *)
+
+let remove t b =
+  if Hashtbl.mem t.entries b then begin
+    Hashtbl.remove t.entries b;
+    t.sorted <- None
+  end
+
+let set_mark t b mark =
+  if not (Hashtbl.mem t.entries b) then t.sorted <- None;
+  Hashtbl.replace t.entries b mark
 
 let sorted_keys t =
   match t.sorted with
@@ -69,9 +84,12 @@ let sorted_keys t =
 let iter_sorted t f =
   Array.iter (fun b -> f b (Hashtbl.find t.entries b)) (sorted_keys t)
 
+let nth_sorted t i = (sorted_keys t).(i)
+
 let clear t =
   Hashtbl.reset t.entries;
   t.conflicts <- 0;
+  t.conflict_hits <- 0;
   t.rewrites <- 0;
   t.sorted <- None
 

@@ -45,8 +45,18 @@ val record_write : t -> block -> writer:int -> unit
 
 val find : t -> block -> mark option
 val cardinal : t -> int
+
 val conflicts : t -> int
-(** Number of blocks currently marked Conflict. *)
+(** Number of blocks that {e transitioned} to Conflict — i.e. the number of
+    blocks currently marked Conflict, since the mark is absorbing.  This
+    deliberately does not count accesses landing on an already-conflicted
+    block (once the presend is disabled for a block, further conflicting
+    traffic changes nothing); use {!conflict_hits} for that volume. *)
+
+val conflict_hits : t -> int
+(** Recorded accesses that hit a block already marked Conflict.  Together
+    with {!conflicts} this separates "how many blocks are contended" from
+    "how hot the contended blocks are". *)
 
 val rewrites : t -> int
 (** Write-after-write re-markings observed (migration within a phase). *)
@@ -55,7 +65,21 @@ val iter_sorted : t -> (block -> mark -> unit) -> unit
 (** Iterate entries in ascending block order (the order the presend phase
     scans, so neighbouring blocks coalesce). *)
 
+val nth_sorted : t -> int -> block
+(** The [i]-th block in ascending block order; raises [Invalid_argument]
+    when [i] is outside [0, cardinal t).  Used by the fault injector to pick
+    a deterministic corruption victim. *)
+
+val remove : t -> block -> unit
+(** Forget a block's entry (fault injection: a lost schedule record).  No-op
+    when the block has no entry. *)
+
+val set_mark : t -> block -> mark -> unit
+(** Overwrite (or create) a block's mark verbatim, bypassing the
+    read/write/conflict transition logic (fault injection: a corrupted
+    schedule entry that mis-states the consumer set). *)
+
 val clear : t -> unit
-(** Empty the schedule (the flush primitive). *)
+(** Empty the schedule and zero all counters (the flush primitive). *)
 
 val pp : Format.formatter -> t -> unit

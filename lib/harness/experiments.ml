@@ -1,5 +1,6 @@
 open Ccdsm_util
 module Machine = Ccdsm_tempest.Machine
+module Faults = Ccdsm_tempest.Faults
 module Network = Ccdsm_tempest.Network
 module Runtime = Ccdsm_runtime.Runtime
 module Adaptive = Ccdsm_apps.Adaptive
@@ -453,6 +454,80 @@ let inspector scale =
    entries waste bandwidth but presends still beat cold demand misses).\n"
   ^ Ascii.table
       ~header:[ "pattern"; "stache(ms)"; "predictive(ms)"; "pred+flush(ms)"; "inspector(ms)" ]
+      rows
+
+(* -- fault-injection grid (robustness; extension beyond the paper) ------------ *)
+
+let fault_rates = [ 0.0; 0.01; 0.05; 0.2 ]
+
+let fault_plan rate =
+  {
+    Faults.none with
+    Faults.drop = rate;
+    dup = rate /. 2.0;
+    delay = rate /. 2.0;
+    corrupt = rate;
+    seed = 42;
+  }
+
+let faults_grid ?num_nodes ?jobs scale =
+  (* Barnes' tree build is a legitimate multi-writer phase (many bodies hash
+     into one cell, last writer wins), so the word-level race check is off
+     for it; the SWMR/directory/presend invariants still apply. *)
+  let apps =
+    [
+      ("Adaptive", true, fun rt -> (Adaptive.run rt (adaptive_cfg scale)).Adaptive.checksum);
+      ("Barnes", false, fun rt -> (Barnes.run rt (barnes_cfg scale)).Barnes.checksum);
+      ("Water", true, fun rt -> (Water.run rt (water_cfg scale)).Water.checksum);
+    ]
+  in
+  let cells =
+    Parjobs.map ?jobs
+      (fun ((name, races, run), rate) ->
+        let m =
+          Measure.measure ?num_nodes ~faults:(fault_plan rate) ~sanitize:true
+            ~check_races:races
+            (Measure.version ~label:name ~protocol:Runtime.Predictive ~block_bytes:32 run)
+        in
+        (name, rate, m))
+      (List.concat_map (fun app -> List.map (fun r -> (app, r)) fault_rates) apps)
+  in
+  let stat k m =
+    match List.assoc_opt k m.Measure.proto_stats with Some v -> v | None -> 0.0
+  in
+  let base name =
+    let _, _, m = List.find (fun (n, r, _) -> n = name && r = 0.0) cells in
+    m
+  in
+  let rows =
+    List.map
+      (fun (name, rate, m) ->
+        let b = base name in
+        let c = m.Measure.counters in
+        [
+          name;
+          Printf.sprintf "%.2f" rate;
+          Printf.sprintf "%.1f" (m.Measure.total_us /. 1000.0);
+          Printf.sprintf "%.2fx" (m.Measure.total_us /. b.Measure.total_us);
+          string_of_int c.Machine.retries;
+          string_of_int c.Machine.timeouts;
+          string_of_int c.Machine.presend_fallbacks;
+          Printf.sprintf "%.0f" (stat "fault_drops" m);
+          Printf.sprintf "%.0f" (stat "fault_corruptions" m);
+          (if m.Measure.checksum = b.Measure.checksum then "ok" else "DIFF");
+        ])
+      cells
+  in
+  "Fault-injection grid (predictive protocol, 32B blocks; extension beyond\n\
+   the paper).  Each row injects message drop/duplicate/delay and schedule\n\
+   corruption at the given rate (drop = corrupt = rate, dup = delay =\n\
+   rate/2, seed 42) with the invariant sanitizer attached; overhead is\n\
+   total time relative to the app's fault-free row.  Checksums must match\n\
+   the fault-free run: faults cost time, never correctness.\n"
+  ^ Ascii.table
+      ~header:
+        [ "app"; "rate"; "total(ms)"; "overhead"; "retries"; "timeouts"; "fallbacks";
+          "drops"; "corrupt"; "checksum" ]
       rows
 
 (* -- node-count scaling (extension; not in the paper) ------------------------- *)

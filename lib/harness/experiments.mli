@@ -59,6 +59,17 @@ val inspector : scale -> string
     inspector-executor on an irregular gather kernel whose indirection
     pattern is static, incrementally evolving, or rewritten wholesale. *)
 
+val fault_plan : float -> Ccdsm_tempest.Faults.plan
+(** The grid's plan at one rate: drop = corrupt = rate, dup = delay = rate/2,
+    seed 42 (exposed for the CI smoke run and tests). *)
+
+val faults_grid : ?num_nodes:int -> ?jobs:int -> scale -> string
+(** Robustness extension: Adaptive/Barnes/Water under the predictive protocol
+    with injected message loss/duplication/delay and schedule corruption at
+    rates 0, 1%, 5% and 20% (seed 42), sanitizer attached.  Reports recovery
+    counters (retries, timeouts, presend fallbacks) and the slowdown relative
+    to each app's fault-free row; checksums must match the fault-free run. *)
+
 val scaling : ?jobs:int -> scale -> string
 (** Extension beyond the paper: total time and optimized speedup as the
     machine grows from 4 to 48 nodes (Water, 32-byte blocks). *)

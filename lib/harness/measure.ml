@@ -1,4 +1,5 @@
 module Machine = Ccdsm_tempest.Machine
+module Faults = Ccdsm_tempest.Faults
 module Runtime = Ccdsm_runtime.Runtime
 module Coherence = Ccdsm_proto.Coherence
 
@@ -29,12 +30,20 @@ type measurement = {
   local_fraction : float;
 }
 
-let measure ?(num_nodes = 32) v =
+let measure ?(num_nodes = 32) ?faults ?(sanitize = false) ?(check_races = true) v =
   let cfg = Machine.default_config ~num_nodes ~block_bytes:v.block_bytes ~net:v.net () in
   let rt =
     Runtime.create ~cfg ~presend_coalesce:v.coalesce ~conflict_action:v.conflict_action
-      ~protocol:v.protocol ()
+      ~sanitize ~check_races ~protocol:v.protocol ()
   in
+  (* An explicit plan overrides whatever CCDSM_FAULTS installed at machine
+     creation; a zero plan removes the injector entirely (so a zero-rate grid
+     row is the bit-exact fault-free run, not a zero-probability one). *)
+  (match faults with
+  | None -> ()
+  | Some p ->
+      Machine.set_faults (Runtime.machine rt)
+        (if Faults.is_zero p then None else Some (Faults.create p)));
   let checksum = v.run rt in
   let breakdown = Runtime.time_breakdown rt in
   let bucket b = List.assoc b breakdown in
@@ -49,7 +58,11 @@ let measure ?(num_nodes = 32) v =
     presend_us = bucket Machine.Presend;
     synch_us = bucket Machine.Synch;
     counters;
-    proto_stats = (Runtime.coherence rt).Coherence.stats ();
+    proto_stats =
+      ((Runtime.coherence rt).Coherence.stats ()
+      @ match Machine.faults (Runtime.machine rt) with
+        | None -> []
+        | Some f -> Faults.stats f);
     checksum;
     local_fraction =
       (if accesses = 0 then 1.0 else 1.0 -. (float_of_int faults /. float_of_int accesses));

@@ -39,9 +39,20 @@ type measurement = {
           paper's "number of shared-data requests satisfied locally" *)
 }
 
-val measure : ?num_nodes:int -> version -> measurement
+val measure :
+  ?num_nodes:int ->
+  ?faults:Ccdsm_tempest.Faults.plan ->
+  ?sanitize:bool ->
+  ?check_races:bool ->
+  version ->
+  measurement
 (** Build a fresh machine (default 32 nodes, the paper's CM-5 size), run the
-    version, and collect the breakdown. *)
+    version, and collect the breakdown.  [faults] installs the given fault
+    plan on the machine (overriding any [CCDSM_FAULTS] environment plan; a
+    zero plan removes the injector, making the run bit-identical to a
+    fault-free one).  [sanitize] attaches the online invariant sanitizer.
+    When an injector ends up installed, [proto_stats] gains the
+    {!Ccdsm_tempest.Faults.stats} entries. *)
 
 val buckets : measurement -> float array
 (** [[| compute+synch; presend; remote_wait |]] — the three sections of the

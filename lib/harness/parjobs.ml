@@ -38,7 +38,8 @@ let map ?jobs f xs =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (results.(i) <- Some (try Ok (f items.(i)) with e -> Error e));
+          (results.(i) <-
+            Some (try Ok (f items.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())));
           loop ()
         end
       in
@@ -46,10 +47,12 @@ let map ?jobs f xs =
     in
     let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
     Array.iter Domain.join domains;
-    (* Re-raise the first failure in input order, for a deterministic error. *)
+    (* Re-raise the first failure in input order, for a deterministic error,
+       with the backtrace captured in the worker domain — a bare [raise]
+       here would replace it with this join point's. *)
     Array.to_list results
     |> List.map (function
          | Some (Ok v) -> v
-         | Some (Error e) -> raise e
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   end

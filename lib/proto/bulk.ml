@@ -1,8 +1,10 @@
 (* Run coalescing is array-based: one allocation, an in-place monomorphic
    sort and a single backwards scan that drops duplicates while folding
-   maximal [start, len] runs — no intermediate sorted list. *)
+   maximal [start, len] runs — no intermediate sorted list.  [runs_of_owned]
+   sorts its argument in place, so it only ever receives arrays this module
+   allocated: the public entry points hand it a fresh copy. *)
 
-let runs_of_array a =
+let runs_of_owned a =
   let n = Array.length a in
   if n = 0 then []
   else begin
@@ -23,6 +25,7 @@ let runs_of_array a =
     (!lo, !hi - !lo + 1) :: !acc
   end
 
-let runs blocks = runs_of_array (Array.of_list blocks)
+let runs_of_array a = runs_of_owned (Array.copy a)
+let runs blocks = runs_of_owned (Array.of_list blocks)
 
 let message_count blocks = List.length (runs blocks)

@@ -10,7 +10,8 @@ val runs : int list -> (int * int) list
     input need not be sorted; duplicates are merged. *)
 
 val runs_of_array : int array -> (int * int) list
-(** As {!runs}, over an array.  The array is sorted in place. *)
+(** As {!runs}, over an array.  The argument is not modified (the sort
+    happens on an internal copy). *)
 
 val message_count : int list -> int
 (** Number of bulk messages needed for the given blocks. *)

@@ -3,6 +3,7 @@ module Machine = Ccdsm_tempest.Machine
 module Network = Ccdsm_tempest.Network
 module Tag = Ccdsm_tempest.Tag
 module Trace = Ccdsm_tempest.Trace
+module Faults = Ccdsm_tempest.Faults
 
 type t = { machine : Machine.t; dir : Directory.t }
 
@@ -16,6 +17,57 @@ let ctrl_bytes t = (Machine.net t.machine).Network.ctrl_bytes
 let data_bytes t = Machine.block_bytes t.machine
 let msg_cost t ~bytes = Network.msg_cost (Machine.net t.machine) ~bytes
 let fault_cost t = (Machine.net t.machine).Network.fault_us
+
+(* -- reliable request/response exchanges --------------------------------- *)
+
+(* One demand round trip: the listed legs are sent in order and [payer] is
+   charged [cost] (the caller's exact cost expression, so fault-free runs
+   stay bit-identical to the pre-fault-injection simulator).  With a fault
+   injector installed, a dropped leg fails the whole exchange: the payer's
+   timer expires (timeout counter, exponential-backoff wait) and every leg
+   is retransmitted — real traffic, counted again.  A delayed leg delivers,
+   but late enough to trip the timer: the payer absorbs the extra latency
+   and accounts a spurious timeout without retransmitting.  Attempts are
+   capped: the paper's network (like any real Tempest substrate) is lossy
+   but fair, so a retransmission eventually lands. *)
+
+let max_attempts = 8
+
+let exchange t ~bucket ~payer ~block legs ~cost =
+  let m = t.machine in
+  match Machine.faults m with
+  | None ->
+      List.iter
+        (fun (src, dst, kind, bytes) -> Machine.count_msg m ~node:src ~dst ~kind ~bytes ())
+        legs;
+      Machine.charge m ~node:payer bucket cost
+  | Some f ->
+      let plan = Faults.plan f in
+      let c = Machine.counters m ~node:payer in
+      let rec attempt k =
+        let lost = ref false and late = ref false in
+        List.iter
+          (fun (src, dst, kind, bytes) ->
+            match Machine.send_msg m ~node:src ~dst ~kind ~bytes () with
+            | Faults.Drop -> lost := true
+            | Faults.Delay -> late := true
+            | Faults.Deliver | Faults.Duplicate -> ())
+          legs;
+        Machine.charge m ~node:payer bucket cost;
+        if !late then begin
+          c.Machine.timeouts <- c.Machine.timeouts + 1;
+          Machine.charge m ~node:payer bucket plan.Faults.delay_us
+        end;
+        if !lost && k < max_attempts then begin
+          c.Machine.timeouts <- c.Machine.timeouts + 1;
+          c.Machine.retries <- c.Machine.retries + 1;
+          Machine.charge m ~node:payer bucket
+            (plan.Faults.timeout_us *. float_of_int (1 lsl (k - 1)));
+          if Machine.traced m then Machine.emit m (Trace.Retry { node = payer; block; attempt = k });
+          attempt (k + 1)
+        end
+      in
+      attempt 1
 
 let invalidate t ~node b =
   (Machine.counters t.machine ~node).Machine.invalidations <-
@@ -38,38 +90,36 @@ let demand_read t ~bucket ~node b =
   | Shared readers ->
       assert (not (Nodeset.mem node readers));
       (* Home memory is current in Shared state. *)
-      if node <> h then begin
-        Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
-        Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
-        Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
-      end;
+      if node <> h then
+        exchange t ~bucket ~payer:node ~block:b
+          [ (node, h, Trace.Req, ctrl); (h, node, Trace.Data, data) ]
+          ~cost:(msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data);
       Machine.set_tag m ~node b Tag.Read_only;
       Directory.set t.dir b (Shared (Nodeset.add node readers))
   | Exclusive o ->
       assert (o <> node);
       (* The writer's copy returns to the home memory and the writer stays on
          as a reader (standard Stache downgrade-on-read). *)
-      (if o = h then begin
+      (if o = h then
          (* Writer is the home node: simple request/response. *)
-         Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
-         Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
-         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
-       end
-       else if node = h then begin
+         exchange t ~bucket ~payer:node ~block:b
+           [ (node, h, Trace.Req, ctrl); (h, node, Trace.Data, data) ]
+           ~cost:(msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+       else if node = h then
          (* Home itself faulted: recall the copy from the writer. *)
-         Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
-         Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
-         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
-       end
-       else begin
+         exchange t ~bucket ~payer:node ~block:b
+           [ (h, o, Trace.Recall, ctrl); (o, h, Trace.Data, data) ]
+           ~cost:(msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+       else
          (* The 4-message producer/consumer chain of section 3.2. *)
-         Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
-         Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
-         Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
-         Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
-         Machine.charge m ~node bucket
-           (2.0 *. msg_cost t ~bytes:ctrl +. 2.0 *. msg_cost t ~bytes:data)
-       end);
+         exchange t ~bucket ~payer:node ~block:b
+           [
+             (node, h, Trace.Req, ctrl);
+             (h, o, Trace.Recall, ctrl);
+             (o, h, Trace.Data, data);
+             (h, node, Trace.Data, data);
+           ]
+           ~cost:(2.0 *. msg_cost t ~bytes:ctrl +. 2.0 *. msg_cost t ~bytes:data));
       downgrade t ~node:o b;
       Machine.set_tag m ~node b Tag.Read_only;
       Directory.set t.dir b (Shared (Nodeset.add node (Nodeset.singleton o)))
@@ -84,11 +134,10 @@ let invalidate_holders t ~except ~payer ~bucket b =
   | Exclusive o when o = except -> ()
   | Exclusive o ->
       (* Recall the dirty copy into home memory, then drop it. *)
-      if o <> h then begin
-        Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
-        Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
-        Machine.charge m ~node:payer bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
-      end;
+      if o <> h then
+        exchange t ~bucket ~payer ~block:b
+          [ (h, o, Trace.Recall, ctrl); (o, h, Trace.Data, data) ]
+          ~cost:(msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data);
       invalidate t ~node:o b
   | Shared readers ->
       let others = Nodeset.remove except readers in
@@ -118,11 +167,10 @@ let recall_to_home t ~payer ~bucket b =
   | Shared _ -> ()
   | Exclusive o ->
       let ctrl = ctrl_bytes t and data = data_bytes t in
-      if o <> h then begin
-        Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
-        Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
-        Machine.charge m ~node:payer bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
-      end;
+      if o <> h then
+        exchange t ~bucket ~payer ~block:b
+          [ (h, o, Trace.Recall, ctrl); (o, h, Trace.Data, data) ]
+          ~cost:(msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data);
       downgrade t ~node:o b;
       Directory.set t.dir b (Shared (Nodeset.singleton o))
 
@@ -136,24 +184,23 @@ let demand_write t ~bucket ~node b =
   match Directory.get t.dir b with
   | Exclusive o ->
       assert (o <> node);
-      (if o = h then begin
-         Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
-         Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
-         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
-       end
-       else if node = h then begin
-         Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
-         Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
-         Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
-       end
-       else begin
-         Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
-         Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
-         Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes:data ();
-         Machine.count_msg m ~node:h ~dst:node ~kind:Trace.Data ~bytes:data ();
-         Machine.charge m ~node bucket
-           (2.0 *. msg_cost t ~bytes:ctrl +. 2.0 *. msg_cost t ~bytes:data)
-       end);
+      (if o = h then
+         exchange t ~bucket ~payer:node ~block:b
+           [ (node, h, Trace.Req, ctrl); (h, node, Trace.Data, data) ]
+           ~cost:(msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+       else if node = h then
+         exchange t ~bucket ~payer:node ~block:b
+           [ (h, o, Trace.Recall, ctrl); (o, h, Trace.Data, data) ]
+           ~cost:(msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:data)
+       else
+         exchange t ~bucket ~payer:node ~block:b
+           [
+             (node, h, Trace.Req, ctrl);
+             (h, o, Trace.Recall, ctrl);
+             (o, h, Trace.Data, data);
+             (h, node, Trace.Data, data);
+           ]
+           ~cost:(2.0 *. msg_cost t ~bytes:ctrl +. 2.0 *. msg_cost t ~bytes:data));
       invalidate t ~node:o b;
       Machine.set_tag m ~node b Tag.Read_write;
       Directory.set t.dir b (Exclusive node)
@@ -161,12 +208,13 @@ let demand_write t ~bucket ~node b =
       let had_copy = Nodeset.mem node readers in
       (* Request/upgrade leg to the home node. *)
       if node <> h then begin
-        Machine.count_msg m ~node ~dst:h ~kind:Trace.Req ~bytes:ctrl ();
         let reply = if had_copy then ctrl else data in
-        Machine.count_msg m ~node:h ~dst:node
-          ~kind:(if had_copy then Trace.Grant else Trace.Data)
-          ~bytes:reply ();
-        Machine.charge m ~node bucket (msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:reply)
+        exchange t ~bucket ~payer:node ~block:b
+          [
+            (node, h, Trace.Req, ctrl);
+            (h, node, (if had_copy then Trace.Grant else Trace.Data), reply);
+          ]
+          ~cost:(msg_cost t ~bytes:ctrl +. msg_cost t ~bytes:reply)
       end;
       invalidate_holders t ~except:node ~payer:node ~bucket b;
       Machine.set_tag m ~node b Tag.Read_write;

@@ -137,6 +137,24 @@ let on_event t ev =
       Hashtbl.reset t.writers;
       check_dir_agreement t
   | Trace.Phase_end _ -> check_dir_agreement t
+  | Trace.Msg_drop { src; dst; kind = _ } ->
+      (* A lost message must still have been a well-formed send. *)
+      let n = Machine.num_nodes t.machine in
+      if src < 0 || src >= n then fail t "dropped-message source %d out of range [0,%d)" src n;
+      if dst >= n then fail t "dropped-message destination %d out of range [0,%d)" dst n
+  | Trace.Sched_corrupt { phase; block; node } -> (
+      (* Track the corruption so the presend-vs-schedule check tests the
+         protocol against its own (corrupted) belief: a presend to the
+         retargeted node is consistent; a presend from an invalidated entry
+         is the stale-schedule bug this check exists to catch. *)
+      match node with
+      | None -> Hashtbl.remove t.recorded (phase, block)
+      | Some n -> Hashtbl.replace t.recorded (phase, block) (Nodeset.singleton n))
+  | Trace.Retry { node; block = _; attempt } ->
+      let n = Machine.num_nodes t.machine in
+      if node < 0 || node >= n then fail t "retry by node %d out of range [0,%d)" node n;
+      if attempt < 1 then fail t "retry with non-positive attempt %d" attempt
+  | Trace.Presend_fallback _
   | Trace.Init _ | Trace.Alloc _ | Trace.Fault _ | Trace.Phase_begin _
   | Trace.Sched_conflict _ ->
       ()

@@ -21,7 +21,7 @@ type t = {
 }
 
 let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = `Ignore)
-    ?(sanitize = false) ~protocol () =
+    ?(sanitize = false) ?(check_races = true) ~protocol () =
   let cfg = match cfg with Some c -> c | None -> Machine.default_config () in
   let machine = Machine.create cfg in
   let coherence, predictive, dir =
@@ -38,7 +38,7 @@ let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = 
     let mode =
       match protocol with Write_update -> Sanitizer.Update | _ -> Sanitizer.Invalidate
     in
-    ignore (Sanitizer.attach ~mode ?dir machine)
+    ignore (Sanitizer.attach ~mode ?dir ~check_races machine)
   end;
   {
     machine;

@@ -29,6 +29,7 @@ val create :
   ?presend_coalesce:bool ->
   ?conflict_action:[ `Ignore | `First_stable ] ->
   ?sanitize:bool ->
+  ?check_races:bool ->
   protocol:protocol ->
   unit ->
   t
@@ -39,7 +40,10 @@ val create :
     by the other protocols).  [sanitize] (default false) attaches an online
     {!Ccdsm_proto.Sanitizer} to the machine, in the mode matching [protocol];
     any coherence-invariant violation then raises
-    [Ccdsm_proto.Sanitizer.Violation]. *)
+    [Ccdsm_proto.Sanitizer.Violation].  [check_races] (default true) controls
+    the sanitizer's word-level write-race check; disable it for applications
+    whose semantics permit multi-writer phases (e.g. Barnes' tree build,
+    where many bodies hash into one cell with last-writer-wins). *)
 
 val machine : t -> Machine.t
 val heap : t -> Shared_heap.t

@@ -1,0 +1,105 @@
+module Prng = Ccdsm_util.Prng
+
+type plan = {
+  drop : float;
+  dup : float;
+  delay : float;
+  corrupt : float;
+  seed : int;
+  timeout_us : float;
+  delay_us : float;
+}
+
+let none =
+  { drop = 0.0; dup = 0.0; delay = 0.0; corrupt = 0.0; seed = 0; timeout_us = 20.0; delay_us = 10.0 }
+
+let is_zero p = p.drop = 0.0 && p.dup = 0.0 && p.delay = 0.0 && p.corrupt = 0.0
+
+let to_string p =
+  Printf.sprintf "drop=%g,dup=%g,delay=%g,corrupt=%g,seed=%d,timeout=%g,delay_us=%g" p.drop
+    p.dup p.delay p.corrupt p.seed p.timeout_us p.delay_us
+
+let of_string s =
+  let prob key v =
+    match float_of_string_opt (String.trim v) with
+    | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+    | _ -> Error (Printf.sprintf "%s must be a probability in [0,1], got %S" key v)
+  in
+  let time key v =
+    match float_of_string_opt (String.trim v) with
+    | Some f when f >= 0.0 -> Ok f
+    | _ -> Error (Printf.sprintf "%s must be a non-negative time in us, got %S" key v)
+  in
+  let field acc kv =
+    Result.bind acc (fun p ->
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+        | Some i -> (
+            let key = String.trim (String.sub kv 0 i) in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            match key with
+            | "drop" -> Result.map (fun f -> { p with drop = f }) (prob key v)
+            | "dup" -> Result.map (fun f -> { p with dup = f }) (prob key v)
+            | "delay" -> Result.map (fun f -> { p with delay = f }) (prob key v)
+            | "corrupt" -> Result.map (fun f -> { p with corrupt = f }) (prob key v)
+            | "seed" -> (
+                match int_of_string_opt (String.trim v) with
+                | Some n -> Ok { p with seed = n }
+                | None -> Error (Printf.sprintf "seed must be an integer, got %S" v))
+            | "timeout" -> Result.map (fun f -> { p with timeout_us = f }) (time key v)
+            | "delay_us" -> Result.map (fun f -> { p with delay_us = f }) (time key v)
+            | _ -> Error (Printf.sprintf "unknown fault key %S" key)))
+  in
+  String.split_on_char ',' s
+  |> List.filter (fun kv -> String.trim kv <> "")
+  |> List.fold_left field (Ok none)
+  |> Result.map_error (fun msg -> "bad CCDSM_FAULTS: " ^ msg)
+
+let env_plan () =
+  match Sys.getenv_opt "CCDSM_FAULTS" with
+  | None | Some "" -> Ok None
+  | Some s -> Result.map Option.some (of_string s)
+
+type outcome = Deliver | Drop | Duplicate | Delay
+
+type t = {
+  p : plan;
+  rng : Prng.t;
+  mutable drops : int;
+  mutable dups : int;
+  mutable delays : int;
+  mutable corruptions : int;
+}
+
+let create p = { p; rng = Prng.create ~seed:p.seed; drops = 0; dups = 0; delays = 0; corruptions = 0 }
+
+let plan t = t.p
+
+let verdict t =
+  let u = Prng.float t.rng 1.0 in
+  if u < t.p.drop then Drop
+  else if u < t.p.drop +. t.p.dup then Duplicate
+  else if u < t.p.drop +. t.p.dup +. t.p.delay then Delay
+  else Deliver
+
+let flip t p = Prng.float t.rng 1.0 < p
+let draw_int t bound = Prng.int t.rng bound
+let draw_bool t = Prng.bool t.rng
+
+let drops t = t.drops
+let dups t = t.dups
+let delays t = t.delays
+let corruptions t = t.corruptions
+
+let note_drop t = t.drops <- t.drops + 1
+let note_dup t = t.dups <- t.dups + 1
+let note_delay t = t.delays <- t.delays + 1
+let note_corruption t = t.corruptions <- t.corruptions + 1
+
+let stats t =
+  [
+    ("fault_drops", float_of_int t.drops);
+    ("fault_dups", float_of_int t.dups);
+    ("fault_delays", float_of_int t.delays);
+    ("fault_corruptions", float_of_int t.corruptions);
+  ]

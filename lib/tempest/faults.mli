@@ -1,0 +1,94 @@
+(** Deterministic fault injection for the simulated DSM (the Tempest layer).
+
+    The paper's predictive protocol is only worth deploying if a wrong or
+    stale communication schedule degrades gracefully into ordinary demand
+    misses — the flush primitive exists precisely because pre-sends can go
+    wrong.  This module makes that degradation testable: a seeded injector
+    interposes on protocol/presend message sends ({!Machine.send_msg}) to
+    drop, duplicate or delay them, and (through the predictive layer) to
+    corrupt or invalidate recorded schedule entries between phases.
+
+    Everything is pay-for-what-you-inject: with no injector installed (or a
+    zero-rate plan) every simulated result is bit-identical to a fault-free
+    run — no PRNG draws, no extra charges, no extra events.  With a fixed
+    plan the whole fault schedule is deterministic (seeded splitmix64 on a
+    single-threaded simulation), so recovery counters reproduce exactly. *)
+
+type plan = {
+  drop : float;  (** per-message loss probability, in [0,1] *)
+  dup : float;  (** per-message duplication probability *)
+  delay : float;  (** per-message late-delivery probability *)
+  corrupt : float;
+      (** per-phase-entry probability of corrupting one recorded schedule
+          entry (invalidate it, or retarget it to a random node) *)
+  seed : int;
+  timeout_us : float;
+      (** requester wait before retransmitting a lost request; doubles with
+          each retry (exponential backoff) *)
+  delay_us : float;  (** extra latency charged for a delayed message *)
+}
+
+val none : plan
+(** All rates zero, seed 0, default timeout (20 us) and delay (10 us). *)
+
+val is_zero : plan -> bool
+(** True when every rate is 0 (the plan can never fire). *)
+
+val of_string : string -> (plan, string) result
+(** Parse ["drop=0.05,dup=0.01,delay=0.01,corrupt=0.1,seed=42"].  Keys are
+    optional and default to {!none}'s values; [timeout] and [delay_us] set
+    the time parameters.  Errors name the offending key. *)
+
+val to_string : plan -> string
+(** Canonical [key=value] rendering (parseable by {!of_string}). *)
+
+val env_plan : unit -> (plan option, string) result
+(** The [CCDSM_FAULTS] environment override, if any.  [Ok None] when the
+    variable is unset or empty; [Error _] with a one-line message when it is
+    malformed (the CLI validates this at startup). *)
+
+(** {1 Injector} *)
+
+type outcome =
+  | Deliver  (** the message arrives normally *)
+  | Drop  (** lost in flight: the receiver never sees it *)
+  | Duplicate  (** delivered twice (receivers must be idempotent) *)
+  | Delay  (** delivered, but late enough to trip the sender's timer *)
+
+type t
+
+val create : plan -> t
+(** A fresh injector.  Equal plans yield equal fault schedules. *)
+
+val plan : t -> plan
+
+val verdict : t -> outcome
+(** Decide the fate of one message (one PRNG draw). *)
+
+val flip : t -> float -> bool
+(** [flip t p] is true with probability [p] (one draw). *)
+
+val draw_int : t -> int -> int
+(** Uniform in [[0, bound)] (one draw); for corruption target choices. *)
+
+val draw_bool : t -> bool
+
+(** {1 Injection counters}
+
+    Cumulative counts of fired faults, for reports ({!stats}) and tests.
+    Recovery-side counters (retries, timeouts, presend fallbacks) live on
+    {!Machine.counters} — they belong to the nodes doing the recovering. *)
+
+val drops : t -> int
+val dups : t -> int
+val delays : t -> int
+val corruptions : t -> int
+
+val note_drop : t -> unit
+val note_dup : t -> unit
+val note_delay : t -> unit
+val note_corruption : t -> unit
+
+val stats : t -> (string * float) list
+(** [("fault_drops", _); ("fault_dups", _); ("fault_delays", _);
+    ("fault_corruptions", _)]. *)

@@ -31,6 +31,9 @@ type counters = {
   mutable bytes : int;
   mutable invalidations : int;
   mutable downgrades : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable presend_fallbacks : int;
 }
 
 let fresh_counters () =
@@ -43,6 +46,9 @@ let fresh_counters () =
     bytes = 0;
     invalidations = 0;
     downgrades = 0;
+    retries = 0;
+    timeouts = 0;
+    presend_fallbacks = 0;
   }
 
 type handlers = {
@@ -71,6 +77,7 @@ type t = {
   mutable tracers : (Trace.event -> unit) array;  (* first [ntracers] slots live *)
   mutable ntracers : int;
   mutable traced : bool;  (* = ntracers > 0, checked on every access *)
+  mutable faults : Faults.t option;  (* fault injector; None = reliable network *)
 }
 
 (* Tag bytes as stored in [node_state.tags].  Derived from the one source of
@@ -109,6 +116,15 @@ let create cfg =
       tracers = (match sink with Some f -> [| f |] | None -> [||]);
       ntracers = (match sink with Some _ -> 1 | None -> 0);
       traced = sink <> None;
+      faults =
+        (* Like the trace sink, the CCDSM_FAULTS override is picked up at
+           machine creation so experiment drivers that build machines
+           internally inherit it.  The CLI validates the variable at startup;
+           a malformed value reaching this point still fails loudly. *)
+        (match Faults.env_plan () with
+        | Ok None -> None
+        | Ok (Some p) -> if Faults.is_zero p then None else Some (Faults.create p)
+        | Error msg -> invalid_arg ("Machine.create: " ^ msg));
     }
   in
   (match sink with
@@ -259,6 +275,31 @@ let count_msg t ~node ?(dst = -1) ?(kind = Trace.Data) ~bytes () =
   c.bytes <- c.bytes + bytes;
   if t.traced then emit t (Trace.Msg { src = node; dst; bytes; kind })
 
+(* -- fault injection ----------------------------------------------------- *)
+
+let faults t = t.faults
+let set_faults t f = t.faults <- f
+
+let send_msg t ~node ?(dst = -1) ?(kind = Trace.Data) ~bytes () =
+  count_msg t ~node ~dst ~kind ~bytes ();
+  match t.faults with
+  | None -> Faults.Deliver
+  | Some f -> (
+      match Faults.verdict f with
+      | Faults.Deliver -> Faults.Deliver
+      | Faults.Drop ->
+          Faults.note_drop f;
+          if t.traced then emit t (Trace.Msg_drop { src = node; dst; kind });
+          Faults.Drop
+      | Faults.Duplicate ->
+          (* The duplicate is real traffic; receivers are idempotent. *)
+          Faults.note_dup f;
+          count_msg t ~node ~dst ~kind ~bytes ();
+          Faults.Duplicate
+      | Faults.Delay ->
+          Faults.note_delay f;
+          Faults.Delay)
+
 let total_counters t =
   let acc = fresh_counters () in
   Array.iter
@@ -271,7 +312,10 @@ let total_counters t =
       acc.msgs <- acc.msgs + c.msgs;
       acc.bytes <- acc.bytes + c.bytes;
       acc.invalidations <- acc.invalidations + c.invalidations;
-      acc.downgrades <- acc.downgrades + c.downgrades)
+      acc.downgrades <- acc.downgrades + c.downgrades;
+      acc.retries <- acc.retries + c.retries;
+      acc.timeouts <- acc.timeouts + c.timeouts;
+      acc.presend_fallbacks <- acc.presend_fallbacks + c.presend_fallbacks)
     t.nodes;
   acc
 
@@ -287,7 +331,10 @@ let reset_stats t =
       c.msgs <- 0;
       c.bytes <- 0;
       c.invalidations <- 0;
-      c.downgrades <- 0)
+      c.downgrades <- 0;
+      c.retries <- 0;
+      c.timeouts <- 0;
+      c.presend_fallbacks <- 0)
     t.nodes
 
 (* -- data path ---------------------------------------------------------- *)

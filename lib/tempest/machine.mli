@@ -48,6 +48,15 @@ type counters = {
   mutable bytes : int;
   mutable invalidations : int;  (** copies invalidated at this node *)
   mutable downgrades : int;  (** ReadWrite copies demoted to ReadOnly here *)
+  mutable retries : int;
+      (** demand requests this node retransmitted after a lost message
+          (fault injection; always 0 on a reliable network) *)
+  mutable timeouts : int;
+      (** request timers that expired at this node: every retransmission,
+          plus spurious timeouts where a delayed reply arrived late *)
+  mutable presend_fallbacks : int;
+      (** demand misses taken at this node for blocks whose presend grant
+          was lost — the predictive protocol's graceful degradation *)
 }
 
 type handlers = {
@@ -153,6 +162,27 @@ val count_msg : t -> node:int -> ?dst:int -> ?kind:Trace.msg_kind -> bytes:int -
 
 val counters : t -> node:int -> counters
 (** The live (mutable) counter record for a node. *)
+
+(** {1 Fault injection}
+
+    A machine may carry a {!Faults.t} injector; protocol layers that send
+    through {!send_msg} then see per-message drop/duplicate/delay verdicts
+    and implement recovery (retry with backoff, presend fallback).  Without
+    an injector [send_msg] is exactly [count_msg] — no PRNG draws, no extra
+    events — so fault-free runs stay bit-identical.  {!create} installs an
+    injector automatically when the [CCDSM_FAULTS] environment variable
+    holds a non-zero plan (see {!Faults.env_plan}). *)
+
+val faults : t -> Faults.t option
+val set_faults : t -> Faults.t option -> unit
+
+val send_msg :
+  t -> node:int -> ?dst:int -> ?kind:Trace.msg_kind -> bytes:int -> unit -> Faults.outcome
+(** Record the message like {!count_msg}, then consult the fault injector.
+    [Drop] means the receiver never saw it (a [Msg_drop] event follows the
+    [Msg] event in the trace); [Duplicate] counts the second copy's traffic
+    and delivers; [Delay] delivers but the caller should charge
+    {!Faults.plan}[.delay_us] and account a spurious timeout. *)
 
 val total_counters : t -> counters
 (** Fresh record summing all nodes. *)

@@ -24,6 +24,10 @@ type event =
   | Sched_conflict of { phase : int; block : int }
   | Sched_flush of { phase : int }
   | Presend of { phase : int; block : int; dst : int; write : bool }
+  | Msg_drop of { src : int; dst : int; kind : msg_kind }
+  | Retry of { node : int; block : int; attempt : int }
+  | Presend_fallback of { phase : int; block : int; node : int; write : bool }
+  | Sched_corrupt of { phase : int; block : int; node : int option }
 
 let type_name = function
   | Init _ -> "init"
@@ -39,6 +43,10 @@ let type_name = function
   | Sched_conflict _ -> "sched_conflict"
   | Sched_flush _ -> "sched_flush"
   | Presend _ -> "presend"
+  | Msg_drop _ -> "drop"
+  | Retry _ -> "retry"
+  | Presend_fallback _ -> "presend_fallback"
+  | Sched_corrupt _ -> "sched_corrupt"
 
 let rw write = if write then "write" else "read"
 
@@ -73,6 +81,17 @@ let to_json ev =
   | Presend { phase; block; dst; write } ->
       Printf.sprintf {|{"type":"%s","phase":%d,"block":%d,"dst":%d,"kind":"%s"}|} ty phase
         block dst (rw write)
+  | Msg_drop { src; dst; kind } ->
+      Printf.sprintf {|{"type":"%s","src":%d,"dst":%d,"kind":"%s"}|} ty src dst
+        (msg_kind_name kind)
+  | Retry { node; block; attempt } ->
+      Printf.sprintf {|{"type":"%s","node":%d,"block":%d,"attempt":%d}|} ty node block attempt
+  | Presend_fallback { phase; block; node; write } ->
+      Printf.sprintf {|{"type":"%s","phase":%d,"block":%d,"node":%d,"kind":"%s"}|} ty phase
+        block node (rw write)
+  | Sched_corrupt { phase; block; node } ->
+      Printf.sprintf {|{"type":"%s","phase":%d,"block":%d,"node":%s}|} ty phase block
+        (match node with None -> "null" | Some n -> string_of_int n)
 
 let pp ppf ev = Format.pp_print_string ppf (to_json ev)
 

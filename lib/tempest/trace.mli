@@ -44,6 +44,18 @@ type event =
   | Sched_flush of { phase : int }
   | Presend of { phase : int; block : int; dst : int; write : bool }
       (** one presend leg: [dst] is granted a copy ([write]: ownership) *)
+  | Msg_drop of { src : int; dst : int; kind : msg_kind }
+      (** fault injection: the immediately preceding {!Msg} was lost in
+          flight — the sender paid for it but the receiver never saw it *)
+  | Retry of { node : int; block : int; attempt : int }
+      (** [node]'s demand request for [block] timed out and is being
+          retransmitted ([attempt] starts at 1 for the first retry) *)
+  | Presend_fallback of { phase : int; block : int; node : int; write : bool }
+      (** a demand miss on a block whose presend grant to [node] was lost —
+          the predictive protocol degrading gracefully to Stache *)
+  | Sched_corrupt of { phase : int; block : int; node : int option }
+      (** fault injection rewrote a schedule entry between phases: [None]
+          invalidated it, [Some n] retargeted it to node [n] *)
 
 val type_name : event -> string
 (** Stable lowercase discriminator, identical to the JSON "type" field. *)

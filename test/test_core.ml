@@ -64,6 +64,38 @@ let test_schedule_conflict () =
   | _ -> Alcotest.fail "conflict must be sticky");
   check Alcotest.int "conflicts counted" 1 (Schedule.conflicts s2)
 
+let test_schedule_conflict_hits () =
+  (* [conflicts] counts blocks that became Conflict (the mark is absorbing,
+     so repeats on the same block deliberately don't re-count); the traffic
+     landing on already-conflicted blocks shows up in [conflict_hits]. *)
+  let s = Schedule.create () in
+  Schedule.record_write s 5 ~writer:0;
+  Schedule.record_read s 5 ~reader:1;
+  check Alcotest.int "one conflicted block" 1 (Schedule.conflicts s);
+  check Alcotest.int "no hits at transition" 0 (Schedule.conflict_hits s);
+  Schedule.record_read s 5 ~reader:2;
+  Schedule.record_write s 5 ~writer:3;
+  check Alcotest.int "still one conflicted block" 1 (Schedule.conflicts s);
+  check Alcotest.int "later records counted as hits" 2 (Schedule.conflict_hits s);
+  Schedule.clear s;
+  check Alcotest.int "hits cleared" 0 (Schedule.conflict_hits s)
+
+let test_schedule_corruption_hooks () =
+  let s = Schedule.create () in
+  Schedule.record_write s 4 ~writer:1;
+  Schedule.record_read s 9 ~reader:2;
+  check Alcotest.int "nth 0" 4 (Schedule.nth_sorted s 0);
+  check Alcotest.int "nth 1" 9 (Schedule.nth_sorted s 1);
+  Schedule.set_mark s 4 (Schedule.Readers (Nodeset.singleton 7));
+  (match Schedule.find s 4 with
+  | Some (Schedule.Readers r) -> check Alcotest.(list int) "retargeted" [ 7 ] (Nodeset.elements r)
+  | _ -> Alcotest.fail "expected retargeted Readers");
+  Schedule.remove s 9;
+  check Alcotest.int "removed" 1 (Schedule.cardinal s);
+  check Alcotest.int "sorted cache refreshed" 4 (Schedule.nth_sorted s 0);
+  Schedule.remove s 9;
+  check Alcotest.int "remove is idempotent" 1 (Schedule.cardinal s)
+
 let test_schedule_pre_conflict () =
   (* Conflicts remember the first stable state before the conflict. *)
   let s = Schedule.create () in
@@ -421,6 +453,8 @@ let suite =
         Alcotest.test_case "reads accumulate" `Quick test_schedule_reads;
         Alcotest.test_case "writer marks" `Quick test_schedule_writer;
         Alcotest.test_case "conflicts" `Quick test_schedule_conflict;
+        Alcotest.test_case "conflict hits" `Quick test_schedule_conflict_hits;
+        Alcotest.test_case "corruption hooks" `Quick test_schedule_corruption_hooks;
         Alcotest.test_case "pre-conflict capture" `Quick test_schedule_pre_conflict;
         Alcotest.test_case "clear" `Quick test_schedule_clear;
         Alcotest.test_case "sorted iteration" `Quick test_schedule_sorted_iteration;

@@ -1,0 +1,148 @@
+(* Fault injection: plan parsing, the pay-for-what-you-inject guarantee
+   (zero plan => bit-identical run), and the recovery property — any fault
+   plan costs time but never changes values or coherence invariants, and a
+   fixed seed reproduces the fault schedule exactly. *)
+
+module Machine = Ccdsm_tempest.Machine
+module Faults = Ccdsm_tempest.Faults
+module Runtime = Ccdsm_runtime.Runtime
+module Measure = Ccdsm_harness.Measure
+module Water = Ccdsm_apps.Water
+
+let check = Alcotest.check
+
+(* -- plan parsing ---------------------------------------------------------- *)
+
+let test_of_string () =
+  (match Faults.of_string "drop=0.05,dup=0.01,delay=0.02,corrupt=0.1,seed=42,timeout=50,delay_us=5" with
+  | Ok p ->
+      check (Alcotest.float 0.0) "drop" 0.05 p.Faults.drop;
+      check (Alcotest.float 0.0) "dup" 0.01 p.Faults.dup;
+      check (Alcotest.float 0.0) "delay" 0.02 p.Faults.delay;
+      check (Alcotest.float 0.0) "corrupt" 0.1 p.Faults.corrupt;
+      check Alcotest.int "seed" 42 p.Faults.seed;
+      check (Alcotest.float 0.0) "timeout" 50.0 p.Faults.timeout_us;
+      check (Alcotest.float 0.0) "delay_us" 5.0 p.Faults.delay_us
+  | Error e -> Alcotest.fail e);
+  (match Faults.of_string "drop=0.1" with
+  | Ok p ->
+      check (Alcotest.float 0.0) "other rates default" 0.0 p.Faults.dup;
+      Alcotest.(check bool) "not zero" false (Faults.is_zero p)
+  | Error e -> Alcotest.fail e);
+  (match Faults.of_string "" with
+  | Ok p -> Alcotest.(check bool) "empty is the zero plan" true (Faults.is_zero p)
+  | Error e -> Alcotest.fail e);
+  (match Faults.of_string "drop=1.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range probability accepted");
+  (match Faults.of_string "bogus=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key accepted");
+  (match Faults.of_string "drop" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing value accepted")
+
+let test_to_string_roundtrip () =
+  let p = { Faults.none with Faults.drop = 0.25; dup = 0.125; seed = 9 } in
+  match Faults.of_string (Faults.to_string p) with
+  | Ok q ->
+      check (Alcotest.float 0.0) "drop" p.Faults.drop q.Faults.drop;
+      check (Alcotest.float 0.0) "dup" p.Faults.dup q.Faults.dup;
+      check Alcotest.int "seed" p.Faults.seed q.Faults.seed
+  | Error e -> Alcotest.fail e
+
+let test_verdict_deterministic () =
+  let plan = { Faults.none with Faults.drop = 0.3; dup = 0.2; delay = 0.2; seed = 7 } in
+  let seq t = List.init 200 (fun _ -> Faults.verdict t) in
+  let a = seq (Faults.create plan) and b = seq (Faults.create plan) in
+  Alcotest.(check bool) "equal plans, equal fault schedules" true (a = b);
+  Alcotest.(check bool) "all outcomes reachable at these rates" true
+    (List.mem Faults.Drop a && List.mem Faults.Duplicate a && List.mem Faults.Delay a
+   && List.mem Faults.Deliver a)
+
+(* -- end-to-end recovery --------------------------------------------------- *)
+
+let tiny_water = { Water.small with Water.n_molecules = 24; iterations = 2 }
+
+let version () =
+  Measure.version ~label:"w" ~protocol:Runtime.Predictive ~block_bytes:32 (fun rt ->
+      (Water.run rt tiny_water).Water.checksum)
+
+let baseline = lazy (Measure.measure ~num_nodes:4 (version ()))
+
+let test_zero_plan_bit_identical () =
+  (* ~faults:none removes any injector: every observable of the measurement
+     must equal the plain run's, bit for bit. *)
+  let a = Measure.measure ~num_nodes:4 ~faults:Faults.none (version ()) in
+  let b = Lazy.force baseline in
+  check (Alcotest.float 0.0) "total" b.Measure.total_us a.Measure.total_us;
+  check (Alcotest.float 0.0) "checksum" b.Measure.checksum a.Measure.checksum;
+  check Alcotest.int "msgs" b.Measure.counters.Machine.msgs a.Measure.counters.Machine.msgs;
+  check Alcotest.int "bytes" b.Measure.counters.Machine.bytes a.Measure.counters.Machine.bytes;
+  check Alcotest.int "retries" 0 a.Measure.counters.Machine.retries;
+  check Alcotest.int "timeouts" 0 a.Measure.counters.Machine.timeouts;
+  check Alcotest.int "fallbacks" 0 a.Measure.counters.Machine.presend_fallbacks;
+  check
+    Alcotest.(list (pair string (float 0.0)))
+    "proto stats (no fault entries)" b.Measure.proto_stats a.Measure.proto_stats
+
+let test_fixed_plan_recovers () =
+  let plan =
+    { Faults.none with Faults.drop = 0.2; dup = 0.1; delay = 0.1; corrupt = 0.2; seed = 42 }
+  in
+  let m = Measure.measure ~num_nodes:4 ~faults:plan ~sanitize:true (version ()) in
+  let b = Lazy.force baseline in
+  check (Alcotest.float 0.0) "values survive faults" b.Measure.checksum m.Measure.checksum;
+  let c = m.Measure.counters in
+  Alcotest.(check bool) "retries fired" true (c.Machine.retries > 0);
+  Alcotest.(check bool) "every retry implies a timeout" true
+    (c.Machine.timeouts >= c.Machine.retries);
+  Alcotest.(check bool) "presend fallbacks fired" true (c.Machine.presend_fallbacks > 0);
+  Alcotest.(check bool) "faults cost time" true (m.Measure.total_us > b.Measure.total_us);
+  Alcotest.(check bool) "fault stats reported" true
+    (List.mem_assoc "fault_drops" m.Measure.proto_stats
+    && List.assoc "fault_drops" m.Measure.proto_stats > 0.0)
+
+let plan_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((drop, dup, delay, corrupt), seed) ->
+        { Faults.none with Faults.drop; dup; delay; corrupt; seed })
+      (pair
+         (quad (float_bound_inclusive 0.3) (float_bound_inclusive 0.15)
+            (float_bound_inclusive 0.15) (float_bound_inclusive 0.5))
+         (int_bound 9999)))
+
+let prop_any_plan_safe =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:12
+       ~name:"any fault plan: same values, clean sanitizer, deterministic replay"
+       ~print:Faults.to_string plan_gen (fun plan ->
+         (* [sanitize] makes any coherence-invariant violation raise. *)
+         let m1 = Measure.measure ~num_nodes:4 ~faults:plan ~sanitize:true (version ()) in
+         let m2 = Measure.measure ~num_nodes:4 ~faults:plan ~sanitize:true (version ()) in
+         let b = Lazy.force baseline in
+         m1.Measure.checksum = b.Measure.checksum
+         && m1.Measure.total_us = m2.Measure.total_us
+         && m1.Measure.counters.Machine.retries = m2.Measure.counters.Machine.retries
+         && m1.Measure.counters.Machine.timeouts = m2.Measure.counters.Machine.timeouts
+         && m1.Measure.counters.Machine.presend_fallbacks
+            = m2.Measure.counters.Machine.presend_fallbacks
+         && m1.Measure.counters.Machine.msgs = m2.Measure.counters.Machine.msgs
+         && (not (Faults.is_zero plan) || m1.Measure.total_us = b.Measure.total_us)))
+
+let suite =
+  [
+    ( "faults.plan",
+      [
+        Alcotest.test_case "of_string" `Quick test_of_string;
+        Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+        Alcotest.test_case "verdicts deterministic per seed" `Quick test_verdict_deterministic;
+      ] );
+    ( "faults.recovery",
+      [
+        Alcotest.test_case "zero plan bit-identical" `Quick test_zero_plan_bit_identical;
+        Alcotest.test_case "fixed plan recovers" `Quick test_fixed_plan_recovers;
+        prop_any_plan_safe;
+      ] );
+  ]

@@ -89,6 +89,38 @@ let test_scale_of_env () =
       Alcotest.(check bool) "default scaled" true (E.scale_of_env () = E.Scaled)
   | Some _ -> Alcotest.(check bool) "full requested" true (E.scale_of_env () = E.Paper)
 
+exception Probe_failure of string
+
+let test_parjobs_exception_backtrace () =
+  (* Regression: a worker-domain exception used to be re-raised at the join
+     point with a bare [raise], which resets the backtrace — the original
+     raise site was lost.  Backtrace recording is per-domain in OCaml 5, so
+     the worker enables it before raising. *)
+  Printexc.record_backtrace true;
+  let f x =
+    Printexc.record_backtrace true;
+    if x = 2 then raise (Probe_failure "boom") else x
+  in
+  match Ccdsm_harness.Parjobs.map ~jobs:2 f [ 0; 1; 2; 3 ] with
+  | _ -> Alcotest.fail "expected Probe_failure"
+  | exception Probe_failure msg ->
+      let bt = Printexc.get_raw_backtrace () in
+      check Alcotest.string "exception intact" "boom" msg;
+      Alcotest.(check bool) "worker raise site preserved in backtrace" true
+        (let s = Printexc.raw_backtrace_to_string bt in
+         let sub = "test_harness" in
+         let n = String.length sub and m = String.length s in
+         let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+         go 0)
+
+let test_parjobs_map_order () =
+  (* Results join in input order at any job count. *)
+  let xs = List.init 20 (fun i -> i) in
+  check
+    Alcotest.(list int)
+    "ordered" (List.map succ xs)
+    (Ccdsm_harness.Parjobs.map ~jobs:4 succ xs)
+
 let test_render_figure () =
   let m = Measure.measure ~num_nodes:4 (water_version Runtime.Stache 32) in
   let fig =
@@ -113,6 +145,12 @@ let suite =
           test_measure_protocol_changes_time_not_values;
         Alcotest.test_case "network override" `Quick test_measure_network_override;
         Alcotest.test_case "coalesce override" `Quick test_measure_coalesce_override;
+      ] );
+    ( "harness.parjobs",
+      [
+        Alcotest.test_case "worker exception keeps its backtrace" `Quick
+          test_parjobs_exception_backtrace;
+        Alcotest.test_case "join order" `Quick test_parjobs_map_order;
       ] );
     ( "harness.experiments",
       [

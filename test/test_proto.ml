@@ -49,6 +49,16 @@ let test_bulk_runs_prop =
          in
          expanded = List.sort_uniq compare blocks))
 
+let test_bulk_runs_of_array_pure () =
+  (* Regression: [runs_of_array] used to sort its argument in place, visibly
+     reordering a caller's array. *)
+  let a = [| 9; 1; 3; 2; 7; 10; 2 |] in
+  let before = Array.copy a in
+  check
+    Alcotest.(list (pair int int))
+    "runs" [ (1, 3); (7, 1); (9, 2) ] (Bulk.runs_of_array a);
+  check Alcotest.(array int) "argument untouched" before a
+
 (* -- Stache read path ----------------------------------------------------- *)
 
 let test_read_2hop () =
@@ -294,7 +304,12 @@ let test_wu_update_coalescing () =
 let suite =
   [
     ( "proto.bulk",
-      [ Alcotest.test_case "runs" `Quick test_bulk_runs; test_bulk_runs_prop ] );
+      [
+        Alcotest.test_case "runs" `Quick test_bulk_runs;
+        test_bulk_runs_prop;
+        Alcotest.test_case "runs_of_array leaves argument intact" `Quick
+          test_bulk_runs_of_array_pure;
+      ] );
     ( "proto.stache",
       [
         Alcotest.test_case "read 2-hop" `Quick test_read_2hop;
