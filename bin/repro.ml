@@ -87,6 +87,43 @@ let run_scaling full jobs = print_string (E.scaling ?jobs (scale full))
 let run_inspector full = print_string (E.inspector (scale full))
 let run_trace file = print_string (Ccdsm_harness.Trace_summary.of_file file)
 
+let run_check depth seed faults nodes blocks jobs replay mode =
+  match replay with
+  | Some path -> (
+      (* Oracle mode: re-validate a recorded JSONL trace offline. *)
+      let mode =
+        match mode with
+        | "invalidate" -> Ccdsm_check.Replay.Sanitizer.Invalidate
+        | "update" -> Ccdsm_check.Replay.Sanitizer.Update
+        | other ->
+            Printf.eprintf "repro check: unknown --mode %s (use invalidate|update)\n" other;
+            exit 124
+      in
+      match Ccdsm_check.Replay.file ~mode path with
+      | Ok r ->
+          Printf.printf "trace ok: %d machine%s, %d events validated%s\n" r.machines
+            (if r.machines = 1 then "" else "s")
+            r.events
+            (if r.skipped = 0 then "" else Printf.sprintf " (%d blank lines)" r.skipped)
+      | Error e ->
+          Printf.eprintf "repro check: %s: %s\n" path (Ccdsm_check.Replay.error_to_string e);
+          exit 1)
+  | None ->
+      let module D = Ccdsm_harness.Check_driver in
+      let cells = D.run ?jobs ?seed ~depth (D.matrix ~faults ~nodes ~blocks ()) in
+      print_string (D.render cells);
+      let cexs = D.failures cells in
+      if cexs <> [] then begin
+        print_newline ();
+        List.iter
+          (fun cex ->
+            Format.printf "%a@." Ccdsm_check.Explore.pp_counterexample cex;
+            let path = Ccdsm_check.Artifacts.write cex in
+            Printf.printf "counterexample written to %s\n" path)
+          cexs;
+        exit 1
+      end
+
 let run_all full nodes jobs trace =
   with_trace trace (fun () ->
       let s = scale full in
@@ -120,6 +157,62 @@ let run_all full nodes jobs trace =
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
+let depth_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "depth" ] ~docv:"N"
+        ~doc:
+          "Explore every protocol state reachable within $(docv) operations \
+           (fault-branch cells run one level shallower).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Shuffle each cell's op-expansion order with this seed.  The explored \
+           state set — and therefore the output — is order-invariant; the flag \
+           exists to demonstrate that.")
+
+let check_faults_arg =
+  Arg.(
+    value
+    & opt bool true
+    & info [ "faults" ] ~docv:"BOOL"
+        ~doc:
+          "Include the fault-branch cells (scripted message drop/duplication/delay \
+           and schedule corruption as explorable operations).")
+
+let check_nodes_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "nodes" ] ~docv:"N" ~doc:"Simulated processors in each explored machine.")
+
+let check_blocks_arg =
+  Arg.(value & opt int 2 & info [ "blocks" ] ~docv:"N" ~doc:"Cache blocks in each explored machine.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Instead of exploring, replay a JSONL trace (written by --trace) through \
+           the invariant oracle: reconstruct a mirror machine from the trace and \
+           re-run every sanitizer check offline.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt string "invalidate"
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Sanitizer mode for --replay: $(b,invalidate) for Stache/predictive \
+           traces, $(b,update) for write-update traces.")
+
 let trace_file_arg =
   Arg.(
     required
@@ -149,6 +242,13 @@ let cmds =
       Term.(const run_inspector $ full_arg);
     cmd "trace" "Summarize a JSONL coherence trace captured with --trace"
       Term.(const run_trace $ trace_file_arg);
+    cmd "check"
+      "Verify the protocols: exhaustive bounded exploration (with fault branches) \
+       and shrunk counterexamples, or replay a recorded trace through the \
+       invariant oracle with --replay"
+      Term.(
+        const run_check $ depth_arg $ seed_arg $ check_faults_arg $ check_nodes_arg
+        $ check_blocks_arg $ jobs_arg $ replay_arg $ mode_arg);
     cmd "all" "Everything, plus the qualitative shape checklist"
       Term.(const run_all $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
   ]

@@ -1,0 +1,46 @@
+(* Persisting shrunk counterexamples.
+
+   When exploration fails, the minimal repro is written to a file so CI can
+   upload it and a developer can replay it without re-running the search.
+   The directory defaults to ./check-artifacts and is overridable with
+   CCDSM_CHECK_ARTIFACTS; filenames are deterministic functions of the
+   counterexample so re-runs overwrite rather than accumulate. *)
+
+module Trace = Ccdsm_tempest.Trace
+
+let env_var = "CCDSM_CHECK_ARTIFACTS"
+
+let dir () =
+  match Sys.getenv_opt env_var with
+  | Some d when String.trim d <> "" -> d
+  | _ -> "check-artifacts"
+
+let filename (cex : Explore.counterexample) =
+  Printf.sprintf "counterexample-%s-%dn%db-%08x.txt"
+    (Model.protocol_name cex.cfg.protocol)
+    cex.cfg.nodes cex.cfg.blocks
+    (Hashtbl.hash (List.map Model.op_name cex.ops) land 0xffffffff)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+let write ?dir:d (cex : Explore.counterexample) =
+  let d = match d with Some d -> d | None -> dir () in
+  mkdir_p d;
+  let path = Filename.concat d (filename cex) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Explore.pp_counterexample cex;
+      output_string oc "\nreplay trace (JSONL):\n";
+      List.iter
+        (fun ev ->
+          output_string oc (Trace.to_json ev);
+          output_char oc '\n')
+        cex.trace);
+  path

@@ -1,0 +1,14 @@
+(** Persisting shrunk counterexamples to disk for CI upload and replay. *)
+
+val env_var : string
+(** ["CCDSM_CHECK_ARTIFACTS"] — overrides the artifact directory. *)
+
+val dir : unit -> string
+(** The artifact directory: [$CCDSM_CHECK_ARTIFACTS] if set and non-empty,
+    else ["check-artifacts"]. *)
+
+val write : ?dir:string -> Explore.counterexample -> string
+(** Write the counterexample report (config, message, minimal ops, trace as
+    both pretty text and JSONL) under [dir] (default {!dir}[ ()]), creating
+    the directory if needed, and return the written path.  The filename is
+    a deterministic function of the counterexample. *)

@@ -1,0 +1,119 @@
+(* Bounded breadth-first exploration of the protocol state graph.
+
+   Every distinguishable canonical state (Model.state_of) is expanded at
+   its shallowest depth, so within [max_depth] the exploration is
+   exhaustive over reachable states, not over the exponential sequence
+   space.  Sequences are replayed from scratch per candidate — the
+   simulated machines are cheap and replay keeps the sanitizer's
+   transition-level checks running over every explored edge.
+
+   On an invariant violation the failing sequence is shrunk before being
+   reported: ddmin over the op sequence, then over the machine itself
+   (fewer nodes, fewer blocks, fault branches dropped when unneeded), then
+   ddmin again on the smaller machine.  The final counterexample carries
+   the violation message and the trace events of the minimal replay. *)
+
+module Trace = Ccdsm_tempest.Trace
+module Prng = Ccdsm_util.Prng
+
+type counterexample = {
+  cfg : Model.config;  (* the (possibly shrunk) machine that fails *)
+  ops : Model.op list;  (* the minimal failing sequence *)
+  found : Model.op list;  (* the sequence the explorer originally hit *)
+  message : string;  (* the violation, from the minimal replay *)
+  trace : Trace.event list;  (* trace events of the minimal replay *)
+}
+
+type outcome =
+  | Pass of { states : int; candidates : int }
+  | Fail of counterexample
+
+(* Does [seq] still violate (the same kind of) invariant on [cfg]?  Any
+   violation counts: shrinking may legitimately surface a shorter route to
+   a different message for the same underlying bug. *)
+let fails ?extra cfg seq =
+  match Model.replay ?extra cfg seq with
+  | (_ : string) -> false
+  | exception Model.Violation _ -> true
+
+(* Try successively smaller machines: drop fault branches if the failure
+   does not need them, then fewer nodes, then fewer blocks.  Ops that no
+   longer fit are filtered out; the candidate only counts if the filtered
+   sequence still fails, in which case we re-minimize on the smaller
+   machine and recurse. *)
+let rec shrink_config ?extra (cfg : Model.config) ops =
+  let try_cfg (cfg' : Model.config) =
+    let ops' =
+      List.filter (Model.op_fits ~nodes:cfg'.nodes ~blocks:cfg'.blocks) ops
+    in
+    if ops' <> [] && fails ?extra cfg' ops' then
+      Some (shrink_config ?extra cfg' (Shrink.list (fails ?extra cfg') ops'))
+    else None
+  in
+  let candidates =
+    (if cfg.nodes > 1 then [ { cfg with nodes = cfg.nodes - 1 } ] else [])
+    @ (if cfg.blocks > 1 then [ { cfg with blocks = cfg.blocks - 1 } ] else [])
+  in
+  match List.find_map try_cfg candidates with
+  | Some shrunk -> shrunk
+  | None -> (cfg, ops)
+
+let minimize ?extra cfg found =
+  let ops = Shrink.list (fails ?extra cfg) found in
+  let cfg, ops = shrink_config ?extra cfg ops in
+  (* Reproduce the minimal failure once more with a recorder to capture the
+     message and the trace leading to it. *)
+  let events = ref [] in
+  let recorder ev = events := ev :: !events in
+  let message =
+    match Model.replay ~recorder ?extra cfg ops with
+    | (_ : string) -> "shrunk sequence stopped failing (non-deterministic system?)"
+    | exception Model.Violation msg -> msg
+  in
+  { cfg; ops; found; message; trace = List.rev !events }
+
+let run ?seed ?extra ?(max_depth = 4) cfg =
+  let ops =
+    let a = Array.of_list (Model.alphabet cfg) in
+    (match seed with
+    | None -> ()
+    | Some s -> Prng.shuffle (Prng.create ~seed:s) a);
+    Array.to_list a
+  in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let candidates = ref 0 in
+  let queue = Queue.create () in
+  let failure = ref None in
+  let enqueue depth seq =
+    incr candidates;
+    match Model.replay ?extra cfg seq with
+    | state ->
+        if not (Hashtbl.mem visited state) then begin
+          Hashtbl.replace visited state ();
+          Queue.add (depth, seq) queue
+        end
+    | exception Model.Violation _ -> failure := Some (minimize ?extra cfg seq)
+  in
+  enqueue 0 [];
+  while !failure = None && not (Queue.is_empty queue) do
+    let depth, seq = Queue.pop queue in
+    if depth < max_depth then
+      List.iter
+        (fun op -> if !failure = None then enqueue (depth + 1) (seq @ [ op ]))
+        ops
+  done;
+  match !failure with
+  | Some cex -> Fail cex
+  | None -> Pass { states = Hashtbl.length visited; candidates = !candidates }
+
+let pp_counterexample ppf cex =
+  Format.fprintf ppf "@[<v>invariant violation on %s@,%s@,@,minimal repro (%d op%s, shrunk from %d):@,"
+    (Model.config_to_string cex.cfg) cex.message (List.length cex.ops)
+    (if List.length cex.ops = 1 then "" else "s")
+    (List.length cex.found);
+  List.iteri (fun i op -> Format.fprintf ppf "  %2d. %s@," (i + 1) (Model.op_name op)) cex.ops;
+  match cex.trace with
+  | [] -> ()
+  | trace ->
+      Format.fprintf ppf "@,trace of the minimal run (%d events):@," (List.length trace);
+      List.iter (fun ev -> Format.fprintf ppf "  %a@," Trace.pp ev) trace

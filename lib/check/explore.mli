@@ -1,0 +1,39 @@
+(** Bounded breadth-first exploration with counterexample shrinking.
+
+    The explorer drives a {!Model.sys} through every distinguishable
+    protocol state reachable within a bounded number of operations,
+    checking invariants after every single op.  On a violation the failing
+    sequence is minimized — ddmin over the ops, then over the machine size,
+    then ddmin again — before being reported. *)
+
+module Trace = Ccdsm_tempest.Trace
+
+type counterexample = {
+  cfg : Model.config;  (** the (possibly shrunk) machine that fails *)
+  ops : Model.op list;  (** the minimal failing sequence *)
+  found : Model.op list;  (** the sequence the explorer originally hit *)
+  message : string;  (** the violation, from the minimal replay *)
+  trace : Trace.event list;  (** trace events of the minimal replay *)
+}
+
+type outcome =
+  | Pass of { states : int; candidates : int }
+      (** [states] distinct canonical states visited; [candidates]
+          sequences replayed (states × alphabet expansions) *)
+  | Fail of counterexample
+
+val run :
+  ?seed:int -> ?extra:(Model.sys -> unit) -> ?max_depth:int -> Model.config -> outcome
+(** Explore [cfg] to [max_depth] (default 4).  [seed] shuffles the
+    expansion order of the alphabet — the set of reachable states is
+    order-invariant, so the outcome is too; the shuffle only exercises
+    determinism claims.  [extra] is an additional per-op invariant threaded
+    through to {!Model.replay} (mutation tests seed artificial bugs with
+    it). *)
+
+val minimize :
+  ?extra:(Model.sys -> unit) -> Model.config -> Model.op list -> counterexample
+(** Shrink a known-failing sequence directly (exposed for tests). *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+(** Multi-line report: config, message, numbered minimal ops, trace. *)

@@ -1,0 +1,53 @@
+(* Differential-execution oracle for compiled C** programs.
+
+   Runs a compiled program on a simulated machine and returns every
+   aggregate word as raw IEEE bits, so two runs compare exactly (NaNs
+   included).  The fuzzer uses it to check that node count, block size and
+   protocol choice never change computed values; it is equally usable from
+   the CLI to compare two configurations of a real program. *)
+
+open Ccdsm_cstar
+module Machine = Ccdsm_tempest.Machine
+module Runtime = Ccdsm_runtime.Runtime
+module Aggregate = Ccdsm_runtime.Aggregate
+
+let run_bits compiled ~num_nodes ~block_bytes ~protocol =
+  let rt =
+    Runtime.create ~cfg:(Machine.default_config ~num_nodes ~block_bytes ()) ~sanitize:true
+      ~protocol ()
+  in
+  let env = Interp.load rt compiled in
+  Interp.run env;
+  let out = ref [] in
+  List.iter
+    (fun (decl : Ast.agg_decl) ->
+      let agg = Interp.aggregate env decl.Ast.agg_name in
+      let words = max 1 (List.length decl.Ast.agg_fields) in
+      let push v = out := Int64.bits_of_float v :: !out in
+      match decl.Ast.agg_dims with
+      | [ n ] ->
+          for i = 0 to n - 1 do
+            for f = 0 to words - 1 do
+              push (Aggregate.peek1 agg i ~field:f)
+            done
+          done
+      | [ rows; cols ] ->
+          for i = 0 to rows - 1 do
+            for j = 0 to cols - 1 do
+              for f = 0 to words - 1 do
+                push (Aggregate.peek2 agg i j ~field:f)
+              done
+            done
+          done
+      | _ -> assert false)
+    compiled.Compile.sema.Sema.prog.Ast.aggs;
+  !out
+
+let agree compiled ~configs =
+  match configs with
+  | [] -> invalid_arg "Oracle.agree: no configurations"
+  | (n0, b0, p0) :: rest ->
+      let reference = run_bits compiled ~num_nodes:n0 ~block_bytes:b0 ~protocol:p0 in
+      List.for_all
+        (fun (n, b, p) -> run_bits compiled ~num_nodes:n ~block_bytes:b ~protocol:p = reference)
+        rest

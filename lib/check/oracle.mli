@@ -1,0 +1,22 @@
+(** Differential-execution oracle: run a compiled C** program and expose
+    every aggregate word as raw IEEE bits, so runs under different node
+    counts, block sizes and protocols compare exactly (NaNs included). *)
+
+module Runtime = Ccdsm_runtime.Runtime
+
+val run_bits :
+  Ccdsm_cstar.Compile.compiled ->
+  num_nodes:int ->
+  block_bytes:int ->
+  protocol:Runtime.protocol ->
+  int64 list
+(** Execute on a fresh sanitized runtime and return all aggregate words,
+    in declaration order, as [Int64.bits_of_float]. *)
+
+val agree :
+  Ccdsm_cstar.Compile.compiled ->
+  configs:(int * int * Runtime.protocol) list ->
+  bool
+(** [agree c ~configs] runs [c] under every [(num_nodes, block_bytes,
+    protocol)] and checks all produce identical bits.
+    @raise Invalid_argument on an empty list. *)

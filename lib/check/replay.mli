@@ -1,0 +1,30 @@
+(** Trace-replay oracle: validate recorded JSONL traces offline.
+
+    Reconstructs a mirror machine from each trace segment's [Init]/[Alloc]
+    events, maintains the mirror's tags from [Tag_change] events (checking
+    each event's [before] tag against what the mirror holds), and feeds
+    every event through a detached {!Ccdsm_proto.Sanitizer} so all
+    transition-level invariants run again.  Directory agreement is not
+    checked — the trace does not carry directory state. *)
+
+module Sanitizer = Ccdsm_proto.Sanitizer
+
+type report = {
+  machines : int;  (** [Init]-delimited segments validated *)
+  events : int;  (** events fed through the sanitizer *)
+  skipped : int;  (** blank lines ignored *)
+}
+
+type error = { line : int; message : string }
+(** [line] is 1-based; 0 for errors not tied to a line. *)
+
+val error_to_string : error -> string
+
+val run :
+  ?mode:Sanitizer.mode -> string list -> (report, error) result
+(** Validate a list of JSONL lines ([mode] defaults to [Invalidate]).
+    Stops at the first parse error, mirror mismatch, or sanitizer
+    violation. *)
+
+val file : ?mode:Sanitizer.mode -> string -> (report, error) result
+(** {!run} on the lines of [path]. *)

@@ -1,0 +1,32 @@
+(* Delta debugging (ddmin) over lists.
+
+   Zeller & Hildebrandt's minimizing delta debugging, specialized to the
+   "remove chunks of a failing op sequence" use: start with coarse chunks
+   (half the list), try dropping each chunk; on success restart from the
+   shorter list, otherwise refine granularity.  Terminates 1-minimal: no
+   single remaining element can be removed without losing the failure. *)
+
+let drop_chunk xs ~start ~len =
+  List.filteri (fun i _ -> i < start || i >= start + len) xs
+
+let list fails xs =
+  if not (fails xs) then
+    invalid_arg "Shrink.list: input sequence does not fail";
+  let rec go xs n =
+    let len = List.length xs in
+    if len <= 1 then xs
+    else begin
+      let chunk = max 1 (len / n) in
+      let rec try_chunks start =
+        if start >= len then None
+        else
+          let candidate = drop_chunk xs ~start ~len:(min chunk (len - start)) in
+          if candidate <> [] && fails candidate then Some candidate
+          else try_chunks (start + chunk)
+      in
+      match try_chunks 0 with
+      | Some smaller -> go smaller (max 2 (n - 1))  (* restart, slightly coarser *)
+      | None -> if chunk = 1 then xs else go xs (min len (2 * n))
+    end
+  in
+  go xs 2

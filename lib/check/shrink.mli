@@ -1,0 +1,12 @@
+(** Minimizing delta debugging (ddmin) over lists.
+
+    Used to shrink invariant-violating op sequences to minimal repros
+    before they are reported or written to artifacts. *)
+
+val list : ('a list -> bool) -> 'a list -> 'a list
+(** [list fails xs] returns a 1-minimal sublist of [xs] that still
+    satisfies [fails]: removing any single remaining element makes the
+    predicate false.  Elements keep their relative order.  [fails] must be
+    deterministic.
+
+    @raise Invalid_argument if [fails xs] is false to begin with. *)

@@ -40,6 +40,13 @@ let stats t = t.st
 let in_phase t = t.current
 let schedule t ~phase = Hashtbl.find_opt t.schedules phase
 
+(* Presend grants dropped in flight this phase, sorted for canonical output.
+   This is genuine protocol state (the next access to a lost (node, block)
+   pair takes the fallback path), so the model checker folds it into its
+   canonicalized state. *)
+let lost_grants t =
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.lost [])
+
 let schedule_for t phase =
   match Hashtbl.find_opt t.schedules phase with
   | Some s -> s

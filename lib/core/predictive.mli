@@ -47,6 +47,12 @@ val schedule : t -> phase:int -> Schedule.t option
 val in_phase : t -> int option
 (** The phase currently recording, if any. *)
 
+val lost_grants : t -> (int * int) list
+(** [(node, block)] presend grants dropped in flight by the fault injector
+    during the current phase, sorted.  The next access by [node] to [block]
+    will fall back to a demand miss; the model checker folds this set into
+    its canonicalized protocol state because it changes future behaviour. *)
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -1,0 +1,28 @@
+(** Driver for [repro check]: a matrix of bounded protocol explorations
+    fanned over OCaml domains via {!Parjobs.map}, rendered as one table.
+
+    Each cell explores one {!Ccdsm_check.Model.config} — protocol × fault
+    branches on/off — with {!Ccdsm_check.Explore.run}.  Cells are
+    independent simulations, so the fan-out is deterministic and the table
+    is byte-identical at any job count. *)
+
+module Model = Ccdsm_check.Model
+module Explore = Ccdsm_check.Explore
+
+type cell = { cfg : Model.config; depth : int; outcome : Explore.outcome }
+
+val matrix : ?faults:bool -> ?nodes:int -> ?blocks:int -> unit -> Model.config list
+(** The default verification matrix: Stache and predictive without fault
+    branches, plus (when [faults], the default) both with fault branches. *)
+
+val run : ?jobs:int -> ?seed:int -> ?depth:int -> Model.config list -> cell list
+(** Explore every config to [depth] (default 4; fault-branch cells run one
+    level shallower to bound the larger alphabet).  [seed] shuffles each
+    cell's expansion order — outcomes are order-invariant. *)
+
+val all_ok : cell list -> bool
+
+val render : cell list -> string
+(** The fixed-width result table. *)
+
+val failures : cell list -> Explore.counterexample list

@@ -5,7 +5,21 @@ open Ccdsm_util
 
 type mode = Invalidate | Update
 
-exception Violation of string
+(* A violation is structured so callers (the model checker's shrinker, the
+   check CLI, artifact writers) can dispatch on the invariant that tripped
+   instead of grepping an error string.  [history] is the recent-event ring
+   at the moment of the failure, oldest first. *)
+type violation = { check : string; message : string; history : Trace.event list }
+
+exception Violation of violation
+
+let to_string v =
+  let b = Buffer.create 256 in
+  let f = Format.formatter_of_buffer b in
+  Format.fprintf f "sanitizer: %s@\nrecent events (oldest first):" v.message;
+  List.iter (fun ev -> Format.fprintf f "@\n  %a" Trace.pp ev) v.history;
+  Format.pp_print_flush f ();
+  Buffer.contents b
 
 (* Ring buffer of the most recent events, for violation diagnostics. *)
 let history_len = 16
@@ -37,15 +51,9 @@ let recent t =
       | Some ev -> ev
       | None -> assert false)
 
-let fail t fmt =
+let fail t ~check fmt =
   Format.kasprintf
-    (fun msg ->
-      let b = Buffer.create 256 in
-      let f = Format.formatter_of_buffer b in
-      Format.fprintf f "sanitizer: %s@\nrecent events (oldest first):" msg;
-      List.iter (fun ev -> Format.fprintf f "@\n  %a" Trace.pp ev) (recent t);
-      Format.pp_print_flush f ();
-      raise (Violation (Buffer.contents b)))
+    (fun message -> raise (Violation { check; message; history = recent t }))
     fmt
 
 (* Single-writer/multi-reader over the machine's tags for one block.  In
@@ -63,10 +71,10 @@ let check_swmr t b =
   (match !writers with
   | [] | [ _ ] -> ()
   | ws ->
-      fail t "block %d has %d ReadWrite copies (nodes %s)" b (List.length ws)
+      fail t ~check:"swmr" "block %d has %d ReadWrite copies (nodes %s)" b (List.length ws)
         (String.concat "," (List.rev_map string_of_int ws)));
   if t.mode = Invalidate && !writers <> [] && !readers > 0 then
-    fail t
+    fail t ~check:"swmr"
       "block %d has a ReadWrite copy at node %d alongside %d ReadOnly \
        cop%s (write-invalidate protocol)"
       b (List.hd !writers) !readers
@@ -80,7 +88,7 @@ let check_dir_agreement t =
         (fun b () ->
           match Directory.check_invariant dir b with
           | Ok () -> ()
-          | Error msg -> fail t "directory/tag disagreement: %s" msg)
+          | Error msg -> fail t ~check:"directory" "directory/tag disagreement: %s" msg)
         t.dirty;
       Hashtbl.reset t.dirty
 
@@ -94,10 +102,10 @@ let on_event t ev =
   | Trace.Msg { src; dst; bytes; kind } ->
       let n = Machine.num_nodes t.machine in
       if src < 0 || src >= n then
-        fail t "message source %d out of range [0,%d)" src n;
-      if dst >= n then fail t "message destination %d out of range [0,%d)" dst n;
+        fail t ~check:"msg" "message source %d out of range [0,%d)" src n;
+      if dst >= n then fail t ~check:"msg" "message destination %d out of range [0,%d)" dst n;
       if bytes <= 0 then
-        fail t "non-positive %s message size %d from node %d"
+        fail t ~check:"msg" "non-positive %s message size %d from node %d"
           (Trace.msg_kind_name kind) bytes src
   | Trace.Sched_record { phase; block; node; write = _ } ->
       let key = (phase, block) in
@@ -114,12 +122,12 @@ let on_event t ev =
       match Hashtbl.find_opt t.recorded (phase, block) with
       | Some consumers when Nodeset.mem dst consumers -> ()
       | Some _ ->
-          fail t
+          fail t ~check:"presend"
             "presend of block %d (phase %d) to node %d, which the schedule \
              never recorded as a consumer"
             block phase dst
       | None ->
-          fail t
+          fail t ~check:"presend"
             "presend of block %d for phase %d, but the schedule holds no \
              record for that (phase, block) — stale after a flush?"
             block phase)
@@ -127,7 +135,7 @@ let on_event t ev =
       (if write && t.check_races then
          match Hashtbl.find_opt t.writers addr with
          | Some w when w <> node ->
-             fail t
+             fail t ~check:"race"
                "write race on word %d: nodes %d and %d both wrote it with no \
                 intervening barrier"
                addr w node
@@ -140,8 +148,8 @@ let on_event t ev =
   | Trace.Msg_drop { src; dst; kind = _ } ->
       (* A lost message must still have been a well-formed send. *)
       let n = Machine.num_nodes t.machine in
-      if src < 0 || src >= n then fail t "dropped-message source %d out of range [0,%d)" src n;
-      if dst >= n then fail t "dropped-message destination %d out of range [0,%d)" dst n
+      if src < 0 || src >= n then fail t ~check:"drop" "dropped-message source %d out of range [0,%d)" src n;
+      if dst >= n then fail t ~check:"drop" "dropped-message destination %d out of range [0,%d)" dst n
   | Trace.Sched_corrupt { phase; block; node } -> (
       (* Track the corruption so the presend-vs-schedule check tests the
          protocol against its own (corrupted) belief: a presend to the
@@ -152,28 +160,35 @@ let on_event t ev =
       | Some n -> Hashtbl.replace t.recorded (phase, block) (Nodeset.singleton n))
   | Trace.Retry { node; block = _; attempt } ->
       let n = Machine.num_nodes t.machine in
-      if node < 0 || node >= n then fail t "retry by node %d out of range [0,%d)" node n;
-      if attempt < 1 then fail t "retry with non-positive attempt %d" attempt
+      if node < 0 || node >= n then fail t ~check:"retry" "retry by node %d out of range [0,%d)" node n;
+      if attempt < 1 then fail t ~check:"retry" "retry with non-positive attempt %d" attempt
   | Trace.Presend_fallback _
   | Trace.Init _ | Trace.Alloc _ | Trace.Fault _ | Trace.Phase_begin _
   | Trace.Sched_conflict _ ->
       ()
 
-let attach ?(mode = Invalidate) ?dir ?(check_races = true) machine =
-  let t =
-    {
-      machine;
-      mode;
-      dir;
-      check_races;
-      seen = 0;
-      dirty = Hashtbl.create 64;
-      recorded = Hashtbl.create 64;
-      writers = Hashtbl.create 1024;
-      history = Array.make history_len None;
-      hist_next = 0;
-    }
-  in
+(* [create] builds a detached sanitizer: the caller feeds it events
+   explicitly (the trace-replay oracle drives one from a recorded JSONL
+   stream against a mirror machine).  [attach] is the live form, subscribed
+   to the machine's trace bus. *)
+let create ?(mode = Invalidate) ?dir ?(check_races = true) machine =
+  {
+    machine;
+    mode;
+    dir;
+    check_races;
+    seen = 0;
+    dirty = Hashtbl.create 64;
+    recorded = Hashtbl.create 64;
+    writers = Hashtbl.create 1024;
+    history = Array.make history_len None;
+    hist_next = 0;
+  }
+
+let feed t ev = on_event t ev
+
+let attach ?mode ?dir ?check_races machine =
+  let t = create ?mode ?dir ?check_races machine in
   Machine.subscribe machine (on_event t);
   t
 

@@ -31,10 +31,12 @@
       (disable with [~check_races:false] for raw protocol exploration that
       has no phase structure, e.g. the model checker's op sequences).
 
-    On violation the sanitizer raises {!Violation} with a diagnostic that
-    includes the failing invariant and the most recent events for context. *)
+    On violation the sanitizer raises {!Violation} with a structured
+    {!violation} naming the failing invariant and carrying the most recent
+    events for context. *)
 
 module Machine = Ccdsm_tempest.Machine
+module Trace = Ccdsm_tempest.Trace
 
 type mode =
   | Invalidate  (** write-invalidate protocols (Stache, predictive) *)
@@ -44,13 +46,36 @@ type mode =
 
 type t
 
-exception Violation of string
+type violation = {
+  check : string;
+      (** which invariant tripped: ["swmr"], ["directory"], ["msg"],
+          ["presend"], ["race"], ["drop"] or ["retry"] *)
+  message : string;  (** human-readable description of the failure *)
+  history : Trace.event list;
+      (** the most recent events at the failure, oldest first *)
+}
+
+exception Violation of violation
+
+val to_string : violation -> string
+(** Multi-line diagnostic: the message followed by the recent events. *)
 
 val attach :
   ?mode:mode -> ?dir:Directory.t -> ?check_races:bool -> Machine.t -> t
 (** Create a sanitizer and subscribe it to [machine]'s event bus.  [mode]
     defaults to [Invalidate]; pass [dir] to enable directory/tag agreement
     checking; [check_races] defaults to [true]. *)
+
+val create :
+  ?mode:mode -> ?dir:Directory.t -> ?check_races:bool -> Machine.t -> t
+(** Like {!attach} but without subscribing: the caller pushes events through
+    {!feed} explicitly.  The trace-replay oracle uses this to validate
+    recorded JSONL traces against a mirror machine whose tags it maintains
+    from the replayed [Tag_change] events. *)
+
+val feed : t -> Trace.event -> unit
+(** Validate one event (exactly what the subscribed form does per event).
+    @raise Violation when an invariant fails. *)
 
 val events_seen : t -> int
 (** Number of events validated so far (sanity hook for tests). *)

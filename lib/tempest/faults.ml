@@ -65,22 +65,35 @@ type outcome = Deliver | Drop | Duplicate | Delay
 type t = {
   p : plan;
   rng : Prng.t;
+  mutable forced : outcome list;
+      (* FIFO of scripted verdicts, consumed before any probabilistic draw.
+         The model checker uses this to turn each fault-plan point into a
+         deterministic, explorable branch. *)
   mutable drops : int;
   mutable dups : int;
   mutable delays : int;
   mutable corruptions : int;
 }
 
-let create p = { p; rng = Prng.create ~seed:p.seed; drops = 0; dups = 0; delays = 0; corruptions = 0 }
+let create p =
+  { p; rng = Prng.create ~seed:p.seed; forced = []; drops = 0; dups = 0; delays = 0; corruptions = 0 }
 
 let plan t = t.p
 
+let force t o = t.forced <- t.forced @ [ o ]
+let clear_forced t = t.forced <- []
+
 let verdict t =
-  let u = Prng.float t.rng 1.0 in
-  if u < t.p.drop then Drop
-  else if u < t.p.drop +. t.p.dup then Duplicate
-  else if u < t.p.drop +. t.p.dup +. t.p.delay then Delay
-  else Deliver
+  match t.forced with
+  | o :: rest ->
+      t.forced <- rest;
+      o
+  | [] ->
+      let u = Prng.float t.rng 1.0 in
+      if u < t.p.drop then Drop
+      else if u < t.p.drop +. t.p.dup then Duplicate
+      else if u < t.p.drop +. t.p.dup +. t.p.delay then Delay
+      else Deliver
 
 let flip t p = Prng.float t.rng 1.0 < p
 let draw_int t bound = Prng.int t.rng bound

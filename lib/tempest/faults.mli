@@ -63,7 +63,20 @@ val create : plan -> t
 val plan : t -> plan
 
 val verdict : t -> outcome
-(** Decide the fate of one message (one PRNG draw). *)
+(** Decide the fate of one message (one PRNG draw), unless a scripted
+    verdict is queued — see {!force}. *)
+
+val force : t -> outcome -> unit
+(** Queue a scripted verdict: the next {!verdict} call returns it without
+    touching the PRNG.  Multiple queued verdicts are consumed FIFO.  This is
+    how the model checker ({!Ccdsm_check}) turns each fault-plan point into
+    a deterministic, exhaustively explorable branch instead of a sampled
+    probability. *)
+
+val clear_forced : t -> unit
+(** Discard any unconsumed scripted verdicts (the checker clears between
+    explored operations so an op that drew no messages leaks no verdict into
+    the next). *)
 
 val flip : t -> float -> bool
 (** [flip t p] is true with probability [p] (one draw). *)

@@ -16,5 +16,11 @@ let to_string = function
   | Read_only -> "ReadOnly"
   | Read_write -> "ReadWrite"
 
+let of_string = function
+  | "Invalid" -> Some Invalid
+  | "ReadOnly" -> Some Read_only
+  | "ReadWrite" -> Some Read_write
+  | _ -> None
+
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 let equal (a : t) b = a = b

@@ -19,4 +19,8 @@ val of_char : char -> t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (trace parsing); [None] on unknown names. *)
+
 val equal : t -> t -> bool

@@ -64,6 +64,15 @@ val to_json : event -> string
 (** One-line JSON object with a fixed field order; the JSONL trace format.
     Deterministic: equal events render to equal strings. *)
 
+val msg_kind_of_string : string -> msg_kind option
+(** Inverse of {!msg_kind_name}; [None] on unknown names. *)
+
+val of_json : string -> (event, string) result
+(** Parse one JSONL trace line back into its event (inverse of {!to_json}
+    over this module's own fixed format — not a general JSON parser).  The
+    trace-replay oracle ({!Ccdsm_check.Replay}) uses this to feed recorded
+    traces through the sanitizer.  Errors name the missing/bad field. *)
+
 val pp : Format.formatter -> event -> unit
 (** Human-readable one-liner (used in sanitizer diagnostics). *)
 

@@ -14,9 +14,7 @@
      adds phase markers (the call sequence is preserved). *)
 
 open Ccdsm_cstar
-module Machine = Ccdsm_tempest.Machine
 module Runtime = Ccdsm_runtime.Runtime
-module Aggregate = Ccdsm_runtime.Aggregate
 module Gen = QCheck2.Gen
 
 (* -- program generator ------------------------------------------------------ *)
@@ -162,38 +160,9 @@ let gen_program =
 (* -- execution oracle --------------------------------------------------------- *)
 
 (* Run a compiled program; return every aggregate word as raw bits (so NaNs
-   compare equal). *)
-let run_bits compiled ~num_nodes ~block_bytes ~protocol =
-  let rt =
-    Runtime.create ~cfg:(Machine.default_config ~num_nodes ~block_bytes ()) ~sanitize:true
-      ~protocol ()
-  in
-  let env = Interp.load rt compiled in
-  Interp.run env;
-  let out = ref [] in
-  List.iter
-    (fun (decl : Ast.agg_decl) ->
-      let agg = Interp.aggregate env decl.Ast.agg_name in
-      let words = max 1 (List.length decl.Ast.agg_fields) in
-      let push v = out := Int64.bits_of_float v :: !out in
-      match decl.Ast.agg_dims with
-      | [ n ] ->
-          for i = 0 to n - 1 do
-            for f = 0 to words - 1 do
-              push (Aggregate.peek1 agg i ~field:f)
-            done
-          done
-      | [ rows; cols ] ->
-          for i = 0 to rows - 1 do
-            for j = 0 to cols - 1 do
-              for f = 0 to words - 1 do
-                push (Aggregate.peek2 agg i j ~field:f)
-              done
-            done
-          done
-      | _ -> assert false)
-    compiled.Compile.sema.Sema.prog.Ast.aggs;
-  !out
+   compare equal).  The oracle lives in Ccdsm_check so the CLI and other
+   tests can use the same differential-execution check. *)
+let run_bits = Ccdsm_check.Oracle.run_bits
 
 let compile_ast ast =
   (* Go through the full pipeline from *source text* so the printer and

@@ -1,206 +1,66 @@
 (* Exhaustive model checking of the coherence protocols.
 
    The paper's protocols were written in Teapot partly to make them
-   verifiable.  Here we verify our implementations directly: breadth-first
-   exploration of every distinguishable protocol state reachable within a
-   bounded number of operations on a small machine (3 nodes, 2 blocks),
-   checking after every single operation that
+   verifiable.  Here we verify our implementations directly through
+   Ccdsm_check: breadth-first exploration of every distinguishable protocol
+   state reachable within a bounded number of operations on a small machine
+   (3 nodes, 2 blocks), checking invariants after every single operation —
+   see lib/check/model.ml for the invariant list and canonicalization.
 
-   - tags satisfy single-writer/multi-reader (at most one ReadWrite copy,
-     and never ReadWrite and ReadOnly copies simultaneously);
-   - the directory agrees exactly with the tags;
-   - reads return the value of the latest write (against a model memory);
-   - no operation raises.
+   With fault branches enabled, every fault-plan point (message drop,
+   duplication, delay, schedule corruption) is explored as a deterministic
+   transition, so the recovery paths — retry/backoff, presend fallback,
+   schedule repair — are covered exhaustively rather than sampled. *)
 
-   States are canonicalized (tags + directory + schedule contents + phase
-   status) and deduplicated, so the exploration covers the reachable state
-   graph rather than the exponential sequence space.
+module Model = Ccdsm_check.Model
+module Explore = Ccdsm_check.Explore
 
-   The online sanitizer (Ccdsm_proto.Sanitizer) rides along on every
-   explored sequence, so its transition-level checks — including the
-   presend/schedule consistency ones this file cannot express — run against
-   the full reachable state space.  Races are expected here (the op
-   alphabet writes from different nodes with no barriers), so the
-   sanitizer's race check is off. *)
+let explore ?seed cfg ~max_depth =
+  match Explore.run ?seed ~max_depth cfg with
+  | Explore.Pass { states; _ } -> states
+  | Explore.Fail cex ->
+      Alcotest.failf "invariant violated: %a" Explore.pp_counterexample cex
 
-open Ccdsm_util
-module Machine = Ccdsm_tempest.Machine
-module Tag = Ccdsm_tempest.Tag
-module Directory = Ccdsm_proto.Directory
-module Engine = Ccdsm_proto.Engine
-module Coherence = Ccdsm_proto.Coherence
-module Sanitizer = Ccdsm_proto.Sanitizer
-module Schedule = Ccdsm_core.Schedule
-module Predictive = Ccdsm_core.Predictive
+let stache ?(faults = false) () = Model.default_config ~faults ()
 
-let nodes = 3
-let blocks = 2
-
-type op = Read of int * int | Write of int * int | Begin | End | Flush
-
-let op_name = function
-  | Read (n, b) -> Printf.sprintf "read(n%d,b%d)" n b
-  | Write (n, b) -> Printf.sprintf "write(n%d,b%d)" n b
-  | Begin -> "phase_begin"
-  | End -> "phase_end"
-  | Flush -> "flush"
-
-let base_ops =
-  List.concat_map
-    (fun n -> List.concat_map (fun b -> [ Read (n, b); Write (n, b) ]) (List.init blocks Fun.id))
-    (List.init nodes Fun.id)
-
-type sys = {
-  machine : Machine.t;
-  coh : Coherence.t;
-  dir : Directory.t;
-  pred : Predictive.t option;
-  addr : int array;  (* word probed in each block *)
-  model : float array;  (* expected value per block *)
-  mutable stamp : float;  (* unique value source for writes *)
-}
-
-let make_sys ~predictive () =
-  let machine = Machine.create (Machine.default_config ~num_nodes:nodes ~block_bytes:32 ()) in
-  let coh, dir, pred =
-    if predictive then begin
-      let p = Predictive.create machine in
-      (Predictive.coherence p, (Predictive.engine p).Engine.dir, Some p)
-    end
-    else
-      let eng, coh = Engine.stache machine in
-      (coh, eng.Engine.dir, None)
-  in
-  ignore (Sanitizer.attach ~dir ~check_races:false machine);
-  (* One block homed on node 0, one on node 1. *)
-  let a0 = Machine.alloc machine ~words:4 ~home:0 in
-  let a1 = Machine.alloc machine ~words:4 ~home:1 in
-  { machine; coh; dir; pred; addr = [| a0; a1 |]; model = [| 0.0; 0.0 |]; stamp = 0.0 }
-
-exception Violation of string
-
-let check_invariants sys ~after =
-  let fail fmt = Format.kasprintf (fun s -> raise (Violation (after ^ ": " ^ s))) fmt in
-  for b = 0 to blocks - 1 do
-    (* Single writer / multiple readers at the tag level. *)
-    let rw = ref 0 and ro = ref 0 in
-    for n = 0 to nodes - 1 do
-      match Machine.tag sys.machine ~node:n b with
-      | Tag.Read_write -> incr rw
-      | Tag.Read_only -> incr ro
-      | Tag.Invalid -> ()
-    done;
-    if !rw > 1 then fail "block %d has %d writers" b !rw;
-    if !rw = 1 && !ro > 0 then fail "block %d has a writer and %d readers" b !ro;
-    (* Directory/tag agreement. *)
-    match Directory.check_invariant sys.dir b with
-    | Ok () -> ()
-    | Error e -> fail "%s" e
-  done
-
-let apply sys op =
-  match op with
-  | Read (n, b) ->
-      let got = Machine.read sys.machine ~node:n sys.addr.(b) in
-      if got <> sys.model.(b) then
-        raise
-          (Violation
-             (Printf.sprintf "%s returned %g, expected %g" (op_name op) got sys.model.(b)))
-  | Write (n, b) ->
-      sys.stamp <- sys.stamp +. 1.0;
-      sys.model.(b) <- sys.stamp;
-      Machine.write sys.machine ~node:n sys.addr.(b) sys.stamp
-  | Begin -> sys.coh.Coherence.phase_begin ~phase:0
-  | End -> sys.coh.Coherence.phase_end ~phase:0
-  | Flush -> sys.coh.Coherence.flush_schedule ~phase:0
-
-(* Canonical state: tags, directory, phase status, schedule marks.  Model
-   values and stamps are excluded (they grow forever but do not influence
-   protocol behaviour). *)
-let state_of sys =
-  let buf = Buffer.create 64 in
-  for b = 0 to blocks - 1 do
-    for n = 0 to nodes - 1 do
-      Buffer.add_char buf (Tag.to_char (Machine.tag sys.machine ~node:n b))
-    done;
-    (match Directory.get sys.dir b with
-    | Directory.Exclusive o -> Buffer.add_string buf (Printf.sprintf "E%d" o)
-    | Directory.Shared s ->
-        Buffer.add_string buf "S";
-        Nodeset.iter (fun n -> Buffer.add_string buf (string_of_int n)) s)
-  done;
-  (match sys.pred with
-  | None -> ()
-  | Some p ->
-      (match Predictive.in_phase p with
-      | Some _ -> Buffer.add_string buf "|in"
-      | None -> Buffer.add_string buf "|out");
-      (match Predictive.schedule p ~phase:0 with
-      | None -> ()
-      | Some s ->
-          Schedule.iter_sorted s (fun b mark ->
-              Buffer.add_string buf (string_of_int b);
-              match mark with
-              | Schedule.Readers r ->
-                  Buffer.add_string buf "R";
-                  Nodeset.iter (fun n -> Buffer.add_string buf (string_of_int n)) r
-              | Schedule.Writer w -> Buffer.add_string buf (Printf.sprintf "W%d" w)
-              | Schedule.Conflict (Schedule.Pre_readers r) ->
-                  Buffer.add_string buf "Cr";
-                  Nodeset.iter (fun n -> Buffer.add_string buf (string_of_int n)) r
-              | Schedule.Conflict (Schedule.Pre_writer w) ->
-                  Buffer.add_string buf (Printf.sprintf "Cw%d" w))));
-  Buffer.contents buf
-
-(* Replay a sequence from scratch, checking invariants after every step. *)
-let replay ~predictive seq =
-  let sys = make_sys ~predictive () in
-  check_invariants sys ~after:"init";
-  List.iter
-    (fun op ->
-      (try apply sys op
-       with Sanitizer.Violation msg -> raise (Violation (op_name op ^ ": " ^ msg)));
-      check_invariants sys ~after:(op_name op))
-    seq;
-  state_of sys
-
-let explore ~predictive ~ops ~max_depth =
-  (* Breadth-first over the state graph: every distinguishable state is
-     expanded at its shallowest depth, so within [max_depth] the exploration
-     is exhaustive over reachable states. *)
-  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
-  let queue = Queue.create () in
-  let enqueue depth seq =
-    match replay ~predictive seq with
-    | state ->
-        if not (Hashtbl.mem visited state) then begin
-          Hashtbl.replace visited state ();
-          Queue.add (depth, seq) queue
-        end
-    | exception Violation msg ->
-        Alcotest.failf "invariant violated after [%s]: %s"
-          (String.concat "; " (List.map op_name seq))
-          msg
-  in
-  enqueue 0 [];
-  while not (Queue.is_empty queue) do
-    let depth, seq = Queue.pop queue in
-    if depth < max_depth then List.iter (fun op -> enqueue (depth + 1) (seq @ [ op ])) ops
-  done;
-  Hashtbl.length visited
+let predictive ?(faults = false) () =
+  Model.default_config ~protocol:Model.Predictive ~faults ()
 
 let test_model_stache () =
-  let states = explore ~predictive:false ~ops:base_ops ~max_depth:5 in
+  let states = explore (stache ()) ~max_depth:5 in
   Alcotest.(check bool)
     (Printf.sprintf "explored %d distinct states" states)
     true (states > 40)
 
 let test_model_predictive () =
-  let ops = base_ops @ [ Begin; End; Flush ] in
-  let states = explore ~predictive:true ~ops ~max_depth:4 in
+  let states = explore (predictive ()) ~max_depth:4 in
   Alcotest.(check bool)
     (Printf.sprintf "explored %d distinct states" states)
     true (states > 200)
+
+let test_model_stache_faults () =
+  (* Fault branches reach at least every fault-free state (every faulty op
+     also has its non-faulty twin in the alphabet). *)
+  let plain = explore (stache ()) ~max_depth:3 in
+  let faulted = explore (stache ~faults:true ()) ~max_depth:3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d faulted >= %d plain states" faulted plain)
+    true (faulted >= plain)
+
+let test_model_predictive_faults () =
+  (* Lost presend grants and corrupted schedules are part of the canonical
+     state, so fault branches must reach strictly more states. *)
+  let plain = explore (predictive ()) ~max_depth:3 in
+  let faulted = explore (predictive ~faults:true ()) ~max_depth:3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d faulted > %d plain states" faulted plain)
+    true (faulted > plain)
+
+let test_model_seed_invariance () =
+  (* The reachable state set does not depend on expansion order. *)
+  let a = explore ~seed:1 (predictive ~faults:true ()) ~max_depth:3 in
+  let b = explore ~seed:42 (predictive ~faults:true ()) ~max_depth:3 in
+  Alcotest.(check int) "same state count under different seeds" a b
 
 let suite =
   [
@@ -209,8 +69,12 @@ let suite =
         Alcotest.test_case "stache exhaustive (depth 5)" `Slow test_model_stache;
         Alcotest.test_case "predictive exhaustive (depth 4)" `Slow test_model_predictive;
         Alcotest.test_case "stache exhaustive (depth 3)" `Quick (fun () ->
-            ignore (explore ~predictive:false ~ops:base_ops ~max_depth:3));
+            ignore (explore (stache ()) ~max_depth:3));
         Alcotest.test_case "predictive exhaustive (depth 3)" `Quick (fun () ->
-            ignore (explore ~predictive:true ~ops:(base_ops @ [ Begin; End; Flush ]) ~max_depth:3));
+            ignore (explore (predictive ()) ~max_depth:3));
+        Alcotest.test_case "stache fault branches (depth 3)" `Quick test_model_stache_faults;
+        Alcotest.test_case "predictive fault branches (depth 3)" `Quick
+          test_model_predictive_faults;
+        Alcotest.test_case "seed invariance" `Quick test_model_seed_invariance;
       ] );
   ]

@@ -99,6 +99,57 @@ let test_distribution_validation () =
     "row-block ok" true
     (Result.is_ok (Distribution.validate Row_block ~nodes:4 ~dims:[| 4; 4 |]))
 
+let test_distribution_validation_exhaustive () =
+  let err d ~nodes ~dims = Result.is_error (Distribution.validate d ~nodes ~dims) in
+  Alcotest.(check bool) "cyclic on 2-D" true (err Distribution.Cyclic ~nodes:4 ~dims:[| 4; 4 |]);
+  Alcotest.(check bool) "row-block on 1-D" true (err Distribution.Row_block ~nodes:4 ~dims:[| 8 |]);
+  Alcotest.(check bool) "tiled on 1-D" true
+    (err (Distribution.Tiled { pr = 2; pc = 2 }) ~nodes:4 ~dims:[| 8 |]);
+  Alcotest.(check bool) "tiled with zero grid" true
+    (err (Distribution.Tiled { pr = 0; pc = 4 }) ~nodes:0 ~dims:[| 4; 4 |]);
+  Alcotest.(check bool) "cyclic on 1-D ok" true
+    (Result.is_ok (Distribution.validate Distribution.Cyclic ~nodes:4 ~dims:[| 8 |]))
+
+let test_distribution_cyclic_edges () =
+  (* Fewer elements than nodes: trailing nodes own nothing. *)
+  let nodes = 5 and n = 3 in
+  Alcotest.(check int) "node 0 owns one" 1
+    (Distribution.owned_count1 Distribution.Cyclic ~nodes ~n ~node:0);
+  Alcotest.(check int) "node 4 owns none" 0
+    (Distribution.owned_count1 Distribution.Cyclic ~nodes ~n ~node:4);
+  let visited = ref [] in
+  Distribution.iter_owned1 Distribution.Cyclic ~nodes ~n ~node:4 (fun i ->
+      visited := i :: !visited);
+  Alcotest.(check (list int)) "no elements iterated" [] !visited;
+  (* Strided ownership and local ranks. *)
+  Alcotest.(check int) "element 7 of 10 on 3 nodes" 1
+    (Distribution.owner1 Distribution.Cyclic ~nodes:3 ~n:10 7);
+  Alcotest.(check int) "its local rank" 2
+    (Distribution.rank1 Distribution.Cyclic ~nodes:3 ~n:10 7)
+
+let test_distribution_tiled_fixed () =
+  (* A concrete 2x3 grid over a 5x7 matrix: spot-check corners and tile
+     boundaries against the chunk partition. *)
+  let dist = Distribution.Tiled { pr = 2; pc = 3 } in
+  let nodes = 6 and rows = 5 and cols = 7 in
+  Alcotest.(check int) "top-left tile" 0 (Distribution.owner2 dist ~nodes ~rows ~cols 0 0);
+  Alcotest.(check int) "top-right tile" 2 (Distribution.owner2 dist ~nodes ~rows ~cols 0 6);
+  Alcotest.(check int) "bottom-left tile" 3 (Distribution.owner2 dist ~nodes ~rows ~cols 4 0);
+  Alcotest.(check int) "bottom-right tile" 5 (Distribution.owner2 dist ~nodes ~rows ~cols 4 6);
+  Alcotest.(check int) "origin rank" 0 (Distribution.rank2 dist ~nodes ~rows ~cols 0 0);
+  let total =
+    List.init nodes (fun node -> Distribution.owned_count2 dist ~nodes ~rows ~cols ~node)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "tiles partition the matrix" (rows * cols) total
+
+let test_distribution_pp () =
+  let render d = Format.asprintf "%a" Distribution.pp d in
+  Alcotest.(check string) "block" "block" (render Distribution.Block1d);
+  Alcotest.(check string) "row-block" "row-block" (render Distribution.Row_block);
+  Alcotest.(check string) "tiled" "tiled(2x3)" (render (Distribution.Tiled { pr = 2; pc = 3 }));
+  Alcotest.(check string) "cyclic" "cyclic" (render Distribution.Cyclic)
+
 (* -- Aggregate ------------------------------------------------------------ *)
 
 let machine () = Machine.create (Machine.default_config ~num_nodes:4 ~block_bytes:32 ())
@@ -279,6 +330,11 @@ let suite =
         test_owner_rank_consistency_1d;
         test_owner_rank_consistency_2d;
         Alcotest.test_case "validation" `Quick test_distribution_validation;
+        Alcotest.test_case "validation (all arms)" `Quick
+          test_distribution_validation_exhaustive;
+        Alcotest.test_case "cyclic edge cases" `Quick test_distribution_cyclic_edges;
+        Alcotest.test_case "tiled fixed example" `Quick test_distribution_tiled_fixed;
+        Alcotest.test_case "pp" `Quick test_distribution_pp;
       ] );
     ( "runtime.aggregate",
       [

@@ -52,10 +52,19 @@ let run_jacobi rt =
 
 (* Canonical trace: every event except per-access ones, one JSON line each
    (the same canonicalization [Trace.jsonl_sink] applies by default). *)
+(* The Init event goes only to the process-global sink, so a per-machine
+   subscription starts at the first alloc; write the header ourselves to
+   keep the goldens self-describing (the replay oracle needs it to size its
+   mirror machine). *)
+let add_header buf ~num_nodes ~block_bytes =
+  Buffer.add_string buf (Trace.to_json (Trace.Init { nodes = num_nodes; block_bytes }));
+  Buffer.add_char buf '\n'
+
 let jacobi_trace protocol =
   let cfg = Machine.default_config ~num_nodes:4 ~block_bytes:32 () in
   let rt = Runtime.create ~cfg ~protocol ~sanitize:true () in
   let buf = Buffer.create 4096 in
+  add_header buf ~num_nodes:4 ~block_bytes:32;
   Machine.subscribe (Runtime.machine rt) (fun ev ->
       match ev with
       | Trace.Access _ -> ()
@@ -252,14 +261,112 @@ let test_sanitizer_diagnostics () =
   ignore (Sanitizer.attach m);
   match Machine.emit m (Trace.Presend { phase = 7; block = 3; dst = 1; write = false }) with
   | () -> Alcotest.fail "expected Sanitizer.Violation"
-  | exception Sanitizer.Violation msg ->
+  | exception Sanitizer.Violation v ->
+      let msg = Sanitizer.to_string v in
       let contains sub =
         let n = String.length msg and k = String.length sub in
         let rec go i = i + k <= n && (String.sub msg i k = sub || go (i + 1)) in
         go 0
       in
-      check Alcotest.bool "names the invariant" true (contains "presend");
-      check Alcotest.bool "includes event context" true (contains {|"type":"presend"|})
+      check Alcotest.string "names the failing check" "presend" v.Sanitizer.check;
+      check Alcotest.bool "carries the violating event" true
+        (List.exists (function Trace.Presend _ -> true | _ -> false) v.Sanitizer.history);
+      check Alcotest.bool "rendering names the invariant" true (contains "presend");
+      check Alcotest.bool "rendering includes event context" true
+        (contains {|"type":"presend"|})
+
+(* -- trace-replay oracle on the goldens ------------------------------------ *)
+
+(* Every checked-in golden must replay cleanly through the offline oracle:
+   the mirror machine's tags track the Tag_change events and the detached
+   sanitizer re-validates every transition. *)
+let test_goldens_replay () =
+  List.iter
+    (fun (name, mode) ->
+      let path = Filename.concat "golden" name in
+      if Sys.file_exists path then
+        match Ccdsm_check.Replay.file ~mode path with
+        | Ok r ->
+            check Alcotest.bool (name ^ ": events validated") true (r.Ccdsm_check.Replay.events > 0)
+        | Error e ->
+            Alcotest.failf "%s: %s" name (Ccdsm_check.Replay.error_to_string e))
+    [
+      ("jacobi_stache.trace", Sanitizer.Invalidate);
+      ("jacobi_predictive.trace", Sanitizer.Invalidate);
+      ("jacobi_faulted.trace", Sanitizer.Invalidate);
+    ]
+
+let test_replay_rejects_forged_tag () =
+  (* A trace whose Tag_change lies about the before-tag must be rejected. *)
+  let lines =
+    [
+      {|{"type":"init","nodes":2,"block_bytes":32}|};
+      {|{"type":"alloc","first_block":0,"blocks":1,"home":0}|};
+      {|{"type":"tag","node":1,"block":0,"before":"ReadWrite","after":"Invalid"}|};
+    ]
+  in
+  match Ccdsm_check.Replay.run lines with
+  | Ok _ -> Alcotest.fail "forged before-tag accepted"
+  | Error e ->
+      check Alcotest.int "fails on the forged line" 3 e.Ccdsm_check.Replay.line
+
+(* -- faulted golden -------------------------------------------------------- *)
+
+(* The same Jacobi under the predictive protocol with the experiment grid's
+   5% fault plan (seed 42): drops, duplicates, delays and schedule
+   corruption fire deterministically, and the recovery events they provoke
+   (msg_drop, retry, presend_fallback, sched_corrupt) are part of the
+   golden stream. *)
+let faulted_plan =
+  {
+    Ccdsm_tempest.Faults.none with
+    Ccdsm_tempest.Faults.drop = 0.05;
+    dup = 0.025;
+    delay = 0.025;
+    corrupt = 0.05;
+    seed = 42;
+  }
+
+let jacobi_faulted_trace () =
+  let cfg = Machine.default_config ~num_nodes:4 ~block_bytes:32 () in
+  let rt = Runtime.create ~cfg ~protocol:Runtime.Predictive ~sanitize:true () in
+  Machine.set_faults (Runtime.machine rt) (Some (Ccdsm_tempest.Faults.create faulted_plan));
+  let buf = Buffer.create 4096 in
+  add_header buf ~num_nodes:4 ~block_bytes:32;
+  Machine.subscribe (Runtime.machine rt) (fun ev ->
+      match ev with
+      | Trace.Access _ -> ()
+      | _ ->
+          Buffer.add_string buf (Trace.to_json ev);
+          Buffer.add_char buf '\n');
+  let u = run_jacobi rt in
+  (Buffer.contents buf, u)
+
+let test_golden_faulted () =
+  let trace, u = jacobi_faulted_trace () in
+  (* Faults must not change computed values... *)
+  let clean =
+    let cfg = Machine.default_config ~num_nodes:4 ~block_bytes:32 () in
+    let rt = Runtime.create ~cfg ~protocol:Runtime.Predictive ~sanitize:true () in
+    run_jacobi rt
+  in
+  check
+    Alcotest.(list (float 1e-12))
+    "faulted run computes the same values"
+    (List.init n (fun i -> Aggregate.peek1 clean i ~field:0))
+    (List.init n (fun i -> Aggregate.peek1 u i ~field:0));
+  (* ...and the recovery byte stream is reproducible. *)
+  check_golden "jacobi_faulted.trace" trace
+
+let test_faulted_trace_has_recovery () =
+  let trace, _ = jacobi_faulted_trace () in
+  let has prefix =
+    List.exists
+      (fun l -> String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix)
+      (String.split_on_char '\n' trace)
+  in
+  check Alcotest.bool "drops present" true (has {|{"type":"drop"|});
+  check Alcotest.bool "retries present" true (has {|{"type":"retry"|})
 
 let suite =
   [
@@ -270,6 +377,12 @@ let suite =
         Alcotest.test_case "predictive run presends" `Quick test_predictive_presends;
         Alcotest.test_case "traces are deterministic" `Quick test_determinism;
         Alcotest.test_case "protocols agree on values" `Quick test_protocols_agree;
+        Alcotest.test_case "jacobi under predictive with faults" `Quick test_golden_faulted;
+        Alcotest.test_case "faulted trace shows recovery" `Quick
+          test_faulted_trace_has_recovery;
+        Alcotest.test_case "goldens replay through the oracle" `Quick test_goldens_replay;
+        Alcotest.test_case "oracle rejects forged tags" `Quick
+          test_replay_rejects_forged_tag;
       ] );
     ( "trace.sanitizer",
       [

@@ -1,0 +1,139 @@
+(* Direct unit tests for the write-update baseline protocol
+   (lib/proto/write_update.ml).
+
+   Until now this protocol was only exercised end-to-end (golden traces,
+   figure drivers, the protocols-agree test).  These tests pin its
+   block-level mechanics: first-touch subscription, producer re-arming,
+   ownership migration, phase-end update pushes with bulk coalescing, and
+   flush semantics. *)
+
+module Machine = Ccdsm_tempest.Machine
+module Tag = Ccdsm_tempest.Tag
+module Trace = Ccdsm_tempest.Trace
+module Coherence = Ccdsm_proto.Coherence
+module Write_update = Ccdsm_proto.Write_update
+module Sanitizer = Ccdsm_proto.Sanitizer
+
+let check = Alcotest.check
+
+let mk ?(nodes = 4) ?(block_bytes = 32) () =
+  let m = Machine.create (Machine.default_config ~num_nodes:nodes ~block_bytes ()) in
+  let coh = Write_update.coherence m in
+  (m, coh)
+
+let stat coh name =
+  match List.assoc_opt name (coh.Coherence.stats ()) with
+  | Some v -> v
+  | None -> Alcotest.failf "missing stat %s" name
+
+let test_first_read_subscribes () =
+  let m, _ = mk () in
+  let a = Machine.alloc m ~words:4 ~home:0 in
+  let b = Machine.block_of m a in
+  Machine.write m ~node:0 a 7.0;
+  ignore (Machine.read m ~node:1 a);
+  (* The consumer holds a ReadOnly copy; the producer was demoted so its
+     next write faults locally and marks the block dirty. *)
+  check Alcotest.string "consumer tag" "ReadOnly" (Tag.to_string (Machine.tag m ~node:1 b));
+  check Alcotest.string "producer re-armed" "ReadOnly" (Tag.to_string (Machine.tag m ~node:0 b))
+
+let test_update_keeps_consumer_fresh () =
+  let m, coh = mk () in
+  let a = Machine.alloc m ~words:4 ~home:0 in
+  Machine.write m ~node:0 a 1.0;
+  ignore (Machine.read m ~node:1 a);
+  Machine.write m ~node:0 a 2.0;
+  coh.Coherence.phase_end ~phase:0;
+  (* After the push the consumer's copy is never invalidated: the read hits
+     its (update-fed) ReadOnly copy without a new fault. *)
+  let faults_before = (Machine.counters m ~node:1).Machine.read_faults in
+  check Alcotest.(float 0.0) "consumer reads the pushed value" 2.0 (Machine.read m ~node:1 a);
+  check Alcotest.int "no new read fault at the consumer" faults_before
+    (Machine.counters m ~node:1).Machine.read_faults;
+  check Alcotest.bool "an update message was pushed" true (stat coh "update_msgs" >= 1.0)
+
+let test_write_migrates_ownership () =
+  let m, coh = mk () in
+  let a = Machine.alloc m ~words:4 ~home:0 in
+  Machine.write m ~node:0 a 1.0;
+  Machine.write m ~node:2 a 5.0;
+  check Alcotest.(float 0.0) "one migration" 1.0 (stat coh "ownership_migrations");
+  let b = Machine.block_of m a in
+  check Alcotest.string "new owner writable" "ReadWrite" (Tag.to_string (Machine.tag m ~node:2 b));
+  (* The previous owner keeps a consumer copy and receives the next push. *)
+  check Alcotest.string "old owner demoted" "ReadOnly" (Tag.to_string (Machine.tag m ~node:0 b));
+  Machine.write m ~node:2 a 6.0;
+  coh.Coherence.phase_end ~phase:0;
+  check Alcotest.(float 0.0) "old owner sees pushed value" 6.0 (Machine.read m ~node:0 a)
+
+let test_push_coalesces_neighbours () =
+  (* Two dirty neighbouring blocks to one consumer coalesce into a single
+     bulk update message. *)
+  let m, coh = mk () in
+  let a = Machine.alloc m ~words:8 ~home:0 in
+  let wpb = Machine.words_per_block m in
+  Machine.write m ~node:0 a 1.0;
+  Machine.write m ~node:0 (a + wpb) 2.0;
+  ignore (Machine.read m ~node:1 a);
+  ignore (Machine.read m ~node:1 (a + wpb));
+  Machine.write m ~node:0 a 3.0;
+  Machine.write m ~node:0 (a + wpb) 4.0;
+  coh.Coherence.phase_end ~phase:0;
+  check Alcotest.(float 0.0) "one bulk message" 1.0 (stat coh "update_msgs");
+  check Alcotest.(float 0.0) "two blocks in it" 2.0 (stat coh "update_blocks")
+
+let test_clean_blocks_not_pushed () =
+  let m, coh = mk () in
+  let a = Machine.alloc m ~words:4 ~home:0 in
+  Machine.write m ~node:0 a 1.0;
+  ignore (Machine.read m ~node:1 a);
+  coh.Coherence.phase_end ~phase:0;
+  let after_first = stat coh "update_msgs" in
+  (* Nothing written since: the next phase end pushes nothing. *)
+  coh.Coherence.phase_end ~phase:1;
+  check Alcotest.(float 0.0) "no new updates for clean blocks" after_first
+    (stat coh "update_msgs")
+
+let test_flush_unsubscribes () =
+  let m, coh = mk () in
+  let a = Machine.alloc m ~words:4 ~home:0 in
+  Machine.write m ~node:0 a 1.0;
+  ignore (Machine.read m ~node:1 a);
+  Machine.write m ~node:0 a 2.0;
+  coh.Coherence.flush_schedule ~phase:0;
+  coh.Coherence.phase_end ~phase:0;
+  check Alcotest.(float 0.0) "flush dropped subscribers and dirty state" 0.0
+    (stat coh "update_msgs")
+
+let test_sanitized_update_run () =
+  (* The whole flow stays legal under the sanitizer's Update mode. *)
+  let m = Machine.create (Machine.default_config ~num_nodes:3 ~block_bytes:32 ()) in
+  let coh = Write_update.coherence m in
+  ignore (Sanitizer.attach ~mode:Sanitizer.Update m);
+  let a = Machine.alloc m ~words:4 ~home:0 in
+  Machine.write m ~node:0 a 1.0;
+  ignore (Machine.read m ~node:1 a);
+  ignore (Machine.read m ~node:2 a);
+  Machine.write m ~node:0 a 2.0;
+  Machine.barrier m ~bucket:Machine.Synch;
+  coh.Coherence.phase_end ~phase:0;
+  check Alcotest.(float 0.0) "both consumers fresh (n1)" 2.0 (Machine.read m ~node:1 a);
+  check Alcotest.(float 0.0) "both consumers fresh (n2)" 2.0 (Machine.read m ~node:2 a)
+
+let suite =
+  [
+    ( "proto.write_update.unit",
+      [
+        Alcotest.test_case "first read subscribes and re-arms" `Quick
+          test_first_read_subscribes;
+        Alcotest.test_case "updates keep consumers fresh" `Quick
+          test_update_keeps_consumer_fresh;
+        Alcotest.test_case "remote write migrates ownership" `Quick
+          test_write_migrates_ownership;
+        Alcotest.test_case "neighbouring dirty blocks coalesce" `Quick
+          test_push_coalesces_neighbours;
+        Alcotest.test_case "clean blocks are not pushed" `Quick test_clean_blocks_not_pushed;
+        Alcotest.test_case "flush drops subscriptions" `Quick test_flush_unsubscribes;
+        Alcotest.test_case "sanitized end-to-end flow" `Quick test_sanitized_update_run;
+      ] );
+  ]
