@@ -287,27 +287,10 @@ let print_benchmarks rows =
 (* -- machine-readable baseline (--json) -------------------------------------- *)
 
 (* Wall-clock per experiment driver, run through the multicore fan-out at the
-   default job count (CCDSM_JOBS or the available cores).  These are the
-   end-to-end numbers the ISSUE's perf criterion is judged on; the Bechamel
-   rows above are per-operation micro costs of the paths the fast-path work
-   touched. *)
-let wall_measurements scale jobs =
-  let wall name f =
-    let t0 = Unix.gettimeofday () in
-    ignore (Sys.opaque_identity (f ()));
-    (name, (Unix.gettimeofday () -. t0) *. 1000.0)
-  in
-  [
-    wall "table1" (fun () -> E.table1 scale);
-    wall "fig4" (fun () -> E.fig4 ());
-    wall "fig5" (fun () -> E.render (E.fig5 ~jobs scale));
-    wall "fig6" (fun () -> E.render (E.fig6 ~jobs scale));
-    wall "fig7" (fun () -> E.render (E.fig7 ~jobs scale));
-    wall "block_sweep" (fun () -> E.block_sweep ~jobs scale);
-    wall "ablations" (fun () -> E.ablations scale);
-    wall "inspector" (fun () -> E.inspector scale);
-    wall "scaling" (fun () -> E.scaling ~jobs scale);
-  ]
+   default job count (CCDSM_JOBS or the available cores).  Shared with
+   [repro bench --compare], which checks a run against the baseline this
+   writes; the Bechamel rows above are per-operation micro costs. *)
+let wall_measurements = Ccdsm_harness.Bench_compare.wall_measurements
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in

@@ -6,11 +6,16 @@
      repro fig6 --nodes 16
      repro fig5 --trace out.jsonl   # capture the coherence event trace
      repro trace out.jsonl          # summarize a captured trace
+     repro fig5 --metrics out.json  # capture the metrics registry snapshot
+     repro metrics out.jsonl        # derive metrics from a captured trace
+     repro bench --compare BENCH.json   # perf gate against a baseline
      repro all                  # everything, plus the shape checklist *)
 
 open Cmdliner
 module E = Ccdsm_harness.Experiments
 module Trace = Ccdsm_tempest.Trace
+module Obs = Ccdsm_obs.Obs
+module Export = Ccdsm_obs.Export
 
 let scale full = if full then E.Paper else E.scale_of_env ()
 
@@ -44,6 +49,17 @@ let trace_arg =
            presends) of every simulated machine to $(docv) as JSON lines. \
            Summarize it afterwards with $(b,repro trace) $(docv).")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Install a process-global metrics registry for the run and write its \
+           final snapshot to $(docv): Prometheus text format when $(docv) ends \
+           in $(b,.prom), JSON otherwise.  The snapshot is byte-identical at \
+           any $(b,--jobs) setting.")
+
 (* Install the JSONL sink as the process-global trace sink for the duration
    of [f]: experiment drivers create machines internally, and each machine
    picks the sink up at creation time. *)
@@ -64,6 +80,30 @@ let with_trace trace f =
           close_out_noerr oc)
         f
 
+let export_registry path reg =
+  let text =
+    if Filename.check_suffix path ".prom" then Export.prometheus reg else Export.json reg
+  in
+  match open_out path with
+  | exception Sys_error msg ->
+      Printf.eprintf "repro: cannot open metrics file: %s\n" msg;
+      exit 1
+  | oc ->
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text)
+
+(* Same idiom for the metrics registry: machines resolve their instrument
+   handles against the global registry at creation, [Measure.measure] merges
+   each version's child registry into it, and the final snapshot is exported
+   when [f] returns. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      let reg = Obs.Registry.create () in
+      Obs.set_global (Some reg);
+      Fun.protect ~finally:(fun () -> Obs.set_global None) f;
+      export_registry path reg
+
 let print_figure fig =
   print_string (E.render fig);
   print_newline ()
@@ -71,21 +111,68 @@ let print_figure fig =
 let run_table1 full = print_string (E.table1 (scale full))
 let run_fig4 () = print_string (E.fig4 ())
 
-let run_fig5 full nodes jobs trace =
-  with_trace trace (fun () -> print_figure (E.fig5 ~num_nodes:nodes ?jobs (scale full)))
+let run_fig5 full nodes jobs trace metrics =
+  with_metrics metrics (fun () ->
+      with_trace trace (fun () -> print_figure (E.fig5 ~num_nodes:nodes ?jobs (scale full))))
 
-let run_fig6 full nodes jobs trace =
-  with_trace trace (fun () -> print_figure (E.fig6 ~num_nodes:nodes ?jobs (scale full)))
+let run_fig6 full nodes jobs trace metrics =
+  with_metrics metrics (fun () ->
+      with_trace trace (fun () -> print_figure (E.fig6 ~num_nodes:nodes ?jobs (scale full))))
 
-let run_fig7 full nodes jobs trace =
-  with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes ?jobs (scale full)))
+let run_fig7 full nodes jobs trace metrics =
+  with_metrics metrics (fun () ->
+      with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes ?jobs (scale full))))
 
-let run_sweep full nodes jobs = print_string (E.block_sweep ~num_nodes:nodes ?jobs (scale full))
-let run_faults full nodes jobs = print_string (E.faults_grid ~num_nodes:nodes ?jobs (scale full))
-let run_ablate full nodes = print_string (E.ablations ~num_nodes:nodes (scale full))
-let run_scaling full jobs = print_string (E.scaling ?jobs (scale full))
-let run_inspector full = print_string (E.inspector (scale full))
-let run_trace file = print_string (Ccdsm_harness.Trace_summary.of_file file)
+let run_sweep full nodes jobs metrics =
+  with_metrics metrics (fun () -> print_string (E.block_sweep ~num_nodes:nodes ?jobs (scale full)))
+
+let run_faults full nodes jobs metrics =
+  with_metrics metrics (fun () -> print_string (E.faults_grid ~num_nodes:nodes ?jobs (scale full)))
+
+let run_ablate full nodes metrics =
+  with_metrics metrics (fun () -> print_string (E.ablations ~num_nodes:nodes (scale full)))
+
+let run_scaling full jobs metrics =
+  with_metrics metrics (fun () -> print_string (E.scaling ?jobs (scale full)))
+
+let run_inspector full metrics =
+  with_metrics metrics (fun () -> print_string (E.inspector (scale full)))
+
+let run_trace file =
+  match Ccdsm_harness.Trace_summary.summarize_file file with
+  | Ok text -> print_string text
+  | Error msg ->
+      Printf.eprintf "repro trace: %s\n" msg;
+      exit 1
+
+let run_metrics file format =
+  match Ccdsm_harness.Trace_metrics.of_file file with
+  | Error msg ->
+      Printf.eprintf "repro metrics: %s\n" msg;
+      exit 1
+  | Ok reg ->
+      print_string (match format with "prom" -> Export.prometheus reg | _ -> Export.json reg)
+
+let run_bench full jobs compare threshold strict =
+  let s = scale full in
+  let jobs = match jobs with Some j -> j | None -> Ccdsm_harness.Parjobs.default_jobs () in
+  let wall = Ccdsm_harness.Bench_compare.wall_measurements s jobs in
+  match compare with
+  | None ->
+      List.iter (fun (name, ms) -> Printf.printf "  wall %-14s %8.1f ms\n" name ms) wall
+  | Some path -> (
+      match Ccdsm_harness.Bench_compare.load_baseline path with
+      | Error msg ->
+          Printf.eprintf "repro bench: %s\n" msg;
+          exit 1
+      | Ok baseline ->
+          let verdicts =
+            Ccdsm_harness.Bench_compare.compare_runs ~threshold_pct:threshold ~baseline wall
+          in
+          print_string (Ccdsm_harness.Bench_compare.render ~threshold_pct:threshold verdicts);
+          if Ccdsm_harness.Bench_compare.any_regression verdicts then
+            if strict then exit 1
+            else print_endline "advisory: regressions found (not failing without --strict)")
 
 let run_check depth seed faults nodes blocks jobs replay mode =
   match replay with
@@ -124,7 +211,8 @@ let run_check depth seed faults nodes blocks jobs replay mode =
         exit 1
       end
 
-let run_all full nodes jobs trace =
+let run_all full nodes jobs trace metrics =
+  with_metrics metrics @@ fun () ->
   with_trace trace (fun () ->
       let s = scale full in
       print_endline "== Table 1 ==";
@@ -213,11 +301,44 @@ let mode_arg =
           "Sanitizer mode for --replay: $(b,invalidate) for Stache/predictive \
            traces, $(b,update) for write-update traces.")
 
+(* A plain string, not [Arg.file]: existence is checked by the summarizer
+   itself so a missing file yields our one-line error and exit code 1. *)
 let trace_file_arg =
   Arg.(
     required
-    & pos 0 (some file) None
+    & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"A JSONL trace written by --trace.")
+
+let metrics_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("json", "json"); ("prom", "prom") ]) "json"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: $(b,json) (default) or $(b,prom) (Prometheus text).")
+
+let compare_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "compare" ] ~docv:"FILE"
+        ~doc:"Compare against the baseline written by $(b,bench/main.exe --json) $(docv).")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt float 25.0
+    & info [ "threshold" ] ~docv:"PCT"
+        ~doc:"Flag a driver as regressed when it is more than $(docv)% slower than the baseline.")
+
+let strict_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit non-zero when any driver regressed.  Off by default: wall \
+           clock is host-dependent, so the gate is advisory unless the runner \
+           matches the baseline's.")
 
 let cmds =
   [
@@ -225,23 +346,32 @@ let cmds =
     cmd "fig4" "Compiler report for the Barnes-Hut skeleton (Figure 4)"
       Term.(const run_fig4 $ const ());
     cmd "fig5" "Adaptive execution-time breakdown (Figure 5)"
-      Term.(const run_fig5 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
+      Term.(const run_fig5 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
     cmd "fig6" "Barnes execution-time breakdown (Figure 6)"
-      Term.(const run_fig6 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
+      Term.(const run_fig6 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
     cmd "fig7" "Water execution-time breakdown (Figure 7)"
-      Term.(const run_fig7 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
+      Term.(const run_fig7 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
     cmd "sweep" "Block-size sensitivity sweep (section 5.4)"
-      Term.(const run_sweep $ full_arg $ nodes_arg $ jobs_arg);
+      Term.(const run_sweep $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg);
     cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
-      Term.(const run_ablate $ full_arg $ nodes_arg);
+      Term.(const run_ablate $ full_arg $ nodes_arg $ metrics_arg);
     cmd "faults" "Fault-injection robustness grid (drops/dups/delays/schedule corruption)"
-      Term.(const run_faults $ full_arg $ nodes_arg $ jobs_arg);
+      Term.(const run_faults $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg);
     cmd "scaling" "Node-count scaling (extension)"
-      Term.(const run_scaling $ full_arg $ jobs_arg);
+      Term.(const run_scaling $ full_arg $ jobs_arg $ metrics_arg);
     cmd "inspector" "Inspector-executor comparison (section 2)"
-      Term.(const run_inspector $ full_arg);
+      Term.(const run_inspector $ full_arg $ metrics_arg);
     cmd "trace" "Summarize a JSONL coherence trace captured with --trace"
       Term.(const run_trace $ trace_file_arg);
+    cmd "metrics"
+      "Derive a metrics registry from a JSONL trace captured with --trace and \
+       print it (shared counters agree with the run's own --metrics snapshot \
+       to the exact integer)"
+      Term.(const run_metrics $ trace_file_arg $ metrics_format_arg);
+    cmd "bench"
+      "Time every experiment driver; with --compare, check against a \
+       bench/main.exe --json baseline (perf-regression gate)"
+      Term.(const run_bench $ full_arg $ jobs_arg $ compare_arg $ threshold_arg $ strict_arg);
     cmd "check"
       "Verify the protocols: exhaustive bounded exploration (with fault branches) \
        and shrunk counterexamples, or replay a recorded trace through the \
@@ -250,7 +380,7 @@ let cmds =
         const run_check $ depth_arg $ seed_arg $ check_faults_arg $ check_nodes_arg
         $ check_blocks_arg $ jobs_arg $ replay_arg $ mode_arg);
     cmd "all" "Everything, plus the qualitative shape checklist"
-      Term.(const run_all $ full_arg $ nodes_arg $ jobs_arg $ trace_arg);
+      Term.(const run_all $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
   ]
 
 let () =

@@ -9,6 +9,8 @@ module Directory = Ccdsm_proto.Directory
 module Bulk = Ccdsm_proto.Bulk
 module Coherence = Ccdsm_proto.Coherence
 
+module Obs = Ccdsm_obs.Obs
+
 type stats = {
   mutable faults_recorded : int;
   mutable presend_msgs : int;
@@ -16,6 +18,8 @@ type stats = {
   mutable presend_bytes : int;
   mutable presend_redundant : int;
   mutable presend_undone : int;
+  mutable presend_grants_r : int;
+  mutable presend_grants_w : int;
 }
 
 type t = {
@@ -33,6 +37,9 @@ type t = {
   conflict_action : [ `Ignore | `First_stable ];
   record_us : float;
   st : stats;
+  run_len_hist : Obs.Histogram.t option;
+      (* bulk-coalescing run lengths, observed as each presend queue is
+         flushed; resolved from the machine's registry at creation *)
 }
 
 let engine t = t.eng
@@ -200,6 +207,10 @@ let presend t phase =
                         grant_noise ~h ~dst:r ~kind:Trace.Data ~bytes v;
                         Machine.set_tag m ~node:r b Tag.Read_only;
                         Hashtbl.replace t.presended (r, b) ();
+                        (* Always-on, mirroring the Presend trace event
+                           one-for-one so a trace-derived count agrees with
+                           this counter to the exact integer. *)
+                        t.st.presend_grants_r <- t.st.presend_grants_r + 1;
                         if Machine.traced m then
                           Machine.emit m (Trace.Presend { phase; block = b; dst = r; write = false });
                         if r <> h then push data (h, r) b)
@@ -236,6 +247,7 @@ let presend t phase =
                           (Nodeset.remove w readers));
                     Machine.set_tag m ~node:w b Tag.Read_write;
                     Hashtbl.replace t.presended (w, b) ();
+                    t.st.presend_grants_w <- t.st.presend_grants_w + 1;
                     if Machine.traced m then
                       Machine.emit m (Trace.Presend { phase; block = b; dst = w; write = true });
                     if w <> h then
@@ -256,6 +268,9 @@ let presend t phase =
          list: one gather message when coalescing, one per block otherwise. *)
       let block_list_msgs blocks =
         let runs = Bulk.runs blocks in
+        (match t.run_len_hist with
+        | Some h -> List.iter (fun (_, len) -> Obs.Histogram.observe h (float_of_int len)) runs
+        | None -> ());
         let nblocks = List.fold_left (fun acc (_, len) -> acc + len) 0 runs in
         if t.coalesce then
           [ (ctrl + (nblocks * Machine.block_bytes m) + (8 * List.length runs), nblocks) ]
@@ -381,7 +396,13 @@ let create ?(per_block_us = 1.0) ?(record_us = 2.0) ?(coalesce = true)
           presend_bytes = 0;
           presend_redundant = 0;
           presend_undone = 0;
+          presend_grants_r = 0;
+          presend_grants_w = 0;
         };
+      run_len_hist =
+        (match Machine.obs machine with
+        | None -> None
+        | Some reg -> Some (Obs.Registry.histogram reg "ccdsm_bulk_run_length"));
     }
   in
   Machine.install machine
@@ -422,15 +443,25 @@ let coherence t =
         let conflicts =
           Hashtbl.fold (fun _ s acc -> acc + Schedule.conflicts s) t.schedules 0
         in
+        let conflict_hits =
+          Hashtbl.fold (fun _ s acc -> acc + Schedule.conflict_hits s) t.schedules 0
+        in
+        let rewrites =
+          Hashtbl.fold (fun _ s acc -> acc + Schedule.rewrites s) t.schedules 0
+        in
         [
           ("schedules", float_of_int (Hashtbl.length t.schedules));
           ("schedule_entries", float_of_int entries);
           ("schedule_conflicts", float_of_int conflicts);
+          ("schedule_conflict_hits", float_of_int conflict_hits);
+          ("schedule_rewrites", float_of_int rewrites);
           ("faults_recorded", float_of_int t.st.faults_recorded);
           ("presend_msgs", float_of_int t.st.presend_msgs);
           ("presend_blocks", float_of_int t.st.presend_blocks);
           ("presend_bytes", float_of_int t.st.presend_bytes);
           ("presend_redundant", float_of_int t.st.presend_redundant);
           ("presend_undone", float_of_int t.st.presend_undone);
+          ("presend_grants_read", float_of_int t.st.presend_grants_r);
+          ("presend_grants_write", float_of_int t.st.presend_grants_w);
         ]);
   }

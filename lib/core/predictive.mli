@@ -64,6 +64,10 @@ type stats = {
   mutable presend_undone : int;
       (** presend grants that nevertheless faulted again within the same
           phase execution — evidence of conflicting or shifted patterns *)
+  mutable presend_grants_r : int;
+      (** read grants delivered by presend phases; mirrors the [Presend]
+          trace event with [write = false] one-for-one *)
+  mutable presend_grants_w : int;  (** write grants delivered by presend *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,138 @@
+module E = Experiments
+
+(* Wall-clock per experiment driver, run through the multicore fan-out at the
+   given job count.  These are the end-to-end numbers the perf-regression
+   gate is judged on; Bechamel rows in bench/main.ml are per-operation micro
+   costs.  Shared between [bench/main.exe --json] (which writes the
+   baseline) and [repro bench --compare] (which checks against it). *)
+let wall_measurements scale jobs =
+  let wall name f =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    (name, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  [
+    wall "table1" (fun () -> E.table1 scale);
+    wall "fig4" (fun () -> E.fig4 ());
+    wall "fig5" (fun () -> E.render (E.fig5 ~jobs scale));
+    wall "fig6" (fun () -> E.render (E.fig6 ~jobs scale));
+    wall "fig7" (fun () -> E.render (E.fig7 ~jobs scale));
+    wall "block_sweep" (fun () -> E.block_sweep ~jobs scale);
+    wall "ablations" (fun () -> E.ablations scale);
+    wall "inspector" (fun () -> E.inspector scale);
+    wall "scaling" (fun () -> E.scaling ~jobs scale);
+  ]
+
+(* -- baseline parsing (the fixed BENCH.json format bench/main.ml writes) -- *)
+
+let find_sub s pat from =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None else if String.sub s i m = pat then Some (i + m) else go (i + 1)
+  in
+  go from
+
+let load_baseline path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+      match find_sub s "\"wall_ms\"" 0 with
+      | None -> Error (path ^ ": no \"wall_ms\" object (is this a bench --json baseline?)")
+      | Some j -> (
+          match String.index_from_opt s j '{' with
+          | None -> Error (path ^ ": malformed \"wall_ms\" object")
+          | Some start ->
+              (* Scan ["name": number] pairs until the closing brace. *)
+              let stop =
+                match String.index_from_opt s start '}' with
+                | Some k -> k
+                | None -> String.length s
+              in
+              let rec pairs i acc =
+                match find_sub s "\"" i with
+                | Some j when j <= stop -> (
+                    match String.index_from_opt s j '"' with
+                    | Some k when k < stop -> (
+                        let name = String.sub s j (k - j) in
+                        match String.index_from_opt s k ':' with
+                        | Some c when c < stop ->
+                            let e = ref (c + 1) in
+                            while
+                              !e < stop
+                              && (match s.[!e] with
+                                 | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | ' ' -> true
+                                 | _ -> false)
+                            do
+                              incr e
+                            done;
+                            let v = float_of_string_opt (String.trim (String.sub s (c + 1) (!e - c - 1))) in
+                            let acc =
+                              match v with Some v -> (name, v) :: acc | None -> acc
+                            in
+                            pairs !e acc
+                        | _ -> List.rev acc)
+                    | _ -> List.rev acc)
+                | _ -> List.rev acc
+              in
+              let entries = pairs start [] in
+              if entries = [] then Error (path ^ ": \"wall_ms\" object holds no entries")
+              else Ok entries))
+
+(* -- comparison ----------------------------------------------------------- *)
+
+type verdict = {
+  name : string;
+  baseline_ms : float;
+  current_ms : float;
+  delta_pct : float;  (** positive = slower than baseline *)
+  regressed : bool;
+}
+
+(* Percent thresholds alone flag sub-millisecond drivers on pure timer
+   noise, so a regression additionally needs an absolute slowdown. *)
+let min_abs_slowdown_ms = 10.0
+
+let compare_runs ~threshold_pct ~baseline current =
+  List.filter_map
+    (fun (name, current_ms) ->
+      match List.assoc_opt name baseline with
+      | None -> None
+      | Some baseline_ms ->
+          let delta_pct =
+            if baseline_ms <= 0.0 then 0.0
+            else (current_ms -. baseline_ms) /. baseline_ms *. 100.0
+          in
+          Some
+            {
+              name;
+              baseline_ms;
+              current_ms;
+              delta_pct;
+              regressed =
+                delta_pct > threshold_pct
+                && current_ms -. baseline_ms > min_abs_slowdown_ms;
+            })
+    current
+
+let any_regression vs = List.exists (fun v -> v.regressed) vs
+
+let render ~threshold_pct vs =
+  let module Ascii = Ccdsm_util.Ascii in
+  let rows =
+    List.map
+      (fun v ->
+        [
+          v.name;
+          Printf.sprintf "%.1f" v.baseline_ms;
+          Printf.sprintf "%.1f" v.current_ms;
+          Printf.sprintf "%+.1f%%" v.delta_pct;
+          (if v.regressed then "REGRESSED" else "ok");
+        ])
+      vs
+  in
+  Printf.sprintf
+    "Perf comparison against baseline (wall ms per driver; threshold %+.0f%%).\n\
+     Wall clock is host-dependent — treat this as advisory unless the runner\n\
+     matches the one that wrote the baseline.\n"
+    threshold_pct
+  ^ Ascii.table ~header:[ "driver"; "baseline(ms)"; "current(ms)"; "delta"; "verdict" ] rows

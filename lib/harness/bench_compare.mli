@@ -1,0 +1,31 @@
+(** Wall-clock measurement of the experiment drivers and comparison against
+    a committed [BENCH.json] baseline — the perf-regression gate behind
+    [repro bench --compare]. *)
+
+val wall_measurements : Experiments.scale -> int -> (string * float) list
+(** [(driver, wall_ms)] for every experiment driver, run at the given job
+    count.  Also used by [bench/main.exe --json] to write the baseline. *)
+
+val load_baseline : string -> ((string * float) list, string) result
+(** Read the ["wall_ms"] object out of a [bench --json] baseline file.
+    Understands only that fixed format. *)
+
+type verdict = {
+  name : string;
+  baseline_ms : float;
+  current_ms : float;
+  delta_pct : float;  (** positive = slower than baseline *)
+  regressed : bool;  (** [delta_pct] beyond the threshold *)
+}
+
+val compare_runs :
+  threshold_pct:float -> baseline:(string * float) list -> (string * float) list -> verdict list
+(** Match current measurements against the baseline by driver name (drivers
+    missing from the baseline are skipped) and flag any that are more than
+    [threshold_pct] percent {e and} 10 ms slower — the absolute floor keeps
+    sub-millisecond drivers from tripping on timer noise. *)
+
+val any_regression : verdict list -> bool
+
+val render : threshold_pct:float -> verdict list -> string
+(** ASCII table of the verdicts with a host-dependence caveat. *)

@@ -157,7 +157,8 @@ let fig5 ?num_nodes ?jobs scale =
     rows =
       Parjobs.map ?jobs
         (fun (label, protocol, block_bytes) ->
-          Measure.measure ?num_nodes (Measure.version ~label ~protocol ~block_bytes run))
+          Measure.measure ?num_nodes ~app:"adaptive"
+            (Measure.version ~label ~protocol ~block_bytes run))
         [
           ("C** unoptimized (32)", Runtime.Stache, 32);
           ("C** unoptimized (256)", Runtime.Stache, 256);
@@ -184,7 +185,8 @@ let fig6 ?num_nodes ?jobs scale =
     rows =
       Parjobs.map ?jobs
         (fun (label, protocol, block_bytes, run) ->
-          Measure.measure ?num_nodes (Measure.version ~label ~protocol ~block_bytes run))
+          Measure.measure ?num_nodes ~app:"barnes"
+            (Measure.version ~label ~protocol ~block_bytes run))
         [
           ("C** unoptimized (32)", Runtime.Stache, 32, run);
           ("C** unoptimized (1024)", Runtime.Stache, 1024, run);
@@ -216,7 +218,7 @@ let fig7 ?num_nodes ?jobs scale =
   let candidates =
     Parjobs.map ?jobs
       (fun ((label, protocol, run), bs) ->
-        Measure.measure ?num_nodes
+        Measure.measure ?num_nodes ~app:"water"
           (Measure.version
              ~label:(Printf.sprintf "%s (%d)" label bs)
              ~protocol ~block_bytes:bs run))
@@ -268,7 +270,8 @@ let block_sweep ?num_nodes ?jobs scale =
     Parjobs.map ?jobs
       (fun ((name, run), bs) ->
         let m protocol label =
-          Measure.measure ?num_nodes (Measure.version ~label ~protocol ~block_bytes:bs run)
+          Measure.measure ?num_nodes ~app:(String.lowercase_ascii name)
+            (Measure.version ~label ~protocol ~block_bytes:bs run)
         in
         let unopt = m Runtime.Stache "unopt" in
         let opt = m Runtime.Predictive "opt" in
@@ -293,7 +296,7 @@ let ablations ?num_nodes scale =
   (* 1. presend bulk coalescing. *)
   let water_run rt = (Water.run rt w_cfg).Water.checksum in
   let with_coalesce c label =
-    Measure.measure ?num_nodes
+    Measure.measure ?num_nodes ~app:"water"
       (Measure.version ~label ~protocol:Runtime.Predictive ~block_bytes:32 ~coalesce:c
          water_run)
   in
@@ -307,14 +310,13 @@ let ablations ?num_nodes scale =
             [
               m.Measure.label;
               Printf.sprintf "%.1f" (m.Measure.presend_us /. 1000.0);
-              Printf.sprintf "%.0f"
-                (try List.assoc "presend_msgs" m.Measure.proto_stats with Not_found -> 0.0);
+              Printf.sprintf "%.0f" (Measure.stat m "ccdsm_presend_msgs_total");
               Printf.sprintf "%.1f" (m.Measure.total_us /. 1000.0);
             ])
           [ on; off ]));
   (* 2. incremental schedules vs rebuild-from-scratch. *)
   let adaptive ~flush label =
-    Measure.measure ?num_nodes
+    Measure.measure ?num_nodes ~app:"adaptive"
       (Measure.version ~label ~protocol:Runtime.Predictive ~block_bytes:32 (fun rt ->
            (Adaptive.run ~flush_each_iter:flush rt a_cfg).Adaptive.checksum))
   in
@@ -337,7 +339,7 @@ let ablations ?num_nodes scale =
           [ incr; flush ]));
   (* 3. interconnect class (section 5.4 discussion). *)
   let net_variant net label protocol =
-    Measure.measure ?num_nodes
+    Measure.measure ?num_nodes ~app:"water"
       (Measure.version ~label ~protocol ~block_bytes:32 ~net water_run)
   in
   let rows =
@@ -369,7 +371,7 @@ let ablations ?num_nodes scale =
      takes no action, the suggested extension anticipates the pre-conflict
      stable state. *)
   let conflict action label =
-    Measure.measure ?num_nodes
+    Measure.measure ?num_nodes ~app:"adaptive"
       (Measure.version ~label ~protocol:Runtime.Predictive ~block_bytes:64
          ~conflict_action:action (fun rt -> (Adaptive.run rt a_cfg).Adaptive.checksum))
   in
@@ -486,15 +488,13 @@ let faults_grid ?num_nodes ?jobs scale =
       (fun ((name, races, run), rate) ->
         let m =
           Measure.measure ?num_nodes ~faults:(fault_plan rate) ~sanitize:true
-            ~check_races:races
+            ~check_races:races ~app:(String.lowercase_ascii name)
             (Measure.version ~label:name ~protocol:Runtime.Predictive ~block_bytes:32 run)
         in
         (name, rate, m))
       (List.concat_map (fun app -> List.map (fun r -> (app, r)) fault_rates) apps)
   in
-  let stat k m =
-    match List.assoc_opt k m.Measure.proto_stats with Some v -> v | None -> 0.0
-  in
+  let stat kind m = Measure.stat ~labels:[ ("kind", kind) ] m "ccdsm_faults_injected_total" in
   let base name =
     let _, _, m = List.find (fun (n, r, _) -> n = name && r = 0.0) cells in
     m
@@ -512,8 +512,8 @@ let faults_grid ?num_nodes ?jobs scale =
           string_of_int c.Machine.retries;
           string_of_int c.Machine.timeouts;
           string_of_int c.Machine.presend_fallbacks;
-          Printf.sprintf "%.0f" (stat "fault_drops" m);
-          Printf.sprintf "%.0f" (stat "fault_corruptions" m);
+          Printf.sprintf "%.0f" (stat "drop" m);
+          Printf.sprintf "%.0f" (stat "corrupt" m);
           (if m.Measure.checksum = b.Measure.checksum then "ok" else "DIFF");
         ])
       cells
@@ -539,7 +539,8 @@ let scaling ?jobs scale =
     Parjobs.map ?jobs
       (fun p ->
         let m protocol label =
-          Measure.measure ~num_nodes:p (Measure.version ~label ~protocol ~block_bytes:32 run)
+          Measure.measure ~num_nodes:p ~app:"water"
+            (Measure.version ~label ~protocol ~block_bytes:32 run)
         in
         let unopt = m Runtime.Stache "unopt" and opt = m Runtime.Predictive "opt" in
         [

@@ -9,11 +9,13 @@
    joining every domain.  Scheduling affects only which domain computes a
    slot, never its value or the assembled order.
 
-   The one piece of process-global state in a simulation's path is the
-   global trace sink ([Trace.set_global]): machines subscribe it at creation
-   and a JSONL sink writes to one channel, so when a sink is installed the
-   map degrades to sequential execution — the trace byte stream stays the
-   deterministic single-threaded one. *)
+   The process-global state in a simulation's path is the global trace sink
+   ([Trace.set_global]) and the global metrics registry ([Obs.set_global]):
+   machines subscribe both at creation, a JSONL sink writes to one channel
+   and a registry accumulates into shared instruments, so when either is
+   installed the map degrades to sequential execution — the trace byte
+   stream and the metrics snapshot stay the deterministic single-threaded
+   ones (byte-identical at any job count). *)
 
 let env_jobs () =
   match Sys.getenv_opt "CCDSM_JOBS" with
@@ -30,7 +32,8 @@ let map ?jobs f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let jobs = min n (match jobs with Some j -> max 1 j | None -> default_jobs ()) in
-  if jobs <= 1 || Ccdsm_tempest.Trace.global () <> None then List.map f xs
+  if jobs <= 1 || Ccdsm_tempest.Trace.global () <> None || Ccdsm_obs.Obs.global () <> None then
+    List.map f xs
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in

@@ -1,0 +1,81 @@
+module Trace = Ccdsm_tempest.Trace
+module Obs = Ccdsm_obs.Obs
+
+(* Every mapping below targets a metric whose live increment sits exactly
+   adjacent to the trace-event emission site, so a count derived from a
+   JSONL trace agrees with the run's own registry to the exact integer:
+
+     Fault            <-> ccdsm_machine_demand_misses_total{op}
+     Presend          <-> ccdsm_presend_grants_total{op}
+     Retry            <-> ccdsm_engine_retries_total
+     Presend_fallback <-> ccdsm_presend_fallbacks_total
+     Msg              <-> ccdsm_net_msgs_total / ccdsm_net_bytes_total
+                          and ccdsm_net_send_total{kind} / ..._bytes_total{kind}
+     Msg_drop         <-> ccdsm_faults_injected_total{kind="drop"}
+     Sched_corrupt    <-> ccdsm_faults_injected_total{kind="corrupt"}
+     Tag_change       <-> ccdsm_tag_transitions_total{from,to}
+     Sched_record     <-> ccdsm_sched_records_total
+
+   Events without such a paired counter (barriers, phase brackets, accesses,
+   schedule conflicts/flushes) only land in the per-type event census. *)
+
+let op write = [ ("op", (if write then "write" else "read")) ]
+
+let fold_event reg ev =
+  let ctr ?labels name = Obs.Counter.inc (Obs.Registry.counter reg ?labels name) in
+  let add ?labels name v = Obs.Counter.add (Obs.Registry.counter reg ?labels name) v in
+  ctr "ccdsm_trace_events_total" ~labels:[ ("type", Trace.type_name ev) ];
+  match ev with
+  | Trace.Fault { write; _ } -> ctr "ccdsm_machine_demand_misses_total" ~labels:(op write)
+  | Trace.Presend { write; _ } -> ctr "ccdsm_presend_grants_total" ~labels:(op write)
+  | Trace.Retry _ -> ctr "ccdsm_engine_retries_total"
+  | Trace.Presend_fallback _ -> ctr "ccdsm_presend_fallbacks_total"
+  | Trace.Msg { bytes; kind; _ } ->
+      let k = [ ("kind", Trace.msg_kind_name kind) ] in
+      ctr "ccdsm_net_msgs_total";
+      add "ccdsm_net_bytes_total" bytes;
+      ctr "ccdsm_net_send_total" ~labels:k;
+      add "ccdsm_net_send_bytes_total" ~labels:k bytes
+  | Trace.Msg_drop _ -> ctr "ccdsm_faults_injected_total" ~labels:[ ("kind", "drop") ]
+  | Trace.Sched_corrupt _ -> ctr "ccdsm_faults_injected_total" ~labels:[ ("kind", "corrupt") ]
+  | Trace.Tag_change { before; after; _ } ->
+      ctr "ccdsm_tag_transitions_total"
+        ~labels:[ ("from", Ccdsm_tempest.Tag.to_string before);
+                  ("to", Ccdsm_tempest.Tag.to_string after) ]
+  | Trace.Sched_record _ -> ctr "ccdsm_sched_records_total"
+  | Trace.Init _ | Trace.Alloc _ | Trace.Access _ | Trace.Barrier _ | Trace.Phase_begin _
+  | Trace.Phase_end _ | Trace.Sched_conflict _ | Trace.Sched_flush _ ->
+      ()
+
+let of_channel ic =
+  let reg = Obs.Registry.create () in
+  let events = ref 0 and bad = ref 0 and first_err = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Trace.of_json line with
+         | Ok ev ->
+             incr events;
+             fold_event reg ev
+         | Error msg ->
+             incr bad;
+             if !first_err = None then first_err := Some msg
+     done
+   with End_of_file -> ());
+  if !events = 0 && !bad = 0 then Error "empty trace (no events)"
+  else
+    match !first_err with
+    | Some msg ->
+        Error
+          (Printf.sprintf "%d of %d lines failed to parse; first error: %s" !bad
+             (!events + !bad) msg)
+    | None -> Ok reg
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic -> (
+      match Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> of_channel ic) with
+      | Ok reg -> Ok reg
+      | Error msg -> Error (path ^ ": " ^ msg))

@@ -1,0 +1,17 @@
+(** Derive a metrics registry from a JSONL coherence trace.
+
+    Replays the events written by {!Ccdsm_tempest.Trace.jsonl_sink} into a
+    fresh {!Ccdsm_obs.Obs.Registry.t} under the {e same} metric names the
+    live instrumentation uses, so a trace-derived count and the run's own
+    registry agree to the exact integer on every shared counter (presend
+    grants, demand misses, retries, message counts, fault injections, tag
+    transitions, schedule records).  Every event additionally lands in a
+    [ccdsm_trace_events_total{type}] census. *)
+
+val of_channel : in_channel -> (Ccdsm_obs.Obs.Registry.t, string) result
+(** Consume JSONL trace lines to EOF.  [Error] when the stream holds no
+    events at all or any non-blank line fails to parse. *)
+
+val of_file : string -> (Ccdsm_obs.Obs.Registry.t, string) result
+(** [of_channel] over the named file; [Error] (with the path prefixed) when
+    the file cannot be opened. *)

@@ -63,6 +63,8 @@ let bump tbl key =
   | None -> Hashtbl.add tbl key (ref 1)
 
 let add acc line =
+  if String.trim line = "" then ()
+  else begin
   acc.lines <- acc.lines + 1;
   match string_field line "type" with
   | None -> acc.unparsed <- acc.unparsed + 1
@@ -91,6 +93,7 @@ let add acc line =
             acc.presend_writes <- acc.presend_writes + 1
       | "sched_conflict" -> acc.conflicts <- acc.conflicts + 1
       | _ -> ())
+  end
 
 (* -- rendering ------------------------------------------------------------ *)
 
@@ -128,15 +131,29 @@ let render acc =
        acc.conflicts (get acc "barrier"));
   Buffer.contents b
 
-let of_channel ic =
+let read_channel ic =
   let acc = create () in
   (try
      while true do
        add acc (input_line ic)
      done
    with End_of_file -> ());
-  render acc
+  acc
+
+let of_channel ic = render (read_channel ic)
 
 let of_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> of_channel ic)
+
+let summarize_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let acc = Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ic) in
+      if acc.lines = 0 then Error (Printf.sprintf "%s: empty trace (no events)" path)
+      else if acc.unparsed > 0 then
+        Error
+          (Printf.sprintf "%s: %d of %d lines are not trace events (is this a JSONL trace?)"
+             path acc.unparsed acc.lines)
+      else Ok (render acc)

@@ -11,3 +11,8 @@ val of_channel : in_channel -> string
 
 val of_file : string -> string
 (** [of_channel] over the named file. *)
+
+val summarize_file : string -> (string, string) result
+(** Like {!of_file} but with error reporting instead of exceptions: [Error]
+    when the file cannot be opened, contains no events at all, or contains
+    lines that do not parse as trace events (blank lines are ignored). *)

@@ -1,0 +1,18 @@
+(** Deterministic exporters over a metrics registry. *)
+
+val prometheus : Obs.Registry.t -> string
+(** Prometheus text exposition: one [# TYPE] line per family, sorted rows,
+    histograms as cumulative [_bucket{le=...}] series plus [_sum]/[_count].
+    Spans are not representable in this format and are omitted. *)
+
+val prometheus_of_snapshot : Obs.snapshot -> string
+(** Same rendering from an already-taken snapshot (no span section). *)
+
+val json : Obs.Registry.t -> string
+(** JSON document ["ccdsm-metrics-1"]: every metric (histograms carry
+    bucket-interpolated p50/p95/p99), the span timeline, and a per-span-name
+    summary of the watched ["total_us"] delta using {!Ccdsm_util.Stats}
+    quantiles and sample stddev. *)
+
+val hist_quantile : edges:float array -> counts:int array -> count:int -> float -> float
+(** Bucket-interpolated quantile over exported histogram data. *)

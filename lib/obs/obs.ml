@@ -1,0 +1,271 @@
+(* A deterministic metrics registry: counters, gauges and fixed-bucket
+   histograms keyed by (name, canonical label set), plus a per-phase span
+   timeline.  The design mirrors the trace layer's pay-for-what-you-use
+   discipline: nothing in the simulator touches the registry unless a sink
+   was installed with [set_global] before the machine was created, and all
+   instrument handles are resolved once at component-creation time so the
+   hot path only bumps a mutable field. *)
+
+type labels = (string * string) list
+
+let canon (labels : labels) : labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* Keep label values out of the metric's identity-sensitive characters so the
+   exporters never need escaping heuristics beyond JSON's. *)
+let check_name name =
+  if name = "" then invalid_arg "Obs: empty metric name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Obs: invalid metric name %S" name))
+    name
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let make () = { v = 0 }
+  let inc t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let make () = { v = 0.0 }
+  let set t x = t.v <- x
+  let add t x = t.v <- t.v +. x
+  let value t = t.v
+end
+
+module Histogram = struct
+  type t = {
+    edges : float array; (* strictly increasing upper bucket bounds *)
+    counts : int array; (* length edges + 1; last slot is the overflow bucket *)
+    mutable sum : float;
+    mutable count : int;
+  }
+
+  let default_edges = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+
+  let make edges =
+    let n = Array.length edges in
+    if n = 0 then invalid_arg "Obs.Histogram: no bucket edges";
+    for i = 1 to n - 1 do
+      if not (edges.(i) > edges.(i - 1)) then
+        invalid_arg "Obs.Histogram: edges must be strictly increasing"
+    done;
+    { edges = Array.copy edges; counts = Array.make (n + 1) 0; sum = 0.0; count = 0 }
+
+  let bucket_of t x =
+    (* First bucket whose upper edge admits [x]; the overflow slot otherwise. *)
+    let n = Array.length t.edges in
+    let rec go i = if i >= n then n else if x <= t.edges.(i) then i else go (i + 1) in
+    go 0
+
+  let observe t x =
+    let i = bucket_of t x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.sum <- t.sum +. x;
+    t.count <- t.count + 1
+
+  let count t = t.count
+  let sum t = t.sum
+  let edges t = Array.copy t.edges
+  let counts t = Array.copy t.counts
+
+  (* Bucket-interpolated quantile, Prometheus-style: the first bucket is
+     assumed to start at 0, and ranks landing in the overflow bucket clamp
+     to the last finite edge. *)
+  let quantile t q =
+    if not (q >= 0.0 && q <= 1.0) then invalid_arg "Obs.Histogram.quantile: q outside [0,1]";
+    if t.count = 0 then 0.0
+    else
+      let rank = q *. float_of_int t.count in
+      let n = Array.length t.edges in
+      let rec go i acc =
+        if i >= n then t.edges.(n - 1)
+        else
+          let acc' = acc + t.counts.(i) in
+          if float_of_int acc' >= rank then
+            let lower = if i = 0 then 0.0 else t.edges.(i - 1) in
+            let upper = t.edges.(i) in
+            let in_bucket = t.counts.(i) in
+            if in_bucket = 0 then upper
+            else
+              let frac = (rank -. float_of_int acc) /. float_of_int in_bucket in
+              lower +. (frac *. (upper -. lower))
+          else go (i + 1) acc'
+      in
+      go 0 0
+end
+
+type instrument =
+  | ICounter of Counter.t
+  | IGauge of Gauge.t
+  | IHistogram of Histogram.t
+
+type value =
+  | VCounter of int
+  | VGauge of float
+  | VHistogram of { edges : float array; counts : int array; sum : float; count : int }
+
+type row = { name : string; labels : labels; value : value }
+type snapshot = row list
+
+type span = {
+  seq : int;
+  phase : int;
+  name : string;
+  labels : labels;
+  deltas : (string * float) list;
+}
+
+module Registry = struct
+  type t = {
+    instruments : (string * labels, instrument) Hashtbl.t;
+    mutable spans_rev : span list;
+    mutable next_seq : int;
+  }
+
+  let create () = { instruments = Hashtbl.create 64; spans_rev = []; next_seq = 0 }
+
+  let counter t ?(labels = []) name =
+    check_name name;
+    let key = (name, canon labels) in
+    match Hashtbl.find_opt t.instruments key with
+    | Some (ICounter c) -> c
+    | Some _ -> invalid_arg (Printf.sprintf "Obs: %s already registered with another type" name)
+    | None ->
+        let c = Counter.make () in
+        Hashtbl.replace t.instruments key (ICounter c);
+        c
+
+  let gauge t ?(labels = []) name =
+    check_name name;
+    let key = (name, canon labels) in
+    match Hashtbl.find_opt t.instruments key with
+    | Some (IGauge g) -> g
+    | Some _ -> invalid_arg (Printf.sprintf "Obs: %s already registered with another type" name)
+    | None ->
+        let g = Gauge.make () in
+        Hashtbl.replace t.instruments key (IGauge g);
+        g
+
+  let histogram t ?(labels = []) ?(edges = Histogram.default_edges) name =
+    check_name name;
+    let key = (name, canon labels) in
+    match Hashtbl.find_opt t.instruments key with
+    | Some (IHistogram h) -> h
+    | Some _ -> invalid_arg (Printf.sprintf "Obs: %s already registered with another type" name)
+    | None ->
+        let h = Histogram.make edges in
+        Hashtbl.replace t.instruments key (IHistogram h);
+        h
+
+  let cardinality t = Hashtbl.length t.instruments
+
+  let record_span t ~phase ~name ?(labels = []) deltas =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    t.spans_rev <- { seq; phase; name; labels = canon labels; deltas } :: t.spans_rev
+
+  let spans t = List.rev t.spans_rev
+
+  let compare_labels a b =
+    compare (List.map (fun (k, v) -> (k, v)) a) (List.map (fun (k, v) -> (k, v)) b)
+
+  let snapshot t : snapshot =
+    let rows =
+      Hashtbl.fold
+        (fun (name, labels) instr acc ->
+          let value =
+            match instr with
+            | ICounter c -> VCounter (Counter.value c)
+            | IGauge g -> VGauge (Gauge.value g)
+            | IHistogram h ->
+                VHistogram
+                  {
+                    edges = Histogram.edges h;
+                    counts = Histogram.counts h;
+                    sum = Histogram.sum h;
+                    count = Histogram.count h;
+                  }
+          in
+          { name; labels; value } :: acc)
+        t.instruments []
+    in
+    List.sort
+      (fun (a : row) (b : row) ->
+        match String.compare a.name b.name with
+        | 0 -> compare_labels a.labels b.labels
+        | c -> c)
+      rows
+
+  let merge_into ~into ?(labels = []) t =
+    let extra = canon labels in
+    let relabel ls = canon (ls @ extra) in
+    List.iter
+      (fun (row : row) ->
+        let ls = relabel row.labels in
+        match row.value with
+        | VCounter v -> Counter.add (counter into ~labels:ls row.name) v
+        | VGauge v -> Gauge.add (gauge into ~labels:ls row.name) v
+        | VHistogram h ->
+            let dst = histogram into ~labels:ls ~edges:h.edges row.name in
+            if dst.Histogram.edges <> h.edges then
+              invalid_arg (Printf.sprintf "Obs: %s merged with mismatched edges" row.name);
+            Array.iteri (fun i c -> dst.Histogram.counts.(i) <- dst.Histogram.counts.(i) + c)
+              h.counts;
+            dst.Histogram.sum <- dst.Histogram.sum +. h.sum;
+            dst.Histogram.count <- dst.Histogram.count + h.count)
+      (snapshot t);
+    List.iter
+      (fun s -> record_span into ~phase:s.phase ~name:s.name ~labels:(relabel s.labels) s.deltas)
+      (spans t)
+end
+
+let phase_span reg ~phase ~name ?(labels = []) ~watch f =
+  let before = watch () in
+  let finish () =
+    let after = watch () in
+    let deltas =
+      List.map
+        (fun (k, v1) ->
+          match List.assoc_opt k before with Some v0 -> (k, v1 -. v0) | None -> (k, v1))
+        after
+    in
+    Registry.record_span reg ~phase ~name ~labels deltas
+  in
+  Fun.protect ~finally:finish f
+
+(* The process-global registry, picked up by [Machine.create] and the
+   experiment drivers exactly like the trace layer's global sink.  Parjobs
+   degrades to sequential execution while a registry is installed, so a
+   plain ref is safe (and snapshots stay byte-identical at any job count). *)
+let global_registry : Registry.t option ref = ref None
+let set_global r = global_registry := r
+let global () = !global_registry
+
+let find (snap : snapshot) ?(labels = []) name =
+  let ls = canon labels in
+  let value_of = function
+    | VCounter v -> float_of_int v
+    | VGauge v -> v
+    | VHistogram h -> h.sum
+  in
+  let rec go = function
+    | [] -> None
+    | (r : row) :: rest ->
+        if r.name = name && r.labels = ls then Some (value_of r.value) else go rest
+  in
+  go snap
+
+(* Deterministic float rendering shared by both exporters: integers print
+   without a fractional part, everything else with enough digits to
+   round-trip. *)
+let float_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v

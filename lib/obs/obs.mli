@@ -1,0 +1,125 @@
+(** Deterministic metrics: typed instruments in a labelled registry, plus a
+    per-phase span timeline.
+
+    Instruments are identified by (name, canonical label set); registering
+    the same identity twice returns the same instrument.  Snapshots are
+    sorted by (name, labels) so two runs that perform the same simulated
+    work export byte-identical text regardless of hashing or job count.
+
+    The layer follows the trace bus's pay-for-what-you-use rule: components
+    resolve instrument handles once at creation time from [global ()], and
+    when no registry is installed they skip metrics work entirely. *)
+
+type labels = (string * string) list
+
+val canon : labels -> labels
+(** Sort by key and drop duplicate keys — the canonical identity form. *)
+
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val default_edges : float array
+  (** Powers of two, 1 .. 128. *)
+
+  val observe : t -> float -> unit
+  (** Count [x] in the first bucket whose upper edge is [>= x]; values above
+      the last edge land in the overflow bucket. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val edges : t -> float array
+  val counts : t -> int array
+  (** [counts] has [Array.length (edges t) + 1] slots; the final slot is the
+      overflow bucket. *)
+
+  val quantile : t -> float -> float
+  (** Bucket-interpolated quantile (first bucket assumed to start at 0;
+      overflow ranks clamp to the last edge).  [0.0] when empty. *)
+end
+
+type value =
+  | VCounter of int
+  | VGauge of float
+  | VHistogram of { edges : float array; counts : int array; sum : float; count : int }
+
+type row = { name : string; labels : labels; value : value }
+
+type snapshot = row list
+(** Sorted by (name, labels). *)
+
+type span = {
+  seq : int;  (** Registration order, 0-based. *)
+  phase : int;  (** Schedule phase id, or [-1] outside any phase. *)
+  name : string;
+  labels : labels;
+  deltas : (string * float) list;  (** Watched quantities, end minus start. *)
+}
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> ?labels:labels -> string -> Counter.t
+  val gauge : t -> ?labels:labels -> string -> Gauge.t
+  val histogram : t -> ?labels:labels -> ?edges:float array -> string -> Histogram.t
+  (** Find-or-create.  @raise Invalid_argument if the identity is already
+      bound to an instrument of a different type, or on an invalid name
+      (allowed characters: [a-zA-Z0-9_:]). *)
+
+  val cardinality : t -> int
+  (** Number of distinct (name, labels) instruments. *)
+
+  val record_span : t -> phase:int -> name:string -> ?labels:labels -> (string * float) list -> unit
+  val spans : t -> span list
+  (** In registration order. *)
+
+  val snapshot : t -> snapshot
+
+  val merge_into : into:t -> ?labels:labels -> t -> unit
+  (** Fold every instrument and span of the source registry into [into],
+      appending [labels] to each identity.  Counters and histogram buckets
+      add; gauges accumulate by addition. *)
+end
+
+val phase_span :
+  Registry.t ->
+  phase:int ->
+  name:string ->
+  ?labels:labels ->
+  watch:(unit -> (string * float) list) ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk, sampling [watch] before and after, and record a span
+    whose deltas are the per-key differences.  The span is recorded even if
+    the thunk raises. *)
+
+val set_global : Registry.t option -> unit
+val global : unit -> Registry.t option
+(** Process-global registry, picked up at [Machine.create] time — the same
+    contract as [Trace.set_global].  Install it before creating machines. *)
+
+val find : snapshot -> ?labels:labels -> string -> float option
+(** Look up a row by name and exact (canonicalized) label set.  Counters and
+    gauges yield their value; histograms their sum. *)
+
+val float_to_string : float -> string
+(** Deterministic rendering used by both exporters: ["%.0f"] for integral
+    values, ["%.12g"] otherwise. *)

@@ -2,11 +2,32 @@ open Ccdsm_util
 module Machine = Ccdsm_tempest.Machine
 module Tag = Ccdsm_tempest.Tag
 
+module Obs = Ccdsm_obs.Obs
+
 type entry = Exclusive of int | Shared of Nodeset.t
 
-type t = { machine : Machine.t; mutable entries : entry option array }
+type t = {
+  machine : Machine.t;
+  mutable entries : entry option array;
+  trans : Obs.Counter.t array option;
+      (* 4 slots: old_state * 2 + new_state, with exclusive = 0 / shared = 1
+         (a block with no explicit entry yet is Exclusive at its home) *)
+}
 
-let create machine = { machine; entries = Array.make 128 None }
+let state_names = [| "exclusive"; "shared" |]
+
+let create machine =
+  let trans =
+    match Machine.obs machine with
+    | None -> None
+    | Some reg ->
+        Some
+          (Array.init 4 (fun i ->
+               Obs.Registry.counter reg
+                 ~labels:[ ("from", state_names.(i / 2)); ("to", state_names.(i mod 2)) ]
+                 "ccdsm_dir_transitions_total"))
+  in
+  { machine; entries = Array.make 128 None; trans }
 
 let ensure t b =
   if b >= Array.length t.entries then begin
@@ -22,8 +43,15 @@ let get t b =
   | Some e -> e
   | None -> Exclusive (Machine.home t.machine b)
 
+let state_index = function Exclusive _ -> 0 | Shared _ -> 1
+
 let set t b e =
   ensure t b;
+  (match t.trans with
+  | Some ctrs ->
+      let old = match t.entries.(b) with Some prev -> state_index prev | None -> 0 in
+      Obs.Counter.inc ctrs.((old * 2) + state_index e)
+  | None -> ());
   t.entries.(b) <- Some e
 
 let holders t b =

@@ -4,10 +4,24 @@ module Network = Ccdsm_tempest.Network
 module Tag = Ccdsm_tempest.Tag
 module Trace = Ccdsm_tempest.Trace
 module Faults = Ccdsm_tempest.Faults
+module Obs = Ccdsm_obs.Obs
 
-type t = { machine : Machine.t; dir : Directory.t }
+type metrics = { exchanges : Obs.Counter.t; attempts : Obs.Counter.t }
 
-let create machine = { machine; dir = Directory.create machine }
+type t = { machine : Machine.t; dir : Directory.t; mx : metrics option }
+
+let create machine =
+  let mx =
+    match Machine.obs machine with
+    | None -> None
+    | Some reg ->
+        Some
+          {
+            exchanges = Obs.Registry.counter reg "ccdsm_engine_exchanges_total";
+            attempts = Obs.Registry.counter reg "ccdsm_engine_exchange_attempts_total";
+          }
+  in
+  { machine; dir = Directory.create machine; mx }
 
 (* Serialization cost when one node must emit several invalidations: the
    sends overlap, so each extra message adds only its injection overhead. *)
@@ -35,8 +49,10 @@ let max_attempts = 8
 
 let exchange t ~bucket ~payer ~block legs ~cost =
   let m = t.machine in
+  (match t.mx with Some x -> Obs.Counter.inc x.exchanges | None -> ());
   match Machine.faults m with
   | None ->
+      (match t.mx with Some x -> Obs.Counter.inc x.attempts | None -> ());
       List.iter
         (fun (src, dst, kind, bytes) -> Machine.count_msg m ~node:src ~dst ~kind ~bytes ())
         legs;
@@ -45,6 +61,7 @@ let exchange t ~bucket ~payer ~block legs ~cost =
       let plan = Faults.plan f in
       let c = Machine.counters m ~node:payer in
       let rec attempt k =
+        (match t.mx with Some x -> Obs.Counter.inc x.attempts | None -> ());
         let lost = ref false and late = ref false in
         List.iter
           (fun (src, dst, kind, bytes) ->

@@ -15,7 +15,14 @@
 
 module Machine = Ccdsm_tempest.Machine
 
-type t = { machine : Machine.t; dir : Directory.t }
+type metrics = {
+  exchanges : Ccdsm_obs.Obs.Counter.t;  (** demand round-trips started *)
+  attempts : Ccdsm_obs.Obs.Counter.t;  (** transmissions incl. retries *)
+}
+
+type t = { machine : Machine.t; dir : Directory.t; mx : metrics option }
+(** [mx] is resolved from the machine's metrics registry at {!create} time
+    ([None] when the machine is unmetered). *)
 
 val create : Machine.t -> t
 (** Build an engine (with a fresh directory) over [machine].  Does not

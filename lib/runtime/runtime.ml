@@ -5,6 +5,7 @@ module Coherence = Ccdsm_proto.Coherence
 module Engine = Ccdsm_proto.Engine
 module Sanitizer = Ccdsm_proto.Sanitizer
 module Predictive = Ccdsm_core.Predictive
+module Obs = Ccdsm_obs.Obs
 
 type protocol = Stache | Predictive | Write_update
 
@@ -18,6 +19,12 @@ type t = {
   proto_kind : protocol;
   mutable next_phase : int;
   task_us : float;
+  (* Always-on run accounting (plain field bumps, no registry work): folded
+     into a metrics snapshot by the harness when one was requested. *)
+  mutable phases_run : int;
+  mutable tasks_dispatched : int;
+  mutable task_charged_us : float;
+  obs : Obs.Registry.t option;  (* = Machine.obs machine, for phase spans *)
 }
 
 let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = `Ignore)
@@ -48,6 +55,10 @@ let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = 
     proto_kind = protocol;
     next_phase = 0;
     task_us;
+    phases_run = 0;
+    tasks_dispatched = 0;
+    task_charged_us = 0.0;
+    obs = Machine.obs machine;
   }
 
 let machine t = t.machine
@@ -72,16 +83,64 @@ let charge_compute t ~node us = Machine.charge t.machine ~node Machine.Compute u
 
 let barrier t = Machine.barrier t.machine ~bucket:Machine.Synch
 
+(* Watched quantities for phase-profiling spans: machine-wide totals whose
+   before/after difference is the phase's contribution.  Only sampled while
+   a metrics registry is installed. *)
+let watch_items t () =
+  let m = t.machine in
+  let c = Machine.total_counters m in
+  let bucket b =
+    let total = ref 0.0 in
+    for node = 0 to Machine.num_nodes m - 1 do
+      total := !total +. Machine.bucket_time m ~node b
+    done;
+    !total
+  in
+  let f = float_of_int in
+  [
+    ("total_us", Machine.max_time m);
+    ("compute_us", bucket Machine.Compute);
+    ("remote_wait_us", bucket Machine.Remote_wait);
+    ("presend_us", bucket Machine.Presend);
+    ("synch_us", bucket Machine.Synch);
+    ("demand_misses", f (c.Machine.read_faults + c.Machine.write_faults));
+    ("msgs", f c.Machine.msgs);
+    ("bytes", f c.Machine.bytes);
+    ("retries", f c.Machine.retries);
+    ("timeouts", f c.Machine.timeouts);
+    ("presend_fallbacks", f c.Machine.presend_fallbacks);
+    ("invalidations", f c.Machine.invalidations);
+  ]
+  @
+  match t.predictive with
+  | Some p ->
+      let st = Predictive.stats p in
+      [
+        ("presend_grants", f (st.Predictive.presend_grants_r + st.Predictive.presend_grants_w));
+        ("sched_records", f st.Predictive.faults_recorded);
+      ]
+  | None -> []
+
 let run_phase t phase body =
-  let bracketed = match phase with Some p when p.scheduled -> Some p | _ -> None in
-  (match bracketed with
-  | Some p -> t.coherence.Coherence.phase_begin ~phase:p.id
-  | None -> ());
-  body ();
-  (match bracketed with
-  | Some p -> t.coherence.Coherence.phase_end ~phase:p.id
-  | None -> ());
-  barrier t
+  t.phases_run <- t.phases_run + 1;
+  let exec () =
+    let bracketed = match phase with Some p when p.scheduled -> Some p | _ -> None in
+    (match bracketed with
+    | Some p -> t.coherence.Coherence.phase_begin ~phase:p.id
+    | None -> ());
+    body ();
+    (match bracketed with
+    | Some p -> t.coherence.Coherence.phase_end ~phase:p.id
+    | None -> ());
+    barrier t
+  in
+  match t.obs with
+  | None -> exec ()
+  | Some reg ->
+      let pid, name =
+        match phase with Some p -> (p.id, p.pname) | None -> (-1, "unscheduled")
+      in
+      Obs.phase_span reg ~phase:pid ~name ~watch:(watch_items t) exec
 
 (* Task-dispatch charging, batched: repeated [+. task_us] per task is the
    same float sum as [float tasks *. task_us] only when [task_us] is exactly
@@ -94,6 +153,8 @@ let charge_tasks t ~node ~task_us tasks =
     for _ = 1 to tasks do
       acc := !acc +. task_us
     done;
+    t.tasks_dispatched <- t.tasks_dispatched + tasks;
+    t.task_charged_us <- t.task_charged_us +. !acc;
     Machine.charge t.machine ~node Machine.Compute !acc
   end
 
@@ -127,6 +188,8 @@ let parallel_nodes t ?phase body =
   run_phase t phase (fun () ->
       for node = 0 to nodes t - 1 do
         charge_compute t ~node t.task_us;
+        t.tasks_dispatched <- t.tasks_dispatched + 1;
+        t.task_charged_us <- t.task_charged_us +. t.task_us;
         body ~node
       done)
 
@@ -174,3 +237,6 @@ let time_breakdown t =
     Machine.all_buckets
 
 let total_time t = Machine.max_time t.machine
+let phases_run t = t.phases_run
+let tasks_dispatched t = t.tasks_dispatched
+let task_time_us t = t.task_charged_us

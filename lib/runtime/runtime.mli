@@ -106,3 +106,19 @@ val time_breakdown : t -> (Machine.bucket * float) list
 
 val total_time : t -> float
 (** Wall-clock of the simulated run: the maximum node time. *)
+
+(** {1 Run accounting}
+
+    Always-on counters kept as plain fields (no registry work); the harness
+    folds them into a metrics snapshot when one was requested.  While a
+    metrics registry is installed ({!Ccdsm_obs.Obs.set_global} before
+    {!create}), every executed phase additionally records an
+    {!Ccdsm_obs.Obs.span} profiling the phase's time-bucket and counter
+    deltas. *)
+
+val phases_run : t -> int
+(** Dynamic parallel-phase executions (scheduled or not). *)
+
+val tasks_dispatched : t -> int
+val task_time_us : t -> float
+(** Total task-dispatch overhead charged as compute. *)

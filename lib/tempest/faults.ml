@@ -1,4 +1,5 @@
 module Prng = Ccdsm_util.Prng
+module Obs = Ccdsm_obs.Obs
 
 type plan = {
   drop : float;
@@ -73,10 +74,38 @@ type t = {
   mutable dups : int;
   mutable delays : int;
   mutable corruptions : int;
+  verdict_ctrs : Obs.Counter.t array option;
+      (* indexed by outcome (Deliver/Drop/Duplicate/Delay); resolved once at
+         creation from the global metrics registry, None when no registry is
+         installed so the verdict path stays metrics-free *)
 }
 
+let outcome_index = function Deliver -> 0 | Drop -> 1 | Duplicate -> 2 | Delay -> 3
+let outcome_name = function Deliver -> "deliver" | Drop -> "drop" | Duplicate -> "duplicate" | Delay -> "delay"
+
 let create p =
-  { p; rng = Prng.create ~seed:p.seed; forced = []; drops = 0; dups = 0; delays = 0; corruptions = 0 }
+  let verdict_ctrs =
+    match Obs.global () with
+    | None -> None
+    | Some reg ->
+        Some
+          (Array.map
+             (fun o ->
+               Obs.Registry.counter reg
+                 ~labels:[ ("verdict", outcome_name o) ]
+                 "ccdsm_fault_verdicts_total")
+             [| Deliver; Drop; Duplicate; Delay |])
+  in
+  {
+    p;
+    rng = Prng.create ~seed:p.seed;
+    forced = [];
+    drops = 0;
+    dups = 0;
+    delays = 0;
+    corruptions = 0;
+    verdict_ctrs;
+  }
 
 let plan t = t.p
 
@@ -84,16 +113,20 @@ let force t o = t.forced <- t.forced @ [ o ]
 let clear_forced t = t.forced <- []
 
 let verdict t =
-  match t.forced with
-  | o :: rest ->
-      t.forced <- rest;
-      o
-  | [] ->
-      let u = Prng.float t.rng 1.0 in
-      if u < t.p.drop then Drop
-      else if u < t.p.drop +. t.p.dup then Duplicate
-      else if u < t.p.drop +. t.p.dup +. t.p.delay then Delay
-      else Deliver
+  let o =
+    match t.forced with
+    | o :: rest ->
+        t.forced <- rest;
+        o
+    | [] ->
+        let u = Prng.float t.rng 1.0 in
+        if u < t.p.drop then Drop
+        else if u < t.p.drop +. t.p.dup then Duplicate
+        else if u < t.p.drop +. t.p.dup +. t.p.delay then Delay
+        else Deliver
+  in
+  (match t.verdict_ctrs with Some a -> Obs.Counter.inc a.(outcome_index o) | None -> ());
+  o
 
 let flip t p = Prng.float t.rng 1.0 < p
 let draw_int t bound = Prng.int t.rng bound

@@ -56,6 +56,19 @@ type handlers = {
   on_write_fault : node:int -> block -> unit;
 }
 
+module Obs = Ccdsm_obs.Obs
+
+(* Metrics handles, resolved once at machine creation when a global registry
+   is installed ([Obs.set_global]); the hot paths then only bump a counter
+   through a pre-resolved handle.  [None] = no registry = zero metrics work
+   (the [metered] flag mirrors [traced]). *)
+type meters = {
+  reg : Obs.Registry.t;
+  tag_trans : Obs.Counter.t array;  (* 9 slots: from_tag * 3 + to_tag *)
+  send_msgs : Obs.Counter.t array;  (* per Trace.msg_kind *)
+  send_bytes : Obs.Counter.t array;
+}
+
 type node_state = {
   mutable tags : Bytes.t;  (* one byte per block; grows with the segment *)
   times : float array;  (* indexed by bucket *)
@@ -78,6 +91,8 @@ type t = {
   mutable ntracers : int;
   mutable traced : bool;  (* = ntracers > 0, checked on every access *)
   mutable faults : Faults.t option;  (* fault injector; None = reliable network *)
+  meters : meters option;
+  metered : bool;  (* = meters <> None, checked alongside [traced] *)
 }
 
 (* Tag bytes as stored in [node_state.tags].  Derived from the one source of
@@ -98,6 +113,34 @@ let create cfg =
     invalid_arg "Machine.create: block_bytes must be a power of two >= 8";
   let words_per_block = cfg.block_bytes / 8 in
   let sink = Trace.global () in
+  let meters =
+    match Obs.global () with
+    | None -> None
+    | Some reg ->
+        (* Indexed by tag byte (see [Tag.to_char]), so the fast path can go
+           straight from stored bytes to a counter slot. *)
+        let tag_name i = Tag.to_string (Tag.of_char (Char.chr i)) in
+        let tag_trans =
+          Array.init 9 (fun i ->
+              Obs.Registry.counter reg
+                ~labels:[ ("from", tag_name (i / 3)); ("to", tag_name (i mod 3)) ]
+                "ccdsm_tag_transitions_total")
+        in
+        let per_kind name =
+          Array.of_list
+            (List.map
+               (fun k ->
+                 Obs.Registry.counter reg ~labels:[ ("kind", Trace.msg_kind_name k) ] name)
+               Trace.all_msg_kinds)
+        in
+        Some
+          {
+            reg;
+            tag_trans;
+            send_msgs = per_kind "ccdsm_net_send_total";
+            send_bytes = per_kind "ccdsm_net_send_bytes_total";
+          }
+  in
   let t =
     {
       cfg;
@@ -125,6 +168,8 @@ let create cfg =
         | Ok None -> None
         | Ok (Some p) -> if Faults.is_zero p then None else Some (Faults.create p)
         | Error msg -> invalid_arg ("Machine.create: " ^ msg));
+      meters;
+      metered = meters <> None;
     }
   in
   (match sink with
@@ -154,6 +199,8 @@ let emit t ev =
     (Array.unsafe_get t.tracers i) ev
   done
 
+let metered t = t.metered
+let obs t = match t.meters with Some m -> Some m.reg | None -> None
 let config t = t.cfg
 let num_nodes t = t.cfg.num_nodes
 let block_bytes t = t.cfg.block_bytes
@@ -223,13 +270,19 @@ let tag t ~node b =
 let set_tag t ~node b tg =
   check_node t node;
   check_block t b;
-  if t.traced then begin
-    let before = Tag.of_char (Bytes.get (t.nodes.(node)).tags b) in
+  if t.traced || t.metered then begin
+    let before_c = Bytes.get (t.nodes.(node)).tags b in
+    let after_c = Tag.to_char tg in
     (* Write first, then publish: subscribers that inspect machine state
        (the sanitizer's tag scans) must observe the post-transition world. *)
-    Bytes.set (t.nodes.(node)).tags b (Tag.to_char tg);
-    if not (Tag.equal before tg) then
-      emit t (Trace.Tag_change { node; block = b; before; after = tg })
+    Bytes.set (t.nodes.(node)).tags b after_c;
+    if before_c <> after_c then begin
+      (match t.meters with
+      | Some m -> Obs.Counter.inc m.tag_trans.((Char.code before_c * 3) + Char.code after_c)
+      | None -> ());
+      if t.traced then
+        emit t (Trace.Tag_change { node; block = b; before = Tag.of_char before_c; after = tg })
+    end
   end
   else Bytes.set (t.nodes.(node)).tags b (Tag.to_char tg)
 
@@ -273,6 +326,12 @@ let count_msg t ~node ?(dst = -1) ?(kind = Trace.Data) ~bytes () =
   let c = counters t ~node in
   c.msgs <- c.msgs + 1;
   c.bytes <- c.bytes + bytes;
+  (match t.meters with
+  | Some m ->
+      let i = Trace.msg_kind_index kind in
+      Obs.Counter.inc m.send_msgs.(i);
+      Obs.Counter.add m.send_bytes.(i) bytes
+  | None -> ());
   if t.traced then emit t (Trace.Msg { src = node; dst; bytes; kind })
 
 (* -- fault injection ----------------------------------------------------- *)

@@ -97,6 +97,21 @@ val traced : t -> bool
 (** [true] when at least one subscriber is attached; guards event
     construction on hot paths. *)
 
+(** {1 Metrics}
+
+    A machine created while {!Ccdsm_obs.Obs.set_global} holds a registry
+    resolves its instrument handles there once (tag-transition counters,
+    per-kind message counters) and increments them as it runs — the metrics
+    dual of the trace sink, with the same pay-for-what-you-use rule: with no
+    registry installed the machine performs no metrics work at all. *)
+
+val obs : t -> Ccdsm_obs.Obs.Registry.t option
+(** The registry this machine metered into, if any — protocol and runtime
+    layers resolve their own instruments here at creation time. *)
+
+val metered : t -> bool
+(** [true] when a registry was installed at creation. *)
+
 val emit : t -> Trace.event -> unit
 (** Publish an event to all subscribers (used by the protocol, schedule and
     runtime layers; no-op without subscribers). *)

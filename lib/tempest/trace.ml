@@ -93,6 +93,18 @@ let to_json ev =
       Printf.sprintf {|{"type":"%s","phase":%d,"block":%d,"node":%s}|} ty phase block
         (match node with None -> "null" | Some n -> string_of_int n)
 
+let all_msg_kinds = [ Req; Data; Inval; Ack; Grant; Recall; Update; Reduce ]
+
+let msg_kind_index = function
+  | Req -> 0
+  | Data -> 1
+  | Inval -> 2
+  | Ack -> 3
+  | Grant -> 4
+  | Recall -> 5
+  | Update -> 6
+  | Reduce -> 7
+
 let pp ppf ev = Format.pp_print_string ppf (to_json ev)
 
 (* -- parsing (inverse of [to_json], over our own fixed format) ----------- *)

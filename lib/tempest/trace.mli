@@ -24,6 +24,12 @@ type msg_kind =
 
 val msg_kind_name : msg_kind -> string
 
+val all_msg_kinds : msg_kind list
+(** Every kind, in declaration order (= {!msg_kind_index} order). *)
+
+val msg_kind_index : msg_kind -> int
+(** Dense 0-based index, for pre-resolved per-kind counter arrays. *)
+
 type event =
   | Init of { nodes : int; block_bytes : int }
       (** machine creation (emitted only to the global sink, which is the

@@ -27,6 +27,29 @@ let summarize a =
     total = total a;
   }
 
+let stddev_sample a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (ss /. float_of_int (n - 1))
+
+let quantile a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.quantile: empty";
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Stats.quantile: q outside [0,1]";
+  let s = Array.copy a in
+  Array.sort compare s;
+  (* Linear interpolation between closest ranks: h = (n-1)q, the same
+     convention as numpy's default. *)
+  let h = float_of_int (n - 1) *. q in
+  let lo = int_of_float (floor h) in
+  let hi = int_of_float (ceil h) in
+  if lo = hi then s.(lo) else s.(lo) +. ((h -. float_of_int lo) *. (s.(hi) -. s.(lo)))
+
+let quantiles a qs = List.map (fun q -> (q, quantile a q)) qs
+
 let max_index a =
   if Array.length a = 0 then invalid_arg "Stats.max_index: empty";
   let best = ref 0 in

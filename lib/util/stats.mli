@@ -14,6 +14,19 @@ val summarize : float array -> summary
 
 val mean : float array -> float
 val total : float array -> float
+
+val stddev_sample : float array -> float
+(** Sample (n-1 denominator) standard deviation; [0.0] for fewer than two
+    samples.  [summarize] reports the population (n denominator) stddev. *)
+
+val quantile : float array -> float -> float
+(** [quantile a q] for [q] in [0,1]: sorts a copy of [a] and linearly
+    interpolates between the closest ranks at [h = (n-1) * q].
+    @raise Invalid_argument on an empty array or [q] outside [0,1]. *)
+
+val quantiles : float array -> float list -> (float * float) list
+(** [quantiles a qs] pairs each requested quantile with its value. *)
+
 val max_index : float array -> int
 (** Index of the maximum element (smallest index on ties). *)
 

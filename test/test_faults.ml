@@ -82,9 +82,11 @@ let test_zero_plan_bit_identical () =
   check Alcotest.int "retries" 0 a.Measure.counters.Machine.retries;
   check Alcotest.int "timeouts" 0 a.Measure.counters.Machine.timeouts;
   check Alcotest.int "fallbacks" 0 a.Measure.counters.Machine.presend_fallbacks;
-  check
-    Alcotest.(list (pair string (float 0.0)))
-    "proto stats (no fault entries)" b.Measure.proto_stats a.Measure.proto_stats
+  check Alcotest.string "metrics snapshot identical"
+    (Ccdsm_obs.Export.prometheus_of_snapshot b.Measure.metrics)
+    (Ccdsm_obs.Export.prometheus_of_snapshot a.Measure.metrics);
+  check (Alcotest.float 0.0) "no injected faults" 0.0
+    (Measure.stat ~labels:[ ("kind", "drop") ] a "ccdsm_faults_injected_total")
 
 let test_fixed_plan_recovers () =
   let plan =
@@ -100,8 +102,7 @@ let test_fixed_plan_recovers () =
   Alcotest.(check bool) "presend fallbacks fired" true (c.Machine.presend_fallbacks > 0);
   Alcotest.(check bool) "faults cost time" true (m.Measure.total_us > b.Measure.total_us);
   Alcotest.(check bool) "fault stats reported" true
-    (List.mem_assoc "fault_drops" m.Measure.proto_stats
-    && List.assoc "fault_drops" m.Measure.proto_stats > 0.0)
+    (Measure.stat ~labels:[ ("kind", "drop") ] m "ccdsm_faults_injected_total" > 0.0)
 
 let plan_gen =
   QCheck2.Gen.(

@@ -195,6 +195,33 @@ let test_stats_empty () =
   Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty") (fun () ->
       ignore (Stats.summarize [||]))
 
+let test_stats_quantile () =
+  let a = [| 4.0; 1.0; 3.0; 2.0 |] in
+  (* Sorted-array linear interpolation: h = (n-1)q over [1;2;3;4]. *)
+  check (Alcotest.float 1e-9) "p0" 1.0 (Stats.quantile a 0.0);
+  check (Alcotest.float 1e-9) "p50" 2.5 (Stats.quantile a 0.5);
+  check (Alcotest.float 1e-9) "p100" 4.0 (Stats.quantile a 1.0);
+  check (Alcotest.float 1e-9) "p25 exact rank" 1.75 (Stats.quantile a 0.25);
+  check (Alcotest.float 1e-9) "singleton" 7.0 (Stats.quantile [| 7.0 |] 0.95);
+  (* Input must not be mutated (quantile sorts a copy). *)
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 4.0; 1.0; 3.0; 2.0 |] a;
+  let qs = Stats.quantiles a [ 0.5; 0.95 ] in
+  check (Alcotest.float 1e-9) "quantiles p50" 2.5 (List.assoc 0.5 qs);
+  check (Alcotest.float 1e-9) "quantiles p95" 3.85 (List.assoc 0.95 qs)
+
+let test_stats_quantile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.quantile: empty") (fun () ->
+      ignore (Stats.quantile [||] 0.5));
+  Alcotest.check_raises "q out of range" (Invalid_argument "Stats.quantile: q outside [0,1]")
+    (fun () -> ignore (Stats.quantile [| 1.0 |] 1.5))
+
+let test_stats_stddev_sample () =
+  (* Sample (n-1) stddev of [1;2;3;4]: variance 5/3. *)
+  check (Alcotest.float 1e-9) "sample stddev" (sqrt (5.0 /. 3.0))
+    (Stats.stddev_sample [| 1.0; 2.0; 3.0; 4.0 |]);
+  check (Alcotest.float 1e-9) "n<2 is 0" 0.0 (Stats.stddev_sample [| 42.0 |]);
+  check (Alcotest.float 1e-9) "constant" 0.0 (Stats.stddev_sample [| 3.0; 3.0; 3.0 |])
+
 (* -- Vec3 ----------------------------------------------------------------- *)
 
 let test_vec3_algebra () =
@@ -270,6 +297,9 @@ let suite =
         Alcotest.test_case "max_index" `Quick test_stats_max_index;
         Alcotest.test_case "relative" `Quick test_stats_relative;
         Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "quantile" `Quick test_stats_quantile;
+        Alcotest.test_case "quantile errors" `Quick test_stats_quantile_errors;
+        Alcotest.test_case "sample stddev" `Quick test_stats_stddev_sample;
       ] );
     ("util.vec3", [ Alcotest.test_case "algebra" `Quick test_vec3_algebra ]);
     ( "util.ascii",
