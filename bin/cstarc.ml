@@ -23,11 +23,22 @@ let file_arg =
 
 let flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
+(* Any registered protocol name resolves (the registry's error lists what is
+   available); cmdliner turns a parse failure into the usual exit-124 usage
+   error. *)
+let protocol_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Runtime.protocol_of_name s) in
+  let print fmt p = Format.pp_print_string fmt (Runtime.protocol_name p) in
+  Arg.conv (parse, print)
+
 let protocol_arg =
   Arg.(
     value
-    & opt (enum [ ("stache", Runtime.Stache); ("predictive", Runtime.Predictive) ]) Runtime.Predictive
-    & info [ "protocol" ] ~docv:"PROTO" ~doc:"Coherence protocol: stache or predictive.")
+    & opt protocol_conv Runtime.Predictive
+    & info [ "protocol" ] ~docv:"PROTO"
+        ~doc:
+          "Coherence protocol — any registered name (stache, predictive, \
+           write_update, migratory, commutative).")
 
 let nodes_arg =
   Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N" ~doc:"Simulated processors.")

@@ -13,11 +13,51 @@
 
 open Cmdliner
 module E = Ccdsm_harness.Experiments
+module Runtime = Ccdsm_runtime.Runtime
 module Trace = Ccdsm_tempest.Trace
 module Obs = Ccdsm_obs.Obs
 module Export = Ccdsm_obs.Export
 
 let scale full = if full then E.Paper else E.scale_of_env ()
+
+let protocols_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "protocol" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated registered protocol names (see the protocol \
+           registry; currently stache, predictive, write_update, migratory, \
+           commutative).  $(b,sweep): run the registry-driven protocol x app \
+           x block-size grid with the differential harness instead of the \
+           unopt/opt comparison.  $(b,faults): restrict the fault grid to \
+           these protocols.  $(b,check): explore these protocols.  An \
+           unknown name exits with code 124 listing the available names.")
+
+(* Both parsers exit 124 on an unknown name — same contract as the other
+   CLI-validation failures — with the registry's available-names hint. *)
+let parse_protocols resolve = function
+  | None -> None
+  | Some s ->
+      let names =
+        String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+      in
+      if names = [] then begin
+        Printf.eprintf "repro: --protocol needs at least one name\n";
+        exit 124
+      end;
+      Some
+        (List.map
+           (fun n ->
+             match resolve n with
+             | Ok p -> p
+             | Error msg ->
+                 Printf.eprintf "repro: %s\n" msg;
+                 exit 124)
+           names)
+
+let runtime_protocols = parse_protocols Runtime.protocol_of_name
+let model_protocols = parse_protocols Ccdsm_check.Model.protocol_of_name
 
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's data-set sizes (Table 1).")
@@ -123,11 +163,22 @@ let run_fig7 full nodes jobs trace metrics =
   with_metrics metrics (fun () ->
       with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes ?jobs (scale full))))
 
-let run_sweep full nodes jobs metrics =
-  with_metrics metrics (fun () -> print_string (E.block_sweep ~num_nodes:nodes ?jobs (scale full)))
+let run_sweep full nodes jobs metrics protocols =
+  with_metrics metrics (fun () ->
+      match runtime_protocols protocols with
+      | None -> print_string (E.block_sweep ~num_nodes:nodes ?jobs (scale full))
+      | Some ps ->
+          let reports, text = E.protocol_sweep ~num_nodes:nodes ?jobs ~protocols:ps (scale full) in
+          print_string text;
+          if not (List.for_all (fun r -> r.Ccdsm_harness.Proto_diff.agree) reports) then begin
+            prerr_endline "repro sweep: final heaps disagree across protocols (see table)";
+            exit 1
+          end)
 
-let run_faults full nodes jobs metrics =
-  with_metrics metrics (fun () -> print_string (E.faults_grid ~num_nodes:nodes ?jobs (scale full)))
+let run_faults full nodes jobs metrics protocols =
+  with_metrics metrics (fun () ->
+      let protocols = runtime_protocols protocols in
+      print_string (E.faults_grid ~num_nodes:nodes ?jobs ?protocols (scale full)))
 
 let run_ablate full nodes metrics =
   with_metrics metrics (fun () -> print_string (E.ablations ~num_nodes:nodes (scale full)))
@@ -174,7 +225,7 @@ let run_bench full jobs compare threshold strict =
             if strict then exit 1
             else print_endline "advisory: regressions found (not failing without --strict)")
 
-let run_check depth seed faults nodes blocks jobs replay mode =
+let run_check depth seed faults nodes blocks jobs replay mode protocols =
   match replay with
   | Some path -> (
       (* Oracle mode: re-validate a recorded JSONL trace offline. *)
@@ -182,8 +233,10 @@ let run_check depth seed faults nodes blocks jobs replay mode =
         match mode with
         | "invalidate" -> Ccdsm_check.Replay.Sanitizer.Invalidate
         | "update" -> Ccdsm_check.Replay.Sanitizer.Update
+        | "commutative" -> Ccdsm_check.Replay.Sanitizer.Commutative
         | other ->
-            Printf.eprintf "repro check: unknown --mode %s (use invalidate|update)\n" other;
+            Printf.eprintf
+              "repro check: unknown --mode %s (use invalidate|update|commutative)\n" other;
             exit 124
       in
       match Ccdsm_check.Replay.file ~mode path with
@@ -197,7 +250,8 @@ let run_check depth seed faults nodes blocks jobs replay mode =
           exit 1)
   | None ->
       let module D = Ccdsm_harness.Check_driver in
-      let cells = D.run ?jobs ?seed ~depth (D.matrix ~faults ~nodes ~blocks ()) in
+      let protocols = model_protocols protocols in
+      let cells = D.run ?jobs ?seed ~depth (D.matrix ?protocols ~faults ~nodes ~blocks ()) in
       print_string (D.render cells);
       let cexs = D.failures cells in
       if cexs <> [] then begin
@@ -298,8 +352,9 @@ let mode_arg =
     & opt string "invalidate"
     & info [ "mode" ] ~docv:"MODE"
         ~doc:
-          "Sanitizer mode for --replay: $(b,invalidate) for Stache/predictive \
-           traces, $(b,update) for write-update traces.")
+          "Sanitizer mode for --replay: $(b,invalidate) for \
+           stache/predictive/migratory traces, $(b,update) for write-update \
+           traces, $(b,commutative) for commutative traces.")
 
 (* A plain string, not [Arg.file]: existence is checked by the summarizer
    itself so a missing file yields our one-line error and exit code 1. *)
@@ -351,12 +406,14 @@ let cmds =
       Term.(const run_fig6 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
     cmd "fig7" "Water execution-time breakdown (Figure 7)"
       Term.(const run_fig7 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
-    cmd "sweep" "Block-size sensitivity sweep (section 5.4)"
-      Term.(const run_sweep $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg);
+    cmd "sweep"
+      "Block-size sensitivity sweep (section 5.4); with --protocol, the \
+       registry-driven differential protocol sweep"
+      Term.(const run_sweep $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg $ protocols_arg);
     cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
       Term.(const run_ablate $ full_arg $ nodes_arg $ metrics_arg);
     cmd "faults" "Fault-injection robustness grid (drops/dups/delays/schedule corruption)"
-      Term.(const run_faults $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg);
+      Term.(const run_faults $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg $ protocols_arg);
     cmd "scaling" "Node-count scaling (extension)"
       Term.(const run_scaling $ full_arg $ jobs_arg $ metrics_arg);
     cmd "inspector" "Inspector-executor comparison (section 2)"
@@ -378,7 +435,7 @@ let cmds =
        invariant oracle with --replay"
       Term.(
         const run_check $ depth_arg $ seed_arg $ check_faults_arg $ check_nodes_arg
-        $ check_blocks_arg $ jobs_arg $ replay_arg $ mode_arg);
+        $ check_blocks_arg $ jobs_arg $ replay_arg $ mode_arg $ protocols_arg);
     cmd "all" "Everything, plus the qualitative shape checklist"
       Term.(const run_all $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
   ]

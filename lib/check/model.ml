@@ -27,9 +27,28 @@ module Sanitizer = Ccdsm_proto.Sanitizer
 module Schedule = Ccdsm_core.Schedule
 module Predictive = Ccdsm_core.Predictive
 
-type protocol = Stache | Predictive
+module Write_update = Ccdsm_proto.Write_update
+module Migratory = Ccdsm_proto.Migratory
+module Commutative = Ccdsm_proto.Commutative
 
-let protocol_name = function Stache -> "stache" | Predictive -> "predictive"
+type protocol = Stache | Predictive | Write_update | Migratory | Commutative
+
+let protocol_name = function
+  | Stache -> "stache"
+  | Predictive -> "predictive"
+  | Write_update -> "write_update"
+  | Migratory -> "migratory"
+  | Commutative -> "commutative"
+
+let protocol_of_name = function
+  | "stache" -> Ok Stache
+  | "predictive" -> Ok Predictive
+  | "write_update" -> Ok Write_update
+  | "migratory" -> Ok Migratory
+  | "commutative" -> Ok Commutative
+  | name -> Error (Ccdsm_proto.Registry.unknown name)
+
+let all_protocols = [ Stache; Predictive; Write_update; Migratory; Commutative ]
 
 type fault = Drop | Dup | Delay
 
@@ -106,7 +125,9 @@ let alphabet cfg =
   in
   let phases =
     match cfg.protocol with
-    | Stache -> []
+    | Stache | Migratory -> []  (* passive phase hooks: no protocol action *)
+    | Write_update -> [ Phase_end; Flush ]  (* update push / subscription reset *)
+    | Commutative -> [ Phase_end ]  (* the merge *)
     | Predictive ->
         [ Phase_begin; Phase_end; Flush ]
         @ (if cfg.faults then
@@ -121,8 +142,11 @@ type sys = {
   cfg : config;
   machine : Machine.t;
   coh : Coherence.t;
-  dir : Directory.t;
+  dir : Directory.t option;  (* when the protocol maintains the invariant *)
   pred : Predictive.t option;
+  wu : Write_update.t option;
+  mig : Migratory.t option;
+  com : Commutative.t option;
   inj : Faults.t option;
   addr : int array;  (* word probed in each block *)
   model : float array;  (* expected value per block *)
@@ -138,16 +162,29 @@ let make_sys ?recorder cfg =
   (* The recorder (if any) subscribes first so it captures the violating
      event even when the sanitizer raises on it. *)
   (match recorder with None -> () | Some f -> Machine.subscribe machine f);
-  let coh, dir, pred =
+  let coh, dir, mode, pred, wu, mig, com =
     match cfg.protocol with
     | Predictive ->
         let p = Predictive.create machine in
-        (Predictive.coherence p, (Predictive.engine p).Engine.dir, Some p)
+        ( Predictive.coherence p,
+          Some (Predictive.engine p).Engine.dir,
+          Sanitizer.Invalidate, Some p, None, None, None )
     | Stache ->
         let eng, coh = Engine.stache machine in
-        (coh, eng.Engine.dir, None)
+        (coh, Some eng.Engine.dir, Sanitizer.Invalidate, None, None, None, None)
+    | Write_update ->
+        let w = Write_update.create machine in
+        (Write_update.coherence_of w, None, Sanitizer.Update, None, Some w, None, None)
+    | Migratory ->
+        let g = Migratory.create machine in
+        ( Migratory.coherence_of g,
+          Some (Migratory.engine g).Engine.dir,
+          Sanitizer.Invalidate, None, None, Some g, None )
+    | Commutative ->
+        let c = Commutative.create machine in
+        (Commutative.coherence_of c, None, Sanitizer.Commutative, None, None, None, Some c)
   in
-  ignore (Sanitizer.attach ~dir ~check_races:false machine);
+  ignore (Sanitizer.attach ~mode ?dir ~check_races:false machine);
   let inj =
     if not cfg.faults then None
     else begin
@@ -162,12 +199,20 @@ let make_sys ?recorder cfg =
   let addr =
     Array.init cfg.blocks (fun b -> Machine.alloc machine ~words:4 ~home:(b mod cfg.nodes))
   in
-  { cfg; machine; coh; dir; pred; inj; addr; model = Array.make cfg.blocks 0.0; stamp = 0.0 }
+  {
+    cfg; machine; coh; dir; pred; wu; mig; com; inj; addr;
+    model = Array.make cfg.blocks 0.0;
+    stamp = 0.0;
+  }
 
 let check_invariants sys ~after =
   let fail fmt = Format.kasprintf (fun s -> raise (Violation (after ^ ": " ^ s))) fmt in
   for b = 0 to sys.cfg.blocks - 1 do
-    (* Single writer / multiple readers at the tag level. *)
+    (* Tag-level writer discipline, per protocol: write-invalidate never has
+       a writer beside any other copy; write-update feeds readers alongside
+       the one writer; commutative legitimately privatizes several ReadWrite
+       copies between merges, so its check is mirror/tag agreement plus the
+       sanitizer's phase-boundary merge check. *)
     let rw = ref 0 and ro = ref 0 in
     for n = 0 to sys.cfg.nodes - 1 do
       match Machine.tag sys.machine ~node:n b with
@@ -175,12 +220,21 @@ let check_invariants sys ~after =
       | Tag.Read_only -> incr ro
       | Tag.Invalid -> ()
     done;
-    if !rw > 1 then fail "block %d has %d writers" b !rw;
-    if !rw = 1 && !ro > 0 then fail "block %d has a writer and %d readers" b !ro;
-    (* Directory/tag agreement. *)
-    match Directory.check_invariant sys.dir b with
-    | Ok () -> ()
-    | Error e -> fail "%s" e
+    (match sys.cfg.protocol with
+    | Stache | Predictive | Migratory ->
+        if !rw > 1 then fail "block %d has %d writers" b !rw;
+        if !rw = 1 && !ro > 0 then fail "block %d has a writer and %d readers" b !ro
+    | Write_update -> if !rw > 1 then fail "block %d has %d writers" b !rw
+    | Commutative -> ());
+    (match sys.com with
+    | None -> ()
+    | Some c -> (
+        match Commutative.check_invariant c b with Ok () -> () | Error e -> fail "%s" e));
+    (* Directory/tag agreement, when the protocol maintains one. *)
+    match sys.dir with
+    | None -> ()
+    | Some dir -> (
+        match Directory.check_invariant dir b with Ok () -> () | Error e -> fail "%s" e)
   done
 
 let with_forced sys fault f =
@@ -254,8 +308,10 @@ let apply sys op =
 let tag_of sys ~node ~block = Machine.tag sys.machine ~node block
 let lost_grants_of sys = match sys.pred with None -> [] | Some p -> Predictive.lost_grants p
 
-(* Canonical state: tags, directory, phase status, schedule contents, and
-   the predictive protocol's lost-grant set.  Model values and stamps are
+(* Canonical state: tags, directory, phase status, schedule contents, the
+   predictive protocol's lost-grant set, and each protocol's own behaviour-
+   bearing side state (write-update ownership/subscriptions/dirt, migratory
+   flags and last writers, commutative dirt).  Model values and stamps are
    excluded (they grow forever but do not influence protocol behaviour). *)
 let state_of sys =
   let buf = Buffer.create 64 in
@@ -263,12 +319,41 @@ let state_of sys =
     for n = 0 to sys.cfg.nodes - 1 do
       Buffer.add_char buf (Tag.to_char (Machine.tag sys.machine ~node:n b))
     done;
-    match Directory.get sys.dir b with
-    | Directory.Exclusive o -> Buffer.add_string buf (Printf.sprintf "E%d" o)
-    | Directory.Shared s ->
-        Buffer.add_string buf "S";
-        Nodeset.iter (fun n -> Buffer.add_string buf (string_of_int n)) s
+    match sys.dir with
+    | None -> ()
+    | Some dir -> (
+        match Directory.get dir b with
+        | Directory.Exclusive o -> Buffer.add_string buf (Printf.sprintf "E%d" o)
+        | Directory.Shared s ->
+            Buffer.add_string buf "S";
+            Nodeset.iter (fun n -> Buffer.add_string buf (string_of_int n)) s)
   done;
+  (match sys.wu with
+  | None -> ()
+  | Some w ->
+      for b = 0 to sys.cfg.blocks - 1 do
+        Buffer.add_string buf (Printf.sprintf "|o%d" (Write_update.owner w b));
+        Buffer.add_string buf "s";
+        Nodeset.iter
+          (fun n -> Buffer.add_string buf (string_of_int n))
+          (Write_update.subscribers w b)
+      done;
+      List.iter (fun b -> Buffer.add_string buf (Printf.sprintf "d%d" b)) (Write_update.dirty_blocks w));
+  (match sys.mig with
+  | None -> ()
+  | Some g ->
+      for b = 0 to sys.cfg.blocks - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "|%c%d"
+             (if Migratory.is_migratory g b then 'M' else 'm')
+             (Migratory.last_writer g b))
+      done);
+  (match sys.com with
+  | None -> ()
+  | Some c ->
+      (* the writer/reader mirrors are tag-derived (checked by the invariant
+         pass), so only the pending-merge set adds information *)
+      List.iter (fun b -> Buffer.add_string buf (Printf.sprintf "|d%d" b)) (Commutative.dirty_blocks c));
   (match sys.pred with
   | None -> ()
   | Some p ->

@@ -17,9 +17,17 @@
 module Trace = Ccdsm_tempest.Trace
 module Sanitizer = Ccdsm_proto.Sanitizer
 
-type protocol = Stache | Predictive
+type protocol = Stache | Predictive | Write_update | Migratory | Commutative
 
 val protocol_name : protocol -> string
+(** Matches the {!Ccdsm_proto.Registry} name. *)
+
+val protocol_of_name : string -> (protocol, string) result
+(** Inverse of {!protocol_name}; [Error] lists the registered names (the
+    [repro check --protocol] entry point). *)
+
+val all_protocols : protocol list
+(** Every explorable protocol, baselines first. *)
 
 type fault = Drop | Dup | Delay
 
@@ -64,7 +72,9 @@ val config_to_string : config -> string
 val alphabet : config -> op list
 (** Every op applicable under [config]: reads and writes for each
     (node, block), their fault variants when [faults], and the phase /
-    schedule ops for [Predictive]. *)
+    schedule ops the protocol reacts to — all of them for [Predictive],
+    [Phase_end]/[Flush] for [Write_update], [Phase_end] (the merge) for
+    [Commutative], none for the passive-phase protocols. *)
 
 type sys
 
@@ -84,8 +94,10 @@ val apply : sys -> op -> unit
     {!Sanitizer.Violation}. *)
 
 val check_invariants : sys -> after:string -> unit
-(** Tag-level single-writer/multi-reader and directory/tag agreement for
-    every block.  @raise Violation on failure. *)
+(** Per-protocol tag discipline (single-writer/multi-reader for the
+    write-invalidate protocols, at-most-one-writer for write-update,
+    mirror/tag agreement for commutative) and directory/tag agreement when
+    the protocol maintains a directory.  @raise Violation on failure. *)
 
 val tag_of : sys -> node:int -> block:int -> Ccdsm_tempest.Tag.t
 (** Read-only tag probe for caller-supplied invariants. *)

@@ -465,3 +465,24 @@ let coherence t =
           ("presend_grants_write", float_of_int t.st.presend_grants_w);
         ]);
   }
+
+(* Registry entry: predictive lives outside lib/proto, so it registers
+   exactly the way a third-party protocol would — extending the registry's
+   handle type with its own constructor.  The runtime extracts the handle to
+   drive schedule recording and presend phases. *)
+type Ccdsm_proto.Registry.handle += Handle of t
+
+let () =
+  Ccdsm_proto.Registry.register ~name:"predictive"
+    ~doc:"Stache augmented with compiler-directed schedule recording and presend"
+    (fun opts machine ->
+      let p =
+        create ~coalesce:opts.Ccdsm_proto.Registry.coalesce
+          ~conflict_action:opts.Ccdsm_proto.Registry.conflict_action machine
+      in
+      {
+        Ccdsm_proto.Registry.coherence = coherence p;
+        dir = Some (engine p).Ccdsm_proto.Engine.dir;
+        mode = Ccdsm_proto.Sanitizer.Invalidate;
+        handle = Handle p;
+      })

@@ -21,6 +21,10 @@ module Machine = Ccdsm_tempest.Machine
 
 type t
 
+type Ccdsm_proto.Registry.handle += Handle of t
+(** The registry handle this module registers under the name ["predictive"];
+    the runtime matches on it to drive schedule recording and presend. *)
+
 val create :
   ?per_block_us:float ->
   ?record_us:float ->

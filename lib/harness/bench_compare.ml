@@ -22,6 +22,14 @@ let wall_measurements scale jobs =
     wall "inspector" (fun () -> E.inspector scale);
     wall "scaling" (fun () -> E.scaling ~jobs scale);
   ]
+  (* One differential-sweep timing per registered protocol, so a slow new
+     protocol (or a regression in one) shows up under its own name. *)
+  @ List.map
+      (fun p ->
+        wall
+          ("protocol_sweep_" ^ Ccdsm_runtime.Runtime.protocol_name p)
+          (fun () -> E.protocol_sweep ~jobs ~protocols:[ p ] scale))
+      (Proto_diff.all_protocols ())
 
 (* -- baseline parsing (the fixed BENCH.json format bench/main.ml writes) -- *)
 

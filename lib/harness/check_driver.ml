@@ -11,15 +11,14 @@ module Explore = Ccdsm_check.Explore
 
 type cell = { cfg : Model.config; depth : int; outcome : Explore.outcome }
 
-let matrix ?(faults = true) ?(nodes = 3) ?(blocks = 2) () =
+let matrix ?protocols ?(faults = true) ?(nodes = 3) ?(blocks = 2) () =
+  let protocols = match protocols with Some ps -> ps | None -> Model.all_protocols in
   let base protocol = Model.default_config ~protocol ~nodes ~blocks () in
   let fault_rows =
-    if faults then
-      [ { (base Model.Stache) with Model.faults = true };
-        { (base Model.Predictive) with Model.faults = true } ]
+    if faults then List.map (fun p -> { (base p) with Model.faults = true }) protocols
     else []
   in
-  [ base Model.Stache; base Model.Predictive ] @ fault_rows
+  List.map base protocols @ fault_rows
 
 let run ?jobs ?seed ?(depth = 4) configs =
   Parjobs.map ?jobs
@@ -38,9 +37,9 @@ let all_ok cells =
 let render cells =
   let buf = Buffer.create 256 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
-  line "%-11s %-7s %6s %7s %10s %10s  %s" "protocol" "faults" "nodes" "blocks" "depth"
+  line "%-12s %-7s %6s %7s %10s %10s  %s" "protocol" "faults" "nodes" "blocks" "depth"
     "states" "result";
-  line "%s" (String.make 66 '-');
+  line "%s" (String.make 67 '-');
   List.iter
     (fun c ->
       let states, result =
@@ -50,7 +49,7 @@ let render cells =
         | Explore.Fail cex ->
             ("-", Printf.sprintf "FAIL: %d-op counterexample" (List.length cex.Explore.ops))
       in
-      line "%-11s %-7s %6d %7d %10d %10s  %s"
+      line "%-12s %-7s %6d %7d %10d %10s  %s"
         (Model.protocol_name c.cfg.Model.protocol)
         (if c.cfg.Model.faults then "on" else "off")
         c.cfg.Model.nodes c.cfg.Model.blocks c.depth states result)

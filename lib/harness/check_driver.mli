@@ -11,9 +11,16 @@ module Explore = Ccdsm_check.Explore
 
 type cell = { cfg : Model.config; depth : int; outcome : Explore.outcome }
 
-val matrix : ?faults:bool -> ?nodes:int -> ?blocks:int -> unit -> Model.config list
-(** The default verification matrix: Stache and predictive without fault
-    branches, plus (when [faults], the default) both with fault branches. *)
+val matrix :
+  ?protocols:Model.protocol list ->
+  ?faults:bool ->
+  ?nodes:int ->
+  ?blocks:int ->
+  unit ->
+  Model.config list
+(** The verification matrix: each protocol (default: every registered one)
+    without fault branches, plus (when [faults], the default) each with
+    fault branches. *)
 
 val run : ?jobs:int -> ?seed:int -> ?depth:int -> Model.config list -> cell list
 (** Explore every config to [depth] (default 4; fault-branch cells run one

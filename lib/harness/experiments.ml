@@ -288,6 +288,54 @@ let block_sweep ?num_nodes ?jobs scale =
    predictive protocol wins — expected to shrink as blocks grow)\n"
   ^ Ascii.table ~header:[ "app"; "block(B)"; "unopt(ms)"; "opt(ms)"; "speedup" ] rows
 
+(* -- registry-driven protocol sweep ---------------------------------------------- *)
+
+let sweep_apps scale =
+  (* Barnes' tree build is a legitimate multi-writer phase, so the word-level
+     race check is off for it (same as the fault grid). *)
+  [
+    ("Adaptive", true, fun rt -> (Adaptive.run rt (adaptive_cfg scale)).Adaptive.checksum);
+    ("Barnes", false, fun rt -> (Barnes.run rt (barnes_cfg scale)).Barnes.checksum);
+    ("Water", true, fun rt -> (Water.run rt (water_cfg scale)).Water.checksum);
+  ]
+
+let protocol_sweep ?(num_nodes = 32) ?jobs ~protocols scale =
+  let names = List.map Runtime.protocol_name protocols in
+  let reports =
+    Parjobs.map ?jobs
+      (fun ((name, races, run), bs) ->
+        Proto_diff.run ~protocols ~nodes:num_nodes ~block_bytes:bs ~check_races:races
+          ~app:name ~run ())
+      (List.concat_map
+         (fun app -> List.map (fun bs -> (app, bs)) block_sizes)
+         (sweep_apps scale))
+  in
+  let rows =
+    List.map
+      (fun (r : Proto_diff.report) ->
+        [ r.Proto_diff.app; string_of_int r.Proto_diff.block_bytes ]
+        @ List.map
+            (fun (row : Proto_diff.row) ->
+              Printf.sprintf "%.1f" (row.Proto_diff.total_us /. 1000.0))
+            r.Proto_diff.rows
+        @ [
+            Printf.sprintf "%016Lx" (List.hd r.Proto_diff.rows).Proto_diff.digest;
+            (if r.Proto_diff.agree then "ok" else "DIFF");
+          ])
+      reports
+  in
+  ( reports,
+    Printf.sprintf
+      "Protocol sweep (registry-driven): total time per protocol across the\n\
+       block sizes, sanitizer attached.  Every cell runs each protocol on the\n\
+       identical deterministic app run; the heap digest (FNV-1a over every\n\
+       shared word) must agree across all of them — protocols are cost models,\n\
+       never correctness.\nprotocols: %s\n"
+      (String.concat ", " names)
+    ^ Ascii.table
+        ~header:([ "app"; "block(B)" ] @ List.map (fun n -> n ^ "(ms)") names @ [ "heap digest"; "heaps" ])
+        rows )
+
 (* -- ablations -------------------------------------------------------------------- *)
 
 let ablations ?num_nodes scale =
@@ -472,39 +520,51 @@ let fault_plan rate =
     seed = 42;
   }
 
-let faults_grid ?num_nodes ?jobs scale =
+let faults_grid ?num_nodes ?jobs ?protocols scale =
   (* Barnes' tree build is a legitimate multi-writer phase (many bodies hash
      into one cell, last writer wins), so the word-level race check is off
-     for it; the SWMR/directory/presend invariants still apply. *)
-  let apps =
-    [
-      ("Adaptive", true, fun rt -> (Adaptive.run rt (adaptive_cfg scale)).Adaptive.checksum);
-      ("Barnes", false, fun rt -> (Barnes.run rt (barnes_cfg scale)).Barnes.checksum);
-      ("Water", true, fun rt -> (Water.run rt (water_cfg scale)).Water.checksum);
-    ]
+     for it; the SWMR/directory/presend invariants still apply.
+
+     The predictive protocol gets the full rate ladder; the other registered
+     protocols run at 0 and 5% so their recovery paths (migratory handoffs,
+     commutative merges) are exercised without tripling the grid's cost. *)
+  let protocols =
+    match protocols with
+    | Some ps -> ps
+    | None -> [ Runtime.Predictive; Runtime.Migratory; Runtime.Commutative ]
   in
+  let apps = sweep_apps scale in
+  let rates_for = function Runtime.Predictive -> fault_rates | _ -> [ 0.0; 0.05 ] in
   let cells =
     Parjobs.map ?jobs
-      (fun ((name, races, run), rate) ->
+      (fun (protocol, (name, races, run), rate) ->
         let m =
           Measure.measure ?num_nodes ~faults:(fault_plan rate) ~sanitize:true
             ~check_races:races ~app:(String.lowercase_ascii name)
-            (Measure.version ~label:name ~protocol:Runtime.Predictive ~block_bytes:32 run)
+            (Measure.version ~label:name ~protocol ~block_bytes:32 run)
         in
-        (name, rate, m))
-      (List.concat_map (fun app -> List.map (fun r -> (app, r)) fault_rates) apps)
+        (protocol, name, rate, m))
+      (List.concat_map
+         (fun p ->
+           List.concat_map
+             (fun app -> List.map (fun r -> (p, app, r)) (rates_for p))
+             apps)
+         protocols)
   in
   let stat kind m = Measure.stat ~labels:[ ("kind", kind) ] m "ccdsm_faults_injected_total" in
-  let base name =
-    let _, _, m = List.find (fun (n, r, _) -> n = name && r = 0.0) cells in
+  let base protocol name =
+    let _, _, _, m =
+      List.find (fun (p, n, r, _) -> p = protocol && n = name && r = 0.0) cells
+    in
     m
   in
   let rows =
     List.map
-      (fun (name, rate, m) ->
-        let b = base name in
+      (fun (protocol, name, rate, m) ->
+        let b = base protocol name in
         let c = m.Measure.counters in
         [
+          Runtime.protocol_name protocol;
           name;
           Printf.sprintf "%.2f" rate;
           Printf.sprintf "%.1f" (m.Measure.total_us /. 1000.0);
@@ -518,16 +578,16 @@ let faults_grid ?num_nodes ?jobs scale =
         ])
       cells
   in
-  "Fault-injection grid (predictive protocol, 32B blocks; extension beyond\n\
-   the paper).  Each row injects message drop/duplicate/delay and schedule\n\
-   corruption at the given rate (drop = corrupt = rate, dup = delay =\n\
-   rate/2, seed 42) with the invariant sanitizer attached; overhead is\n\
-   total time relative to the app's fault-free row.  Checksums must match\n\
-   the fault-free run: faults cost time, never correctness.\n"
+  "Fault-injection grid (32B blocks; extension beyond the paper).  Each row\n\
+   injects message drop/duplicate/delay and schedule corruption at the given\n\
+   rate (drop = corrupt = rate, dup = delay = rate/2, seed 42) with the\n\
+   invariant sanitizer attached; overhead is total time relative to the same\n\
+   protocol's fault-free row.  Checksums must match the fault-free run:\n\
+   faults cost time, never correctness.\n"
   ^ Ascii.table
       ~header:
-        [ "app"; "rate"; "total(ms)"; "overhead"; "retries"; "timeouts"; "fallbacks";
-          "drops"; "corrupt"; "checksum" ]
+        [ "protocol"; "app"; "rate"; "total(ms)"; "overhead"; "retries"; "timeouts";
+          "fallbacks"; "drops"; "corrupt"; "checksum" ]
       rows
 
 (* -- node-count scaling (extension; not in the paper) ------------------------- *)

@@ -49,6 +49,17 @@ val block_sweep : ?num_nodes:int -> ?jobs:int -> scale -> string
     across block sizes 32..1024 — "the predictive protocol worked best for
     small cache blocks". *)
 
+val protocol_sweep :
+  ?num_nodes:int ->
+  ?jobs:int ->
+  protocols:Ccdsm_runtime.Runtime.protocol list ->
+  scale ->
+  Proto_diff.report list * string
+(** Registry-driven sweep ([repro sweep --protocol NAME,…]): every given
+    protocol × app × block size, sanitizer attached, via the differential
+    harness — per-cell heap digests must agree across protocols.  Returns
+    the raw reports (the CI artifact) alongside the rendered table. *)
+
 val ablations : ?num_nodes:int -> scale -> string
 (** Design ablations: presend bulk coalescing on/off; incremental schedules
     vs flush-every-iteration; CM-5-class vs hardware-DSM network (the
@@ -63,12 +74,20 @@ val fault_plan : float -> Ccdsm_tempest.Faults.plan
 (** The grid's plan at one rate: drop = corrupt = rate, dup = delay = rate/2,
     seed 42 (exposed for the CI smoke run and tests). *)
 
-val faults_grid : ?num_nodes:int -> ?jobs:int -> scale -> string
-(** Robustness extension: Adaptive/Barnes/Water under the predictive protocol
-    with injected message loss/duplication/delay and schedule corruption at
-    rates 0, 1%, 5% and 20% (seed 42), sanitizer attached.  Reports recovery
-    counters (retries, timeouts, presend fallbacks) and the slowdown relative
-    to each app's fault-free row; checksums must match the fault-free run. *)
+val faults_grid :
+  ?num_nodes:int ->
+  ?jobs:int ->
+  ?protocols:Ccdsm_runtime.Runtime.protocol list ->
+  scale ->
+  string
+(** Robustness extension: Adaptive/Barnes/Water with injected message
+    loss/duplication/delay and schedule corruption (seed 42), sanitizer
+    attached.  The predictive protocol runs the full rate ladder (0, 1%, 5%,
+    20%); the other default protocols (migratory, commutative — override
+    with [protocols]) run at 0 and 5% to cover handoff and merge recovery.
+    Reports recovery counters (retries, timeouts, presend fallbacks) and the
+    slowdown relative to the same protocol's fault-free row; checksums must
+    match the fault-free run. *)
 
 val scaling : ?jobs:int -> scale -> string
 (** Extension beyond the paper: total time and optimized speedup as the

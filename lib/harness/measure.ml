@@ -33,10 +33,7 @@ type measurement = {
 
 let stat ?labels m name = Option.value (Obs.find m.metrics ?labels name) ~default:0.0
 
-let protocol_name = function
-  | Runtime.Stache -> "stache"
-  | Runtime.Predictive -> "predictive"
-  | Runtime.Write_update -> "write_update"
+let protocol_name = Runtime.protocol_name
 
 (* Map the coherence layer's [stats ()] key/value pairs into the registry
    namespace.  Known keys get first-class names; anything a future protocol

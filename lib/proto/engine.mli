@@ -28,6 +28,42 @@ val create : Machine.t -> t
 (** Build an engine (with a fresh directory) over [machine].  Does not
     install any handlers. *)
 
+val ctrl_bytes : t -> int
+(** The network's control-message size. *)
+
+val data_bytes : t -> int
+(** The machine's block size (a data message's payload). *)
+
+val msg_cost : t -> bytes:int -> float
+(** Latency of one message of the given size on the machine's network. *)
+
+val fault_cost : t -> float
+(** Fixed access-fault handling overhead (charged once per fault). *)
+
+val exchange :
+  t ->
+  bucket:Machine.bucket ->
+  payer:int ->
+  block:Machine.block ->
+  (int * int * Ccdsm_tempest.Trace.msg_kind * int) list ->
+  cost:float ->
+  unit
+(** The reliable request/response primitive every demand transition is built
+    on: send the listed [(src, dst, kind, bytes)] legs in order and charge
+    [payer] the caller's exact [cost] (so fault-free runs stay bit-identical
+    to the pre-fault-injection simulator).  With a fault injector installed,
+    a dropped leg times out and retransmits the whole exchange (with
+    exponential backoff and [Retry] trace events, capped attempts); a
+    delayed leg costs a spurious timeout.  Protocols composed outside this
+    module (migratory handoffs, commutative merges) route their transactions
+    through this so fault injection exercises their recovery paths too. *)
+
+val invalidate : t -> node:int -> Machine.block -> unit
+(** Drop [node]'s copy, counting the invalidation. *)
+
+val downgrade : t -> node:int -> Machine.block -> unit
+(** Demote [node]'s copy to ReadOnly, counting the downgrade. *)
+
 val demand_read : t -> bucket:Machine.bucket -> node:int -> Machine.block -> unit
 (** Full read-fault transition: obtain a ReadOnly copy at [node], downgrading
     a remote writer if necessary (the 4-message chain of section 3.2 when

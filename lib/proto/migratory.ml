@@ -1,0 +1,129 @@
+open Ccdsm_util
+module Machine = Ccdsm_tempest.Machine
+module Tag = Ccdsm_tempest.Tag
+module Trace = Ccdsm_tempest.Trace
+
+type t = {
+  eng : Engine.t;
+  machine : Machine.t;
+  mutable migratory : bool array;  (* block exhibits read-modify-write migration *)
+  mutable last_writer : int array;  (* last node granted the ReadWrite copy; -1 = none *)
+  mutable detections : int;
+  mutable handoffs : int;
+  mutable demotions : int;
+}
+
+let ensure t b =
+  if b >= Array.length t.migratory then begin
+    let cap = max (b + 1) (2 * Array.length t.migratory) in
+    let mig = Array.make cap false in
+    Array.blit t.migratory 0 mig 0 (Array.length t.migratory);
+    t.migratory <- mig;
+    let lw = Array.make cap (-1) in
+    Array.blit t.last_writer 0 lw 0 (Array.length t.last_writer);
+    t.last_writer <- lw
+  end
+
+let engine t = t.eng
+
+let is_migratory t b =
+  ensure t b;
+  t.migratory.(b)
+
+let last_writer t b =
+  ensure t b;
+  t.last_writer.(b)
+
+(* Hand the ReadWrite copy straight to the faulting reader: one transaction
+   (at most 2 control + 1 data message) instead of Stache's two — a read
+   downgrade now and the full upgrade/invalidate chain when the reader
+   writes.  The subsequent local write hits the migrated copy without
+   faulting, which is where the protocol's miss reduction comes from. *)
+let handoff t ~node ~owner:o b =
+  let eng = t.eng in
+  let m = t.machine in
+  let h = Machine.home m b in
+  let ctrl = Engine.ctrl_bytes eng and data = Engine.data_bytes eng in
+  let c bytes = Engine.msg_cost eng ~bytes in
+  let legs, cost =
+    if o = h then
+      ([ (node, h, Trace.Req, ctrl); (h, node, Trace.Data, data) ], c ctrl +. c data)
+    else if node = h then
+      ([ (h, o, Trace.Recall, ctrl); (o, h, Trace.Data, data) ], c ctrl +. c data)
+    else
+      (* Home forwards the request; the data takes the direct path from the
+         old owner to the new one (no home round trip for the payload). *)
+      ( [ (node, h, Trace.Req, ctrl); (h, o, Trace.Recall, ctrl); (o, node, Trace.Data, data) ],
+        (2.0 *. c ctrl) +. c data )
+  in
+  Engine.exchange eng ~bucket:Machine.Remote_wait ~payer:node ~block:b legs ~cost;
+  Engine.invalidate eng ~node:o b;
+  Machine.set_tag m ~node b Tag.Read_write;
+  Directory.set eng.Engine.dir b (Directory.Exclusive node);
+  t.last_writer.(b) <- node;
+  t.handoffs <- t.handoffs + 1
+
+let on_read_fault t ~node b =
+  ensure t b;
+  match Directory.get t.eng.Engine.dir b with
+  | Directory.Exclusive o when t.migratory.(b) && o <> node ->
+      Machine.charge t.machine ~node Machine.Remote_wait (Engine.fault_cost t.eng);
+      handoff t ~node ~owner:o b
+  | entry ->
+      (match entry with
+      | Directory.Shared _ when t.migratory.(b) ->
+          (* A second reader arrived while the block sat in Shared state: the
+             read-modify-write pattern is broken, fall back to Stache. *)
+          t.migratory.(b) <- false;
+          t.demotions <- t.demotions + 1
+      | _ -> ());
+      Engine.demand_read t.eng ~bucket:Machine.Remote_wait ~node b
+
+let on_write_fault t ~node b =
+  ensure t b;
+  (match Directory.get t.eng.Engine.dir b with
+  | Directory.Shared readers
+    when Nodeset.mem node readers && t.last_writer.(b) >= 0 && t.last_writer.(b) <> node ->
+      (* The classic detection: an upgrade by a node that just read a block
+         last written elsewhere — ownership is migrating between nodes. *)
+      if not t.migratory.(b) then begin
+        t.migratory.(b) <- true;
+        t.detections <- t.detections + 1
+      end
+  | _ -> ());
+  Engine.demand_write t.eng ~bucket:Machine.Remote_wait ~node b;
+  t.last_writer.(b) <- node
+
+let create machine =
+  let t =
+    {
+      eng = Engine.create machine;
+      machine;
+      migratory = Array.make 128 false;
+      last_writer = Array.make 128 (-1);
+      detections = 0;
+      handoffs = 0;
+      demotions = 0;
+    }
+  in
+  Machine.install machine
+    {
+      Machine.on_read_fault = (fun ~node b -> on_read_fault t ~node b);
+      Machine.on_write_fault = (fun ~node b -> on_write_fault t ~node b);
+    };
+  t
+
+let coherence_of t =
+  Coherence.traced t.machine
+    {
+      (Coherence.passive ~name:"migratory") with
+      Coherence.stats =
+        (fun () ->
+          [
+            ("migratory_detections", float_of_int t.detections);
+            ("migratory_handoffs", float_of_int t.handoffs);
+            ("migratory_demotions", float_of_int t.demotions);
+          ]);
+    }
+
+let coherence machine = coherence_of (create machine)

@@ -1,0 +1,43 @@
+(** Migratory-sharing protocol: Stache plus the classic MESI/MOESI
+    read-modify-write optimization.
+
+    Iterative codes often migrate a datum between nodes: node A reads a
+    block, updates it, then node B reads and updates it, and so on (Water's
+    intermolecular force pairs, tree-node updates in Barnes).  Under plain
+    write-invalidate every hop costs two full transactions: a read miss that
+    downgrades the old writer, then an upgrade that invalidates it.  This
+    protocol detects the pattern — an upgrade by a node that just read a
+    block last written elsewhere — and marks the block {e migratory}.  From
+    then on a read miss on the block hands the ReadWrite copy straight to
+    the reader in a single transaction (request, recall, data: at most two
+    control and one data message), so the subsequent local write hits
+    without faulting.  A read miss that finds the block read-shared breaks
+    the pattern and demotes it back to ordinary Stache handling.
+
+    All transitions reuse {!Engine}'s directory, cost model and reliable
+    {!Engine.exchange} primitive, so fault injection exercises handoff
+    recovery exactly like the demand paths. *)
+
+module Machine = Ccdsm_tempest.Machine
+
+type t
+
+val create : Machine.t -> t
+(** Build the protocol state and install its fault handlers on [machine]. *)
+
+val coherence_of : t -> Coherence.t
+(** The coherence interface (phase hooks are passive; [stats] reports
+    [migratory_detections], [migratory_handoffs] and
+    [migratory_demotions]). *)
+
+val coherence : Machine.t -> Coherence.t
+(** [create] + [coherence_of] for callers that need no handle. *)
+
+val engine : t -> Engine.t
+(** The underlying engine (shares its directory with the demand paths). *)
+
+val is_migratory : t -> Machine.block -> bool
+(** Whether the block is currently marked migratory (model-checker hook). *)
+
+val last_writer : t -> Machine.block -> int
+(** Last node granted the ReadWrite copy, [-1] if never written. *)

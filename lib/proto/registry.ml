@@ -1,0 +1,70 @@
+module Machine = Ccdsm_tempest.Machine
+
+type handle = ..
+type handle += No_handle
+type handle += Stache of Engine.t
+type handle += Write_update of Write_update.t
+type handle += Migratory of Migratory.t
+type handle += Commutative of Commutative.t
+
+type opts = { coalesce : bool; conflict_action : [ `Ignore | `First_stable ] }
+
+let default_opts = { coalesce = true; conflict_action = `Ignore }
+
+type instance = {
+  coherence : Coherence.t;
+  dir : Directory.t option;
+  mode : Sanitizer.mode;
+  handle : handle;
+}
+
+type factory = opts -> Machine.t -> instance
+
+let table : (string, factory * string) Hashtbl.t = Hashtbl.create 16
+
+let register ~name ?(doc = "") factory =
+  if Hashtbl.mem table name then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate protocol name %S" name);
+  Hashtbl.add table name (factory, doc)
+
+let names () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+let mem name = Hashtbl.mem table name
+let doc name = Option.map snd (Hashtbl.find_opt table name)
+
+let unknown name =
+  Printf.sprintf "unknown protocol %S (available: %s)" name (String.concat ", " (names ()))
+
+let create ?(opts = default_opts) name machine =
+  match Hashtbl.find_opt table name with
+  | Some (factory, _) -> Ok (factory opts machine)
+  | None -> Error (unknown name)
+
+(* The four protocols that live in this library register themselves here;
+   [predictive] registers from lib/core (where its module lives) the same
+   way third-party protocols would. *)
+let () =
+  register ~name:"stache"
+    ~doc:"sequentially-consistent directory write-invalidate (the Blizzard default)"
+    (fun _opts machine ->
+      let eng, coh = Engine.stache machine in
+      { coherence = coh; dir = Some eng.Engine.dir; mode = Sanitizer.Invalidate; handle = Stache eng });
+  register ~name:"write_update"
+    ~doc:"producer-push write-update baseline (hand-written SPMD protocols)"
+    (fun _opts machine ->
+      let t = Write_update.create machine in
+      { coherence = Write_update.coherence_of t; dir = None; mode = Sanitizer.Update; handle = Write_update t });
+  register ~name:"migratory"
+    ~doc:"write-invalidate with single-transaction read-modify-write migration handoff"
+    (fun _opts machine ->
+      let t = Migratory.create machine in
+      {
+        coherence = Migratory.coherence_of t;
+        dir = Some (Migratory.engine t).Engine.dir;
+        mode = Sanitizer.Invalidate;
+        handle = Migratory t;
+      });
+  register ~name:"commutative"
+    ~doc:"per-node privatization of reduction blocks, merged at phase boundaries"
+    (fun _opts machine ->
+      let t = Commutative.create machine in
+      { coherence = Commutative.coherence_of t; dir = None; mode = Sanitizer.Commutative; handle = Commutative t })

@@ -1,0 +1,71 @@
+(** First-class protocol registry: name → engine factory.
+
+    The paper compares compiler-directed communication against generic
+    coherence; the registry makes that comparison open-ended.  Every
+    coherence protocol registers a factory under a unique name, and the
+    sweep driver, model checker, fault grids and differential harness pick
+    protocols by name instead of hard-wiring the baselines.
+
+    A factory returns an {!instance}: the {!Coherence.t} to drive phases
+    with, the directory to check against (when the protocol maintains the
+    reader/writer invariant), the {!Sanitizer.mode} its traces must satisfy,
+    and an extensible {!handle} through which protocol-specific state rides
+    back to callers that know the concrete protocol (the runtime extracts
+    the predictive handle this way; the model checker extracts migratory and
+    commutative state for canonicalization) without this library depending
+    on theirs.
+
+    This module registers [stache], [write_update], [migratory] and
+    [commutative] at load time; [predictive] registers from [lib/core] where
+    its module lives, exactly as a third-party protocol would. *)
+
+module Machine = Ccdsm_tempest.Machine
+
+type handle = ..
+(** Protocol-specific state, extensible so out-of-library protocols can add
+    their own constructor (predictive adds [Predictive.Handle]). *)
+
+type handle += No_handle  (** for protocols with nothing to expose *)
+
+type handle += Stache of Engine.t
+type handle += Write_update of Write_update.t
+type handle += Migratory of Migratory.t
+type handle += Commutative of Commutative.t
+
+type opts = { coalesce : bool; conflict_action : [ `Ignore | `First_stable ] }
+(** Factory knobs.  Only the predictive protocol reads them today (presend
+    bulk coalescing and schedule-conflict handling); factories for
+    parameter-free protocols ignore them. *)
+
+val default_opts : opts
+(** [{ coalesce = true; conflict_action = `Ignore }]. *)
+
+type instance = {
+  coherence : Coherence.t;
+  dir : Directory.t option;
+      (** the directory to sanity-check against, when the protocol maintains
+          the reader/writer invariant *)
+  mode : Sanitizer.mode;  (** the invariant discipline the traces satisfy *)
+  handle : handle;
+}
+
+type factory = opts -> Machine.t -> instance
+(** Builds the protocol over a machine, installing its fault handlers. *)
+
+val register : name:string -> ?doc:string -> factory -> unit
+(** Register a factory under [name].
+    @raise Invalid_argument if [name] is already registered. *)
+
+val names : unit -> string list
+(** All registered names, sorted (deterministic across runs). *)
+
+val mem : string -> bool
+val doc : string -> string option
+
+val unknown : string -> string
+(** The error message for an unregistered name, listing what is available
+    (shared by every CLI entry point so the hint is uniform). *)
+
+val create : ?opts:opts -> string -> Machine.t -> (instance, string) result
+(** Instantiate the named protocol over [machine].  [Error] carries
+    {!unknown}'s message. *)

@@ -3,7 +3,7 @@ module Tag = Ccdsm_tempest.Tag
 module Trace = Ccdsm_tempest.Trace
 open Ccdsm_util
 
-type mode = Invalidate | Update
+type mode = Invalidate | Update | Commutative
 
 (* A violation is structured so callers (the model checker's shrinker, the
    check CLI, artifact writers) can dispatch on the invariant that tripped
@@ -36,6 +36,11 @@ type t = {
       (* (phase, block) -> consumers recorded in the communication schedule *)
   writers : (Machine.addr, int) Hashtbl.t;
       (* word -> node that wrote it in the current barrier interval *)
+  rw_holders : (Machine.block, Nodeset.t) Hashtbl.t;
+      (* Commutative mode: ReadWrite holders per block, maintained
+         incrementally from Tag_change events.  [dirty] cannot serve here —
+         it is reset at every stable point, while the multi-writer window of
+         a commutative phase spans many of them. *)
   history : Trace.event option array;
   mutable hist_next : int;
 }
@@ -80,6 +85,28 @@ let check_swmr t b =
       b (List.hd !writers) !readers
       (if !readers = 1 then "y" else "ies")
 
+(* Commutative mode: multiple privatized ReadWrite copies are the point of
+   the protocol *within* a phase; what must hold is that every phase
+   boundary has merged them back to at most one writer per block. *)
+let track_rw t ~node ~block ~after =
+  let cur = Option.value (Hashtbl.find_opt t.rw_holders block) ~default:Nodeset.empty in
+  let next =
+    if Tag.equal after Tag.Read_write then Nodeset.add node cur else Nodeset.remove node cur
+  in
+  if Nodeset.is_empty next then Hashtbl.remove t.rw_holders block
+  else Hashtbl.replace t.rw_holders block next
+
+let check_merged t ~phase =
+  Hashtbl.iter
+    (fun block holders ->
+      if Nodeset.cardinal holders > 1 then
+        fail t ~check:"merge"
+          "phase %d ended with block %d still privatized at %d nodes (%s) — \
+           the commutative merge must leave at most one ReadWrite copy"
+          phase block (Nodeset.cardinal holders)
+          (String.concat "," (List.map string_of_int (Nodeset.elements holders))))
+    t.rw_holders
+
 let check_dir_agreement t =
   match t.dir with
   | None -> Hashtbl.reset t.dirty
@@ -96,9 +123,10 @@ let on_event t ev =
   t.seen <- t.seen + 1;
   remember t ev;
   match ev with
-  | Trace.Tag_change { block; _ } ->
+  | Trace.Tag_change { node; block; after; _ } ->
       Hashtbl.replace t.dirty block ();
-      check_swmr t block
+      if t.mode = Commutative then track_rw t ~node ~block ~after
+      else check_swmr t block
   | Trace.Msg { src; dst; bytes; kind } ->
       let n = Machine.num_nodes t.machine in
       if src < 0 || src >= n then
@@ -144,7 +172,9 @@ let on_event t ev =
   | Trace.Barrier _ ->
       Hashtbl.reset t.writers;
       check_dir_agreement t
-  | Trace.Phase_end _ -> check_dir_agreement t
+  | Trace.Phase_end { phase } ->
+      if t.mode = Commutative then check_merged t ~phase;
+      check_dir_agreement t
   | Trace.Msg_drop { src; dst; kind = _ } ->
       (* A lost message must still have been a well-formed send. *)
       let n = Machine.num_nodes t.machine in
@@ -181,6 +211,7 @@ let create ?(mode = Invalidate) ?dir ?(check_races = true) machine =
     dirty = Hashtbl.create 64;
     recorded = Hashtbl.create 64;
     writers = Hashtbl.create 1024;
+    rw_holders = Hashtbl.create 64;
     history = Array.make history_len None;
     hist_next = 0;
   }

@@ -39,17 +39,24 @@ module Machine = Ccdsm_tempest.Machine
 module Trace = Ccdsm_tempest.Trace
 
 type mode =
-  | Invalidate  (** write-invalidate protocols (Stache, predictive) *)
+  | Invalidate  (** write-invalidate protocols (Stache, predictive, migratory) *)
   | Update
       (** the write-update baseline: one writer may legitimately coexist
           with update-fed ReadOnly copies, and there is no directory *)
+  | Commutative
+      (** the commutative-update protocol: several nodes may hold privatized
+          ReadWrite copies of a reduction block {e within} a phase; the
+          invariant moves to the phase boundary — every [Phase_end] must
+          observe at most one ReadWrite copy per block (the merge ran).
+          ReadWrite holders are tracked incrementally from [Tag_change]
+          events, since the multi-writer window spans many stable points. *)
 
 type t
 
 type violation = {
   check : string;
-      (** which invariant tripped: ["swmr"], ["directory"], ["msg"],
-          ["presend"], ["race"], ["drop"] or ["retry"] *)
+      (** which invariant tripped: ["swmr"], ["merge"], ["directory"],
+          ["msg"], ["presend"], ["race"], ["drop"] or ["retry"] *)
   message : string;  (** human-readable description of the failure *)
   history : Trace.event list;
       (** the most recent events at the failure, oldest first *)

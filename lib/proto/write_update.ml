@@ -4,7 +4,7 @@ module Network = Ccdsm_tempest.Network
 module Tag = Ccdsm_tempest.Tag
 module Trace = Ccdsm_tempest.Trace
 
-type state = {
+type t = {
   machine : Machine.t;
   mutable owner : int array;  (* per block; -1 = not yet seen (home owns) *)
   mutable subs : Nodeset.t array;  (* nodes holding update-fed ReadOnly copies *)
@@ -114,7 +114,13 @@ let push_updates t =
   Hashtbl.iter (fun b () -> Machine.set_tag m ~node:(owner t b) b Tag.Read_only) t.dirty;
   Hashtbl.reset t.dirty
 
-let coherence machine =
+let subscribers t b =
+  ensure t b;
+  t.subs.(b)
+
+let dirty_blocks t = List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) t.dirty [])
+
+let create machine =
   let t =
     {
       machine;
@@ -132,7 +138,10 @@ let coherence machine =
       Machine.on_read_fault = (fun ~node b -> on_read_fault t ~node b);
       Machine.on_write_fault = (fun ~node b -> on_write_fault t ~node b);
     };
-  Coherence.traced machine
+  t
+
+let coherence_of t =
+  Coherence.traced t.machine
   {
     Coherence.name = "write-update";
     phase_begin = (fun ~phase:_ -> ());
@@ -150,3 +159,5 @@ let coherence machine =
           ("ownership_migrations", float_of_int t.migrations);
         ]);
   }
+
+let coherence machine = coherence_of (create machine)

@@ -24,5 +24,23 @@
       neighbouring-block-coalesced bulk messages, charged to the producer's
       presend bucket. *)
 
+type t
+
+val create : Ccdsm_tempest.Machine.t -> t
+(** Build the protocol state and install its fault handlers on the machine. *)
+
+val coherence_of : t -> Coherence.t
+(** The coherence interface over an existing protocol state. *)
+
 val coherence : Ccdsm_tempest.Machine.t -> Coherence.t
-(** Installs the protocol's fault handlers on the machine. *)
+(** [create] + [coherence_of] for callers that need no handle. *)
+
+val owner : t -> Ccdsm_tempest.Machine.block -> int
+(** Current owner of [block] (its home until first written remotely). *)
+
+val subscribers : t -> Ccdsm_tempest.Machine.block -> Ccdsm_util.Nodeset.t
+(** Nodes holding update-fed ReadOnly copies of [block]. *)
+
+val dirty_blocks : t -> Ccdsm_tempest.Machine.block list
+(** Blocks written since the last update push, ascending (model-checker
+    canonicalization hook). *)

@@ -7,7 +7,26 @@ module Sanitizer = Ccdsm_proto.Sanitizer
 module Predictive = Ccdsm_core.Predictive
 module Obs = Ccdsm_obs.Obs
 
-type protocol = Stache | Predictive | Write_update
+module Registry = Ccdsm_proto.Registry
+
+type protocol = Stache | Predictive | Write_update | Migratory | Commutative
+
+let protocol_name = function
+  | Stache -> "stache"
+  | Predictive -> "predictive"
+  | Write_update -> "write_update"
+  | Migratory -> "migratory"
+  | Commutative -> "commutative"
+
+let protocol_of_name = function
+  | "stache" -> Ok Stache
+  | "predictive" -> Ok Predictive
+  | "write_update" -> Ok Write_update
+  | "migratory" -> Ok Migratory
+  | "commutative" -> Ok Commutative
+  | name -> Error (Registry.unknown name)
+
+let protocol_names () = Registry.names ()
 
 type phase = { id : int; pname : string; scheduled : bool }
 
@@ -31,25 +50,22 @@ let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = 
     ?(sanitize = false) ?(check_races = true) ~protocol () =
   let cfg = match cfg with Some c -> c | None -> Machine.default_config () in
   let machine = Machine.create cfg in
-  let coherence, predictive, dir =
-    match protocol with
-    | Stache ->
-        let eng, c = Engine.stache machine in
-        (c, None, Some eng.Engine.dir)
-    | Predictive ->
-        let p = Predictive.create ~coalesce:presend_coalesce ~conflict_action machine in
-        (Predictive.coherence p, Some p, Some (Predictive.engine p).Engine.dir)
-    | Write_update -> (Ccdsm_proto.Write_update.coherence machine, None, None)
+  let inst =
+    let opts = { Registry.coalesce = presend_coalesce; conflict_action } in
+    match Registry.create ~opts (protocol_name protocol) machine with
+    | Ok inst -> inst
+    | Error msg -> invalid_arg ("Runtime.create: " ^ msg)
   in
-  if sanitize then begin
-    let mode =
-      match protocol with Write_update -> Sanitizer.Update | _ -> Sanitizer.Invalidate
-    in
-    ignore (Sanitizer.attach ~mode ?dir ~check_races machine)
-  end;
+  let predictive =
+    match inst.Registry.handle with Predictive.Handle p -> Some p | _ -> None
+  in
+  if sanitize then
+    ignore
+      (Sanitizer.attach ~mode:inst.Registry.mode ?dir:inst.Registry.dir ~check_races
+         machine);
   {
     machine;
-    coherence;
+    coherence = inst.Registry.coherence;
     predictive;
     heap = Shared_heap.create machine;
     proto_kind = protocol;

@@ -15,7 +15,21 @@
 module Machine = Ccdsm_tempest.Machine
 module Predictive = Ccdsm_core.Predictive
 
-type protocol = Stache | Predictive | Write_update
+type protocol = Stache | Predictive | Write_update | Migratory | Commutative
+(** Protocol selection.  Each constructor maps 1:1 onto a
+    {!Ccdsm_proto.Registry} name ({!protocol_name}); the runtime
+    instantiates through the registry, so its sanitizer mode and directory
+    come from the registered factory. *)
+
+val protocol_name : protocol -> string
+(** The registry name: ["stache"], ["predictive"], ["write_update"],
+    ["migratory"] or ["commutative"]. *)
+
+val protocol_of_name : string -> (protocol, string) result
+(** Inverse of {!protocol_name}; [Error] lists the registered names. *)
+
+val protocol_names : unit -> string list
+(** All registered protocol names, sorted ({!Ccdsm_proto.Registry.names}). *)
 
 type phase
 (** A static parallel-phase identity (one per directive site the compiler

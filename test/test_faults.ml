@@ -104,6 +104,71 @@ let test_fixed_plan_recovers () =
   Alcotest.(check bool) "fault stats reported" true
     (Measure.stat ~labels:[ ("kind", "drop") ] m "ccdsm_faults_injected_total" > 0.0)
 
+(* -- recovery on the new protocols' own transactions ----------------------- *)
+
+(* Drop/dup/delay the messages of the transactions the new protocols add —
+   migratory's ownership handoffs and commutative's privatize/merge traffic
+   (both route through Engine.exchange, the reliable-retry primitive) — and
+   require the values to survive, the sanitizer to stay silent and the
+   recovery machinery to actually fire. *)
+let heavy_plan =
+  { Faults.none with Faults.drop = 0.2; dup = 0.1; delay = 0.1; seed = 42 }
+
+let run_app ~protocol ~check_races ~faults app =
+  let cfg = Machine.default_config ~num_nodes:4 ~block_bytes:32 () in
+  let rt = Runtime.create ~cfg ~sanitize:true ~check_races ~protocol () in
+  (match faults with
+  | None -> ()
+  | Some p ->
+      Machine.set_faults (Runtime.machine rt)
+        (if Faults.is_zero p then None else Some (Faults.create p)));
+  let checksum = app rt in
+  (checksum, Machine.total_counters (Runtime.machine rt))
+
+let test_migratory_handoffs_recover () =
+  let clean, _ =
+    run_app ~protocol:Runtime.Migratory ~check_races:true ~faults:None
+      Test_proto_diff.rotation_app
+  in
+  let faulted, c =
+    run_app ~protocol:Runtime.Migratory ~check_races:true ~faults:(Some heavy_plan)
+      Test_proto_diff.rotation_app
+  in
+  check (Alcotest.float 0.0) "values survive dropped handoffs" clean faulted;
+  Alcotest.(check bool) "retries fired" true (c.Machine.retries > 0);
+  Alcotest.(check bool) "every retry implies a timeout" true
+    (c.Machine.timeouts >= c.Machine.retries)
+
+let test_commutative_merges_recover () =
+  let clean, _ =
+    run_app ~protocol:Runtime.Commutative ~check_races:false ~faults:None
+      Test_proto_diff.reduction_app
+  in
+  let faulted, c =
+    run_app ~protocol:Runtime.Commutative ~check_races:false ~faults:(Some heavy_plan)
+      Test_proto_diff.reduction_app
+  in
+  check (Alcotest.float 0.0) "values survive dropped merges" clean faulted;
+  Alcotest.(check bool) "retries fired" true (c.Machine.retries > 0);
+  Alcotest.(check bool) "every retry implies a timeout" true
+    (c.Machine.timeouts >= c.Machine.retries)
+
+let test_new_protocols_zero_plan_identical () =
+  (* The zero plan must remove the injector entirely for the new protocols
+     too: identical counters, bit for bit. *)
+  List.iter
+    (fun (protocol, check_races, app) ->
+      let a, ca = run_app ~protocol ~check_races ~faults:None app in
+      let b, cb = run_app ~protocol ~check_races ~faults:(Some Faults.none) app in
+      check (Alcotest.float 0.0) "checksum" a b;
+      check Alcotest.int "msgs" ca.Machine.msgs cb.Machine.msgs;
+      check Alcotest.int "bytes" ca.Machine.bytes cb.Machine.bytes;
+      check Alcotest.int "no retries" 0 cb.Machine.retries)
+    [
+      (Runtime.Migratory, true, Test_proto_diff.rotation_app);
+      (Runtime.Commutative, false, Test_proto_diff.reduction_app);
+    ]
+
 let plan_gen =
   QCheck2.Gen.(
     map
@@ -144,6 +209,11 @@ let suite =
       [
         Alcotest.test_case "zero plan bit-identical" `Quick test_zero_plan_bit_identical;
         Alcotest.test_case "fixed plan recovers" `Quick test_fixed_plan_recovers;
+        Alcotest.test_case "migratory handoffs recover" `Quick test_migratory_handoffs_recover;
+        Alcotest.test_case "commutative merges recover" `Quick
+          test_commutative_merges_recover;
+        Alcotest.test_case "zero plan identical on new protocols" `Quick
+          test_new_protocols_zero_plan_identical;
         prop_any_plan_safe;
       ] );
   ]

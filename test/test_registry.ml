@@ -1,0 +1,139 @@
+(* The protocol registry: the name -> factory table every layer instantiates
+   through (Runtime.create, repro --protocol, lib/check).  Duplicate names
+   must be rejected, the registered set must be deterministic and sorted,
+   and each factory must hand back an instance whose sanitizer mode,
+   directory and typed handle match its protocol. *)
+
+module Machine = Ccdsm_tempest.Machine
+module Registry = Ccdsm_proto.Registry
+module Sanitizer = Ccdsm_proto.Sanitizer
+module Predictive = Ccdsm_core.Predictive
+module Runtime = Ccdsm_runtime.Runtime
+
+let check = Alcotest.check
+
+let contains ~sub s =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+let expected_names = [ "commutative"; "migratory"; "predictive"; "stache"; "write_update" ]
+
+let mk () = Machine.create (Machine.default_config ~num_nodes:4 ~block_bytes:32 ())
+
+(* Runtime must be linked before the registry is inspected: predictive
+   registers itself from lib/core, and it is the runtime's reference to
+   [Predictive.Handle] that forces that module's initializer. *)
+let touch_runtime = lazy (ignore (Runtime.protocol_names ()))
+
+let test_names_sorted_and_complete () =
+  Lazy.force touch_runtime;
+  check Alcotest.(list string) "all five protocols, sorted" expected_names (Registry.names ());
+  check Alcotest.(list string) "deterministic across calls" (Registry.names ())
+    (Registry.names ());
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " registered") true (Registry.mem n);
+      check Alcotest.bool (n ^ " documented") true (Registry.doc n <> Some ""))
+    expected_names
+
+let test_duplicate_rejected () =
+  Lazy.force touch_runtime;
+  (match Registry.register ~name:"stache" (fun _ _ -> assert false) with
+  | () -> Alcotest.fail "duplicate registration accepted"
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "message names the duplicate" true
+        (contains ~sub:"stache" msg));
+  (* The failed registration must not have clobbered the original entry. *)
+  check Alcotest.(list string) "table unchanged" expected_names (Registry.names ())
+
+let test_unknown_name () =
+  Lazy.force touch_runtime;
+  match Registry.create "mesi" (mk ()) with
+  | Ok _ -> Alcotest.fail "unknown protocol accepted"
+  | Error msg ->
+      List.iter
+        (fun n ->
+          check Alcotest.bool ("error lists " ^ n) true (contains ~sub:n msg))
+        expected_names
+
+let test_factories_produce_matching_instances () =
+  Lazy.force touch_runtime;
+  List.iter
+    (fun name ->
+      match Registry.create name (mk ()) with
+      | Error msg -> Alcotest.failf "%s: %s" name msg
+      | Ok inst ->
+          let mode_name =
+            match inst.Registry.mode with
+            | Sanitizer.Invalidate -> "invalidate"
+            | Sanitizer.Update -> "update"
+            | Sanitizer.Commutative -> "commutative"
+          in
+          let expected_mode =
+            match name with
+            | "write_update" -> "update"
+            | "commutative" -> "commutative"
+            | _ -> "invalidate"
+          in
+          check Alcotest.string (name ^ ": sanitizer mode") expected_mode mode_name;
+          let handle_matches =
+            match (name, inst.Registry.handle) with
+            | "stache", Registry.Stache _ -> true
+            | "write_update", Registry.Write_update _ -> true
+            | "migratory", Registry.Migratory _ -> true
+            | "commutative", Registry.Commutative _ -> true
+            | "predictive", Predictive.Handle _ -> true
+            | _ -> false
+          in
+          check Alcotest.bool (name ^ ": typed handle matches") true handle_matches;
+          (* Directory-backed protocols expose their directory so the
+             sanitizer can cross-check it; multi-writer ones have none. *)
+          let has_dir = inst.Registry.dir <> None in
+          check Alcotest.bool
+            (name ^ ": directory exposure")
+            (name <> "write_update" && name <> "commutative")
+            has_dir)
+    expected_names
+
+let test_runtime_name_roundtrip () =
+  List.iter
+    (fun name ->
+      match Runtime.protocol_of_name name with
+      | Ok p -> check Alcotest.string "roundtrip" name (Runtime.protocol_name p)
+      | Error msg -> Alcotest.failf "%s: %s" name msg)
+    (Runtime.protocol_names ());
+  (match Runtime.protocol_of_name "firefly" with
+  | Ok _ -> Alcotest.fail "unknown runtime protocol accepted"
+  | Error msg ->
+      check Alcotest.bool "error lists the names" true
+        (contains ~sub:"write_update" msg));
+  check Alcotest.(list string) "runtime sees the registry's names" expected_names
+    (Runtime.protocol_names ())
+
+let test_model_name_roundtrip () =
+  let module Model = Ccdsm_check.Model in
+  List.iter
+    (fun p ->
+      match Model.protocol_of_name (Model.protocol_name p) with
+      | Ok q -> check Alcotest.bool "roundtrip" true (p = q)
+      | Error msg -> Alcotest.fail msg)
+    Model.all_protocols;
+  match Model.protocol_of_name "dash" with
+  | Ok _ -> Alcotest.fail "unknown model protocol accepted"
+  | Error _ -> ()
+
+let suite =
+  [
+    ( "registry",
+      [
+        Alcotest.test_case "names sorted, deterministic, documented" `Quick
+          test_names_sorted_and_complete;
+        Alcotest.test_case "duplicate name rejected" `Quick test_duplicate_rejected;
+        Alcotest.test_case "unknown name lists available" `Quick test_unknown_name;
+        Alcotest.test_case "factories match their protocols" `Quick
+          test_factories_produce_matching_instances;
+        Alcotest.test_case "runtime name roundtrip" `Quick test_runtime_name_roundtrip;
+        Alcotest.test_case "model name roundtrip" `Quick test_model_name_roundtrip;
+      ] );
+  ]

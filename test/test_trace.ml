@@ -110,6 +110,14 @@ let test_golden_predictive () =
   let trace, _ = jacobi_trace Runtime.Predictive in
   check_golden "jacobi_predictive.trace" trace
 
+let test_golden_migratory () =
+  let trace, _ = jacobi_trace Runtime.Migratory in
+  check_golden "jacobi_migratory.trace" trace
+
+let test_golden_commutative () =
+  let trace, _ = jacobi_trace Runtime.Commutative in
+  check_golden "jacobi_commutative.trace" trace
+
 let test_predictive_presends () =
   (* The golden content aside, the predictive run must actually exercise the
      presend machinery in iteration 2. *)
@@ -127,11 +135,17 @@ let test_determinism () =
       let t1, _ = jacobi_trace proto in
       let t2, _ = jacobi_trace proto in
       check Alcotest.bool "two runs, identical traces" true (String.equal t1 t2))
-    [ Runtime.Stache; Runtime.Predictive; Runtime.Write_update ]
+    [
+      Runtime.Stache;
+      Runtime.Predictive;
+      Runtime.Write_update;
+      Runtime.Migratory;
+      Runtime.Commutative;
+    ]
 
 let test_protocols_agree () =
-  (* Same values under all three protocols (and the write-update run is
-     sanitized in Update mode). *)
+  (* Same values under every registered protocol (each run sanitized in the
+     mode its registry factory declares). *)
   let final protocol =
     let cfg = Machine.default_config ~num_nodes:4 ~block_bytes:32 () in
     let rt = Runtime.create ~cfg ~protocol ~sanitize:true () in
@@ -139,9 +153,13 @@ let test_protocols_agree () =
     List.init n (fun i -> Aggregate.peek1 u i ~field:0)
   in
   let reference = final Runtime.Stache in
-  check Alcotest.(list (float 1e-12)) "predictive agrees" reference (final Runtime.Predictive);
-  check Alcotest.(list (float 1e-12)) "write-update agrees" reference
-    (final Runtime.Write_update)
+  List.iter
+    (fun protocol ->
+      check
+        Alcotest.(list (float 1e-12))
+        (Runtime.protocol_name protocol ^ " agrees")
+        reference (final protocol))
+    [ Runtime.Predictive; Runtime.Write_update; Runtime.Migratory; Runtime.Commutative ]
 
 (* -- sanitizer unit tests ------------------------------------------------- *)
 
@@ -294,6 +312,8 @@ let test_goldens_replay () =
       ("jacobi_stache.trace", Sanitizer.Invalidate);
       ("jacobi_predictive.trace", Sanitizer.Invalidate);
       ("jacobi_faulted.trace", Sanitizer.Invalidate);
+      ("jacobi_migratory.trace", Sanitizer.Invalidate);
+      ("jacobi_commutative.trace", Sanitizer.Commutative);
     ]
 
 let test_replay_rejects_forged_tag () =
@@ -374,6 +394,8 @@ let suite =
       [
         Alcotest.test_case "jacobi under stache" `Quick test_golden_stache;
         Alcotest.test_case "jacobi under predictive" `Quick test_golden_predictive;
+        Alcotest.test_case "jacobi under migratory" `Quick test_golden_migratory;
+        Alcotest.test_case "jacobi under commutative" `Quick test_golden_commutative;
         Alcotest.test_case "predictive run presends" `Quick test_predictive_presends;
         Alcotest.test_case "traces are deterministic" `Quick test_determinism;
         Alcotest.test_case "protocols agree on values" `Quick test_protocols_agree;
