@@ -216,6 +216,61 @@ let test_read_range =
           Machine.read_range m ~node:0 (a + (!i land 511) * 8) buf;
           ignore (Sys.opaque_identity buf.(0))))
 
+let test_flat_tag_lookup =
+  Test.make ~name:"micro-flat-tag-lookup"
+    (Staged.stage
+       (* Tag reads out of the flat (node x block) Bigarray at the full
+          1024-node machine size — the hot load of every coherence check. *)
+       (let m = Machine.create (Machine.default_config ~num_nodes:1024 ~block_bytes:32 ()) in
+        let a = Machine.alloc m ~words:4096 ~home:0 in
+        let b0 = a / Machine.words_per_block m in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          ignore
+            (Sys.opaque_identity
+               (Machine.tag m ~node:(!i land 1023) (b0 + (!i land 1023))))))
+
+let test_sharded_directory_hit =
+  Test.make ~name:"micro-sharded-directory-hit"
+    (Staged.stage
+       (* Directory lookups with 1024 blocks spread across all 64 homes, so
+          hits land in every shard of the sharded directory. *)
+       (let m = Machine.create (Machine.default_config ~num_nodes:64 ~block_bytes:32 ()) in
+        let wpb = Machine.words_per_block m in
+        let blocks =
+          Array.init 64 (fun h -> Machine.alloc m ~words:(16 * wpb) ~home:h / wpb)
+          |> Array.to_list
+          |> List.concat_map (fun b0 -> List.init 16 (fun k -> b0 + k))
+          |> Array.of_list
+        in
+        let dir = Ccdsm_proto.Directory.create m in
+        Array.iter
+          (fun b -> Ccdsm_proto.Directory.set dir b (Ccdsm_proto.Directory.Exclusive (Machine.home_of_block m b)))
+          blocks;
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          ignore (Sys.opaque_identity (Ccdsm_proto.Directory.get dir blocks.(!i land 1023)))))
+
+let test_phase_step_1024 =
+  Test.make ~name:"micro-phase-step-1024-nodes"
+    (Staged.stage
+       (* One full presend phase step on a 1024-node machine: 1024 scheduled
+          blocks, readers spread over the node range. *)
+       (let m = Machine.create (Machine.default_config ~num_nodes:1024 ~block_bytes:32 ()) in
+        let p = Predictive.create m in
+        let coh = Predictive.coherence p in
+        let a = Machine.alloc m ~words:4096 ~home:0 in
+        coh.Ccdsm_proto.Coherence.phase_begin ~phase:0;
+        for b = 0 to 1023 do
+          ignore (Machine.read m ~node:((b * 7) land 1023) (a + (b * 4)))
+        done;
+        coh.Ccdsm_proto.Coherence.phase_end ~phase:0;
+        fun () ->
+          coh.Ccdsm_proto.Coherence.phase_begin ~phase:0;
+          coh.Ccdsm_proto.Coherence.phase_end ~phase:0))
+
 let test_presend_cached_sort =
   Test.make ~name:"micro-presend-cached-sort"
     (Staged.stage
@@ -250,6 +305,9 @@ let tests =
       test_bulk_runs;
       test_aggregate_addr;
       test_read_range;
+      test_flat_tag_lookup;
+      test_sharded_directory_hit;
+      test_phase_step_1024;
       test_presend_cached_sort;
     ]
 

@@ -62,6 +62,82 @@ let model_protocols = parse_protocols Ccdsm_check.Model.protocol_of_name
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's data-set sizes (Table 1).")
 
+let quick_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "quick" ]
+        ~doc:
+          "Shrink the grid to the CI smoke configuration: two block sizes, \
+           the two cheapest apps ($(b,sweep)), or the figure drivers plus the \
+           quick sweeps ($(b,bench)).  Quick numbers are only comparable to \
+           another quick run.")
+
+let migratory_threshold_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "migratory-threshold" ] ~docv:"N"
+        ~doc:
+          "Read-after-write detections required before the migratory protocol \
+           migrates a block's ownership (default 1: migrate on first \
+           detection; routed through the protocol registry's per-protocol \
+           option records).")
+
+let step_jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "step-jobs" ] ~docv:"N"
+        ~doc:
+          "OCaml domains for each simulated machine's event-sharded step loop \
+           (per-directory-shard presend work; default 1 = sequential).  Output \
+           is byte-identical at any value.")
+
+let scaling_nodes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "nodes" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated machine sizes to sweep (default $(b,4,8,16,32,48); \
+           each in [1, 1024]).")
+
+let parse_scaling_nodes = function
+  | None -> None
+  | Some s ->
+      let parts =
+        String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+      in
+      if parts = [] then begin
+        Printf.eprintf "repro: --nodes needs at least one machine size\n";
+        exit 124
+      end;
+      Some
+        (List.map
+           (fun p ->
+             match int_of_string_opt p with
+             | Some n when n >= 1 && n <= Ccdsm_util.Nodeset.max_nodes -> n
+             | _ ->
+                 Printf.eprintf "repro: --nodes entries must be integers in [1, %d] (got %S)\n"
+                   Ccdsm_util.Nodeset.max_nodes p;
+                 exit 124)
+           parts)
+
+let check_step_jobs n =
+  if n < 1 then begin
+    Printf.eprintf "repro: --step-jobs must be >= 1\n";
+    exit 124
+  end;
+  n
+
+let check_migratory_threshold n =
+  if n < 1 then begin
+    Printf.eprintf "repro: --migratory-threshold must be >= 1\n";
+    exit 124
+  end;
+  n
+
 let nodes_arg =
   Arg.(
     value
@@ -163,12 +239,16 @@ let run_fig7 full nodes jobs trace metrics =
   with_metrics metrics (fun () ->
       with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes ?jobs (scale full))))
 
-let run_sweep full nodes jobs metrics protocols =
+let run_sweep full nodes jobs metrics protocols quick migratory_threshold =
+  let migratory_threshold = check_migratory_threshold migratory_threshold in
   with_metrics metrics (fun () ->
       match runtime_protocols protocols with
-      | None -> print_string (E.block_sweep ~num_nodes:nodes ?jobs (scale full))
+      | None -> print_string (E.block_sweep ~num_nodes:nodes ?jobs ~quick (scale full))
       | Some ps ->
-          let reports, text = E.protocol_sweep ~num_nodes:nodes ?jobs ~protocols:ps (scale full) in
+          let reports, text =
+            E.protocol_sweep ~num_nodes:nodes ?jobs ~quick ~migratory_threshold ~protocols:ps
+              (scale full)
+          in
           print_string text;
           if not (List.for_all (fun r -> r.Ccdsm_harness.Proto_diff.agree) reports) then begin
             prerr_endline "repro sweep: final heaps disagree across protocols (see table)";
@@ -183,8 +263,10 @@ let run_faults full nodes jobs metrics protocols =
 let run_ablate full nodes metrics =
   with_metrics metrics (fun () -> print_string (E.ablations ~num_nodes:nodes (scale full)))
 
-let run_scaling full jobs metrics =
-  with_metrics metrics (fun () -> print_string (E.scaling ?jobs (scale full)))
+let run_scaling full jobs metrics nodes step_jobs =
+  let nodes = parse_scaling_nodes nodes in
+  let step_jobs = check_step_jobs step_jobs in
+  with_metrics metrics (fun () -> print_string (E.scaling ?jobs ?nodes ~step_jobs (scale full)))
 
 let run_inspector full metrics =
   with_metrics metrics (fun () -> print_string (E.inspector (scale full)))
@@ -204,10 +286,10 @@ let run_metrics file format =
   | Ok reg ->
       print_string (match format with "prom" -> Export.prometheus reg | _ -> Export.json reg)
 
-let run_bench full jobs compare threshold strict =
+let run_bench full jobs compare threshold strict quick =
   let s = scale full in
   let jobs = match jobs with Some j -> j | None -> Ccdsm_harness.Parjobs.default_jobs () in
-  let wall = Ccdsm_harness.Bench_compare.wall_measurements s jobs in
+  let wall = Ccdsm_harness.Bench_compare.wall_measurements ~quick s jobs in
   match compare with
   | None ->
       List.iter (fun (name, ms) -> Printf.printf "  wall %-14s %8.1f ms\n" name ms) wall
@@ -409,13 +491,17 @@ let cmds =
     cmd "sweep"
       "Block-size sensitivity sweep (section 5.4); with --protocol, the \
        registry-driven differential protocol sweep"
-      Term.(const run_sweep $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg $ protocols_arg);
+      Term.(
+        const run_sweep $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg $ protocols_arg
+        $ quick_arg $ migratory_threshold_arg);
     cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
       Term.(const run_ablate $ full_arg $ nodes_arg $ metrics_arg);
     cmd "faults" "Fault-injection robustness grid (drops/dups/delays/schedule corruption)"
       Term.(const run_faults $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg $ protocols_arg);
-    cmd "scaling" "Node-count scaling (extension)"
-      Term.(const run_scaling $ full_arg $ jobs_arg $ metrics_arg);
+    cmd "scaling" "Node-count scaling (extension; up to 1024 nodes with --nodes)"
+      Term.(
+        const run_scaling $ full_arg $ jobs_arg $ metrics_arg $ scaling_nodes_arg
+        $ step_jobs_arg);
     cmd "inspector" "Inspector-executor comparison (section 2)"
       Term.(const run_inspector $ full_arg $ metrics_arg);
     cmd "trace" "Summarize a JSONL coherence trace captured with --trace"
@@ -428,7 +514,9 @@ let cmds =
     cmd "bench"
       "Time every experiment driver; with --compare, check against a \
        bench/main.exe --json baseline (perf-regression gate)"
-      Term.(const run_bench $ full_arg $ jobs_arg $ compare_arg $ threshold_arg $ strict_arg);
+      Term.(
+        const run_bench $ full_arg $ jobs_arg $ compare_arg $ threshold_arg $ strict_arg
+        $ quick_arg);
     cmd "check"
       "Verify the protocols: exhaustive bounded exploration (with fault branches) \
        and shrunk counterexamples, or replay a recorded trace through the \

@@ -72,8 +72,7 @@ let record t ~node b ~write =
            demand miss is the recovery path; the record_read/record_write
            below doubles as the incremental schedule repair. *)
         Hashtbl.remove t.lost (node, b);
-        let c = Machine.counters t.machine ~node in
-        c.Machine.presend_fallbacks <- c.Machine.presend_fallbacks + 1;
+        Machine.note_presend_fallback t.machine ~node;
         if Machine.traced t.machine then
           Machine.emit t.machine (Trace.Presend_fallback { phase = p; block = b; node; write })
       end;
@@ -90,250 +89,417 @@ let record t ~node b ~write =
 
 (* -- presend ------------------------------------------------------------- *)
 
+(* Flush the per-destination presend queues.  With coalescing on, each
+   (source, destination) pair exchanges one gather message: runs of
+   neighbouring blocks share an 8-byte address header, so contiguity still
+   pays.  With coalescing off (ablation), every block travels alone.  Keys
+   are flushed in globally sorted order, so the same queue contents produce
+   the same messages and charges whether the queues were built by one
+   sequential scan or merged from per-shard plans. *)
+let flush_presend t ~recall ~inval ~data ~grant_only =
+  let m = t.machine in
+  let net = Machine.net m in
+  let ctrl = net.Network.ctrl_bytes in
+  let send ~from_ ~dst ~kind ~bytes =
+    Machine.count_msg m ~node:from_ ~dst ~kind ~bytes ();
+    Machine.charge m ~node:from_ Machine.Presend (Network.msg_cost net ~bytes);
+    t.st.presend_msgs <- t.st.presend_msgs + 1
+  in
+  let charge_home h cost = Machine.charge m ~node:h Machine.Presend cost in
+  (* (bytes, block-count) descriptors of the messages carrying a block
+     list: one gather message when coalescing, one per block otherwise. *)
+  let block_list_msgs blocks =
+    let runs = Bulk.runs blocks in
+    (match t.run_len_hist with
+    | Some h -> List.iter (fun (_, len) -> Obs.Histogram.observe h (float_of_int len)) runs
+    | None -> ());
+    let nblocks = List.fold_left (fun acc (_, len) -> acc + len) 0 runs in
+    if t.coalesce then
+      [ (ctrl + (nblocks * Machine.block_bytes m) + (8 * List.length runs), nblocks) ]
+    else
+      List.concat_map
+        (fun (_, len) -> List.init len (fun _ -> (ctrl + Machine.block_bytes m, 1)))
+        runs
+  in
+  let sorted_keys q = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) q []) in
+  (* Recalls: request from home, bulk data back from the old owner; the
+     home stalls until the data is back, so it pays the round trip. *)
+  List.iter
+    (fun (o, h) ->
+      let blocks = !(Hashtbl.find recall (o, h)) in
+      Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
+      charge_home h (Network.msg_cost net ~bytes:ctrl);
+      List.iter
+        (fun (bytes, blocks) ->
+          ignore blocks;
+          Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes ();
+          charge_home h (Network.msg_cost net ~bytes);
+          t.st.presend_msgs <- t.st.presend_msgs + 2;
+          t.st.presend_bytes <- t.st.presend_bytes + bytes)
+        (block_list_msgs blocks))
+    (sorted_keys recall);
+  (* Invalidation notices: one batched notice per victim plus one ack. *)
+  List.iter
+    (fun (h, r) ->
+      let k = !(Hashtbl.find inval (h, r)) in
+      let bytes = ctrl + (4 * k) in
+      send ~from_:h ~dst:r ~kind:Trace.Inval ~bytes;
+      Machine.count_msg m ~node:r ~dst:h ~kind:Trace.Ack ~bytes:ctrl ();
+      charge_home h (Network.msg_cost net ~bytes:ctrl);
+      t.st.presend_msgs <- t.st.presend_msgs + 1)
+    (sorted_keys inval);
+  (* Data grants. *)
+  List.iter
+    (fun (h, dest) ->
+      let blocks = !(Hashtbl.find data (h, dest)) in
+      let extra =
+        match Hashtbl.find_opt grant_only (h, dest) with
+        | Some r ->
+            Hashtbl.remove grant_only (h, dest);
+            4 * !r
+        | None -> 0
+      in
+      List.iteri
+        (fun i (bytes, blocks) ->
+          let bytes = if i = 0 then bytes + extra else bytes in
+          send ~from_:h ~dst:dest ~kind:Trace.Data ~bytes;
+          t.st.presend_blocks <- t.st.presend_blocks + blocks;
+          t.st.presend_bytes <- t.st.presend_bytes + bytes)
+        (block_list_msgs blocks))
+    (sorted_keys data);
+  (* Pure permission upgrades with no data riding along. *)
+  List.iter
+    (fun (h, dest) ->
+      let k = !(Hashtbl.find grant_only (h, dest)) in
+      send ~from_:h ~dst:dest ~kind:Trace.Grant ~bytes:(ctrl + (4 * k)))
+    (sorted_keys grant_only);
+  (* "the protocol enforces a global barrier synchronization to ensure
+     that all protocol cache block states are stable" (section 3.4). *)
+  Machine.barrier m ~bucket:Machine.Presend
+
+let push q key b =
+  match Hashtbl.find_opt q key with
+  | Some l -> l := b :: !l
+  | None -> Hashtbl.add q key (ref [ b ])
+
+let bump q key =
+  match Hashtbl.find_opt q key with Some r -> incr r | None -> Hashtbl.add q key (ref 1)
+
+(* -- event-sharded presend (the parallel step loop) ----------------------- *)
+
+(* One shard's slice of a presend scan.  The planning domain applies the
+   shard-exclusive effects directly — tags and directory entries of the
+   shard's blocks, Presend-bucket charges at the shard's home nodes — and
+   defers everything whose target is not confined to the shard: per-node
+   invalidation/downgrade counters (a reader being invalidated can live on
+   any node), the phase's presended set, and the protocol stats.  Every
+   deferred effect is a commutative integer add or a set insert, so folding
+   the plans in after the join reproduces the sequential totals exactly. *)
+type shard_plan = {
+  sp_recall : (int * int, Machine.block list ref) Hashtbl.t;
+  sp_inval : (int * int, int ref) Hashtbl.t;
+  sp_data : (int * int, Machine.block list ref) Hashtbl.t;
+  sp_grant : (int * int, int ref) Hashtbl.t;
+  mutable sp_invalidated : int list;  (* victim nodes, reverse scan order *)
+  mutable sp_downgraded : int list;
+  mutable sp_presended : (int * Machine.block) list;
+  mutable sp_redundant : int;
+  mutable sp_grants_r : int;
+  mutable sp_grants_w : int;
+}
+
+(* The fault-free, untraced, unmetered scan body (the parallel path is gated
+   on exactly those conditions), restricted to blocks of one shard.  Queue
+   keys all contain the block's home node, so the per-shard queues are
+   disjoint by construction and merge without collision. *)
+let plan_shard t sched shard =
+  let m = t.machine in
+  let dir = t.eng.Engine.dir in
+  let p =
+    {
+      sp_recall = Hashtbl.create 16;
+      sp_inval = Hashtbl.create 16;
+      sp_data = Hashtbl.create 16;
+      sp_grant = Hashtbl.create 16;
+      sp_invalidated = [];
+      sp_downgraded = [];
+      sp_presended = [];
+      sp_redundant = 0;
+      sp_grants_r = 0;
+      sp_grants_w = 0;
+    }
+  in
+  Schedule.iter_sorted sched (fun b mark ->
+      if Machine.shard_of_block m b = shard then begin
+        let h = Machine.home m b in
+        Machine.charge m ~node:h Machine.Presend t.per_block_us;
+        let mark =
+          match (mark, t.conflict_action) with
+          | Schedule.Conflict _, `Ignore -> mark
+          | Schedule.Conflict (Schedule.Pre_readers r), `First_stable -> Schedule.Readers r
+          | Schedule.Conflict (Schedule.Pre_writer w), `First_stable -> Schedule.Writer w
+          | _ -> mark
+        in
+        match mark with
+        | Schedule.Conflict _ -> ()
+        | Schedule.Readers rs ->
+            (match Directory.get dir b with
+            | Directory.Exclusive o ->
+                p.sp_downgraded <- o :: p.sp_downgraded;
+                Machine.set_tag m ~node:o b Tag.Read_only;
+                Directory.set dir b (Directory.Shared (Nodeset.singleton o));
+                if o <> h then push p.sp_recall (o, h) b
+            | Directory.Shared _ -> ());
+            let cur =
+              match Directory.get dir b with
+              | Directory.Shared s -> s
+              | Directory.Exclusive _ -> assert false
+            in
+            let missing = Nodeset.diff rs cur in
+            if Nodeset.is_empty missing then p.sp_redundant <- p.sp_redundant + 1
+            else begin
+              Nodeset.iter
+                (fun r ->
+                  Machine.set_tag m ~node:r b Tag.Read_only;
+                  p.sp_presended <- (r, b) :: p.sp_presended;
+                  p.sp_grants_r <- p.sp_grants_r + 1;
+                  if r <> h then push p.sp_data (h, r) b)
+                missing;
+              Directory.set dir b (Directory.Shared (Nodeset.union cur rs))
+            end
+        | Schedule.Writer w ->
+            if Tag.equal (Machine.tag m ~node:w b) Tag.Read_write then
+              p.sp_redundant <- p.sp_redundant + 1
+            else begin
+              let had_copy = Tag.permits_read (Machine.tag m ~node:w b) in
+              (match Directory.get dir b with
+              | Directory.Exclusive o ->
+                  p.sp_invalidated <- o :: p.sp_invalidated;
+                  Machine.set_tag m ~node:o b Tag.Invalid;
+                  if o <> h then push p.sp_recall (o, h) b
+              | Directory.Shared readers ->
+                  Nodeset.iter
+                    (fun r ->
+                      p.sp_invalidated <- r :: p.sp_invalidated;
+                      Machine.set_tag m ~node:r b Tag.Invalid;
+                      if r <> h then bump p.sp_inval (h, r))
+                    (Nodeset.remove w readers));
+              Machine.set_tag m ~node:w b Tag.Read_write;
+              p.sp_presended <- (w, b) :: p.sp_presended;
+              p.sp_grants_w <- p.sp_grants_w + 1;
+              (if w <> h then
+                 if had_copy then bump p.sp_grant (h, w) else push p.sp_data (h, w) b);
+              Directory.set dir b (Directory.Exclusive w)
+            end
+      end);
+  p
+
+let presend_sharded t sched ~jobs =
+  let m = t.machine in
+  (* Force the schedule's sorted-key cache on this domain: the per-shard
+     scans then only read the schedule.  Pre-grow the directory store so the
+     per-shard planners mutate disjoint, pre-existing elements of it. *)
+  ignore (Schedule.sorted_keys sched);
+  Directory.reserve t.eng.Engine.dir;
+  let plans = Fanout.run ~jobs (Machine.num_shards m) (plan_shard t sched) in
+  let recall = Hashtbl.create 16 in
+  let inval = Hashtbl.create 16 in
+  let data = Hashtbl.create 16 in
+  let grant_only = Hashtbl.create 16 in
+  let merge_q dst src = Hashtbl.iter (fun k v -> Hashtbl.add dst k v) src in
+  Array.iter
+    (fun p ->
+      List.iter (fun node -> Machine.note_downgrade m ~node) (List.rev p.sp_downgraded);
+      List.iter (fun node -> Machine.note_invalidation m ~node) (List.rev p.sp_invalidated);
+      List.iter (fun kb -> Hashtbl.replace t.presended kb ()) (List.rev p.sp_presended);
+      t.st.presend_redundant <- t.st.presend_redundant + p.sp_redundant;
+      t.st.presend_grants_r <- t.st.presend_grants_r + p.sp_grants_r;
+      t.st.presend_grants_w <- t.st.presend_grants_w + p.sp_grants_w;
+      merge_q recall p.sp_recall;
+      merge_q inval p.sp_inval;
+      merge_q data p.sp_data;
+      merge_q grant_only p.sp_grant)
+    plans;
+  flush_presend t ~recall ~inval ~data ~grant_only
+
+(* The sequential scan: the original single-domain presend, and still the
+   only path that can inject faults, emit trace events or meter — the
+   event-sharded path above is gated off whenever any of those are live. *)
+let presend_seq t phase sched =
+  let m = t.machine in
+  let dir = t.eng.Engine.dir in
+  let net = Machine.net m in
+  let ctrl = net.Network.ctrl_bytes in
+  (* Per-destination queues, so every leg of the presend travels in bulk:
+     [recall] brings dirty copies back to their homes, [inval] carries
+     batched invalidation notices, [data] carries block grants, [grant]
+     carries permission-only upgrades. *)
+  let recall : (int * int, Machine.block list ref) Hashtbl.t = Hashtbl.create 16 in
+  let inval : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let data : (int * int, Machine.block list ref) Hashtbl.t = Hashtbl.create 16 in
+  let grant_only : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let downgrade node b =
+    Machine.note_downgrade m ~node;
+    Machine.set_tag m ~node b Tag.Read_only
+  in
+  let invalidate node b =
+    Machine.note_invalidation m ~node;
+    Machine.set_tag m ~node b Tag.Invalid
+  in
+  (* Fault injection interposes on the per-(block, destination) grants —
+     the presend's semantic unit — and the verdict is drawn BEFORE any
+     tag or directory mutation.  A dropped grant therefore simply never
+     happens: machine state stays trivially consistent and the receiver's
+     next access degrades to a demand miss (recorded in [t.lost], counted
+     as a presend fallback when it fires).  The lost message still
+     travelled and is counted; only remote destinations draw a verdict,
+     since a grant to the home node moves no message.  The bulk
+     recall/invalidation legs stay reliable — the injector models lossy
+     delivery of the speculative grants, which is where the predictive
+     protocol's graceful degradation lives. *)
+  let inj = Machine.faults m in
+  let verdict_for ~dst ~h = match inj with Some f when dst <> h -> Faults.verdict f | _ -> Faults.Deliver in
+  let drop_grant ~h ~dst ~kind ~bytes b =
+    (match inj with Some f -> Faults.note_drop f | None -> assert false);
+    Machine.count_msg m ~node:h ~dst ~kind ~bytes ();
+    Machine.charge m ~node:h Machine.Presend (Network.msg_cost net ~bytes);
+    t.st.presend_msgs <- t.st.presend_msgs + 1;
+    t.st.presend_bytes <- t.st.presend_bytes + bytes;
+    if Machine.traced m then Machine.emit m (Trace.Msg_drop { src = h; dst; kind });
+    Hashtbl.replace t.lost (dst, b) ()
+  in
+  (* Duplicate / Delay side effects for a delivered grant; Deliver is free. *)
+  let grant_noise ~h ~dst ~kind ~bytes v =
+    match (v, inj) with
+    | Faults.Duplicate, Some f ->
+        Faults.note_dup f;
+        Machine.count_msg m ~node:h ~dst ~kind ~bytes ();
+        t.st.presend_msgs <- t.st.presend_msgs + 1
+    | Faults.Delay, Some f ->
+        Faults.note_delay f;
+        Machine.charge m ~node:h Machine.Presend (Faults.plan f).Faults.delay_us
+    | _ -> ()
+  in
+  Schedule.iter_sorted sched (fun b mark ->
+      let h = Machine.home m b in
+      Machine.charge m ~node:h Machine.Presend t.per_block_us;
+      (* Conflict handling: by default no action (the paper's
+         implementation); the First_stable extension anticipates the
+         stable state the block held before the conflict (section 3.4's
+         suggestion). *)
+      let mark =
+        match (mark, t.conflict_action) with
+        | Schedule.Conflict _, `Ignore -> mark
+        | Schedule.Conflict (Schedule.Pre_readers r), `First_stable -> Schedule.Readers r
+        | Schedule.Conflict (Schedule.Pre_writer w), `First_stable -> Schedule.Writer w
+        | _ -> mark
+      in
+      match mark with
+      | Schedule.Conflict _ -> ()
+      | Schedule.Readers rs ->
+          (* Bring the data home (downgrading any writer), then forward
+             readable copies to every marked reader lacking one. *)
+          (match Directory.get dir b with
+          | Directory.Exclusive o ->
+              downgrade o b;
+              Directory.set dir b (Directory.Shared (Nodeset.singleton o));
+              if o <> h then push recall (o, h) b
+          | Directory.Shared _ -> ());
+          let cur =
+            match Directory.get dir b with
+            | Directory.Shared s -> s
+            | Directory.Exclusive _ -> assert false
+          in
+          let missing = Nodeset.diff rs cur in
+          if Nodeset.is_empty missing then
+            t.st.presend_redundant <- t.st.presend_redundant + 1
+          else begin
+            let dropped = ref Nodeset.empty in
+            Nodeset.iter
+              (fun r ->
+                let bytes = ctrl + Machine.block_bytes m in
+                match verdict_for ~dst:r ~h with
+                | Faults.Drop ->
+                    dropped := Nodeset.add r !dropped;
+                    drop_grant ~h ~dst:r ~kind:Trace.Data ~bytes b
+                | v ->
+                    grant_noise ~h ~dst:r ~kind:Trace.Data ~bytes v;
+                    Machine.set_tag m ~node:r b Tag.Read_only;
+                    Hashtbl.replace t.presended (r, b) ();
+                    (* Always-on, mirroring the Presend trace event
+                       one-for-one so a trace-derived count agrees with
+                       this counter to the exact integer. *)
+                    t.st.presend_grants_r <- t.st.presend_grants_r + 1;
+                    if Machine.traced m then
+                      Machine.emit m (Trace.Presend { phase; block = b; dst = r; write = false });
+                    if r <> h then push data (h, r) b)
+              missing;
+            let granted =
+              if Nodeset.is_empty !dropped then rs else Nodeset.diff rs !dropped
+            in
+            Directory.set dir b (Directory.Shared (Nodeset.union cur granted))
+          end
+      | Schedule.Writer w ->
+          if Tag.equal (Machine.tag m ~node:w b) Tag.Read_write then
+            t.st.presend_redundant <- t.st.presend_redundant + 1
+          else begin
+            let had_copy = Tag.permits_read (Machine.tag m ~node:w b) in
+            let kind = if had_copy then Trace.Grant else Trace.Data in
+            let bytes = if had_copy then ctrl else ctrl + Machine.block_bytes m in
+            match verdict_for ~dst:w ~h with
+            | Faults.Drop ->
+                (* The write grant never arrives, so the whole block
+                   action is skipped — no invalidations, no directory
+                   change: the writer's demand miss does them later. *)
+                drop_grant ~h ~dst:w ~kind ~bytes b
+            | v ->
+                grant_noise ~h ~dst:w ~kind ~bytes v;
+                (match Directory.get dir b with
+                | Directory.Exclusive o ->
+                    invalidate o b;
+                    if o <> h then push recall (o, h) b
+                | Directory.Shared readers ->
+                    Nodeset.iter
+                      (fun r ->
+                        invalidate r b;
+                        if r <> h then bump inval (h, r))
+                      (Nodeset.remove w readers));
+                Machine.set_tag m ~node:w b Tag.Read_write;
+                Hashtbl.replace t.presended (w, b) ();
+                t.st.presend_grants_w <- t.st.presend_grants_w + 1;
+                if Machine.traced m then
+                  Machine.emit m (Trace.Presend { phase; block = b; dst = w; write = true });
+                if w <> h then
+                  if had_copy then bump grant_only (h, w) else push data (h, w) b;
+                Directory.set dir b (Directory.Exclusive w)
+          end);
+  flush_presend t ~recall ~inval ~data ~grant_only
+
+(* Presend dispatch.  The event-sharded path splits the scan across domains
+   by directory shard; it is taken only when the machine asked for step
+   parallelism AND the run is fault-free (fault verdicts draw from a
+   sequential PRNG), untraced (event order is part of the trace contract)
+   and unmetered (instrument bumps are not thread-safe).  Everything it
+   mutates concurrently is shard-exclusive — tags and directory entries are
+   block-local and a block's shard is a pure function of its home; Presend
+   charges land on home nodes of the owning shard — and every cross-shard
+   effect is deferred and folded in sequentially, so output is byte-identical
+   to [presend_seq] at any job count (pinned by the jobs-equivalence qcheck
+   property). *)
 let presend t phase =
   match Hashtbl.find_opt t.schedules phase with
   | None -> ()
   | Some sched when Schedule.cardinal sched = 0 -> ()
   | Some sched ->
       let m = t.machine in
-      let dir = t.eng.Engine.dir in
-      let net = Machine.net m in
-      let ctrl = net.Network.ctrl_bytes in
-      (* Per-destination queues, so every leg of the presend travels in bulk:
-         [recall] brings dirty copies back to their homes, [inval] carries
-         batched invalidation notices, [data] carries block grants, [grant]
-         carries permission-only upgrades. *)
-      let recall : (int * int, Machine.block list ref) Hashtbl.t = Hashtbl.create 16 in
-      let inval : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
-      let data : (int * int, Machine.block list ref) Hashtbl.t = Hashtbl.create 16 in
-      let grant_only : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
-      let push q key b =
-        match Hashtbl.find_opt q key with
-        | Some l -> l := b :: !l
-        | None -> Hashtbl.add q key (ref [ b ])
-      in
-      let bump q key =
-        match Hashtbl.find_opt q key with
-        | Some r -> incr r
-        | None -> Hashtbl.add q key (ref 1)
-      in
-      let downgrade node b =
-        (Machine.counters m ~node).Machine.downgrades <-
-          (Machine.counters m ~node).Machine.downgrades + 1;
-        Machine.set_tag m ~node b Tag.Read_only
-      in
-      let invalidate node b =
-        (Machine.counters m ~node).Machine.invalidations <-
-          (Machine.counters m ~node).Machine.invalidations + 1;
-        Machine.set_tag m ~node b Tag.Invalid
-      in
-      (* Fault injection interposes on the per-(block, destination) grants —
-         the presend's semantic unit — and the verdict is drawn BEFORE any
-         tag or directory mutation.  A dropped grant therefore simply never
-         happens: machine state stays trivially consistent and the receiver's
-         next access degrades to a demand miss (recorded in [t.lost], counted
-         as a presend fallback when it fires).  The lost message still
-         travelled and is counted; only remote destinations draw a verdict,
-         since a grant to the home node moves no message.  The bulk
-         recall/invalidation legs stay reliable — the injector models lossy
-         delivery of the speculative grants, which is where the predictive
-         protocol's graceful degradation lives. *)
-      let inj = Machine.faults m in
-      let verdict_for ~dst ~h = match inj with Some f when dst <> h -> Faults.verdict f | _ -> Faults.Deliver in
-      let drop_grant ~h ~dst ~kind ~bytes b =
-        (match inj with Some f -> Faults.note_drop f | None -> assert false);
-        Machine.count_msg m ~node:h ~dst ~kind ~bytes ();
-        Machine.charge m ~node:h Machine.Presend (Network.msg_cost net ~bytes);
-        t.st.presend_msgs <- t.st.presend_msgs + 1;
-        t.st.presend_bytes <- t.st.presend_bytes + bytes;
-        if Machine.traced m then Machine.emit m (Trace.Msg_drop { src = h; dst; kind });
-        Hashtbl.replace t.lost (dst, b) ()
-      in
-      (* Duplicate / Delay side effects for a delivered grant; Deliver is free. *)
-      let grant_noise ~h ~dst ~kind ~bytes v =
-        match (v, inj) with
-        | Faults.Duplicate, Some f ->
-            Faults.note_dup f;
-            Machine.count_msg m ~node:h ~dst ~kind ~bytes ();
-            t.st.presend_msgs <- t.st.presend_msgs + 1
-        | Faults.Delay, Some f ->
-            Faults.note_delay f;
-            Machine.charge m ~node:h Machine.Presend (Faults.plan f).Faults.delay_us
-        | _ -> ()
-      in
-      Schedule.iter_sorted sched (fun b mark ->
-          let h = Machine.home m b in
-          Machine.charge m ~node:h Machine.Presend t.per_block_us;
-          (* Conflict handling: by default no action (the paper's
-             implementation); the First_stable extension anticipates the
-             stable state the block held before the conflict (section 3.4's
-             suggestion). *)
-          let mark =
-            match (mark, t.conflict_action) with
-            | Schedule.Conflict _, `Ignore -> mark
-            | Schedule.Conflict (Schedule.Pre_readers r), `First_stable -> Schedule.Readers r
-            | Schedule.Conflict (Schedule.Pre_writer w), `First_stable -> Schedule.Writer w
-            | _ -> mark
-          in
-          match mark with
-          | Schedule.Conflict _ -> ()
-          | Schedule.Readers rs ->
-              (* Bring the data home (downgrading any writer), then forward
-                 readable copies to every marked reader lacking one. *)
-              (match Directory.get dir b with
-              | Directory.Exclusive o ->
-                  downgrade o b;
-                  Directory.set dir b (Directory.Shared (Nodeset.singleton o));
-                  if o <> h then push recall (o, h) b
-              | Directory.Shared _ -> ());
-              let cur =
-                match Directory.get dir b with
-                | Directory.Shared s -> s
-                | Directory.Exclusive _ -> assert false
-              in
-              let missing = Nodeset.diff rs cur in
-              if Nodeset.is_empty missing then
-                t.st.presend_redundant <- t.st.presend_redundant + 1
-              else begin
-                let dropped = ref Nodeset.empty in
-                Nodeset.iter
-                  (fun r ->
-                    let bytes = ctrl + Machine.block_bytes m in
-                    match verdict_for ~dst:r ~h with
-                    | Faults.Drop ->
-                        dropped := Nodeset.add r !dropped;
-                        drop_grant ~h ~dst:r ~kind:Trace.Data ~bytes b
-                    | v ->
-                        grant_noise ~h ~dst:r ~kind:Trace.Data ~bytes v;
-                        Machine.set_tag m ~node:r b Tag.Read_only;
-                        Hashtbl.replace t.presended (r, b) ();
-                        (* Always-on, mirroring the Presend trace event
-                           one-for-one so a trace-derived count agrees with
-                           this counter to the exact integer. *)
-                        t.st.presend_grants_r <- t.st.presend_grants_r + 1;
-                        if Machine.traced m then
-                          Machine.emit m (Trace.Presend { phase; block = b; dst = r; write = false });
-                        if r <> h then push data (h, r) b)
-                  missing;
-                let granted =
-                  if Nodeset.is_empty !dropped then rs else Nodeset.diff rs !dropped
-                in
-                Directory.set dir b (Directory.Shared (Nodeset.union cur granted))
-              end
-          | Schedule.Writer w ->
-              if Tag.equal (Machine.tag m ~node:w b) Tag.Read_write then
-                t.st.presend_redundant <- t.st.presend_redundant + 1
-              else begin
-                let had_copy = Tag.permits_read (Machine.tag m ~node:w b) in
-                let kind = if had_copy then Trace.Grant else Trace.Data in
-                let bytes = if had_copy then ctrl else ctrl + Machine.block_bytes m in
-                match verdict_for ~dst:w ~h with
-                | Faults.Drop ->
-                    (* The write grant never arrives, so the whole block
-                       action is skipped — no invalidations, no directory
-                       change: the writer's demand miss does them later. *)
-                    drop_grant ~h ~dst:w ~kind ~bytes b
-                | v ->
-                    grant_noise ~h ~dst:w ~kind ~bytes v;
-                    (match Directory.get dir b with
-                    | Directory.Exclusive o ->
-                        invalidate o b;
-                        if o <> h then push recall (o, h) b
-                    | Directory.Shared readers ->
-                        Nodeset.iter
-                          (fun r ->
-                            invalidate r b;
-                            if r <> h then bump inval (h, r))
-                          (Nodeset.remove w readers));
-                    Machine.set_tag m ~node:w b Tag.Read_write;
-                    Hashtbl.replace t.presended (w, b) ();
-                    t.st.presend_grants_w <- t.st.presend_grants_w + 1;
-                    if Machine.traced m then
-                      Machine.emit m (Trace.Presend { phase; block = b; dst = w; write = true });
-                    if w <> h then
-                      if had_copy then bump grant_only (h, w) else push data (h, w) b;
-                    Directory.set dir b (Directory.Exclusive w)
-              end);
-      (* Flush the queues.  With coalescing on, each (source, destination)
-         pair exchanges one gather message: runs of neighbouring blocks share
-         an 8-byte address header, so contiguity still pays.  With coalescing
-         off (ablation), every block travels alone. *)
-      let send ~from_ ~dst ~kind ~bytes =
-        Machine.count_msg m ~node:from_ ~dst ~kind ~bytes ();
-        Machine.charge m ~node:from_ Machine.Presend (Network.msg_cost net ~bytes);
-        t.st.presend_msgs <- t.st.presend_msgs + 1
-      in
-      let charge_home h cost = Machine.charge m ~node:h Machine.Presend cost in
-      (* (bytes, block-count) descriptors of the messages carrying a block
-         list: one gather message when coalescing, one per block otherwise. *)
-      let block_list_msgs blocks =
-        let runs = Bulk.runs blocks in
-        (match t.run_len_hist with
-        | Some h -> List.iter (fun (_, len) -> Obs.Histogram.observe h (float_of_int len)) runs
-        | None -> ());
-        let nblocks = List.fold_left (fun acc (_, len) -> acc + len) 0 runs in
-        if t.coalesce then
-          [ (ctrl + (nblocks * Machine.block_bytes m) + (8 * List.length runs), nblocks) ]
-        else
-          List.concat_map
-            (fun (_, len) -> List.init len (fun _ -> (ctrl + Machine.block_bytes m, 1)))
-            runs
-      in
-      let sorted_keys q = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) q []) in
-      (* Recalls: request from home, bulk data back from the old owner; the
-         home stalls until the data is back, so it pays the round trip. *)
-      List.iter
-        (fun (o, h) ->
-          let blocks = !(Hashtbl.find recall (o, h)) in
-          Machine.count_msg m ~node:h ~dst:o ~kind:Trace.Recall ~bytes:ctrl ();
-          charge_home h (Network.msg_cost net ~bytes:ctrl);
-          List.iter
-            (fun (bytes, blocks) ->
-              ignore blocks;
-              Machine.count_msg m ~node:o ~dst:h ~kind:Trace.Data ~bytes ();
-              charge_home h (Network.msg_cost net ~bytes);
-              t.st.presend_msgs <- t.st.presend_msgs + 2;
-              t.st.presend_bytes <- t.st.presend_bytes + bytes)
-            (block_list_msgs blocks))
-        (sorted_keys recall);
-      (* Invalidation notices: one batched notice per victim plus one ack. *)
-      List.iter
-        (fun (h, r) ->
-          let k = !(Hashtbl.find inval (h, r)) in
-          let bytes = ctrl + (4 * k) in
-          send ~from_:h ~dst:r ~kind:Trace.Inval ~bytes;
-          Machine.count_msg m ~node:r ~dst:h ~kind:Trace.Ack ~bytes:ctrl ();
-          charge_home h (Network.msg_cost net ~bytes:ctrl);
-          t.st.presend_msgs <- t.st.presend_msgs + 1)
-        (sorted_keys inval);
-      (* Data grants. *)
-      List.iter
-        (fun (h, dest) ->
-          let blocks = !(Hashtbl.find data (h, dest)) in
-          let extra =
-            match Hashtbl.find_opt grant_only (h, dest) with
-            | Some r ->
-                Hashtbl.remove grant_only (h, dest);
-                4 * !r
-            | None -> 0
-          in
-          List.iteri
-            (fun i (bytes, blocks) ->
-              let bytes = if i = 0 then bytes + extra else bytes in
-              send ~from_:h ~dst:dest ~kind:Trace.Data ~bytes;
-              t.st.presend_blocks <- t.st.presend_blocks + blocks;
-              t.st.presend_bytes <- t.st.presend_bytes + bytes)
-            (block_list_msgs blocks))
-        (sorted_keys data);
-      (* Pure permission upgrades with no data riding along. *)
-      List.iter
-        (fun (h, dest) ->
-          let k = !(Hashtbl.find grant_only (h, dest)) in
-          send ~from_:h ~dst:dest ~kind:Trace.Grant ~bytes:(ctrl + (4 * k)))
-        (sorted_keys grant_only);
-      (* "the protocol enforces a global barrier synchronization to ensure
-         that all protocol cache block states are stable" (section 3.4). *)
-      Machine.barrier m ~bucket:Machine.Presend
+      let jobs = min (Machine.step_jobs m) (Machine.num_shards m) in
+      if
+        jobs > 1
+        && (not (Machine.traced m))
+        && (not (Machine.metered m))
+        && Option.is_none (Machine.faults m)
+      then presend_sharded t sched ~jobs
+      else presend_seq t phase sched
 
 (* -- schedule corruption (fault injection) -------------------------------- *)
 
@@ -476,9 +642,10 @@ let () =
   Ccdsm_proto.Registry.register ~name:"predictive"
     ~doc:"Stache augmented with compiler-directed schedule recording and presend"
     (fun opts machine ->
+      let po = opts.Ccdsm_proto.Registry.predictive in
       let p =
-        create ~coalesce:opts.Ccdsm_proto.Registry.coalesce
-          ~conflict_action:opts.Ccdsm_proto.Registry.conflict_action machine
+        create ~coalesce:po.Ccdsm_proto.Registry.coalesce
+          ~conflict_action:po.Ccdsm_proto.Registry.conflict_action machine
       in
       {
         Ccdsm_proto.Registry.coherence = coherence p;

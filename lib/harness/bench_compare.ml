@@ -5,30 +5,42 @@ module E = Experiments
    gate is judged on; Bechamel rows in bench/main.ml are per-operation micro
    costs.  Shared between [bench/main.exe --json] (which writes the
    baseline) and [repro bench --compare] (which checks against it). *)
-let wall_measurements scale jobs =
+let wall_measurements ?(quick = false) scale jobs =
   let wall name f =
     let t0 = Unix.gettimeofday () in
     ignore (Sys.opaque_identity (f ()));
     (name, (Unix.gettimeofday () -. t0) *. 1000.0)
   in
-  [
-    wall "table1" (fun () -> E.table1 scale);
-    wall "fig4" (fun () -> E.fig4 ());
-    wall "fig5" (fun () -> E.render (E.fig5 ~jobs scale));
-    wall "fig6" (fun () -> E.render (E.fig6 ~jobs scale));
-    wall "fig7" (fun () -> E.render (E.fig7 ~jobs scale));
-    wall "block_sweep" (fun () -> E.block_sweep ~jobs scale);
-    wall "ablations" (fun () -> E.ablations scale);
-    wall "inspector" (fun () -> E.inspector scale);
-    wall "scaling" (fun () -> E.scaling ~jobs scale);
-  ]
+  let figures =
+    [
+      wall "table1" (fun () -> E.table1 scale);
+      wall "fig4" (fun () -> E.fig4 ());
+      wall "fig5" (fun () -> E.render (E.fig5 ~jobs scale));
+      wall "fig6" (fun () -> E.render (E.fig6 ~jobs scale));
+      wall "fig7" (fun () -> E.render (E.fig7 ~jobs scale));
+    ]
+  in
+  (* The heavy drivers are skipped entirely in quick mode (the CI smoke);
+     the block sweep keeps its name but shrinks to the quick grid, so a
+     quick run's numbers are comparable only to a quick baseline. *)
+  let heavy =
+    if quick then [ wall "block_sweep" (fun () -> E.block_sweep ~jobs ~quick:true scale) ]
+    else
+      [
+        wall "block_sweep" (fun () -> E.block_sweep ~jobs scale);
+        wall "ablations" (fun () -> E.ablations scale);
+        wall "inspector" (fun () -> E.inspector scale);
+      ]
+  in
+  figures @ heavy
+  @ [ wall "scaling" (fun () -> E.scaling ~jobs scale) ]
   (* One differential-sweep timing per registered protocol, so a slow new
      protocol (or a regression in one) shows up under its own name. *)
   @ List.map
       (fun p ->
         wall
           ("protocol_sweep_" ^ Ccdsm_runtime.Runtime.protocol_name p)
-          (fun () -> E.protocol_sweep ~jobs ~protocols:[ p ] scale))
+          (fun () -> E.protocol_sweep ~jobs ~quick ~protocols:[ p ] scale))
       (Proto_diff.all_protocols ())
 
 (* -- baseline parsing (the fixed BENCH.json format bench/main.ml writes) -- *)

@@ -2,9 +2,13 @@
     a committed [BENCH.json] baseline — the perf-regression gate behind
     [repro bench --compare]. *)
 
-val wall_measurements : Experiments.scale -> int -> (string * float) list
+val wall_measurements : ?quick:bool -> Experiments.scale -> int -> (string * float) list
 (** [(driver, wall_ms)] for every experiment driver, run at the given job
-    count.  Also used by [bench/main.exe --json] to write the baseline. *)
+    count.  Also used by [bench/main.exe --json] to write the baseline.
+    [quick] (default false) is the CI smoke grid: the figure drivers plus
+    scaling, the quick block sweep, and the quick protocol sweeps —
+    ablations and inspector are skipped, and the shrunk grids mean quick
+    numbers are only comparable to another quick run. *)
 
 val load_baseline : string -> ((string * float) list, string) result
 (** Read the ["wall_ms"] object out of a [bench --json] baseline file.

@@ -256,7 +256,8 @@ let fig7 ?num_nodes ?jobs scale =
 
 let block_sizes = [ 32; 64; 128; 256; 512; 1024 ]
 
-let block_sweep ?num_nodes ?jobs scale =
+let block_sweep ?num_nodes ?jobs ?(quick = false) scale =
+  let sizes = if quick then [ 32; 256 ] else block_sizes in
   let apps =
     [
       ( "Adaptive",
@@ -282,7 +283,7 @@ let block_sweep ?num_nodes ?jobs scale =
           Printf.sprintf "%.1f" (opt.Measure.total_us /. 1000.0);
           Printf.sprintf "%.2f" (unopt.Measure.total_us /. opt.Measure.total_us);
         ])
-      (List.concat_map (fun app -> List.map (fun bs -> (app, bs)) block_sizes) apps)
+      (List.concat_map (fun app -> List.map (fun bs -> (app, bs)) sizes) apps)
   in
   "Section 5.4: block-size sensitivity (speedup = unopt/opt; >1 means the\n\
    predictive protocol wins — expected to shrink as blocks grow)\n"
@@ -299,16 +300,23 @@ let sweep_apps scale =
     ("Water", true, fun rt -> (Water.run rt (water_cfg scale)).Water.checksum);
   ]
 
-let protocol_sweep ?(num_nodes = 32) ?jobs ~protocols scale =
+(* The --quick grid: one representative small and large block size, and the
+   two cheapest apps.  Used by the CI smoke so an iteration costs seconds,
+   while BENCH.json regeneration keeps the full grid. *)
+let quick_block_sizes = [ 32; 256 ]
+let quick_apps scale = List.filter (fun (n, _, _) -> n <> "Barnes") (sweep_apps scale)
+
+let protocol_sweep ?(num_nodes = 32) ?jobs ?(quick = false) ?(migratory_threshold = 1)
+    ~protocols scale =
   let names = List.map Runtime.protocol_name protocols in
+  let sizes = if quick then quick_block_sizes else block_sizes in
+  let apps = if quick then quick_apps scale else sweep_apps scale in
   let reports =
     Parjobs.map ?jobs
       (fun ((name, races, run), bs) ->
-        Proto_diff.run ~protocols ~nodes:num_nodes ~block_bytes:bs ~check_races:races
-          ~app:name ~run ())
-      (List.concat_map
-         (fun app -> List.map (fun bs -> (app, bs)) block_sizes)
-         (sweep_apps scale))
+        Proto_diff.run ~protocols ~nodes:num_nodes ~block_bytes:bs ~migratory_threshold
+          ~check_races:races ~app:name ~run ())
+      (List.concat_map (fun app -> List.map (fun bs -> (app, bs)) sizes) apps)
   in
   let rows =
     List.map
@@ -592,14 +600,23 @@ let faults_grid ?num_nodes ?jobs ?protocols scale =
 
 (* -- node-count scaling (extension; not in the paper) ------------------------- *)
 
-let scaling ?jobs scale =
+let default_scaling_nodes = [ 4; 8; 16; 32; 48 ]
+
+let scaling ?jobs ?(nodes = default_scaling_nodes) ?(step_jobs = 1) scale =
+  List.iter
+    (fun p ->
+      if p < 1 || p > Ccdsm_util.Nodeset.max_nodes then
+        invalid_arg
+          (Printf.sprintf "Experiments.scaling: node count %d out of range [1, %d]" p
+             Ccdsm_util.Nodeset.max_nodes))
+    nodes;
   let cfg = water_cfg scale in
   let run rt = (Water.run rt cfg).Water.checksum in
   let rows =
     Parjobs.map ?jobs
       (fun p ->
         let m protocol label =
-          Measure.measure ~num_nodes:p ~app:"water"
+          Measure.measure ~num_nodes:p ~step_jobs ~app:"water"
             (Measure.version ~label ~protocol ~block_bytes:32 run)
         in
         let unopt = m Runtime.Stache "unopt" and opt = m Runtime.Predictive "opt" in
@@ -609,7 +626,7 @@ let scaling ?jobs scale =
           Printf.sprintf "%.1f" (opt.Measure.total_us /. 1000.0);
           Printf.sprintf "%.2f" (unopt.Measure.total_us /. opt.Measure.total_us);
         ])
-      [ 4; 8; 16; 32; 48 ]
+      nodes
   in
   "Node-count scaling (Water, 32B blocks; extension beyond the paper's fixed\n\
    32-processor evaluation).  The optimized advantage grows with node count\n\

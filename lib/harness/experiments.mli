@@ -44,21 +44,27 @@ val fig7 : ?num_nodes:int -> ?jobs:int -> scale -> figure
 (** Water: unoptimized, optimized and Splash, each at its best block size
     (chosen by sweeping, as the paper did). *)
 
-val block_sweep : ?num_nodes:int -> ?jobs:int -> scale -> string
+val block_sweep : ?num_nodes:int -> ?jobs:int -> ?quick:bool -> scale -> string
 (** Section 5.4: total time for each application, unoptimized vs optimized,
     across block sizes 32..1024 — "the predictive protocol worked best for
-    small cache blocks". *)
+    small cache blocks".  [quick] (default false) keeps only the 32- and
+    256-byte columns (the CI smoke grid). *)
 
 val protocol_sweep :
   ?num_nodes:int ->
   ?jobs:int ->
+  ?quick:bool ->
+  ?migratory_threshold:int ->
   protocols:Ccdsm_runtime.Runtime.protocol list ->
   scale ->
   Proto_diff.report list * string
 (** Registry-driven sweep ([repro sweep --protocol NAME,…]): every given
     protocol × app × block size, sanitizer attached, via the differential
     harness — per-cell heap digests must agree across protocols.  Returns
-    the raw reports (the CI artifact) alongside the rendered table. *)
+    the raw reports (the CI artifact) alongside the rendered table.
+    [quick] (default false) shrinks the grid to two block sizes and drops
+    Barnes — the CI smoke configuration.  [migratory_threshold] (default 1)
+    feeds the migratory protocol's option record. *)
 
 val ablations : ?num_nodes:int -> scale -> string
 (** Design ablations: presend bulk coalescing on/off; incremental schedules
@@ -89,9 +95,17 @@ val faults_grid :
     slowdown relative to the same protocol's fault-free row; checksums must
     match the fault-free run. *)
 
-val scaling : ?jobs:int -> scale -> string
+val default_scaling_nodes : int list
+(** [[4; 8; 16; 32; 48]] — the machine sizes [repro all] reports. *)
+
+val scaling : ?jobs:int -> ?nodes:int list -> ?step_jobs:int -> scale -> string
 (** Extension beyond the paper: total time and optimized speedup as the
-    machine grows from 4 to 48 nodes (Water, 32-byte blocks). *)
+    machine grows (Water, 32-byte blocks).  [nodes] (default
+    {!default_scaling_nodes}) may range up to
+    [Ccdsm_util.Nodeset.max_nodes] = 1024; [Invalid_argument] otherwise.
+    [step_jobs] (default 1) sets each simulated machine's event-sharded
+    step-loop parallelism — the rendered table is byte-identical at any
+    value. *)
 
 val check_shapes : fig5:figure -> fig6:figure -> fig7:figure -> (string * bool) list
 (** Evaluate the paper's qualitative claims against measured figures

@@ -2,12 +2,10 @@
 
    Every simulated version owns a private [Machine] (created inside
    [Measure.measure]), so distinct versions share no mutable state and can
-   run on OCaml 5 domains.  Determinism survives because the work is
-   *partitioned*, not *raced*: inputs are indexed up front, each domain
-   pulls indices from an atomic counter, writes its result into the slot of
-   its index, and the caller reads the slots back in input order after
-   joining every domain.  Scheduling affects only which domain computes a
-   slot, never its value or the assembled order.
+   run on OCaml 5 domains via [Ccdsm_util.Fanout] — the deterministic
+   indexed fan-out that also drives the machines' event-sharded step loop.
+   Scheduling affects only which domain computes a slot, never its value or
+   the assembled order.
 
    The process-global state in a simulation's path is the global trace sink
    ([Trace.set_global]) and the global metrics registry ([Obs.set_global]):
@@ -32,30 +30,8 @@ let map ?jobs f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let jobs = min n (match jobs with Some j -> max 1 j | None -> default_jobs ()) in
-  if jobs <= 1 || Ccdsm_tempest.Trace.global () <> None || Ccdsm_obs.Obs.global () <> None then
-    List.map f xs
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (results.(i) <-
-            Some (try Ok (f items.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
-    Array.iter Domain.join domains;
-    (* Re-raise the first failure in input order, for a deterministic error,
-       with the backtrace captured in the worker domain — a bare [raise]
-       here would replace it with this join point's. *)
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false)
-  end
+  let jobs =
+    if Ccdsm_tempest.Trace.global () <> None || Ccdsm_obs.Obs.global () <> None then 1
+    else jobs
+  in
+  Array.to_list (Ccdsm_util.Fanout.run ~jobs n (fun i -> f items.(i)))

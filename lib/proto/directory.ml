@@ -6,6 +6,15 @@ module Obs = Ccdsm_obs.Obs
 
 type entry = Exclusive of int | Shared of Nodeset.t
 
+(* The store is one flat array indexed by block — a get or set is a single
+   load, which matters because every demand miss consults the directory.
+   The event-sharded step loop still partitions directory work by home-node
+   shard ([Machine.shard_of_block]): distinct shards own disjoint block
+   numbers, so per-shard planning domains mutate disjoint elements of this
+   array, which is race-free.  The one operation that is NOT shard-local is
+   growing the array; [reserve] pre-grows it to the machine's current block
+   count and MUST be called before fanning planning out across domains
+   (planning never allocates blocks, so no growth happens mid-plan). *)
 type t = {
   machine : Machine.t;
   mutable entries : entry option array;
@@ -37,11 +46,18 @@ let ensure t b =
     t.entries <- entries
   end
 
+let reserve t =
+  let n = Machine.num_blocks t.machine in
+  if n > 0 then ensure t (n - 1)
+
 let get t b =
-  ensure t b;
-  match t.entries.(b) with
-  | Some e -> e
-  | None -> Exclusive (Machine.home t.machine b)
+  let es = t.entries in
+  if b >= 0 && b < Array.length es then
+    match Array.unsafe_get es b with
+    | Some e -> e
+    | None -> Exclusive (Machine.home t.machine b)
+  else Exclusive (Machine.home t.machine b)
+  (* [Machine.home] validates [b], so out-of-range blocks still raise. *)
 
 let state_index = function Exclusive _ -> 0 | Shared _ -> 1
 

@@ -59,7 +59,6 @@ let exchange t ~bucket ~payer ~block legs ~cost =
       Machine.charge m ~node:payer bucket cost
   | Some f ->
       let plan = Faults.plan f in
-      let c = Machine.counters m ~node:payer in
       let rec attempt k =
         (match t.mx with Some x -> Obs.Counter.inc x.attempts | None -> ());
         let lost = ref false and late = ref false in
@@ -72,12 +71,12 @@ let exchange t ~bucket ~payer ~block legs ~cost =
           legs;
         Machine.charge m ~node:payer bucket cost;
         if !late then begin
-          c.Machine.timeouts <- c.Machine.timeouts + 1;
+          Machine.note_timeout m ~node:payer;
           Machine.charge m ~node:payer bucket plan.Faults.delay_us
         end;
         if !lost && k < max_attempts then begin
-          c.Machine.timeouts <- c.Machine.timeouts + 1;
-          c.Machine.retries <- c.Machine.retries + 1;
+          Machine.note_timeout m ~node:payer;
+          Machine.note_retry m ~node:payer;
           Machine.charge m ~node:payer bucket
             (plan.Faults.timeout_us *. float_of_int (1 lsl (k - 1)));
           if Machine.traced m then Machine.emit m (Trace.Retry { node = payer; block; attempt = k });
@@ -87,13 +86,11 @@ let exchange t ~bucket ~payer ~block legs ~cost =
       attempt 1
 
 let invalidate t ~node b =
-  (Machine.counters t.machine ~node).Machine.invalidations <-
-    (Machine.counters t.machine ~node).Machine.invalidations + 1;
+  Machine.note_invalidation t.machine ~node;
   Machine.set_tag t.machine ~node b Tag.Invalid
 
 let downgrade t ~node b =
-  (Machine.counters t.machine ~node).Machine.downgrades <-
-    (Machine.counters t.machine ~node).Machine.downgrades + 1;
+  Machine.note_downgrade t.machine ~node;
   Machine.set_tag t.machine ~node b Tag.Read_only
 
 (* -- demand read -------------------------------------------------------- *)

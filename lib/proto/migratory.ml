@@ -6,8 +6,11 @@ module Trace = Ccdsm_tempest.Trace
 type t = {
   eng : Engine.t;
   machine : Machine.t;
+  detect_threshold : int;
+      (* qualifying read-then-upgrade observations needed to arm a block *)
   mutable migratory : bool array;  (* block exhibits read-modify-write migration *)
   mutable last_writer : int array;  (* last node granted the ReadWrite copy; -1 = none *)
+  mutable pending : int array;  (* qualifying observations so far (reset on demotion) *)
   mutable detections : int;
   mutable handoffs : int;
   mutable demotions : int;
@@ -21,7 +24,10 @@ let ensure t b =
     t.migratory <- mig;
     let lw = Array.make cap (-1) in
     Array.blit t.last_writer 0 lw 0 (Array.length t.last_writer);
-    t.last_writer <- lw
+    t.last_writer <- lw;
+    let pend = Array.make cap 0 in
+    Array.blit t.pending 0 pend 0 (Array.length t.pending);
+    t.pending <- pend
   end
 
 let engine t = t.eng
@@ -75,6 +81,7 @@ let on_read_fault t ~node b =
           (* A second reader arrived while the block sat in Shared state: the
              read-modify-write pattern is broken, fall back to Stache. *)
           t.migratory.(b) <- false;
+          t.pending.(b) <- 0;
           t.demotions <- t.demotions + 1
       | _ -> ());
       Engine.demand_read t.eng ~bucket:Machine.Remote_wait ~node b
@@ -85,22 +92,30 @@ let on_write_fault t ~node b =
   | Directory.Shared readers
     when Nodeset.mem node readers && t.last_writer.(b) >= 0 && t.last_writer.(b) <> node ->
       (* The classic detection: an upgrade by a node that just read a block
-         last written elsewhere — ownership is migrating between nodes. *)
+         last written elsewhere — ownership is migrating between nodes.  The
+         block arms once [detect_threshold] such observations accumulate
+         (1 = immediately, the classic detector). *)
       if not t.migratory.(b) then begin
-        t.migratory.(b) <- true;
-        t.detections <- t.detections + 1
+        t.pending.(b) <- t.pending.(b) + 1;
+        if t.pending.(b) >= t.detect_threshold then begin
+          t.migratory.(b) <- true;
+          t.detections <- t.detections + 1
+        end
       end
   | _ -> ());
   Engine.demand_write t.eng ~bucket:Machine.Remote_wait ~node b;
   t.last_writer.(b) <- node
 
-let create machine =
+let create ?(detect_threshold = 1) machine =
+  if detect_threshold < 1 then invalid_arg "Migratory.create: detect_threshold must be >= 1";
   let t =
     {
       eng = Engine.create machine;
       machine;
+      detect_threshold;
       migratory = Array.make 128 false;
       last_writer = Array.make 128 (-1);
+      pending = Array.make 128 0;
       detections = 0;
       handoffs = 0;
       demotions = 0;

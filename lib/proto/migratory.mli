@@ -22,8 +22,13 @@ module Machine = Ccdsm_tempest.Machine
 
 type t
 
-val create : Machine.t -> t
-(** Build the protocol state and install its fault handlers on [machine]. *)
+val create : ?detect_threshold:int -> Machine.t -> t
+(** Build the protocol state and install its fault handlers on [machine].
+    [detect_threshold] (default 1) is the number of qualifying
+    read-then-upgrade observations that arm a block's migration handoff; the
+    default is the classic detector, higher values demand a sustained
+    pattern before committing to handoffs.
+    @raise Invalid_argument if [detect_threshold < 1]. *)
 
 val coherence_of : t -> Coherence.t
 (** The coherence interface (phase hooks are passive; [stats] reports

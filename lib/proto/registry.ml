@@ -7,9 +7,13 @@ type handle += Write_update of Write_update.t
 type handle += Migratory of Migratory.t
 type handle += Commutative of Commutative.t
 
-type opts = { coalesce : bool; conflict_action : [ `Ignore | `First_stable ] }
+type predictive_opts = { coalesce : bool; conflict_action : [ `Ignore | `First_stable ] }
+type migratory_opts = { detect_threshold : int }
+type opts = { predictive : predictive_opts; migratory : migratory_opts }
 
-let default_opts = { coalesce = true; conflict_action = `Ignore }
+let default_predictive_opts = { coalesce = true; conflict_action = `Ignore }
+let default_migratory_opts = { detect_threshold = 1 }
+let default_opts = { predictive = default_predictive_opts; migratory = default_migratory_opts }
 
 type instance = {
   coherence : Coherence.t;
@@ -55,8 +59,8 @@ let () =
       { coherence = Write_update.coherence_of t; dir = None; mode = Sanitizer.Update; handle = Write_update t });
   register ~name:"migratory"
     ~doc:"write-invalidate with single-transaction read-modify-write migration handoff"
-    (fun _opts machine ->
-      let t = Migratory.create machine in
+    (fun opts machine ->
+      let t = Migratory.create ~detect_threshold:opts.migratory.detect_threshold machine in
       {
         coherence = Migratory.coherence_of t;
         dir = Some (Migratory.engine t).Engine.dir;

@@ -32,13 +32,29 @@ type handle += Write_update of Write_update.t
 type handle += Migratory of Migratory.t
 type handle += Commutative of Commutative.t
 
-type opts = { coalesce : bool; conflict_action : [ `Ignore | `First_stable ] }
-(** Factory knobs.  Only the predictive protocol reads them today (presend
-    bulk coalescing and schedule-conflict handling); factories for
-    parameter-free protocols ignore them. *)
+type predictive_opts = { coalesce : bool; conflict_action : [ `Ignore | `First_stable ] }
+(** Predictive-protocol knobs: presend bulk coalescing and the
+    schedule-conflict action (section 3.4 extension). *)
+
+type migratory_opts = { detect_threshold : int }
+(** Migratory-protocol knobs: how many qualifying read-then-upgrade
+    observations arm a block's migration handoff (1 = the classic detector;
+    higher values trade handoff latency for fewer false positives). *)
+
+type opts = { predictive : predictive_opts; migratory : migratory_opts }
+(** Per-protocol option records.  Every factory receives the whole record and
+    reads only its own protocol's field; parameter-free protocols (stache,
+    write_update, commutative) ignore it entirely.  A protocol adding knobs
+    extends this record rather than overloading another protocol's options. *)
+
+val default_predictive_opts : predictive_opts
+(** [{ coalesce = true; conflict_action = `Ignore }]. *)
+
+val default_migratory_opts : migratory_opts
+(** [{ detect_threshold = 1 }]. *)
 
 val default_opts : opts
-(** [{ coalesce = true; conflict_action = `Ignore }]. *)
+(** All protocols at their defaults. *)
 
 type instance = {
   coherence : Coherence.t;

@@ -47,11 +47,16 @@ type t = {
 }
 
 let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = `Ignore)
-    ?(sanitize = false) ?(check_races = true) ~protocol () =
+    ?(migratory_threshold = 1) ?(sanitize = false) ?(check_races = true) ~protocol () =
   let cfg = match cfg with Some c -> c | None -> Machine.default_config () in
   let machine = Machine.create cfg in
   let inst =
-    let opts = { Registry.coalesce = presend_coalesce; conflict_action } in
+    let opts =
+      {
+        Registry.predictive = { Registry.coalesce = presend_coalesce; conflict_action };
+        migratory = { Registry.detect_threshold = migratory_threshold };
+      }
+    in
     match Registry.create ~opts (protocol_name protocol) machine with
     | Ok inst -> inst
     | Error msg -> invalid_arg ("Runtime.create: " ^ msg)

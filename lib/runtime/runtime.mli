@@ -42,6 +42,7 @@ val create :
   ?task_us:float ->
   ?presend_coalesce:bool ->
   ?conflict_action:[ `Ignore | `First_stable ] ->
+  ?migratory_threshold:int ->
   ?sanitize:bool ->
   ?check_races:bool ->
   protocol:protocol ->
@@ -51,7 +52,10 @@ val create :
     (default 1.0 microseconds).  [presend_coalesce] (default true) controls
     the predictive protocol's bulk-message coalescing and [conflict_action]
     its handling of conflict-marked schedule blocks (ablation hooks; ignored
-    by the other protocols).  [sanitize] (default false) attaches an online
+    by the other protocols).  [migratory_threshold] (default 1) is the
+    migratory protocol's detection threshold
+    ({!Ccdsm_proto.Registry.migratory_opts}); the per-protocol option
+    records route each knob only to the protocol that reads it.  [sanitize] (default false) attaches an online
     {!Ccdsm_proto.Sanitizer} to the machine, in the mode matching [protocol];
     any coherence-invariant violation then raises
     [Ccdsm_proto.Sanitizer.Violation].  [check_races] (default true) controls

@@ -17,10 +17,13 @@ type config = {
   block_bytes : int;
   net : Network.t;
   local_access_us : float;
+  shards : int;
+  step_jobs : int;
 }
 
-let default_config ?(num_nodes = 32) ?(block_bytes = 32) ?(net = Network.default) () =
-  { num_nodes; block_bytes; net; local_access_us = 0.05 }
+let default_config ?(num_nodes = 32) ?(block_bytes = 32) ?(net = Network.default) ?(shards = 8)
+    ?(step_jobs = 1) () =
+  { num_nodes; block_bytes; net; local_access_us = 0.05; shards; step_jobs }
 
 type counters = {
   mutable local_reads : int;
@@ -57,6 +60,28 @@ type handlers = {
 }
 
 module Obs = Ccdsm_obs.Obs
+module A1 = Bigarray.Array1
+
+type tag_table = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) A1.t
+type f64_table = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+(* Slots within a node's stride-16 row of the flat per-node stats table:
+   the four time buckets first (Compute = 0 matches [bucket_index]), then
+   the counters, held as exactly-integer float64s so the per-access
+   bookkeeping — count bump plus Compute charge — touches one table.  The
+   stride is a power of two so the row base is a shift, not a multiply. *)
+let stat_shift = 4
+let f_local_reads = 4
+let f_local_writes = 5
+let f_read_faults = 6
+let f_write_faults = 7
+let f_msgs = 8
+let f_bytes = 9
+let f_invalidations = 10
+let f_downgrades = 11
+let f_retries = 12
+let f_timeouts = 13
+let f_presend_fallbacks = 14
 
 (* Metrics handles, resolved once at machine creation when a global registry
    is installed ([Obs.set_global]); the hot paths then only bump a counter
@@ -69,23 +94,32 @@ type meters = {
   send_bytes : Obs.Counter.t array;
 }
 
-type node_state = {
-  mutable tags : Bytes.t;  (* one byte per block; grows with the segment *)
-  times : float array;  (* indexed by bucket *)
-  ctr : counters;
-}
+(* All per-(node, block) and per-node state lives in flat Bigarray tables so
+   a 1024-node machine over millions of blocks is a handful of contiguous,
+   GC-opaque allocations rather than thousands of per-node heap objects:
 
+     tags   : char,    index (node lsl cap_shift)  lor block
+     stats  : float64, index (node lsl stat_shift) lor (bucket | counter slot)
+     mem    : float64, index addr (word)
+
+   Block capacity is kept a power of two so every row base is a shift. *)
 type t = {
   cfg : config;
   nnodes : int;  (* = cfg.num_nodes, here to keep the access fast path flat *)
   local_us : float;  (* = cfg.local_access_us *)
   words_per_block : int;
   block_shift : int;  (* log2 words_per_block: block_of is a shift, not a division *)
-  mutable mem : float array;
+  nshards : int;
+  shard_mask : int;  (* = nshards - 1; shard of a block = home land shard_mask *)
+  step_jobs : int;
+  mutable tags : tag_table;  (* nnodes lsl cap_shift bytes *)
+  mutable cap_blocks : int;  (* tag-table block capacity, always a power of two *)
+  mutable cap_shift : int;  (* log2 cap_blocks *)
+  stats : f64_table;
+  mutable mem : f64_table;
   mutable homes : int array;  (* per block *)
   mutable nblocks : int;  (* blocks allocated so far *)
   mutable word_limit : int;  (* = nblocks * words_per_block *)
-  nodes : node_state array;
   mutable handlers : handlers option;
   mutable tracers : (Trace.event -> unit) array;  (* first [ntracers] slots live *)
   mutable ntracers : int;
@@ -95,10 +129,15 @@ type t = {
   metered : bool;  (* = meters <> None, checked alongside [traced] *)
 }
 
-(* Tag bytes as stored in [node_state.tags].  Derived from the one source of
-   truth in Tag so the raw-byte fast path cannot drift from the encoding. *)
-let tag_invalid_char = Tag.to_char Tag.Invalid
-let tag_read_write_char = Tag.to_char Tag.Read_write
+(* Tag bytes as stored in the flat tag table.  Literal so the per-access tag
+   compare is against an immediate, not a load from this module's global
+   block; the startup assert pins them to the one source of truth in Tag. *)
+let tag_invalid_char = '\000'
+let tag_read_write_char = '\002'
+
+let () =
+  assert (Char.equal tag_invalid_char (Tag.to_char Tag.Invalid));
+  assert (Char.equal tag_read_write_char (Tag.to_char Tag.Read_write))
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -111,6 +150,9 @@ let create cfg =
     invalid_arg "Machine.create: num_nodes out of range";
   if (not (is_pow2 cfg.block_bytes)) || cfg.block_bytes < 8 then
     invalid_arg "Machine.create: block_bytes must be a power of two >= 8";
+  if (not (is_pow2 cfg.shards)) || cfg.shards > Ccdsm_util.Nodeset.max_nodes then
+    invalid_arg "Machine.create: shards must be a power of two <= max_nodes";
+  if cfg.step_jobs < 1 then invalid_arg "Machine.create: step_jobs must be >= 1";
   let words_per_block = cfg.block_bytes / 8 in
   let sink = Trace.global () in
   let meters =
@@ -141,6 +183,13 @@ let create cfg =
             send_bytes = per_kind "ccdsm_net_send_bytes_total";
           }
   in
+  let cap_blocks = 128 in
+  let tags = A1.create Bigarray.char Bigarray.c_layout (cfg.num_nodes * cap_blocks) in
+  A1.fill tags tag_invalid_char;
+  let stats = A1.create Bigarray.float64 Bigarray.c_layout (cfg.num_nodes lsl stat_shift) in
+  A1.fill stats 0.0;
+  let mem = A1.create Bigarray.float64 Bigarray.c_layout 1024 in
+  A1.fill mem 0.0;
   let t =
     {
       cfg;
@@ -148,13 +197,17 @@ let create cfg =
       local_us = cfg.local_access_us;
       words_per_block;
       block_shift = log2 words_per_block;
-      mem = Array.make 1024 0.0;
+      nshards = cfg.shards;
+      shard_mask = cfg.shards - 1;
+      step_jobs = cfg.step_jobs;
+      tags;
+      cap_blocks;
+      cap_shift = log2 cap_blocks;
+      stats;
+      mem;
       homes = Array.make 128 (-1);
       nblocks = 0;
       word_limit = 0;
-      nodes =
-        Array.init cfg.num_nodes (fun _ ->
-            { tags = Bytes.make 128 tag_invalid_char; times = Array.make 4 0.0; ctr = fresh_counters () });
       handlers = None;
       tracers = (match sink with Some f -> [| f |] | None -> [||]);
       ntracers = (match sink with Some _ -> 1 | None -> 0);
@@ -216,30 +269,59 @@ let home t b =
   if b < 0 || b >= t.nblocks then invalid_arg "Machine.home: bad block";
   t.homes.(b)
 
+let home_of_block = home
+
+(* -- sharding ------------------------------------------------------------ *)
+
+let num_shards t = t.nshards
+let step_jobs t = t.step_jobs
+let shard_of_home t h = h land t.shard_mask
+
+let shard_of_block t b =
+  if b < 0 || b >= t.nblocks then invalid_arg "Machine.shard_of_block: bad block";
+  t.homes.(b) land t.shard_mask
+
 (* -- growth ------------------------------------------------------------ *)
 
 let ensure_blocks t n =
+  if n > t.cap_blocks then begin
+    (* Capacity stays a power of two so row bases remain shifts.  Each node's
+       live prefix is re-laid at its new row base; fresh space is Invalid. *)
+    let shift = ref t.cap_shift in
+    while 1 lsl !shift < n do
+      incr shift
+    done;
+    let cap = 1 lsl !shift in
+    let tags = A1.create Bigarray.char Bigarray.c_layout (t.nnodes lsl !shift) in
+    (* Per node: re-lay the live tag-row prefix at the new row base and
+       Invalid-fill only the fresh tail, rather than filling the whole table
+       and then blitting over it — growth is sized by the table, so the
+       double touch was the bulk of its cost. *)
+    if t.nblocks > 0 then
+      for node = 0 to t.nnodes - 1 do
+        A1.blit
+          (A1.sub t.tags (node lsl t.cap_shift) t.nblocks)
+          (A1.sub tags (node lsl !shift) t.nblocks);
+        A1.fill (A1.sub tags ((node lsl !shift) + t.nblocks) (cap - t.nblocks)) tag_invalid_char
+      done
+    else A1.fill tags tag_invalid_char;
+    t.tags <- tags;
+    t.cap_shift <- !shift;
+    t.cap_blocks <- 1 lsl !shift
+  end;
   if n > Array.length t.homes then begin
     let cap = max n (2 * Array.length t.homes) in
     let homes = Array.make cap (-1) in
     Array.blit t.homes 0 homes 0 t.nblocks;
     t.homes <- homes
   end;
-  if n * t.words_per_block > Array.length t.mem then begin
-    let cap = max (n * t.words_per_block) (2 * Array.length t.mem) in
-    let mem = Array.make cap 0.0 in
-    Array.blit t.mem 0 mem 0 (t.nblocks * t.words_per_block);
+  if n * t.words_per_block > A1.dim t.mem then begin
+    let cap = max (n * t.words_per_block) (2 * A1.dim t.mem) in
+    let mem = A1.create Bigarray.float64 Bigarray.c_layout cap in
+    if t.word_limit > 0 then A1.blit (A1.sub t.mem 0 t.word_limit) (A1.sub mem 0 t.word_limit);
+    A1.fill (A1.sub mem t.word_limit (cap - t.word_limit)) 0.0;
     t.mem <- mem
-  end;
-  Array.iter
-    (fun ns ->
-      if n > Bytes.length ns.tags then begin
-        let cap = max n (2 * Bytes.length ns.tags) in
-        let tags = Bytes.make cap tag_invalid_char in
-        Bytes.blit ns.tags 0 tags 0 t.nblocks;
-        ns.tags <- tags
-      end)
-    t.nodes
+  end
 
 let alloc t ~words ~home =
   if words <= 0 then invalid_arg "Machine.alloc: words must be positive";
@@ -247,9 +329,10 @@ let alloc t ~words ~home =
   let blocks = (words + t.words_per_block - 1) / t.words_per_block in
   let first = t.nblocks in
   ensure_blocks t (first + blocks);
+  let home_row = home lsl t.cap_shift in
   for b = first to first + blocks - 1 do
     t.homes.(b) <- home;
-    Bytes.set (t.nodes.(home)).tags b tag_read_write_char
+    A1.set t.tags (home_row lor b) tag_read_write_char
   done;
   t.nblocks <- first + blocks;
   t.word_limit <- t.nblocks * t.words_per_block;
@@ -265,17 +348,18 @@ let check_block t b = if b < 0 || b >= t.nblocks then invalid_arg "Machine: bad 
 let tag t ~node b =
   check_node t node;
   check_block t b;
-  Tag.of_char (Bytes.get (t.nodes.(node)).tags b)
+  Tag.of_char (A1.get t.tags ((node lsl t.cap_shift) lor b))
 
 let set_tag t ~node b tg =
   check_node t node;
   check_block t b;
+  let i = (node lsl t.cap_shift) lor b in
   if t.traced || t.metered then begin
-    let before_c = Bytes.get (t.nodes.(node)).tags b in
+    let before_c = A1.get t.tags i in
     let after_c = Tag.to_char tg in
     (* Write first, then publish: subscribers that inspect machine state
        (the sanitizer's tag scans) must observe the post-transition world. *)
-    Bytes.set (t.nodes.(node)).tags b after_c;
+    A1.set t.tags i after_c;
     if before_c <> after_c then begin
       (match t.meters with
       | Some m -> Obs.Counter.inc m.tag_trans.((Char.code before_c * 3) + Char.code after_c)
@@ -284,23 +368,26 @@ let set_tag t ~node b tg =
         emit t (Trace.Tag_change { node; block = b; before = Tag.of_char before_c; after = tg })
     end
   end
-  else Bytes.set (t.nodes.(node)).tags b (Tag.to_char tg)
+  else A1.set t.tags i (Tag.to_char tg)
 
 (* -- time --------------------------------------------------------------- *)
 
 let charge t ~node bucket us =
   check_node t node;
-  let times = (t.nodes.(node)).times in
-  let i = bucket_index bucket in
-  times.(i) <- times.(i) +. us
+  let i = (node lsl stat_shift) lor bucket_index bucket in
+  A1.unsafe_set t.stats i (A1.unsafe_get t.stats i +. us)
 
 let bucket_time t ~node bucket =
   check_node t node;
-  (t.nodes.(node)).times.(bucket_index bucket)
+  A1.unsafe_get t.stats ((node lsl stat_shift) lor bucket_index bucket)
 
 let time t ~node =
   check_node t node;
-  Array.fold_left ( +. ) 0.0 (t.nodes.(node)).times
+  let base = node lsl stat_shift in
+  A1.unsafe_get t.stats base
+  +. A1.unsafe_get t.stats (base lor 1)
+  +. A1.unsafe_get t.stats (base lor 2)
+  +. A1.unsafe_get t.stats (base lor 3)
 
 let max_time t =
   let m = ref 0.0 in
@@ -318,14 +405,53 @@ let barrier t ~bucket =
 
 (* -- counters ----------------------------------------------------------- *)
 
+(* Counters are integer-valued float64s: every bump adds an integer, so the
+   stored value is exact (well below 2^53) and the int view below is lossless. *)
+let[@inline] ctr_add t node field k =
+  let i = (node lsl stat_shift) lor field in
+  A1.unsafe_set t.stats i (A1.unsafe_get t.stats i +. k)
+
 let counters t ~node =
   check_node t node;
-  (t.nodes.(node)).ctr
+  let g f = int_of_float (A1.unsafe_get t.stats ((node lsl stat_shift) lor f)) in
+  {
+    local_reads = g f_local_reads;
+    local_writes = g f_local_writes;
+    read_faults = g f_read_faults;
+    write_faults = g f_write_faults;
+    msgs = g f_msgs;
+    bytes = g f_bytes;
+    invalidations = g f_invalidations;
+    downgrades = g f_downgrades;
+    retries = g f_retries;
+    timeouts = g f_timeouts;
+    presend_fallbacks = g f_presend_fallbacks;
+  }
+
+let note_invalidation t ~node =
+  check_node t node;
+  ctr_add t node f_invalidations 1.0
+
+let note_downgrade t ~node =
+  check_node t node;
+  ctr_add t node f_downgrades 1.0
+
+let note_retry t ~node =
+  check_node t node;
+  ctr_add t node f_retries 1.0
+
+let note_timeout t ~node =
+  check_node t node;
+  ctr_add t node f_timeouts 1.0
+
+let note_presend_fallback t ~node =
+  check_node t node;
+  ctr_add t node f_presend_fallbacks 1.0
 
 let count_msg t ~node ?(dst = -1) ?(kind = Trace.Data) ~bytes () =
-  let c = counters t ~node in
-  c.msgs <- c.msgs + 1;
-  c.bytes <- c.bytes + bytes;
+  check_node t node;
+  ctr_add t node f_msgs 1.0;
+  ctr_add t node f_bytes (float_of_int bytes);
   (match t.meters with
   | Some m ->
       let i = Trace.msg_kind_index kind in
@@ -361,50 +487,33 @@ let send_msg t ~node ?(dst = -1) ?(kind = Trace.Data) ~bytes () =
 
 let total_counters t =
   let acc = fresh_counters () in
-  Array.iter
-    (fun ns ->
-      let c = ns.ctr in
-      acc.local_reads <- acc.local_reads + c.local_reads;
-      acc.local_writes <- acc.local_writes + c.local_writes;
-      acc.read_faults <- acc.read_faults + c.read_faults;
-      acc.write_faults <- acc.write_faults + c.write_faults;
-      acc.msgs <- acc.msgs + c.msgs;
-      acc.bytes <- acc.bytes + c.bytes;
-      acc.invalidations <- acc.invalidations + c.invalidations;
-      acc.downgrades <- acc.downgrades + c.downgrades;
-      acc.retries <- acc.retries + c.retries;
-      acc.timeouts <- acc.timeouts + c.timeouts;
-      acc.presend_fallbacks <- acc.presend_fallbacks + c.presend_fallbacks)
-    t.nodes;
+  for node = 0 to t.nnodes - 1 do
+    let g f = int_of_float (A1.unsafe_get t.stats ((node lsl stat_shift) lor f)) in
+    acc.local_reads <- acc.local_reads + g f_local_reads;
+    acc.local_writes <- acc.local_writes + g f_local_writes;
+    acc.read_faults <- acc.read_faults + g f_read_faults;
+    acc.write_faults <- acc.write_faults + g f_write_faults;
+    acc.msgs <- acc.msgs + g f_msgs;
+    acc.bytes <- acc.bytes + g f_bytes;
+    acc.invalidations <- acc.invalidations + g f_invalidations;
+    acc.downgrades <- acc.downgrades + g f_downgrades;
+    acc.retries <- acc.retries + g f_retries;
+    acc.timeouts <- acc.timeouts + g f_timeouts;
+    acc.presend_fallbacks <- acc.presend_fallbacks + g f_presend_fallbacks
+  done;
   acc
 
-let reset_stats t =
-  Array.iter
-    (fun ns ->
-      Array.fill ns.times 0 4 0.0;
-      let c = ns.ctr in
-      c.local_reads <- 0;
-      c.local_writes <- 0;
-      c.read_faults <- 0;
-      c.write_faults <- 0;
-      c.msgs <- 0;
-      c.bytes <- 0;
-      c.invalidations <- 0;
-      c.downgrades <- 0;
-      c.retries <- 0;
-      c.timeouts <- 0;
-      c.presend_fallbacks <- 0)
-    t.nodes
+let reset_stats t = A1.fill t.stats 0.0
 
 (* -- data path ---------------------------------------------------------- *)
 
 let peek t a =
-  if a < 0 || a >= t.nblocks * t.words_per_block then invalid_arg "Machine.peek: bad addr";
-  t.mem.(a)
+  if a < 0 || a >= t.word_limit then invalid_arg "Machine.peek: bad addr";
+  A1.get t.mem a
 
 let poke t a v =
-  if a < 0 || a >= t.nblocks * t.words_per_block then invalid_arg "Machine.poke: bad addr";
-  t.mem.(a) <- v
+  if a < 0 || a >= t.word_limit then invalid_arg "Machine.poke: bad addr";
+  A1.set t.mem a v
 
 let handlers_exn t =
   match t.handlers with
@@ -421,73 +530,92 @@ let bad_access t ~node a =
 let[@inline] check_access t ~node a =
   if (node lor a) < 0 || node >= t.nnodes || a >= t.word_limit then bad_access t ~node a
 
-let read_fault t ns ~node b =
-  ns.ctr.read_faults <- ns.ctr.read_faults + 1;
+let read_fault t ~node b =
+  ctr_add t node f_read_faults 1.0;
   if t.traced then emit t (Trace.Fault { node; block = b; write = false });
   (handlers_exn t).on_read_fault ~node b;
-  assert (Tag.permits_read (Tag.of_char (Bytes.get ns.tags b)))
+  assert (Tag.permits_read (Tag.of_char (A1.get t.tags ((node lsl t.cap_shift) lor b))))
 
-let write_fault t ns ~node b =
-  ns.ctr.write_faults <- ns.ctr.write_faults + 1;
+let write_fault t ~node b =
+  ctr_add t node f_write_faults 1.0;
   if t.traced then emit t (Trace.Fault { node; block = b; write = true });
   (handlers_exn t).on_write_fault ~node b;
-  assert (Tag.permits_write (Tag.of_char (Bytes.get ns.tags b)))
+  assert (Tag.permits_write (Tag.of_char (A1.get t.tags ((node lsl t.cap_shift) lor b))))
+
+let[@inline] add_compute t node us =
+  let i = node lsl stat_shift in
+  A1.unsafe_set t.stats i (A1.unsafe_get t.stats i +. us)
 
 let read t ~node a =
   check_access t ~node a;
-  let ns = Array.unsafe_get t.nodes node in
   let b = a lsr t.block_shift in
-  let faulted = Bytes.unsafe_get ns.tags b = tag_invalid_char in
-  if faulted then read_fault t ns ~node b;
-  ns.ctr.local_reads <- ns.ctr.local_reads + 1;
-  let times = ns.times in
-  Array.unsafe_set times 0 (Array.unsafe_get times 0 +. t.local_us);
+  let faulted = A1.unsafe_get t.tags ((node lsl t.cap_shift) lor b) = tag_invalid_char in
+  if faulted then read_fault t ~node b;
+  (* Count bump and Compute charge land in one row of one table. *)
+  let stats = t.stats in
+  let i = node lsl stat_shift in
+  A1.unsafe_set stats (i lor f_local_reads) (A1.unsafe_get stats (i lor f_local_reads) +. 1.0);
+  A1.unsafe_set stats i (A1.unsafe_get stats i +. t.local_us);
   if t.traced then emit t (Trace.Access { node; addr = a; write = false; faulted });
-  Array.unsafe_get t.mem a
+  A1.unsafe_get t.mem a
 
 let write t ~node a v =
   check_access t ~node a;
-  let ns = Array.unsafe_get t.nodes node in
   let b = a lsr t.block_shift in
-  let faulted = Bytes.unsafe_get ns.tags b <> tag_read_write_char in
-  if faulted then write_fault t ns ~node b;
-  ns.ctr.local_writes <- ns.ctr.local_writes + 1;
-  let times = ns.times in
-  Array.unsafe_set times 0 (Array.unsafe_get times 0 +. t.local_us);
+  let faulted = A1.unsafe_get t.tags ((node lsl t.cap_shift) lor b) <> tag_read_write_char in
+  if faulted then write_fault t ~node b;
+  let stats = t.stats in
+  let i = node lsl stat_shift in
+  A1.unsafe_set stats (i lor f_local_writes) (A1.unsafe_get stats (i lor f_local_writes) +. 1.0);
+  A1.unsafe_set stats i (A1.unsafe_get stats i +. t.local_us);
   if t.traced then emit t (Trace.Access { node; addr = a; write = true; faulted });
-  Array.unsafe_set t.mem a v
+  A1.unsafe_set t.mem a v
 
 (* -- batched data path --------------------------------------------------- *)
 
 (* Observationally identical to a word-at-a-time loop (values, counters,
    bucket times, emitted events — the qcheck suite pins this), but the tag is
    validated once per block rather than once per word, and when untraced the
-   per-word event branch disappears and the data moves with a blit. *)
+   per-word event branch disappears. *)
 
 let read_range t ~node a dst =
   let n = Array.length dst in
   if n > 0 then begin
     check_access t ~node a;
     check_access t ~node (a + n - 1);
-    let ns = Array.unsafe_get t.nodes node in
-    let times = ns.times in
+    let row = node lsl t.cap_shift in
+    let times = t.stats and ti = node lsl stat_shift and us = t.local_us in
     let pos = ref 0 in
     while !pos < n do
       let w = a + !pos in
       let b = w lsr t.block_shift in
       (* words of this block remaining in the range *)
       let stop = min n (!pos + (((b + 1) lsl t.block_shift) - w)) in
-      let faulted = Bytes.unsafe_get ns.tags b = tag_invalid_char in
-      if faulted then read_fault t ns ~node b;
-      ns.ctr.local_reads <- ns.ctr.local_reads + (stop - !pos);
+      let faulted = A1.unsafe_get t.tags (row lor b) = tag_invalid_char in
+      if faulted then read_fault t ~node b;
+      ctr_add t node f_local_reads (float_of_int (stop - !pos));
       (* Word-at-a-time, only the word that trips the fault reports
          [faulted]; later words of the block see the now-valid tag. *)
-      for k = !pos to stop - 1 do
-        Array.unsafe_set times 0 (Array.unsafe_get times 0 +. t.local_us);
-        if t.traced then
+      if t.traced then
+        for k = !pos to stop - 1 do
+          add_compute t node us;
           emit t (Trace.Access { node; addr = a + k; write = false; faulted = faulted && k = !pos })
+        done
+      else begin
+        (* Untraced (nobody can observe mid-span state): accumulate the
+           word-at-a-time charges in a local — the same left-associated
+           additions, so bit-identical — and land them with one table
+           write per block span. *)
+        let acc = ref (A1.unsafe_get times ti) in
+        for _ = !pos to stop - 1 do
+          acc := !acc +. us
+        done;
+        A1.unsafe_set times ti !acc
+      end;
+      let mem = t.mem in
+      for k = !pos to stop - 1 do
+        Array.unsafe_set dst k (A1.unsafe_get mem (a + k))
       done;
-      Array.blit t.mem w dst !pos (stop - !pos);
       pos := stop
     done
   end
@@ -497,22 +625,32 @@ let write_range t ~node a src =
   if n > 0 then begin
     check_access t ~node a;
     check_access t ~node (a + n - 1);
-    let ns = Array.unsafe_get t.nodes node in
-    let times = ns.times in
+    let row = node lsl t.cap_shift in
+    let times = t.stats and ti = node lsl stat_shift and us = t.local_us in
     let pos = ref 0 in
     while !pos < n do
       let w = a + !pos in
       let b = w lsr t.block_shift in
       let stop = min n (!pos + (((b + 1) lsl t.block_shift) - w)) in
-      let faulted = Bytes.unsafe_get ns.tags b <> tag_read_write_char in
-      if faulted then write_fault t ns ~node b;
-      ns.ctr.local_writes <- ns.ctr.local_writes + (stop - !pos);
-      for k = !pos to stop - 1 do
-        Array.unsafe_set times 0 (Array.unsafe_get times 0 +. t.local_us);
-        if t.traced then
+      let faulted = A1.unsafe_get t.tags (row lor b) <> tag_read_write_char in
+      if faulted then write_fault t ~node b;
+      ctr_add t node f_local_writes (float_of_int (stop - !pos));
+      if t.traced then
+        for k = !pos to stop - 1 do
+          add_compute t node us;
           emit t (Trace.Access { node; addr = a + k; write = true; faulted = faulted && k = !pos })
+        done
+      else begin
+        let acc = ref (A1.unsafe_get times ti) in
+        for _ = !pos to stop - 1 do
+          acc := !acc +. us
+        done;
+        A1.unsafe_set times ti !acc
+      end;
+      let mem = t.mem in
+      for k = !pos to stop - 1 do
+        A1.unsafe_set mem (a + k) (Array.unsafe_get src k)
       done;
-      Array.blit src !pos t.mem w (stop - !pos);
       pos := stop
     done
   end

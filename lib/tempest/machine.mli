@@ -34,10 +34,26 @@ type config = {
   block_bytes : int;  (** power of two, >= 8 *)
   net : Network.t;
   local_access_us : float;  (** compute charge per tag-permitted shared access *)
+  shards : int;
+      (** directory shards, a power of two; a block's shard is
+          [home land (shards - 1)].  Pure layout: results are independent of
+          the shard count. *)
+  step_jobs : int;
+      (** domains the event-sharded step loop may use for one machine's
+          per-shard coherence work (1 = sequential).  Output is byte-identical
+          at any value. *)
 }
 
-val default_config : ?num_nodes:int -> ?block_bytes:int -> ?net:Network.t -> unit -> config
-(** 32 nodes, 32-byte blocks, {!Network.default} unless overridden. *)
+val default_config :
+  ?num_nodes:int ->
+  ?block_bytes:int ->
+  ?net:Network.t ->
+  ?shards:int ->
+  ?step_jobs:int ->
+  unit ->
+  config
+(** 32 nodes, 32-byte blocks, {!Network.default}, 8 shards, 1 step job unless
+    overridden. *)
 
 type counters = {
   mutable local_reads : int;
@@ -128,6 +144,25 @@ val block_of : t -> addr -> block
 val base_addr : t -> block -> addr
 val home : t -> block -> int
 
+val home_of_block : t -> block -> int
+(** Alias of {!home}: the explicit home-node hash behind directory sharding. *)
+
+(** {1 Sharding}
+
+    Coherence work is partitioned into [num_shards] shards keyed by home
+    node ([shard = home land (num_shards - 1)]).  Blocks of distinct shards
+    are disjoint, so the event-sharded step loop can run per-shard coherence
+    work on separate domains that never touch the same block's state.
+    Sharding is pure partitioning — any shard count produces identical
+    results. *)
+
+val num_shards : t -> int
+val shard_of_home : t -> int -> int
+val shard_of_block : t -> block -> int
+
+val step_jobs : t -> int
+(** The configured intra-machine parallelism budget (see {!config}). *)
+
 (** {1 Tags (protocol-side)} *)
 
 val tag : t -> node:int -> block -> Tag.t
@@ -176,7 +211,24 @@ val count_msg : t -> node:int -> ?dst:int -> ?kind:Trace.msg_kind -> bytes:int -
     {!Trace.Msg} event and do not affect counters. *)
 
 val counters : t -> node:int -> counters
-(** The live (mutable) counter record for a node. *)
+(** A snapshot of the node's counters.  The authoritative state lives in a
+    flat per-node table; mutating the returned record has no effect — protocol
+    layers bump counters through the [note_*] functions below. *)
+
+val note_invalidation : t -> node:int -> unit
+(** One copy invalidated at [node]. *)
+
+val note_downgrade : t -> node:int -> unit
+(** One ReadWrite copy demoted to ReadOnly at [node]. *)
+
+val note_retry : t -> node:int -> unit
+(** [node] retransmitted a demand request after a lost message. *)
+
+val note_timeout : t -> node:int -> unit
+(** A request timer expired at [node]. *)
+
+val note_presend_fallback : t -> node:int -> unit
+(** [node] took a demand miss for a block whose presend grant was lost. *)
 
 (** {1 Fault injection}
 

@@ -1,0 +1,43 @@
+(* Deterministic indexed fan-out over OCaml 5 domains.
+
+   [run ~jobs n f] computes [f 0 .. f (n-1)] and returns the results in
+   index order.  Determinism comes from partitioning, not scheduling: each
+   domain pulls the next unclaimed index from an atomic counter and writes
+   its result into that index's slot, so which domain computes a slot never
+   affects its value or the assembled order.  Errors are captured with their
+   backtraces and the first failure *by index* is re-raised after every
+   domain has joined, so the error surfaced is also scheduling-independent.
+
+   This is the one domain-spawning primitive in the tree: the experiment
+   harness maps independent simulations over it (Parjobs) and the predictive
+   protocol runs per-shard presend planning on it (the event-sharded step
+   loop).  Callers own the safety argument that distinct indices touch
+   disjoint mutable state. *)
+
+let run ?(jobs = 1) n f =
+  if n < 0 then invalid_arg "Fanout.run: negative count";
+  let jobs = min (max 1 jobs) n in
+  if jobs <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            Some (try Ok (f i) with e -> Error (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end

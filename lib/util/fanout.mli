@@ -1,0 +1,14 @@
+(** Deterministic indexed fan-out over OCaml 5 domains.
+
+    [run ~jobs n f] evaluates [f i] for [i = 0 .. n-1] on up to [jobs]
+    domains and returns the results in index order; with [jobs <= 1] (or
+    [n <= 1]) it runs sequentially on the calling domain.  If any call
+    raises, the first failure by {e index} is re-raised (with the backtrace
+    captured in the worker domain) after all domains join — results and
+    errors alike are independent of domain scheduling.
+
+    Callers must ensure distinct indices share no mutable state (or mutate
+    only disjoint locations): the function partitions work, it does not
+    synchronize it. *)
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a array

@@ -1,14 +1,20 @@
 (** Compact sets of processor-node identifiers.
 
     Directory entries and communication-schedule marks store sets of nodes on
-    the hot path of every simulated coherence action, so the representation is
-    a single immutable bit mask.  Node ids must lie in [\[0, 62\]]; the machine
-    configuration enforces this bound (the paper's experiments use 32). *)
+    the hot path of every simulated coherence action.  The representation is
+    immutable and canonical: sets whose members all lie below 63 are a single
+    unboxed int bitmask (every operation on them is allocation-free — the
+    paper's experiments run 32 nodes), and larger sets are a trailing-zero-
+    trimmed byte-string bitset.  Canonicity means equal sets are structurally
+    equal, so polymorphic compare and hashing work on the value directly, and
+    a set over low node ids stays one word even on a 1024-node machine.  Node
+    ids must lie in [\[0, 1023\]]; the machine configuration enforces this
+    bound. *)
 
 type t
 
 val max_nodes : int
-(** Largest representable node id plus one (63). *)
+(** Largest representable node id plus one (1024). *)
 
 val empty : t
 val is_empty : t -> bool

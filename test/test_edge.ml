@@ -65,18 +65,21 @@ let test_apps_on_odd_node_counts () =
     [ 3; 6 ]
 
 let test_max_node_count () =
-  (* 63 nodes (ids 0..62) is the largest machine the Nodeset bound allows. *)
+  (* 1024 nodes (ids 0..1023) is the largest machine the Nodeset bound
+     allows; one above is rejected at creation. *)
   let rt =
-    Runtime.create ~cfg:(Machine.default_config ~num_nodes:62 ~block_bytes:32 ()) ~protocol:Runtime.Stache ()
+    Runtime.create
+      ~cfg:(Machine.default_config ~num_nodes:1024 ~block_bytes:32 ())
+      ~protocol:Runtime.Stache ()
   in
   let m = Runtime.machine rt in
-  let a = Aggregate.create_1d m ~name:"x" ~n:124 ~dist:Distribution.Block1d () in
+  let a = Aggregate.create_1d m ~name:"x" ~n:2048 ~dist:Distribution.Block1d () in
   Runtime.parallel_for_1d rt a (fun ~node ~i ->
-      ignore (Aggregate.read1 a ~node ((i + 2) mod 124) ~field:0));
+      ignore (Aggregate.read1 a ~node ((i + 2) mod 2048) ~field:0));
   Alcotest.(check bool) "runs" true (Runtime.total_time rt > 0.0);
-  Alcotest.check_raises "64 nodes rejected"
+  Alcotest.check_raises "1025 nodes rejected"
     (Invalid_argument "Machine.create: num_nodes out of range") (fun () ->
-      ignore (Machine.create (Machine.default_config ~num_nodes:64 ())))
+      ignore (Machine.create (Machine.default_config ~num_nodes:1025 ())))
 
 (* -- protocol corners --------------------------------------------------------- *)
 

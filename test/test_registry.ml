@@ -7,6 +7,7 @@
 module Machine = Ccdsm_tempest.Machine
 module Registry = Ccdsm_proto.Registry
 module Sanitizer = Ccdsm_proto.Sanitizer
+module Migratory = Ccdsm_proto.Migratory
 module Predictive = Ccdsm_core.Predictive
 module Runtime = Ccdsm_runtime.Runtime
 
@@ -123,6 +124,77 @@ let test_model_name_roundtrip () =
   | Ok _ -> Alcotest.fail "unknown model protocol accepted"
   | Error _ -> ()
 
+(* -- per-protocol option records ------------------------------------------- *)
+
+(* Read-modify-write by a rotating node: the classic migratory pattern.
+   The first rmw only seeds last_writer (the alloc'd home never wrote
+   through a fault); each later rmw is one qualifying observation. *)
+let rmw m a node =
+  ignore (Machine.read m ~node a);
+  Machine.write m ~node a (float_of_int node)
+
+let test_migratory_threshold_delays_arming () =
+  let run threshold =
+    let m = mk () in
+    let mg = Migratory.create ~detect_threshold:threshold m in
+    let a = Machine.alloc m ~words:4 ~home:0 in
+    let b = Machine.block_of m a in
+    rmw m a 1;
+    rmw m a 2;
+    let after_one = Migratory.is_migratory mg b in
+    rmw m a 3;
+    let after_two = Migratory.is_migratory mg b in
+    (after_one, after_two)
+  in
+  check
+    Alcotest.(pair bool bool)
+    "threshold 1 arms on the first observation" (true, true) (run 1);
+  check
+    Alcotest.(pair bool bool)
+    "threshold 2 waits for a second observation" (false, true) (run 2)
+
+let test_migratory_threshold_via_opts () =
+  Lazy.force touch_runtime;
+  let opts =
+    { Registry.default_opts with Registry.migratory = { Registry.detect_threshold = 2 } }
+  in
+  let m = mk () in
+  match Registry.create ~opts "migratory" m with
+  | Error msg -> Alcotest.fail msg
+  | Ok inst -> (
+      match inst.Registry.handle with
+      | Registry.Migratory mg ->
+          let a = Machine.alloc m ~words:4 ~home:0 in
+          let b = Machine.block_of m a in
+          rmw m a 1;
+          rmw m a 2;
+          check Alcotest.bool "opts-routed threshold 2: not yet armed" false
+            (Migratory.is_migratory mg b);
+          rmw m a 3;
+          check Alcotest.bool "opts-routed threshold 2: armed" true
+            (Migratory.is_migratory mg b)
+      | _ -> Alcotest.fail "migratory factory returned the wrong handle")
+
+let test_migratory_default_threshold_identical () =
+  (* An explicit threshold of 1 must be bit-identical to the default. *)
+  let digest ?migratory_threshold () =
+    let rt =
+      Runtime.create
+        ~cfg:(Machine.default_config ~num_nodes:4 ~block_bytes:32 ())
+        ?migratory_threshold ~protocol:Runtime.Migratory ()
+    in
+    ignore (Test_proto_diff.rotation_app rt);
+    Ccdsm_harness.Proto_diff.digest_of_machine (Runtime.machine rt)
+  in
+  check Alcotest.bool "default = explicit threshold 1" true
+    (Int64.equal (digest ()) (digest ~migratory_threshold:1 ()))
+
+let test_migratory_invalid_threshold () =
+  match Migratory.create ~detect_threshold:0 (mk ()) with
+  | _ -> Alcotest.fail "detect_threshold 0 accepted"
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "message names the knob" true (contains ~sub:"detect_threshold" msg)
+
 let suite =
   [
     ( "registry",
@@ -135,5 +207,13 @@ let suite =
           test_factories_produce_matching_instances;
         Alcotest.test_case "runtime name roundtrip" `Quick test_runtime_name_roundtrip;
         Alcotest.test_case "model name roundtrip" `Quick test_model_name_roundtrip;
+        Alcotest.test_case "migratory threshold delays arming" `Quick
+          test_migratory_threshold_delays_arming;
+        Alcotest.test_case "migratory threshold routed via opts" `Quick
+          test_migratory_threshold_via_opts;
+        Alcotest.test_case "migratory default = explicit threshold 1" `Quick
+          test_migratory_default_threshold_identical;
+        Alcotest.test_case "migratory threshold 0 rejected" `Quick
+          test_migratory_invalid_threshold;
       ] );
   ]

@@ -152,6 +152,48 @@ let test_growth () =
   check Alcotest.int "home preserved" 3 (Machine.home m (Machine.block_of m a0));
   check Alcotest.int "blocks" 4001 (Machine.num_blocks m)
 
+let test_growth_256_nodes () =
+  (* Several capacity doublings at 256 nodes: each doubling re-lays every
+     node's row of the flat tag table at a new row base, and tags, homes
+     and values must all survive — with and without a trace subscriber. *)
+  let run ~traced =
+    let m = small ~num_nodes:256 () in
+    let _ = permissive m in
+    let events = ref 0 in
+    if traced then Machine.subscribe m (fun _ -> incr events);
+    (* One seeded block per home, written at home and read by a neighbour,
+       so both a ReadWrite and a ReadOnly tag sit in every row. *)
+    let addrs =
+      Array.init 256 (fun h ->
+          let a = Machine.alloc m ~words:4 ~home:h in
+          Machine.write m ~node:h a (float_of_int ((h * 3) + 1));
+          ignore (Machine.read m ~node:((h + 1) land 255) a);
+          a)
+    in
+    (* 256 + 8000 blocks drives capacity through 128 -> 16384: six
+       doublings past the seeded allocations. *)
+    for i = 0 to 7999 do
+      ignore (Machine.alloc m ~words:4 ~home:(i land 255))
+    done;
+    Alcotest.(check bool) "past 8192 blocks" true (Machine.num_blocks m > 8192);
+    Array.iteri
+      (fun h a ->
+        let b = Machine.block_of m a in
+        check (Alcotest.float 0.0)
+          (Printf.sprintf "value at home %d" h)
+          (float_of_int ((h * 3) + 1))
+          (Machine.peek m a);
+        check Alcotest.int (Printf.sprintf "home of block %d" b) h (Machine.home m b);
+        check (Alcotest.testable Tag.pp Tag.equal) "writer tag" Tag.Read_write
+          (Machine.tag m ~node:h b);
+        check (Alcotest.testable Tag.pp Tag.equal) "reader tag" Tag.Read_only
+          (Machine.tag m ~node:((h + 1) land 255) b))
+      addrs;
+    if traced then Alcotest.(check bool) "trace events flowed" true (!events > 0)
+  in
+  run ~traced:false;
+  run ~traced:true
+
 let test_network_costs () =
   let n = Network.default in
   check (Alcotest.float 1e-9) "msg cost"
@@ -179,6 +221,8 @@ let suite =
         Alcotest.test_case "counters" `Quick test_counters;
         Alcotest.test_case "reset preserves tags" `Quick test_reset_preserves_tags;
         Alcotest.test_case "growth preserves state" `Quick test_growth;
+        Alcotest.test_case "growth at 256 nodes, traced and untraced" `Quick
+          test_growth_256_nodes;
         Alcotest.test_case "network costs" `Quick test_network_costs;
       ] );
   ]

@@ -164,9 +164,28 @@ let test_nodeset_ops () =
 
 let test_nodeset_bounds () =
   Alcotest.check_raises "too large" (Invalid_argument "Nodeset: node id out of range") (fun () ->
-      ignore (Nodeset.singleton 63));
+      ignore (Nodeset.singleton Nodeset.max_nodes));
   Alcotest.check_raises "negative" (Invalid_argument "Nodeset: node id out of range") (fun () ->
-      ignore (Nodeset.mem (-1) Nodeset.empty))
+      ignore (Nodeset.mem (-1) Nodeset.empty));
+  (* The full 1024-node range is representable. *)
+  let top = Nodeset.max_nodes - 1 in
+  let s = Nodeset.add 0 (Nodeset.singleton top) in
+  Alcotest.(check bool) "mem top" true (Nodeset.mem top s);
+  check Alcotest.int "cardinal" 2 (Nodeset.cardinal s);
+  check Alcotest.(list int) "elements" [ 0; top ] (Nodeset.elements s)
+
+let test_nodeset_canonical () =
+  (* The byte-string representation is canonical (no trailing zero bytes),
+     so structural equality is set equality — the model checker and hash
+     tables rely on this. *)
+  let a = Nodeset.remove 100 (Nodeset.add 100 (Nodeset.singleton 3)) in
+  Alcotest.(check bool) "remove renormalizes" true (a = Nodeset.singleton 3);
+  let b = Nodeset.diff (Nodeset.of_list [ 3; 200 ]) (Nodeset.singleton 200) in
+  Alcotest.(check bool) "diff renormalizes" true (b = Nodeset.singleton 3);
+  let c = Nodeset.inter (Nodeset.of_list [ 3; 900 ]) (Nodeset.of_list [ 3; 901 ]) in
+  Alcotest.(check bool) "inter renormalizes" true (c = Nodeset.singleton 3);
+  Alcotest.(check bool) "empty inter" true
+    (Nodeset.inter (Nodeset.singleton 512) (Nodeset.singleton 3) = Nodeset.empty)
 
 let test_nodeset_remove_choose_empty () =
   let s = Nodeset.remove 5 (Nodeset.singleton 5) in
@@ -289,6 +308,7 @@ let suite =
         Alcotest.test_case "basic" `Quick test_nodeset_basic;
         Alcotest.test_case "set ops" `Quick test_nodeset_ops;
         Alcotest.test_case "bounds" `Quick test_nodeset_bounds;
+        Alcotest.test_case "canonical representation" `Quick test_nodeset_canonical;
         Alcotest.test_case "remove/choose empty" `Quick test_nodeset_remove_choose_empty;
       ] );
     ( "util.stats",
