@@ -124,12 +124,18 @@ let parse_scaling_nodes = function
                  exit 124)
            parts)
 
-let check_step_jobs n =
-  if n < 1 then begin
-    Printf.eprintf "repro: --step-jobs must be >= 1\n";
+(* --jobs and --step-jobs share CCDSM_JOBS's sanity cap
+   (Parjobs.max_jobs = 4x the recommended domain count): a typo like
+   --jobs 1000000 must die with the one-line exit-124 diagnostic, not
+   attempt to spawn a million domains. *)
+let check_jobs_cap ~what n =
+  try Ccdsm_harness.Parjobs.validate_jobs ~what n
+  with Invalid_argument msg ->
+    Printf.eprintf "repro: %s\n" msg;
     exit 124
-  end;
-  n
+
+let check_jobs_opt = Option.map (fun n -> check_jobs_cap ~what:"--jobs" n)
+let check_step_jobs n = check_jobs_cap ~what:"--step-jobs" n
 
 let check_migratory_threshold n =
   if n < 1 then begin
@@ -154,6 +160,10 @@ let jobs_arg =
            OCaml domains (default: $(b,CCDSM_JOBS) or the available cores; \
            output is byte-identical at any job count).  Forced to 1 while \
            $(b,--trace) is active.")
+
+(* Every command validates --jobs through the shared cap at argument-
+   evaluation time. *)
+let jobs_term = Term.(const check_jobs_opt $ jobs_arg)
 
 let trace_arg =
   Arg.(
@@ -299,11 +309,11 @@ let run_bench full jobs compare threshold strict quick =
           Printf.eprintf "repro bench: %s\n" msg;
           exit 1
       | Ok baseline ->
-          let verdicts =
+          let comparison =
             Ccdsm_harness.Bench_compare.compare_runs ~threshold_pct:threshold ~baseline wall
           in
-          print_string (Ccdsm_harness.Bench_compare.render ~threshold_pct:threshold verdicts);
-          if Ccdsm_harness.Bench_compare.any_regression verdicts then
+          print_string (Ccdsm_harness.Bench_compare.render ~threshold_pct:threshold comparison);
+          if Ccdsm_harness.Bench_compare.any_regression comparison then
             if strict then exit 1
             else print_endline "advisory: regressions found (not failing without --strict)")
 
@@ -346,6 +356,116 @@ let run_check depth seed faults nodes blocks jobs replay mode protocols =
           cexs;
         exit 1
       end
+
+(* -- serve / submit ------------------------------------------------------- *)
+
+let parse_listen_addr socket tcp =
+  match tcp with
+  | None -> `Unix socket
+  | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let host = if host = "" then "127.0.0.1" else host in
+          match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+          | Some port when port >= 0 && port < 65536 -> `Tcp (host, port)
+          | _ ->
+              Printf.eprintf "repro: --tcp wants HOST:PORT (got %S)\n" spec;
+              exit 124)
+      | None ->
+          Printf.eprintf "repro: --tcp wants HOST:PORT (got %S)\n" spec;
+          exit 124)
+
+let run_serve socket tcp http_port jobs max_pending timeout_ms =
+  let addr = parse_listen_addr socket tcp in
+  let domains =
+    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
+  if max_pending < 0 then begin
+    Printf.eprintf "repro: --max-pending must be >= 0\n";
+    exit 124
+  end;
+  (match timeout_ms with
+  | Some ms when ms < 0. ->
+      Printf.eprintf "repro: --timeout-ms must be >= 0\n";
+      exit 124
+  | _ -> ());
+  (match http_port with
+  | Some p when p < 0 || p > 65535 ->
+      Printf.eprintf "repro: --http-port must be in [0, 65535]\n";
+      exit 124
+  | _ -> ());
+  Ccdsm_serve.Server.run
+    {
+      Ccdsm_serve.Server.socket = addr;
+      http_port;
+      domains;
+      max_pending;
+      timeout_ms;
+      apps = None;
+    }
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let run_submit socket tcp file =
+  let addr = parse_listen_addr socket tcp in
+  let specs =
+    let ic =
+      match file with
+      | None -> stdin
+      | Some path -> (
+          try open_in path
+          with Sys_error msg ->
+            Printf.eprintf "repro submit: %s\n" msg;
+            exit 1)
+    in
+    let rec read acc =
+      match input_line ic with
+      | line -> read (if String.trim line = "" then acc else line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let specs = read [] in
+    if file <> None then close_in_noerr ic;
+    specs
+  in
+  if specs = [] then begin
+    Printf.eprintf "repro submit: no job specs (one JSON object per line)\n";
+    exit 1
+  end;
+  let fd, sockaddr =
+    match addr with
+    | `Unix path -> (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+        ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+          Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
+  in
+  (try Unix.connect fd sockaddr
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "repro submit: cannot connect: %s\n" (Unix.error_message e);
+     exit 1);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  List.iter (fun line -> output_string oc (line ^ "\n")) specs;
+  flush oc;
+  (* One response line per spec, in completion order (correlate by id). *)
+  let n = List.length specs in
+  let failed = ref false in
+  (try
+     for _ = 1 to n do
+       let line = input_line ic in
+       print_endline line;
+       (* A daemon-side non-ok status fails the client, so scripts can gate
+          on the exit code without parsing JSON. *)
+       if not (contains_substring line "\"status\":\"ok\"") then failed := true
+     done
+   with End_of_file ->
+     Printf.eprintf "repro submit: connection closed before all responses arrived\n";
+     exit 1);
+  (try Unix.close fd with _ -> ());
+  if !failed then exit 1
 
 let run_all full nodes jobs trace metrics =
   with_metrics metrics @@ fun () ->
@@ -477,30 +597,79 @@ let strict_arg =
            clock is host-dependent, so the gate is advisory unless the runner \
            matches the baseline's.")
 
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt string "ccdsm-serve.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path for job submission (ignored with $(b,--tcp)).")
+
+let serve_tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on (or, for $(b,submit), connect to) a TCP address instead of the Unix socket.")
+
+let serve_http_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "http-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve Prometheus $(b,/metrics) and $(b,/healthz) over HTTP on \
+           loopback at $(docv) (0 picks a free port, printed at startup). \
+           Disabled by default.")
+
+let serve_max_pending_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "Bound on admitted-but-unfinished jobs; submissions beyond it are \
+           rejected with a structured reason (backpressure, not teardown).")
+
+let serve_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-job wall-clock timeout.  An expired job's waiters get a \
+           $(b,status:\"timeout\") record and the entry is dropped from the \
+           cache so a retry recomputes.  No timeout by default.")
+
+let submit_file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Job-spec file, one JSON object per line (default: stdin).")
+
 let cmds =
   [
     cmd "table1" "Print Table 1 (benchmark descriptions)" Term.(const run_table1 $ full_arg);
     cmd "fig4" "Compiler report for the Barnes-Hut skeleton (Figure 4)"
       Term.(const run_fig4 $ const ());
     cmd "fig5" "Adaptive execution-time breakdown (Figure 5)"
-      Term.(const run_fig5 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
+      Term.(const run_fig5 $ full_arg $ nodes_arg $ jobs_term $ trace_arg $ metrics_arg);
     cmd "fig6" "Barnes execution-time breakdown (Figure 6)"
-      Term.(const run_fig6 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
+      Term.(const run_fig6 $ full_arg $ nodes_arg $ jobs_term $ trace_arg $ metrics_arg);
     cmd "fig7" "Water execution-time breakdown (Figure 7)"
-      Term.(const run_fig7 $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
+      Term.(const run_fig7 $ full_arg $ nodes_arg $ jobs_term $ trace_arg $ metrics_arg);
     cmd "sweep"
       "Block-size sensitivity sweep (section 5.4); with --protocol, the \
        registry-driven differential protocol sweep"
       Term.(
-        const run_sweep $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg $ protocols_arg
+        const run_sweep $ full_arg $ nodes_arg $ jobs_term $ metrics_arg $ protocols_arg
         $ quick_arg $ migratory_threshold_arg);
     cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
       Term.(const run_ablate $ full_arg $ nodes_arg $ metrics_arg);
     cmd "faults" "Fault-injection robustness grid (drops/dups/delays/schedule corruption)"
-      Term.(const run_faults $ full_arg $ nodes_arg $ jobs_arg $ metrics_arg $ protocols_arg);
+      Term.(const run_faults $ full_arg $ nodes_arg $ jobs_term $ metrics_arg $ protocols_arg);
     cmd "scaling" "Node-count scaling (extension; up to 1024 nodes with --nodes)"
       Term.(
-        const run_scaling $ full_arg $ jobs_arg $ metrics_arg $ scaling_nodes_arg
+        const run_scaling $ full_arg $ jobs_term $ metrics_arg $ scaling_nodes_arg
         $ step_jobs_arg);
     cmd "inspector" "Inspector-executor comparison (section 2)"
       Term.(const run_inspector $ full_arg $ metrics_arg);
@@ -515,7 +684,7 @@ let cmds =
       "Time every experiment driver; with --compare, check against a \
        bench/main.exe --json baseline (perf-regression gate)"
       Term.(
-        const run_bench $ full_arg $ jobs_arg $ compare_arg $ threshold_arg $ strict_arg
+        const run_bench $ full_arg $ jobs_term $ compare_arg $ threshold_arg $ strict_arg
         $ quick_arg);
     cmd "check"
       "Verify the protocols: exhaustive bounded exploration (with fault branches) \
@@ -523,9 +692,20 @@ let cmds =
        invariant oracle with --replay"
       Term.(
         const run_check $ depth_arg $ seed_arg $ check_faults_arg $ check_nodes_arg
-        $ check_blocks_arg $ jobs_arg $ replay_arg $ mode_arg $ protocols_arg);
+        $ check_blocks_arg $ jobs_term $ replay_arg $ mode_arg $ protocols_arg);
     cmd "all" "Everything, plus the qualitative shape checklist"
-      Term.(const run_all $ full_arg $ nodes_arg $ jobs_arg $ trace_arg $ metrics_arg);
+      Term.(const run_all $ full_arg $ nodes_arg $ jobs_term $ trace_arg $ metrics_arg);
+    cmd "serve"
+      "Run the simulation service: JSON job specs in over a socket, \
+       content-addressed cached results streamed back, on a persistent pool \
+       of OCaml domains (SIGTERM drains)"
+      Term.(
+        const run_serve $ serve_socket_arg $ serve_tcp_arg $ serve_http_port_arg $ jobs_term
+        $ serve_max_pending_arg $ serve_timeout_arg);
+    cmd "submit"
+      "Submit job specs to a running $(b,repro serve) daemon and print one \
+       response line per job (exit 1 if any job did not come back ok)"
+      Term.(const run_submit $ serve_socket_arg $ serve_tcp_arg $ submit_file_arg);
   ]
 
 let () =

@@ -79,10 +79,14 @@ let record t ~node b ~write =
       Machine.charge t.machine ~node Machine.Remote_wait t.record_us;
       let s = schedule_for t p in
       let conflicts_before = Schedule.conflicts s in
+      let hits_before = Schedule.conflict_hits s in
       if write then Schedule.record_write s b ~writer:node else Schedule.record_read s b ~reader:node;
       if Machine.traced t.machine then begin
         Machine.emit t.machine (Trace.Sched_record { phase = p; block = b; node; write });
-        if Schedule.conflicts s > conflicts_before then
+        (* [conflicts] now counts every colliding insertion; the trace event
+           stays transition-only (hits on an already-conflicted block leave
+           [conflict_hits] as the tell), so trace censuses are unchanged. *)
+        if Schedule.conflicts s > conflicts_before && Schedule.conflict_hits s = hits_before then
           Machine.emit t.machine (Trace.Sched_conflict { phase = p; block = b })
       end;
       t.st.faults_recorded <- t.st.faults_recorded + 1

@@ -31,7 +31,12 @@ let record_read t b ~reader =
   | Some (Writer w) ->
       t.conflicts <- t.conflicts + 1;
       Hashtbl.replace t.entries b (Conflict (Pre_writer w))
-  | Some (Conflict _) -> t.conflict_hits <- t.conflict_hits + 1
+  | Some (Conflict _) ->
+      (* A colliding insertion too, even though the mark is absorbing — count
+         it in [conflicts] (total collision volume) and in [conflict_hits]
+         (collisions that landed on an already-conflicted block). *)
+      t.conflicts <- t.conflicts + 1;
+      t.conflict_hits <- t.conflict_hits + 1
 
 let record_write t b ~writer =
   match Hashtbl.find_opt t.entries b with
@@ -46,7 +51,9 @@ let record_write t b ~writer =
   | Some (Readers r) ->
       t.conflicts <- t.conflicts + 1;
       Hashtbl.replace t.entries b (Conflict (Pre_readers r))
-  | Some (Conflict _) -> t.conflict_hits <- t.conflict_hits + 1
+  | Some (Conflict _) ->
+      t.conflicts <- t.conflicts + 1;
+      t.conflict_hits <- t.conflict_hits + 1
 
 let find t b = Hashtbl.find_opt t.entries b
 let cardinal t = Hashtbl.length t.entries

@@ -47,16 +47,16 @@ val find : t -> block -> mark option
 val cardinal : t -> int
 
 val conflicts : t -> int
-(** Number of blocks that {e transitioned} to Conflict — i.e. the number of
-    blocks currently marked Conflict, since the mark is absorbing.  This
-    deliberately does not count accesses landing on an already-conflicted
-    block (once the presend is disabled for a block, further conflicting
-    traffic changes nothing); use {!conflict_hits} for that volume. *)
+(** Every colliding insertion: transitions to Conflict {e plus} later
+    records landing on an already-conflicted block.  (An earlier revision
+    counted only the transitions, silently understating collision volume on
+    hot blocks; the number of blocks currently marked Conflict is
+    [conflicts t - conflict_hits t], since the mark is absorbing.) *)
 
 val conflict_hits : t -> int
-(** Recorded accesses that hit a block already marked Conflict.  Together
-    with {!conflicts} this separates "how many blocks are contended" from
-    "how hot the contended blocks are". *)
+(** The subset of {!conflicts} that hit a block already marked Conflict.
+    Together they separate "how many blocks are contended"
+    ([conflicts - conflict_hits]) from "how hot the contended blocks are". *)
 
 val rewrites : t -> int
 (** Write-after-write re-markings observed (migration within a phase). *)

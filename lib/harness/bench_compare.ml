@@ -112,31 +112,49 @@ type verdict = {
    noise, so a regression additionally needs an absolute slowdown. *)
 let min_abs_slowdown_ms = 10.0
 
+type comparison = {
+  verdicts : verdict list;
+  added : (string * float) list;
+  removed : (string * float) list;
+}
+
 let compare_runs ~threshold_pct ~baseline current =
-  List.filter_map
-    (fun (name, current_ms) ->
-      match List.assoc_opt name baseline with
-      | None -> None
-      | Some baseline_ms ->
-          let delta_pct =
-            if baseline_ms <= 0.0 then 0.0
-            else (current_ms -. baseline_ms) /. baseline_ms *. 100.0
-          in
-          Some
-            {
-              name;
-              baseline_ms;
-              current_ms;
-              delta_pct;
-              regressed =
-                delta_pct > threshold_pct
-                && current_ms -. baseline_ms > min_abs_slowdown_ms;
-            })
-    current
+  let verdicts =
+    List.filter_map
+      (fun (name, current_ms) ->
+        match List.assoc_opt name baseline with
+        | None -> None
+        | Some baseline_ms ->
+            let delta_pct =
+              if baseline_ms <= 0.0 then 0.0
+              else (current_ms -. baseline_ms) /. baseline_ms *. 100.0
+            in
+            Some
+              {
+                name;
+                baseline_ms;
+                current_ms;
+                delta_pct;
+                regressed =
+                  delta_pct > threshold_pct
+                  && current_ms -. baseline_ms > min_abs_slowdown_ms;
+              })
+      current
+  in
+  (* Key-set drift is reported, never silently skipped: a renamed or new
+     driver would otherwise sail past the gate unjudged. *)
+  let added =
+    List.filter (fun (name, _) -> not (List.mem_assoc name baseline)) current
+  in
+  let removed =
+    List.filter (fun (name, _) -> not (List.mem_assoc name current)) baseline
+  in
+  { verdicts; added; removed }
 
-let any_regression vs = List.exists (fun v -> v.regressed) vs
+let any_regression c = List.exists (fun v -> v.regressed) c.verdicts
+let keys_differ c = c.added <> [] || c.removed <> []
 
-let render ~threshold_pct vs =
+let render ~threshold_pct c =
   let module Ascii = Ccdsm_util.Ascii in
   let rows =
     List.map
@@ -148,7 +166,13 @@ let render ~threshold_pct vs =
           Printf.sprintf "%+.1f%%" v.delta_pct;
           (if v.regressed then "REGRESSED" else "ok");
         ])
-      vs
+      c.verdicts
+    @ List.map
+        (fun (name, ms) -> [ name; "-"; Printf.sprintf "%.1f" ms; "-"; "NEW (no baseline)" ])
+        c.added
+    @ List.map
+        (fun (name, ms) -> [ name; Printf.sprintf "%.1f" ms; "-"; "-"; "REMOVED" ])
+        c.removed
   in
   Printf.sprintf
     "Perf comparison against baseline (wall ms per driver; threshold %+.0f%%).\n\
@@ -156,3 +180,10 @@ let render ~threshold_pct vs =
      matches the one that wrote the baseline.\n"
     threshold_pct
   ^ Ascii.table ~header:[ "driver"; "baseline(ms)"; "current(ms)"; "delta"; "verdict" ] rows
+  ^
+  if keys_differ c then
+    Printf.sprintf
+      "driver set differs from baseline: %d new, %d removed — refresh BENCH.json \
+       (bench/main.exe --json) to judge them.\n"
+      (List.length c.added) (List.length c.removed)
+  else ""

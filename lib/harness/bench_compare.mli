@@ -22,14 +22,25 @@ type verdict = {
   regressed : bool;  (** [delta_pct] beyond the threshold *)
 }
 
+type comparison = {
+  verdicts : verdict list;  (** drivers present on both sides *)
+  added : (string * float) list;  (** current drivers the baseline lacks *)
+  removed : (string * float) list;  (** baseline drivers no longer measured *)
+}
+
 val compare_runs :
-  threshold_pct:float -> baseline:(string * float) list -> (string * float) list -> verdict list
-(** Match current measurements against the baseline by driver name (drivers
-    missing from the baseline are skipped) and flag any that are more than
-    [threshold_pct] percent {e and} 10 ms slower — the absolute floor keeps
-    sub-millisecond drivers from tripping on timer noise. *)
+  threshold_pct:float -> baseline:(string * float) list -> (string * float) list -> comparison
+(** Match current measurements against the baseline by driver name; a
+    matched driver is flagged regressed when it is more than [threshold_pct]
+    percent {e and} 10 ms slower — the absolute floor keeps sub-millisecond
+    drivers from tripping on timer noise.  Key-set drift lands in [added] /
+    [removed] (and in the rendered verdict table), never silently skipped. *)
 
-val any_regression : verdict list -> bool
+val any_regression : comparison -> bool
+val keys_differ : comparison -> bool
 
-val render : threshold_pct:float -> verdict list -> string
-(** ASCII table of the verdicts with a host-dependence caveat. *)
+val render : threshold_pct:float -> comparison -> string
+(** ASCII table of the verdicts — matched drivers first, then [added] rows
+    ("NEW (no baseline)") and [removed] rows ("REMOVED") — with a
+    host-dependence caveat, and a drift summary line when the key sets
+    differ. *)

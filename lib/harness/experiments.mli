@@ -50,6 +50,12 @@ val block_sweep : ?num_nodes:int -> ?jobs:int -> ?quick:bool -> scale -> string
     small cache blocks".  [quick] (default false) keeps only the 32- and
     256-byte columns (the CI smoke grid). *)
 
+val sweep_apps : scale -> (string * bool * (Ccdsm_runtime.Runtime.t -> float)) list
+(** The app table behind {!protocol_sweep} and the serving layer's job
+    runner: [(display name, check_races, run)] per application, at the given
+    scale's data-set sizes.  [check_races] is false only for Barnes, whose
+    tree build is a legitimate multi-writer phase. *)
+
 val protocol_sweep :
   ?num_nodes:int ->
   ?jobs:int ->

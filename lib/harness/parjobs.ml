@@ -2,9 +2,10 @@
 
    Every simulated version owns a private [Machine] (created inside
    [Measure.measure]), so distinct versions share no mutable state and can
-   run on OCaml 5 domains via [Ccdsm_util.Fanout] — the deterministic
-   indexed fan-out that also drives the machines' event-sharded step loop.
-   Scheduling affects only which domain computes a slot, never its value or
+   run on OCaml 5 domains.  Since the serving refactor the domains come from
+   [Pool] — the persistent work-stealing pool — on which [map] is plain
+   fan-out-and-join: submit in input order, await in input order, so
+   scheduling affects only which domain computes a job, never its value or
    the assembled order.
 
    The process-global state in a simulation's path is the global trace sink
@@ -15,23 +16,41 @@
    stream and the metrics snapshot stay the deterministic single-threaded
    ones (byte-identical at any job count). *)
 
+(* Absurd job counts (far beyond any real parallelism win) are a
+   configuration bug, not a request: reject them at startup with the same
+   one-line diagnostic contract as the other env validations (the CLI turns
+   the exception into exit 124). *)
+let max_jobs () = Domain.recommended_domain_count () * 4
+
+let validate_jobs ~what n =
+  if n < 1 then invalid_arg (Printf.sprintf "%s must be a positive integer" what);
+  let cap = max_jobs () in
+  if n > cap then
+    invalid_arg
+      (Printf.sprintf
+         "%s is %d, above the sanity cap of %d (4x the %d available cores); this smells \
+          like a misconfiguration"
+         what n cap
+         (Domain.recommended_domain_count ()));
+  n
+
 let env_jobs () =
   match Sys.getenv_opt "CCDSM_JOBS" with
   | None | Some "" -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some n
-      | _ -> invalid_arg "CCDSM_JOBS must be a positive integer")
+      | Some n -> Some (validate_jobs ~what:"CCDSM_JOBS" n)
+      | None -> invalid_arg "CCDSM_JOBS must be a positive integer")
 
 let default_jobs () =
   match env_jobs () with Some n -> n | None -> Domain.recommended_domain_count ()
 
 let map ?jobs f xs =
-  let items = Array.of_list xs in
-  let n = Array.length items in
+  let n = List.length xs in
   let jobs = min n (match jobs with Some j -> max 1 j | None -> default_jobs ()) in
   let jobs =
     if Ccdsm_tempest.Trace.global () <> None || Ccdsm_obs.Obs.global () <> None then 1
     else jobs
   in
-  Array.to_list (Ccdsm_util.Fanout.run ~jobs n (fun i -> f items.(i)))
+  if jobs <= 1 then List.map f xs
+  else Pool.with_pool ~domains:jobs (fun pool -> Pool.map pool f xs)

@@ -1,21 +1,34 @@
 (** Deterministic multicore fan-out for independent experiment versions.
 
     [map ?jobs f xs] applies [f] to every element of [xs] on up to [jobs]
-    OCaml domains (default {!default_jobs}) and returns the results in input
-    order, re-raising the first (by input order) exception if any call
-    failed.  Each call of [f] must be self-contained: the experiment drivers
-    qualify because every simulated version builds its own private machine.
+    OCaml domains (default {!default_jobs}) — a transient {!Pool} — and
+    returns the results in input order, re-raising the first (by input
+    order) exception if any call failed.  Each call of [f] must be
+    self-contained: the experiment drivers qualify because every simulated
+    version builds its own private machine.
 
     Falls back to a plain sequential [List.map] when [jobs <= 1], when there
     is at most one element, or when a process-global trace sink
-    ({!Ccdsm_tempest.Trace.set_global}) is installed — tracing serializes so
-    the JSONL byte stream stays the single-threaded one. *)
+    ({!Ccdsm_tempest.Trace.set_global}) or metrics registry
+    ({!Ccdsm_obs.Obs.set_global}) is installed — both serialize so the JSONL
+    byte stream and the metrics snapshot stay the single-threaded ones. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val default_jobs : unit -> int
-(** [CCDSM_JOBS] when set (rejecting non-positive values), otherwise
+(** [CCDSM_JOBS] when set (validated), otherwise
     [Domain.recommended_domain_count ()]. *)
 
 val env_jobs : unit -> int option
-(** Just the [CCDSM_JOBS] override, if any. *)
+(** Just the [CCDSM_JOBS] override, if any.
+    @raise Invalid_argument on a non-integer, non-positive, or absurd value
+    (above {!max_jobs}) — the CLI turns this into its exit-124 startup
+    diagnostic. *)
+
+val max_jobs : unit -> int
+(** The sanity cap shared by [CCDSM_JOBS], [--jobs] and [--step-jobs]:
+    [Domain.recommended_domain_count () * 4]. *)
+
+val validate_jobs : what:string -> int -> int
+(** Return [n] unchanged if it is in [[1, max_jobs ()]];
+    @raise Invalid_argument (naming [what]) otherwise. *)

@@ -21,20 +21,16 @@ type report = {
   agree : bool;
 }
 
-(* FNV-1a 64 over the raw bit patterns of every shared-heap word.  A plain
-   float sum (the apps' checksum) can hide reordered or swapped values; the
-   digest is sensitive to every bit of every word, so two protocols agree
-   only if they leave byte-identical heaps. *)
+(* FNV-1a 64 ({!Ccdsm_util.Fnv}) over the raw bit patterns of every
+   shared-heap word.  A plain float sum (the apps' checksum) can hide
+   reordered or swapped values; the digest is sensitive to every bit of
+   every word, so two protocols agree only if they leave byte-identical
+   heaps. *)
 let digest_of_machine m =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
+  let h = ref Ccdsm_util.Fnv.init in
   let words = Machine.num_blocks m * Machine.words_per_block m in
   for a = 0 to words - 1 do
-    let bits = Int64.bits_of_float (Machine.peek m a) in
-    for k = 0 to 7 do
-      let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL) in
-      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) prime
-    done
+    h := Ccdsm_util.Fnv.feed_int64 !h (Int64.bits_of_float (Machine.peek m a))
   done;
   !h
 

@@ -1,0 +1,98 @@
+(* Content-addressed result cache with inflight deduplication.
+
+   Keys are canonical-spec FNV digests ([Job.key]); values are whatever the
+   server stores (opaque ['a] here).  The concurrency contract is
+   callback-based because results are streamed: a waiter registers a
+   [deliver] closure and the cache guarantees it fires exactly once — from
+   the computing job's [finish], from [cancel] (timeout), or synchronously
+   never (a [Hit] returns the value instead, so the caller can label it).
+
+   Deliveries always run *outside* the cache mutex: [finish]/[cancel] swap
+   the entry state under the lock, collect the waiter list, unlock, then
+   deliver — so a deliver callback may take its own locks (the connection
+   write mutex) without ordering against this one. *)
+
+type 'a entry =
+  | Done of 'a
+  | Inflight of { gen : int; mutable waiters : ('a -> unit) list }
+
+type 'a t = {
+  mutex : Mutex.t;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable gen : int;  (* distinguishes an inflight entry from its successor
+                         after a cancel, so a stale [finish] is a no-op *)
+}
+
+type 'a verdict =
+  | Hit of 'a
+  | Joined
+  | Compute of ('a -> bool)
+  | Rejected
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 64; gen = 0 }
+
+let entries t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mutex;
+  n
+
+let inflight t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold (fun _ e acc -> match e with Inflight _ -> acc + 1 | Done _ -> acc) t.tbl 0
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let lookup t ~key ?(admit = fun () -> true) ~deliver () =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Done v) ->
+      Mutex.unlock t.mutex;
+      Hit v
+  | Some (Inflight i) ->
+      i.waiters <- deliver :: i.waiters;
+      Mutex.unlock t.mutex;
+      Joined
+  | None ->
+      if not (admit ()) then begin
+        Mutex.unlock t.mutex;
+        Rejected
+      end
+      else begin
+        t.gen <- t.gen + 1;
+        let gen = t.gen in
+        Hashtbl.replace t.tbl key (Inflight { gen; waiters = [ deliver ] });
+        Mutex.unlock t.mutex;
+        Compute
+          (fun v ->
+            Mutex.lock t.mutex;
+            match Hashtbl.find_opt t.tbl key with
+            | Some (Inflight i) when i.gen = gen ->
+                Hashtbl.replace t.tbl key (Done v);
+                let ws = List.rev i.waiters in
+                Mutex.unlock t.mutex;
+                List.iter (fun d -> d v) ws;
+                true
+            | _ ->
+                (* Cancelled (and possibly recomputed) while we ran: the
+                   waiters were already released; drop the late result. *)
+                Mutex.unlock t.mutex;
+                false)
+      end
+
+let cancel t ~key v =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Inflight i) ->
+      (* Remove (rather than store [v]): a later identical request should
+         recompute, not be served the cancellation. *)
+      Hashtbl.remove t.tbl key;
+      let ws = List.rev i.waiters in
+      Mutex.unlock t.mutex;
+      List.iter (fun d -> d v) ws;
+      true
+  | _ ->
+      Mutex.unlock t.mutex;
+      false

@@ -1,0 +1,38 @@
+(** Content-addressed result cache with inflight deduplication.
+
+    Maps canonical-spec digests ({!Job.key}) to results.  Concurrent
+    requests for the same key while the first is still computing {e join}
+    the inflight entry instead of recomputing; their [deliver] callbacks
+    fire when the computing job finishes (or is cancelled).  All delivery
+    callbacks run outside the cache lock. *)
+
+type 'a t
+
+type 'a verdict =
+  | Hit of 'a  (** already computed; caller delivers the value itself *)
+  | Joined  (** someone else is computing; [deliver] will fire later *)
+  | Compute of ('a -> bool)
+      (** the caller owns the computation; call the returned [finish]
+          exactly once.  It returns [false] when the entry was cancelled in
+          the meantime (the result was discarded, nobody was delivered). *)
+  | Rejected  (** [admit] said no — nothing was registered *)
+
+val create : unit -> 'a t
+
+val lookup :
+  'a t -> key:string -> ?admit:(unit -> bool) -> deliver:('a -> unit) -> unit -> 'a verdict
+(** [admit] (default: always) is consulted under the cache lock only on the
+    miss path, before the inflight entry is created — the backpressure hook:
+    admission and entry creation are atomic, so a rejected request never
+    leaves a dangling inflight entry. *)
+
+val cancel : 'a t -> key:string -> 'a -> bool
+(** Cancel an inflight entry, delivering [v] (e.g. a timeout record) to
+    every waiter, and {e remove} it so a later identical request recomputes.
+    Returns [false] if the key was not inflight (already finished, or never
+    started).  The owning job's late [finish] then returns [false]. *)
+
+val entries : 'a t -> int
+(** Total entries (done + inflight). *)
+
+val inflight : 'a t -> int

@@ -1,0 +1,60 @@
+module Experiments = Ccdsm_harness.Experiments
+module Proto_diff = Ccdsm_harness.Proto_diff
+module Runtime = Ccdsm_runtime.Runtime
+module Obs = Ccdsm_obs.Obs
+module Fnv = Ccdsm_util.Fnv
+
+type app = string * bool * (Runtime.t -> float)
+
+type prepared = {
+  spec : Job.spec;
+  app_name : string;
+  check_races : bool;
+  run_app : Runtime.t -> float;
+  protocol : Runtime.protocol;
+}
+
+let prepare ?apps (spec : Job.spec) =
+  let table =
+    match apps with
+    | Some t -> t
+    | None ->
+        Experiments.sweep_apps
+          (match spec.scale with `Scaled -> Experiments.Scaled | `Paper -> Experiments.Paper)
+  in
+  let want = String.lowercase_ascii spec.app in
+  match List.find_opt (fun (name, _, _) -> String.lowercase_ascii name = want) table with
+  | None ->
+      Error
+        (Printf.sprintf "unknown app %S (available: %s)" spec.app
+           (String.concat ", " (List.map (fun (n, _, _) -> String.lowercase_ascii n) table)))
+  | Some (app_name, check_races, run_app) -> (
+      (* Mirrors the CLI's exit-124 diagnostic: [protocol_of_name]'s error
+         already lists every registered name. *)
+      match Runtime.protocol_of_name spec.protocol with
+      | Error msg -> Error msg
+      | Ok protocol -> Ok { spec; app_name; check_races; run_app; protocol })
+
+let result_json (report : Proto_diff.report) =
+  match report.rows with
+  | [ row ] ->
+      Printf.sprintf
+        "{\"app\":%s,\"block_bytes\":%d,\"bytes\":%d,\"checksum\":%s,\"digest\":\"%s\",\"msgs\":%d,\"nodes\":%d,\"protocol\":%s,\"remote_misses\":%d,\"total_us\":%s}"
+        (Job.escape_to_json report.app)
+        report.block_bytes row.bytes
+        (Obs.float_to_string row.checksum)
+        (Fnv.to_hex row.digest) row.msgs report.nodes
+        (Job.escape_to_json row.protocol)
+        row.remote_misses
+        (Obs.float_to_string row.total_us)
+  | rows ->
+      invalid_arg (Printf.sprintf "Runner.result_json: expected 1 row, got %d" (List.length rows))
+
+let execute p =
+  let spec = p.spec in
+  let report =
+    Proto_diff.run ~protocols:[ p.protocol ] ~nodes:spec.nodes ~block_bytes:spec.block_bytes
+      ~step_jobs:spec.step_jobs ~migratory_threshold:spec.migratory_threshold ?faults:spec.faults
+      ~check_races:p.check_races ~app:p.app_name ~run:p.run_app ()
+  in
+  result_json report

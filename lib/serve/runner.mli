@@ -1,0 +1,34 @@
+(** From a validated {!Job.spec} to a deterministic result record.
+
+    Jobs run through the differential harness with a single protocol
+    ({!Ccdsm_harness.Proto_diff.run}), which is exactly what [repro sweep]
+    does per cell — so a serve result is byte-comparable with a direct sweep
+    of the same configuration.  Name resolution ([prepare]) is split from
+    execution ([execute]) so the daemon can reject an unknown app or
+    protocol with a structured per-job error {e before} the job ever reaches
+    the pool. *)
+
+type app = string * bool * (Ccdsm_runtime.Runtime.t -> float)
+(** [(name, check_races, run)] — the {!Ccdsm_harness.Experiments.sweep_apps}
+    row shape.  Tests inject tiny synthetic apps through this. *)
+
+type prepared
+
+val prepare : ?apps:app list -> Job.spec -> (prepared, string) result
+(** Resolve the app (case-insensitive, against [apps] or the built-in
+    {!Ccdsm_harness.Experiments.sweep_apps} table at the spec's scale) and
+    the protocol (via {!Ccdsm_runtime.Runtime.protocol_of_name}, whose error
+    lists every registered name — the same diagnostic the CLI exits 124
+    with). *)
+
+val execute : prepared -> string
+(** Run the simulation and render the result record: a one-line JSON object
+    with sorted keys — app, block_bytes, bytes, checksum, digest, msgs,
+    nodes, protocol, remote_misses, total_us — floats via
+    {!Ccdsm_obs.Obs.float_to_string}.  Byte-identical for identical specs
+    regardless of which pool domain runs it.
+    @raise Ccdsm_proto.Sanitizer.Violation (and whatever the app raises) —
+    the caller turns exceptions into per-job error records. *)
+
+val result_json : Ccdsm_harness.Proto_diff.report -> string
+(** The rendering on its own (the report must have exactly one row). *)

@@ -1,0 +1,462 @@
+(* The serve daemon: newline-delimited JSON job specs in, result records out,
+   streamed as they complete.
+
+   Thread/domain layout:
+     - one accept thread per listener (job socket, optional HTTP endpoint),
+       each looping on [Unix.select] with a short timeout so shutdown never
+       depends on waking a blocked [accept];
+     - one reader thread per job connection, parsing spec lines and doing
+       cache lookups;
+     - the persistent [Pool] of domains running simulations;
+     - an optional timeout-monitor thread scanning the deadline table.
+
+   A response line is written by whichever thread completes the job — the
+   reader (parse error, cache hit, rejection) or a pool domain (miss, join,
+   timeout) — under the connection's write mutex, so results stream in
+   completion order, not submission order.  Clients correlate by [id].
+
+   Jobs never touch the process-global Obs/Trace sinks ([Measure.measure]
+   swaps the global registry, which is not safe across concurrent pool
+   workers); the daemon's own metrics live in a private mutex-guarded
+   registry exported on [/metrics]. *)
+
+module Pool = Ccdsm_harness.Pool
+module Obs = Ccdsm_obs.Obs
+module Export = Ccdsm_obs.Export
+
+type outcome = Result of string | Job_error of string | Timeout
+
+type config = {
+  socket : [ `Unix of string | `Tcp of string * int ];
+  http_port : int option;
+  domains : int;
+  max_pending : int;
+  timeout_ms : float option;
+  apps : Runner.app list option;
+}
+
+let default_config ~socket () =
+  {
+    socket;
+    http_port = None;
+    domains = Domain.recommended_domain_count ();
+    max_pending = 256;
+    timeout_ms = None;
+    apps = None;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  mutable alive : bool;
+  mutable reader : Thread.t option;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  cache : outcome Cache.t;
+  admitted : int Atomic.t;  (* jobs admitted and not yet finished/abandoned *)
+  stopping : bool Atomic.t;
+  monitor_stop : bool Atomic.t;
+  listen_fd : Unix.file_descr;
+  http_fd : Unix.file_descr option;
+  http_port : int option;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable accept_threads : Thread.t list;
+  mutable monitor : Thread.t option;
+  mutable stopped : bool;
+  deadlines_mutex : Mutex.t;
+  deadlines : (string, float) Hashtbl.t;
+  (* Metrics: a private registry; Obs instruments are not thread-safe on
+     their own, so every update and snapshot holds [mm]. *)
+  mm : Mutex.t;
+  registry : Obs.Registry.t;
+  req_ok : Obs.Counter.t;
+  req_error : Obs.Counter.t;
+  req_rejected : Obs.Counter.t;
+  req_timeout : Obs.Counter.t;
+  cache_hit : Obs.Counter.t;
+  cache_miss : Obs.Counter.t;
+  cache_join : Obs.Counter.t;
+  abandoned : Obs.Counter.t;
+  connections : Obs.Counter.t;
+  queue_depth : Obs.Gauge.t;
+  job_ms : Obs.Histogram.t;
+}
+
+let tick t f =
+  Mutex.lock t.mm;
+  f ();
+  Mutex.unlock t.mm
+
+(* -- wire helpers --------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd b !off (n - !off) in
+    if w <= 0 then raise Exit;
+    off := !off + w
+  done
+
+let write_line conn line =
+  Mutex.lock conn.wmutex;
+  (if conn.alive then
+     try write_all conn.fd (line ^ "\n") with _ -> conn.alive <- false);
+  Mutex.unlock conn.wmutex
+
+let id_lit = function Some s -> s | None -> "null"
+
+let render ~id ~key ~kind outcome =
+  match outcome with
+  | Result json ->
+      Printf.sprintf "{\"id\":%s,\"status\":\"ok\",\"cache\":\"%s\",\"key\":\"%s\",\"result\":%s}"
+        (id_lit id) kind key json
+  | Job_error msg ->
+      Printf.sprintf "{\"id\":%s,\"status\":\"error\",\"cache\":\"%s\",\"key\":\"%s\",\"error\":%s}"
+        (id_lit id) kind key (Job.escape_to_json msg)
+  | Timeout ->
+      Printf.sprintf "{\"id\":%s,\"status\":\"timeout\",\"key\":\"%s\",\"error\":\"job timed out\"}"
+        (id_lit id) key
+
+let send t conn ~id ~key ~kind outcome =
+  tick t (fun () ->
+      Obs.Counter.inc
+        (match outcome with
+        | Result _ -> t.req_ok
+        | Job_error _ -> t.req_error
+        | Timeout -> t.req_timeout));
+  write_line conn (render ~id ~key ~kind outcome)
+
+let send_spec_error t conn ~id msg =
+  tick t (fun () -> Obs.Counter.inc t.req_error);
+  write_line conn
+    (Printf.sprintf "{\"id\":%s,\"status\":\"error\",\"error\":%s}" (id_lit id)
+       (Job.escape_to_json msg))
+
+let send_rejected t conn ~id ~key =
+  tick t (fun () -> Obs.Counter.inc t.req_rejected);
+  write_line conn
+    (Printf.sprintf
+       "{\"id\":%s,\"status\":\"rejected\",\"key\":\"%s\",\"error\":\"queue full (max_pending=%d)\"}"
+       (id_lit id) key t.cfg.max_pending)
+
+(* -- deadline table ------------------------------------------------------- *)
+
+let set_deadline t key =
+  match t.cfg.timeout_ms with
+  | None -> ()
+  | Some ms ->
+      Mutex.lock t.deadlines_mutex;
+      Hashtbl.replace t.deadlines key (Unix.gettimeofday () +. (ms /. 1000.));
+      Mutex.unlock t.deadlines_mutex
+
+let clear_deadline t key =
+  Mutex.lock t.deadlines_mutex;
+  Hashtbl.remove t.deadlines key;
+  Mutex.unlock t.deadlines_mutex
+
+let deadline_passed t key =
+  Mutex.lock t.deadlines_mutex;
+  let passed =
+    match Hashtbl.find_opt t.deadlines key with
+    | Some d -> Unix.gettimeofday () >= d
+    | None -> (
+        (* With a timeout configured, a missing entry means the monitor
+           already expired (and cancelled) this job. *)
+        match t.cfg.timeout_ms with Some _ -> true | None -> false)
+  in
+  Mutex.unlock t.deadlines_mutex;
+  passed
+
+let monitor_loop t =
+  while not (Atomic.get t.monitor_stop) do
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.deadlines_mutex;
+    let overdue =
+      Hashtbl.fold (fun key d acc -> if now >= d then key :: acc else acc) t.deadlines []
+    in
+    List.iter (Hashtbl.remove t.deadlines) overdue;
+    Mutex.unlock t.deadlines_mutex;
+    List.iter (fun key -> ignore (Cache.cancel t.cache ~key Timeout)) overdue;
+    Thread.delay 0.02
+  done
+
+(* -- request handling ----------------------------------------------------- *)
+
+let handle_line t conn line =
+  let line = String.trim line in
+  if line = "" then ()
+  else
+    match Job.parse line with
+    | Error msg -> send_spec_error t conn ~id:None msg
+    | Ok { id; spec } -> (
+        match Runner.prepare ?apps:t.cfg.apps spec with
+        | Error msg -> send_spec_error t conn ~id msg
+        | Ok prepared -> (
+            let key = Job.key spec in
+            let kind = ref "join" in
+            let deliver outcome = send t conn ~id ~key ~kind:!kind outcome in
+            let admit () =
+              if Atomic.get t.admitted >= t.cfg.max_pending then false
+              else begin
+                Atomic.incr t.admitted;
+                true
+              end
+            in
+            match Cache.lookup t.cache ~key ~admit ~deliver () with
+            | Cache.Hit v ->
+                tick t (fun () -> Obs.Counter.inc t.cache_hit);
+                send t conn ~id ~key ~kind:"hit" v
+            | Cache.Joined -> tick t (fun () -> Obs.Counter.inc t.cache_join)
+            | Cache.Rejected -> send_rejected t conn ~id ~key
+            | Cache.Compute finish -> (
+                tick t (fun () -> Obs.Counter.inc t.cache_miss);
+                kind := "miss";
+                set_deadline t key;
+                let job () =
+                  if deadline_passed t key then begin
+                    clear_deadline t key;
+                    ignore (Cache.cancel t.cache ~key Timeout)
+                  end
+                  else begin
+                    let t0 = Unix.gettimeofday () in
+                    let outcome =
+                      try Result (Runner.execute prepared)
+                      with e -> Job_error (Printexc.to_string e)
+                    in
+                    let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                    tick t (fun () -> Obs.Histogram.observe t.job_ms dt_ms);
+                    clear_deadline t key;
+                    if not (finish outcome) then
+                      (* Cancelled while running: the waiters already got a
+                         timeout record; the result is discarded. *)
+                      tick t (fun () -> Obs.Counter.inc t.abandoned)
+                  end;
+                  Atomic.decr t.admitted
+                in
+                try ignore (Pool.submit t.pool job)
+                with Invalid_argument _ ->
+                  clear_deadline t key;
+                  ignore (Cache.cancel t.cache ~key (Job_error "server shutting down"));
+                  Atomic.decr t.admitted)))
+
+let reader_loop t conn =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let flush_lines () =
+    let s = Buffer.contents buf in
+    match String.rindex_opt s '\n' with
+    | None -> ()
+    | Some last ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (last + 1) (String.length s - last - 1));
+        String.split_on_char '\n' (String.sub s 0 last)
+        |> List.iter (fun line -> handle_line t conn line)
+  in
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.select [ conn.fd ] [] [] 0.1 with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              flush_lines ();
+              loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  (try loop () with _ -> ());
+  Mutex.lock conn.wmutex;
+  conn.alive <- false;
+  Mutex.unlock conn.wmutex
+
+let accept_loop t fd handle =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ fd ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | _ -> (
+        match Unix.accept fd with
+        | cfd, _ -> handle cfd
+        | exception
+            Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ())
+  done
+
+let handle_job_conn t cfd =
+  tick t (fun () -> Obs.Counter.inc t.connections);
+  let conn = { fd = cfd; wmutex = Mutex.create (); alive = true; reader = None } in
+  Mutex.lock t.conns_mutex;
+  t.conns <- conn :: t.conns;
+  Mutex.unlock t.conns_mutex;
+  conn.reader <- Some (Thread.create (fun () -> reader_loop t conn) ())
+
+(* -- HTTP endpoint (/metrics, /healthz) ----------------------------------- *)
+
+let metrics_text t =
+  Mutex.lock t.mm;
+  Obs.Gauge.set t.queue_depth (float_of_int (Atomic.get t.admitted));
+  let text = Export.prometheus t.registry in
+  Mutex.unlock t.mm;
+  text
+
+let handle_http t cfd =
+  (try
+     let buf = Bytes.create 4096 in
+     let n = try Unix.read cfd buf 0 (Bytes.length buf) with _ -> 0 in
+     let req = if n > 0 then Bytes.sub_string buf 0 n else "" in
+     let path =
+       match String.split_on_char ' ' (List.hd (String.split_on_char '\r' (req ^ "\r"))) with
+       | _meth :: p :: _ -> p
+       | _ -> "/"
+     in
+     let status, body =
+       match path with
+       | "/metrics" -> ("200 OK", metrics_text t)
+       | "/healthz" -> ("200 OK", "ok\n")
+       | _ -> ("404 Not Found", "not found\n")
+     in
+     write_all cfd
+       (Printf.sprintf
+          "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: \
+           %d\r\nConnection: close\r\n\r\n%s"
+          status (String.length body) body)
+   with _ -> ());
+  try Unix.close cfd with _ -> ()
+
+(* -- lifecycle ------------------------------------------------------------ *)
+
+let make_listener = function
+  | `Unix path ->
+      (try Unix.unlink path with _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | `Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen fd 64;
+      fd
+
+let bound_port fd =
+  match Unix.getsockname fd with Unix.ADDR_INET (_, port) -> port | _ -> 0
+
+let start cfg =
+  if cfg.domains < 1 then invalid_arg "Server.start: domains must be >= 1";
+  if cfg.max_pending < 0 then invalid_arg "Server.start: max_pending must be >= 0";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let registry = Obs.Registry.create () in
+  let counter ?labels name = Obs.Registry.counter registry ?labels name in
+  let listen_fd = make_listener cfg.socket in
+  let http_fd = Option.map (fun port -> make_listener (`Tcp ("127.0.0.1", port))) cfg.http_port in
+  let t =
+    {
+      cfg;
+      pool = Pool.create ~domains:cfg.domains ();
+      cache = Cache.create ();
+      admitted = Atomic.make 0;
+      stopping = Atomic.make false;
+      monitor_stop = Atomic.make false;
+      listen_fd;
+      http_fd;
+      http_port = Option.map bound_port http_fd;
+      conns_mutex = Mutex.create ();
+      conns = [];
+      accept_threads = [];
+      monitor = None;
+      stopped = false;
+      deadlines_mutex = Mutex.create ();
+      deadlines = Hashtbl.create 64;
+      mm = Mutex.create ();
+      registry;
+      req_ok = counter ~labels:[ ("status", "ok") ] "ccdsm_serve_requests_total";
+      req_error = counter ~labels:[ ("status", "error") ] "ccdsm_serve_requests_total";
+      req_rejected = counter ~labels:[ ("status", "rejected") ] "ccdsm_serve_requests_total";
+      req_timeout = counter ~labels:[ ("status", "timeout") ] "ccdsm_serve_requests_total";
+      cache_hit = counter ~labels:[ ("kind", "hit") ] "ccdsm_serve_cache_total";
+      cache_miss = counter ~labels:[ ("kind", "miss") ] "ccdsm_serve_cache_total";
+      cache_join = counter ~labels:[ ("kind", "join") ] "ccdsm_serve_cache_total";
+      abandoned = counter "ccdsm_serve_jobs_abandoned_total";
+      connections = counter "ccdsm_serve_connections_total";
+      queue_depth = Obs.Registry.gauge registry "ccdsm_serve_queue_depth";
+      job_ms =
+        Obs.Registry.histogram registry
+          ~edges:[| 1.; 5.; 25.; 100.; 500.; 2500.; 10000. |]
+          "ccdsm_serve_job_ms";
+    }
+  in
+  Obs.Gauge.set
+    (Obs.Registry.gauge registry "ccdsm_serve_pool_domains")
+    (float_of_int (Pool.size t.pool));
+  t.accept_threads <-
+    Thread.create (fun () -> accept_loop t t.listen_fd (handle_job_conn t)) ()
+    :: Option.to_list
+         (Option.map (fun fd -> Thread.create (fun () -> accept_loop t fd (handle_http t)) ()) http_fd);
+  if cfg.timeout_ms <> None then t.monitor <- Some (Thread.create (fun () -> monitor_loop t) ());
+  t
+
+let http_port t = t.http_port
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    (* Accept/reader loops poll [stopping] every 100ms; join them first so
+       no new job can be submitted, then drain the admitted jobs (their
+       responses are written by the pool domains before the counter drops),
+       then tear the pool and the sockets down. *)
+    List.iter Thread.join t.accept_threads;
+    Mutex.lock t.conns_mutex;
+    let conns = t.conns in
+    Mutex.unlock t.conns_mutex;
+    List.iter (fun c -> Option.iter Thread.join c.reader) conns;
+    while Atomic.get t.admitted > 0 do
+      Thread.delay 0.01
+    done;
+    Atomic.set t.monitor_stop true;
+    Option.iter Thread.join t.monitor;
+    Pool.shutdown t.pool;
+    List.iter
+      (fun c ->
+        Mutex.lock c.wmutex;
+        c.alive <- false;
+        (try Unix.close c.fd with _ -> ());
+        Mutex.unlock c.wmutex)
+      conns;
+    (try Unix.close t.listen_fd with _ -> ());
+    Option.iter (fun fd -> try Unix.close fd with _ -> ()) t.http_fd;
+    match t.cfg.socket with `Unix path -> (try Unix.unlink path with _ -> ()) | `Tcp _ -> ()
+  end
+
+let run cfg =
+  let t = start cfg in
+  let request_stop _ = Atomic.set t.stopping true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  let addr =
+    match cfg.socket with
+    | `Unix path -> Printf.sprintf "unix:%s" path
+    | `Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+  in
+  Printf.printf "ccdsm serve: listening on %s (%d domains, max_pending %d%s%s)\n%!" addr
+    cfg.domains cfg.max_pending
+    (match cfg.timeout_ms with
+    | Some ms -> Printf.sprintf ", timeout %sms" (Obs.float_to_string ms)
+    | None -> "")
+    (match t.http_port with Some p -> Printf.sprintf ", metrics http://127.0.0.1:%d/metrics" p | None -> "");
+  while not (Atomic.get t.stopping) do
+    Thread.delay 0.05
+  done;
+  Printf.printf "ccdsm serve: draining...\n%!";
+  stop t;
+  Printf.printf "ccdsm serve: drained, bye\n%!"

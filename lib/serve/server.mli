@@ -1,0 +1,64 @@
+(** The [repro serve] daemon: a long-running simulation service on a
+    persistent pool of OCaml 5 domains.
+
+    Clients connect to a Unix-domain or TCP socket and write one JSON job
+    spec per line ({!Job.parse}); the daemon writes one JSON result record
+    per job, {e streamed in completion order} (correlate by [id]):
+
+    {v
+    {"id":1,"status":"ok","cache":"miss","key":"<fnv64>","result":{...}}
+    {"id":2,"status":"error","cache":"...","key":"...","error":"..."}
+    {"id":3,"status":"rejected","key":"...","error":"queue full (max_pending=N)"}
+    {"id":4,"status":"timeout","key":"...","error":"job timed out"}
+    v}
+
+    Results are content-addressed ({!Job.key}) in a {!Cache}: an identical
+    spec is computed once — later requests are [cache:"hit"], concurrent
+    ones [cache:"join"].  Malformed specs and unknown app/protocol names
+    produce per-job [status:"error"] records (never daemon teardown).
+    Backpressure is a bounded admitted-jobs count; overflow is rejected with
+    a reason.  An optional HTTP endpoint serves Prometheus [/metrics] and
+    [/healthz].  SIGTERM/SIGINT drain: stop accepting, finish admitted jobs
+    and deliver their responses, then exit. *)
+
+type outcome = Result of string | Job_error of string | Timeout
+(** What the cache stores per key: a rendered {!Runner.execute} record, a
+    per-job error, or (never stored — only delivered on cancellation) a
+    timeout. *)
+
+type config = {
+  socket : [ `Unix of string | `Tcp of string * int ];  (** job listener *)
+  http_port : int option;
+      (** loopback HTTP port for [/metrics] + [/healthz]; [0] picks a free
+          port (read it back with {!http_port}); [None] disables *)
+  domains : int;  (** pool size *)
+  max_pending : int;  (** admitted-jobs bound; overflow is rejected *)
+  timeout_ms : float option;  (** per-job wall-clock timeout *)
+  apps : Runner.app list option;  (** test override for the app table *)
+}
+
+val default_config : socket:[ `Unix of string | `Tcp of string * int ] -> unit -> config
+(** Recommended domain count, [max_pending] 256, no timeout, no HTTP. *)
+
+type t
+
+val start : config -> t
+(** Bind, spawn the accept/monitor threads and the pool, return immediately
+    (the in-process form the tests drive).
+    @raise Invalid_argument on a nonsensical config;
+    @raise Unix.Unix_error if a listener cannot bind. *)
+
+val stop : t -> unit
+(** Graceful drain: stop accepting and reading, wait for every admitted job
+    to deliver its response, shut the pool down, close all sockets (and
+    unlink a Unix socket path).  Idempotent. *)
+
+val http_port : t -> int option
+(** The bound metrics port (resolves a configured port [0]). *)
+
+val metrics_text : t -> string
+(** The Prometheus exposition served on [/metrics]. *)
+
+val run : config -> unit
+(** [start], install SIGTERM/SIGINT handlers, block until signalled, then
+    {!stop} — the CLI entry point. *)

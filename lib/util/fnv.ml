@@ -1,0 +1,26 @@
+(* FNV-1a 64-bit, the content digest used across the tree: the differential
+   protocol harness hashes every shared-heap word with it, and the serving
+   layer content-addresses job specs with it.  It is not cryptographic — the
+   point is a cheap, dependency-free, byte-exact fingerprint that two runs
+   (or two protocols) can be required to agree on. *)
+
+let init = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let feed_byte h byte = Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xFF))) prime
+
+let feed_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := feed_byte !h (Char.code c)) s;
+  !h
+
+(* Little-endian byte order, matching the heap digest's historical layout. *)
+let feed_int64 h bits =
+  let h = ref h in
+  for k = 0 to 7 do
+    h := feed_byte !h (Int64.to_int (Int64.shift_right_logical bits (8 * k)))
+  done;
+  !h
+
+let digest_string s = feed_string init s
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,23 @@
+(** FNV-1a 64-bit content digests.
+
+    The shared fingerprint primitive: {!Ccdsm_harness.Proto_diff} folds every
+    shared-heap word through it to compare protocols, and the serving layer
+    content-addresses canonicalized job specs with it so identical jobs are
+    computed once.  Deterministic, allocation-free, not cryptographic. *)
+
+val init : int64
+(** The FNV-1a offset basis. *)
+
+val feed_byte : int64 -> int -> int64
+(** Fold one byte (low 8 bits of the int) into the running hash. *)
+
+val feed_string : int64 -> string -> int64
+
+val feed_int64 : int64 -> int64 -> int64
+(** Fold all 8 bytes, little-endian. *)
+
+val digest_string : string -> int64
+(** [feed_string init]. *)
+
+val to_hex : int64 -> string
+(** 16 lowercase hex digits, zero-padded. *)

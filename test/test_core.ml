@@ -56,28 +56,36 @@ let test_schedule_conflict () =
   (match Schedule.find s2 7 with
   | Some (Schedule.Conflict _) -> ()
   | _ -> Alcotest.fail "write-then-read must conflict");
-  (* Conflict is sticky. *)
+  (* Conflict is sticky, and the later collisions keep counting. *)
   Schedule.record_read s2 7 ~reader:3;
   Schedule.record_write s2 7 ~writer:0;
   (match Schedule.find s2 7 with
   | Some (Schedule.Conflict _) -> ()
   | _ -> Alcotest.fail "conflict must be sticky");
-  check Alcotest.int "conflicts counted" 1 (Schedule.conflicts s2)
+  check Alcotest.int "every collision counted" 3 (Schedule.conflicts s2);
+  check Alcotest.int "one conflicted block"
+    1
+    (Schedule.conflicts s2 - Schedule.conflict_hits s2)
 
 let test_schedule_conflict_hits () =
-  (* [conflicts] counts blocks that became Conflict (the mark is absorbing,
-     so repeats on the same block deliberately don't re-count); the traffic
-     landing on already-conflicted blocks shows up in [conflict_hits]. *)
+  (* Regression pin: [conflicts] counts EVERY colliding insertion — the
+     transition plus later records landing on the already-conflicted block
+     (an earlier revision missed the latter).  [conflict_hits] still counts
+     just the landings, so conflicted-block count = conflicts - hits. *)
   let s = Schedule.create () in
   Schedule.record_write s 5 ~writer:0;
   Schedule.record_read s 5 ~reader:1;
-  check Alcotest.int "one conflicted block" 1 (Schedule.conflicts s);
+  check Alcotest.int "transition counted" 1 (Schedule.conflicts s);
   check Alcotest.int "no hits at transition" 0 (Schedule.conflict_hits s);
   Schedule.record_read s 5 ~reader:2;
   Schedule.record_write s 5 ~writer:3;
-  check Alcotest.int "still one conflicted block" 1 (Schedule.conflicts s);
+  check Alcotest.int "later collisions counted too" 3 (Schedule.conflicts s);
   check Alcotest.int "later records counted as hits" 2 (Schedule.conflict_hits s);
+  check Alcotest.int "still one conflicted block"
+    1
+    (Schedule.conflicts s - Schedule.conflict_hits s);
   Schedule.clear s;
+  check Alcotest.int "conflicts cleared" 0 (Schedule.conflicts s);
   check Alcotest.int "hits cleared" 0 (Schedule.conflict_hits s)
 
 let test_schedule_corruption_hooks () =

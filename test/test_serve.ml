@@ -1,0 +1,407 @@
+(* The serving layer: the persistent work-stealing pool, job-spec parsing
+   and content addressing, the inflight-deduplicating result cache, and the
+   daemon end-to-end over a Unix socket — including the failure paths
+   (timeout, queue-full rejection, malformed specs). *)
+
+module Pool = Ccdsm_harness.Pool
+module Parjobs = Ccdsm_harness.Parjobs
+module Proto_diff = Ccdsm_harness.Proto_diff
+module Runtime = Ccdsm_runtime.Runtime
+module Aggregate = Ccdsm_runtime.Aggregate
+module Distribution = Ccdsm_runtime.Distribution
+module Fnv = Ccdsm_util.Fnv
+module Job = Ccdsm_serve.Job
+module Cache = Ccdsm_serve.Cache
+module Runner = Ccdsm_serve.Runner
+module Server = Ccdsm_serve.Server
+
+let check = Alcotest.check
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* -- Pool ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      check
+        Alcotest.(list int)
+        "input order preserved"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs))
+
+let test_pool_persistent_reuse () =
+  (* One pool, many submission waves: the shared deque must keep serving
+     after it has drained to empty (fan-out-and-join pools died here). *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      for wave = 1 to 5 do
+        let xs = List.init 40 (fun i -> (wave * 1000) + i) in
+        check Alcotest.(list int) "wave results" (List.map succ xs) (Pool.map pool succ xs)
+      done)
+
+let test_pool_error_capture () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let t = Pool.submit pool (fun () -> failwith "boom") in
+      (match Pool.await t with
+      | Error (Failure msg, bt) ->
+          check Alcotest.string "exn preserved" "boom" msg;
+          ignore (Printexc.raw_backtrace_to_string bt)
+      | Error _ -> Alcotest.fail "wrong exception"
+      | Ok () -> Alcotest.fail "must fail");
+      (* [map] re-raises the first error by INPUT order, not completion
+         order. *)
+      match Pool.map pool (fun x -> if x >= 2 then failwith (string_of_int x) else x) [ 1; 2; 3 ] with
+      | exception Failure msg -> check Alcotest.string "first by input order" "2" msg
+      | _ -> Alcotest.fail "map must re-raise")
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~domains:2 () in
+  let tickets = List.init 20 (fun i -> Pool.submit pool (fun () -> i * 3)) in
+  Pool.shutdown pool;
+  (* Shutdown drains: every queued job still ran. *)
+  List.iteri
+    (fun i t -> check Alcotest.int "drained result" (i * 3) (Pool.await_exn t))
+    tickets;
+  Pool.shutdown pool;
+  (* Idempotent; and late submissions are refused loudly. *)
+  match Pool.submit pool (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+
+let test_parjobs_validation () =
+  let cap = Parjobs.max_jobs () in
+  check Alcotest.int "identity below cap" 1 (Parjobs.validate_jobs ~what:"t" 1);
+  check Alcotest.int "cap itself is fine" cap (Parjobs.validate_jobs ~what:"t" cap);
+  (match Parjobs.validate_jobs ~what:"--jobs" (cap + 1) with
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "names the flag" true (contains msg "--jobs")
+  | _ -> Alcotest.fail "above cap must raise");
+  match Parjobs.validate_jobs ~what:"t" 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero must raise"
+
+(* -- Fnv ------------------------------------------------------------------- *)
+
+let test_fnv_vectors () =
+  (* Published FNV-1a-64 test vectors. *)
+  check Alcotest.string "empty" "cbf29ce484222325" (Fnv.to_hex (Fnv.digest_string ""));
+  check Alcotest.string "a" "af63dc4c8601ec8c" (Fnv.to_hex (Fnv.digest_string "a"));
+  check Alcotest.string "foobar" "85944171f73967e8" (Fnv.to_hex (Fnv.digest_string "foobar"))
+
+(* -- Job specs ------------------------------------------------------------- *)
+
+let test_job_parse_defaults () =
+  match Job.parse {|{"app":"water","protocol":"stache"}|} with
+  | Error msg -> Alcotest.fail msg
+  | Ok { id; spec } ->
+      check Alcotest.bool "no id" true (id = None);
+      check Alcotest.string "app" "water" spec.Job.app;
+      check Alcotest.int "nodes default" 8 spec.Job.nodes;
+      check Alcotest.int "block default" 32 spec.Job.block_bytes;
+      check Alcotest.int "step_jobs default" 1 spec.Job.step_jobs;
+      check Alcotest.bool "no faults" true (spec.Job.faults = None);
+      check Alcotest.bool "scaled" true (spec.Job.scale = `Scaled)
+
+let test_job_canonical_stable () =
+  (* Key order, whitespace, id and app case must not change the content
+     address; a changed parameter must. *)
+  let k spec_line =
+    match Job.parse spec_line with
+    | Ok { spec; _ } -> Job.key spec
+    | Error msg -> Alcotest.fail msg
+  in
+  let a = k {|{"app":"Water","protocol":"stache","nodes":8}|} in
+  let b = k {|{ "nodes": 8, "id": 42, "protocol": "stache", "app": "water" }|} in
+  check Alcotest.string "spelling-invariant" a b;
+  let c = k {|{"app":"water","protocol":"stache","nodes":16}|} in
+  check Alcotest.bool "parameter-sensitive" true (a <> c)
+
+let test_job_parse_rejects () =
+  let reject what line needle =
+    match Job.parse line with
+    | Ok _ -> Alcotest.fail (what ^ ": must reject")
+    | Error msg -> check Alcotest.bool (what ^ ": message") true (contains msg needle)
+  in
+  reject "missing app" {|{"protocol":"stache"}|} "app";
+  reject "unknown key" {|{"app":"w","protocol":"s","bogus":1}|} "unknown key";
+  reject "duplicate key" {|{"app":"w","app":"w","protocol":"s"}|} "duplicate";
+  reject "nested" {|{"app":"w","protocol":"s","faults":{}}|} "nested";
+  reject "block not pow2" {|{"app":"w","protocol":"s","block_bytes":33}|} "power of two";
+  reject "nodes range" {|{"app":"w","protocol":"s","nodes":4096}|} "nodes";
+  reject "bad faults" {|{"app":"w","protocol":"s","faults":"drop=oops"}|} "faults";
+  reject "bad scale" {|{"app":"w","protocol":"s","scale":"huge"}|} "scale";
+  reject "step_jobs cap" {|{"app":"w","protocol":"s","step_jobs":1000000}|} "step_jobs";
+  reject "garbage" {|{"app":"w","protocol":"s"} trailing|} "trailing";
+  reject "not json" {|water stache|} "expected"
+
+(* -- Cache ----------------------------------------------------------------- *)
+
+let test_cache_compute_then_hit () =
+  let c = Cache.create () in
+  let delivered = ref [] in
+  let deliver v = delivered := v :: !delivered in
+  (match Cache.lookup c ~key:"k" ~deliver () with
+  | Cache.Compute finish ->
+      (* A concurrent identical request joins instead of recomputing... *)
+      (match Cache.lookup c ~key:"k" ~deliver () with
+      | Cache.Joined -> ()
+      | _ -> Alcotest.fail "second lookup must join");
+      check Alcotest.int "inflight" 1 (Cache.inflight c);
+      check Alcotest.bool "finish accepted" true (finish 41)
+  | _ -> Alcotest.fail "first lookup must compute");
+  (* ...and is delivered when the computation finishes. *)
+  check Alcotest.(list int) "joiner and owner delivered" [ 41; 41 ] !delivered;
+  (match Cache.lookup c ~key:"k" ~deliver () with
+  | Cache.Hit v -> check Alcotest.int "hit value" 41 v
+  | _ -> Alcotest.fail "third lookup must hit");
+  check Alcotest.int "one done entry" 1 (Cache.entries c);
+  check Alcotest.int "nothing inflight" 0 (Cache.inflight c)
+
+let test_cache_admit_rejection () =
+  let c = Cache.create () in
+  (match Cache.lookup c ~key:"k" ~admit:(fun () -> false) ~deliver:ignore () with
+  | Cache.Rejected -> ()
+  | _ -> Alcotest.fail "admit=false must reject");
+  check Alcotest.int "no dangling inflight entry" 0 (Cache.entries c);
+  match Cache.lookup c ~key:"k" ~deliver:ignore () with
+  | Cache.Compute _ -> ()
+  | _ -> Alcotest.fail "a later admitted request must compute"
+
+let test_cache_cancel () =
+  let c = Cache.create () in
+  let delivered = ref [] in
+  let deliver v = delivered := v :: !delivered in
+  match Cache.lookup c ~key:"k" ~deliver () with
+  | Cache.Compute finish ->
+      check Alcotest.bool "cancel inflight" true (Cache.cancel c ~key:"k" (-1));
+      check Alcotest.(list int) "waiter got the cancel value" [ -1 ] !delivered;
+      (* The late result is discarded and the entry is gone: a retry
+         recomputes rather than being served the cancellation. *)
+      check Alcotest.bool "late finish refused" false (finish 7);
+      check Alcotest.int "entry removed" 0 (Cache.entries c);
+      (match Cache.lookup c ~key:"k" ~deliver () with
+      | Cache.Compute _ -> ()
+      | _ -> Alcotest.fail "retry must recompute");
+      check Alcotest.bool "cancel on fresh inflight only" false (Cache.cancel c ~key:"zzz" 0)
+  | _ -> Alcotest.fail "must compute"
+
+(* -- Runner ---------------------------------------------------------------- *)
+
+(* A tiny jacobi stencil as the injected app table: the e2e tests must not
+   pay for the real benchmark apps. *)
+let tiny_app rt =
+  let m = Runtime.machine rt in
+  let n = 16 in
+  let u = Aggregate.create_1d m ~name:"u" ~n ~dist:Distribution.Block1d () in
+  let v = Aggregate.create_1d m ~name:"v" ~n ~dist:Distribution.Block1d () in
+  for i = 0 to n - 1 do
+    Aggregate.poke1 u i ~field:0 (float_of_int ((i * 7) mod 11))
+  done;
+  let smooth = Runtime.make_phase rt ~name:"smooth" ~scheduled:true in
+  for _iter = 1 to 2 do
+    Runtime.parallel_for_1d rt ~phase:smooth u (fun ~node ~i ->
+        let at j = Aggregate.read1 u ~node j ~field:0 in
+        let left = if i = 0 then 0.0 else at (i - 1) in
+        let right = if i = n - 1 then 0.0 else at (i + 1) in
+        Aggregate.write1 v ~node i ~field:0 ((left +. at i +. right) /. 3.0))
+  done;
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. Aggregate.peek1 v i ~field:0
+  done;
+  !s
+
+let tiny_apps = [ ("tiny", true, tiny_app) ]
+
+let parse_ok line =
+  match Job.parse line with Ok r -> r | Error msg -> Alcotest.fail msg
+
+let test_runner_unknown_names () =
+  let { Job.spec; _ } = parse_ok {|{"app":"nope","protocol":"stache"}|} in
+  (match Runner.prepare ~apps:tiny_apps spec with
+  | Error msg -> check Alcotest.bool "lists apps" true (contains msg "tiny")
+  | Ok _ -> Alcotest.fail "unknown app must fail");
+  let { Job.spec; _ } = parse_ok {|{"app":"tiny","protocol":"dragon"}|} in
+  match Runner.prepare ~apps:tiny_apps spec with
+  | Error msg ->
+      (* Mirrors the CLI's exit-124 message: the registry's name list. *)
+      check Alcotest.bool "lists protocols" true (contains msg "predictive")
+  | Ok _ -> Alcotest.fail "unknown protocol must fail"
+
+let test_runner_matches_direct_run () =
+  let { Job.spec; _ } =
+    parse_ok {|{"app":"tiny","protocol":"stache","nodes":4,"block_bytes":32}|}
+  in
+  let served =
+    match Runner.prepare ~apps:tiny_apps spec with
+    | Ok p -> Runner.execute p
+    | Error msg -> Alcotest.fail msg
+  in
+  let direct =
+    Runner.result_json
+      (Proto_diff.run ~protocols:[ Runtime.Stache ] ~nodes:4 ~block_bytes:32 ~app:"tiny"
+         ~run:tiny_app ())
+  in
+  check Alcotest.string "byte-identical to a direct harness run" direct served
+
+(* -- Server end-to-end ----------------------------------------------------- *)
+
+let with_server ?(domains = 2) ?(max_pending = 16) ?timeout_ms f =
+  let path = Filename.temp_file "ccdsm-serve" ".sock" in
+  Sys.remove path;
+  let cfg =
+    {
+      Server.socket = `Unix path;
+      http_port = None;
+      domains;
+      max_pending;
+      timeout_ms;
+      apps = Some tiny_apps;
+    }
+  in
+  let srv = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv path)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let roundtrip path lines =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      flush oc;
+      List.map (fun _ -> input_line ic) lines)
+
+let result_part line =
+  match String.index_opt line '{' with
+  | Some _ -> (
+      let marker = "\"result\":" in
+      let n = String.length line and m = String.length marker in
+      let rec find i =
+        if i + m > n then None
+        else if String.sub line i m = marker then Some (String.sub line (i + m) (n - i - m))
+        else find (i + 1)
+      in
+      match find 0 with Some r -> r | None -> Alcotest.fail ("no result in: " ^ line))
+  | None -> Alcotest.fail "not a response line"
+
+let spec_line = {|{"app":"tiny","protocol":"stache","nodes":4}|}
+
+let test_serve_miss_then_hit () =
+  with_server (fun srv path ->
+      let first = roundtrip path [ spec_line ] in
+      let second = roundtrip path [ spec_line ] in
+      (match (first, second) with
+      | [ a ], [ b ] ->
+          check Alcotest.bool "first is a miss" true (contains a "\"cache\":\"miss\"");
+          check Alcotest.bool "second is a hit" true (contains b "\"cache\":\"hit\"");
+          check Alcotest.string "results byte-identical" (result_part a) (result_part b)
+      | _ -> Alcotest.fail "one response per spec");
+      let m = Server.metrics_text srv in
+      check Alcotest.bool "miss counted" true (contains m "ccdsm_serve_cache_total{kind=\"miss\"} 1");
+      check Alcotest.bool "hit counted" true (contains m "ccdsm_serve_cache_total{kind=\"hit\"} 1"))
+
+let test_serve_concurrent_dedup () =
+  (* The same spec from 8 concurrent connections: computed once, every
+     client answered, all results byte-identical. *)
+  with_server (fun srv path ->
+      let n = 8 in
+      let results = Array.make n "" in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                match roundtrip path [ spec_line ] with
+                | [ r ] -> results.(i) <- r
+                | _ -> ())
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iter
+        (fun r ->
+          check Alcotest.bool "answered ok" true (contains r "\"status\":\"ok\"");
+          check Alcotest.string "identical result" (result_part results.(0)) (result_part r))
+        results;
+      let m = Server.metrics_text srv in
+      check Alcotest.bool "computed exactly once" true
+        (contains m "ccdsm_serve_cache_total{kind=\"miss\"} 1"))
+
+let test_serve_structured_errors () =
+  with_server (fun _srv path ->
+      match
+        roundtrip path
+          [
+            "this is not json";
+            {|{"app":"tiny","protocol":"dragon","id":7}|};
+            {|{"app":"absent","protocol":"stache"}|};
+            spec_line;
+          ]
+      with
+      | [ bad_syntax; bad_proto; bad_app; good ] ->
+          check Alcotest.bool "syntax error record" true
+            (contains bad_syntax "\"status\":\"error\"");
+          (* Unknown names come back as per-job records listing the
+             available names — the daemon survives. *)
+          check Alcotest.bool "protocol error lists names" true (contains bad_proto "predictive");
+          check Alcotest.bool "protocol error echoes id" true (contains bad_proto "\"id\":7");
+          check Alcotest.bool "app error lists apps" true (contains bad_app "tiny");
+          check Alcotest.bool "daemon still serves" true (contains good "\"status\":\"ok\"")
+      | _ -> Alcotest.fail "four responses expected")
+
+let test_serve_timeout () =
+  (* timeout 0: the deadline has always passed by the time a worker picks
+     the job up, so the path is deterministic. *)
+  with_server ~timeout_ms:0.0 (fun srv path ->
+      (match roundtrip path [ spec_line ] with
+      | [ r ] -> check Alcotest.bool "timed out" true (contains r "\"status\":\"timeout\"")
+      | _ -> Alcotest.fail "one response expected");
+      let m = Server.metrics_text srv in
+      check Alcotest.bool "timeout counted" true
+        (contains m "ccdsm_serve_requests_total{status=\"timeout\"} 1"))
+
+let test_serve_queue_full () =
+  (* max_pending 0: every submission bounces with the structured reason. *)
+  with_server ~max_pending:0 (fun srv path ->
+      (match roundtrip path [ spec_line ] with
+      | [ r ] ->
+          check Alcotest.bool "rejected" true (contains r "\"status\":\"rejected\"");
+          check Alcotest.bool "reason names the bound" true (contains r "max_pending=0")
+      | _ -> Alcotest.fail "one response expected");
+      let m = Server.metrics_text srv in
+      check Alcotest.bool "rejection counted" true
+        (contains m "ccdsm_serve_requests_total{status=\"rejected\"} 1"))
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+        Alcotest.test_case "pool persistent reuse" `Quick test_pool_persistent_reuse;
+        Alcotest.test_case "pool error capture" `Quick test_pool_error_capture;
+        Alcotest.test_case "pool shutdown" `Quick test_pool_shutdown;
+        Alcotest.test_case "parjobs validation cap" `Quick test_parjobs_validation;
+        Alcotest.test_case "fnv vectors" `Quick test_fnv_vectors;
+        Alcotest.test_case "job parse defaults" `Quick test_job_parse_defaults;
+        Alcotest.test_case "job canonical stable" `Quick test_job_canonical_stable;
+        Alcotest.test_case "job parse rejects" `Quick test_job_parse_rejects;
+        Alcotest.test_case "cache compute then hit" `Quick test_cache_compute_then_hit;
+        Alcotest.test_case "cache admit rejection" `Quick test_cache_admit_rejection;
+        Alcotest.test_case "cache cancel" `Quick test_cache_cancel;
+        Alcotest.test_case "runner unknown names" `Quick test_runner_unknown_names;
+        Alcotest.test_case "runner matches direct run" `Quick test_runner_matches_direct_run;
+        Alcotest.test_case "serve miss then hit" `Quick test_serve_miss_then_hit;
+        Alcotest.test_case "serve concurrent dedup" `Quick test_serve_concurrent_dedup;
+        Alcotest.test_case "serve structured errors" `Quick test_serve_structured_errors;
+        Alcotest.test_case "serve timeout" `Quick test_serve_timeout;
+        Alcotest.test_case "serve queue full" `Quick test_serve_queue_full;
+      ] );
+  ]
