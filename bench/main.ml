@@ -286,6 +286,71 @@ let test_presend_cached_sort =
           Schedule.iter_sorted s (fun b _ -> acc := !acc + b);
           ignore (Sys.opaque_identity !acc)))
 
+let test_rdist_record =
+  Test.make ~name:"micro-rdist-record"
+    (Staged.stage
+       (* One stack-distance update on a warm 512-key tree: the per-access
+          cost of the reuse-distance collector's Fenwick structure. *)
+       (let sd = Ccdsm_rdist.Stack_dist.create () in
+        for k = 0 to 511 do
+          ignore (Ccdsm_rdist.Stack_dist.access sd k)
+        done;
+        let i = ref 0 in
+        fun () ->
+          i := (!i * 7) + 13;
+          ignore (Sys.opaque_identity (Ccdsm_rdist.Stack_dist.access sd (!i land 511)))))
+
+(* Machine read with and without a collector attached: the profiled-flag
+   overhead row (the off cost must stay at the micro-local-hit level). *)
+let profiled_read_pair () =
+  let mk profiled =
+    let m = Machine.create (small_machine ()) in
+    let _ = Ccdsm_proto.Engine.stache m in
+    let a = Machine.alloc m ~words:512 ~home:0 in
+    if profiled then
+      ignore
+        (Ccdsm_rdist.Profile.attach ~app:"bench" ~protocol:"stache" ~arena_blocks:64 m);
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      ignore (Sys.opaque_identity (Machine.read m ~node:0 (a + (!i land 511))))
+  in
+  ( Test.make ~name:"micro-read-unprofiled" (Staged.stage (mk false)),
+    Test.make ~name:"micro-read-profiled" (Staged.stage (mk true)) )
+
+let test_read_unprofiled, test_read_profiled = profiled_read_pair ()
+
+let test_predict_point =
+  Test.make ~name:"micro-predict-point"
+    (Staged.stage
+       (* One analytical-model evaluation (a full replay at a fresh block
+          size) on the jacobi validation profile — the serve predict warm
+          path before grid precomputation. *)
+       (let app =
+          List.find
+            (fun a -> a.Ccdsm_harness.Predict_check.app_name = "jacobi")
+            (Ccdsm_harness.Predict_check.apps ())
+        in
+        let profile =
+          Ccdsm_harness.Predict_check.collect_profile app ~block_bytes:32
+            ~protocol:Ccdsm_rdist.Model.Stache
+        in
+        let pr =
+          match
+            Ccdsm_rdist.Model.prepare profile ~net:Ccdsm_tempest.Network.default
+              ~protocol:Ccdsm_rdist.Model.Stache
+          with
+          | Ok pr -> pr
+          | Error msg -> failwith msg
+        in
+        let blocks = [| 64; 128; 256 |] in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          ignore
+            (Sys.opaque_identity
+               (Ccdsm_rdist.Model.eval pr ~block_bytes:blocks.(!i mod 3)))))
+
 let tests =
   Test.make_grouped ~name:"ccdsm"
     [
@@ -309,6 +374,10 @@ let tests =
       test_sharded_directory_hit;
       test_phase_step_1024;
       test_presend_cached_sort;
+      test_rdist_record;
+      test_read_unprofiled;
+      test_read_profiled;
+      test_predict_point;
     ]
 
 (* Returns [(name, ns_per_run)] sorted by name; [None] when Bechamel could

@@ -17,6 +17,9 @@ module Runtime = Ccdsm_runtime.Runtime
 module Trace = Ccdsm_tempest.Trace
 module Obs = Ccdsm_obs.Obs
 module Export = Ccdsm_obs.Export
+module Profile = Ccdsm_rdist.Profile
+module Rmodel = Ccdsm_rdist.Model
+module PC = Ccdsm_harness.Predict_check
 
 let scale full = if full then E.Paper else E.scale_of_env ()
 
@@ -249,7 +252,16 @@ let run_fig7 full nodes jobs trace metrics =
   with_metrics metrics (fun () ->
       with_trace trace (fun () -> print_figure (E.fig7 ~num_nodes:nodes ?jobs (scale full))))
 
-let run_sweep full nodes jobs metrics protocols quick migratory_threshold =
+let run_sweep full nodes jobs metrics protocols quick migratory_threshold validate_predictor =
+  if validate_predictor then begin
+    (* Predictor cross-validation: one instrumented run per app x protocol,
+       the analytical model across the block-size grid, every prediction
+       checked against a full simulation.  Exits 1 on any band violation. *)
+    let report = PC.validate ~quick () in
+    print_string report.PC.text;
+    if not report.PC.pass then exit 1
+  end
+  else
   let migratory_threshold = check_migratory_threshold migratory_threshold in
   with_metrics metrics (fun () ->
       match runtime_protocols protocols with
@@ -264,6 +276,178 @@ let run_sweep full nodes jobs metrics protocols quick migratory_threshold =
             prerr_endline "repro sweep: final heaps disagree across protocols (see table)";
             exit 1
           end)
+
+(* -- reuse-distance profiling / analytical prediction ---------------------- *)
+
+let is_pow2_block b = b >= 8 && b land (b - 1) = 0
+
+(* Two-stage name resolution, both exiting 124: the protocol registry first
+   (its error lists every registered name, same contract as --protocol
+   elsewhere), then the analytical model's coverage (its error lists what
+   the model handles — a registered-but-unmodeled name like write_update is
+   still a CLI-validation failure). *)
+let resolve_model_protocol name =
+  (match Runtime.protocol_of_name name with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "repro: %s\n" msg;
+      exit 124);
+  match Rmodel.protocol_of_name name with
+  | Ok p -> p
+  | Error msg ->
+      Printf.eprintf "repro: %s\n" msg;
+      exit 124
+
+let find_profile_app name =
+  let apps = PC.apps () in
+  let want = String.lowercase_ascii name in
+  match List.find_opt (fun a -> a.PC.app_name = want) apps with
+  | Some a -> a
+  | None ->
+      Printf.eprintf "repro profile: unknown app %S (available: %s)\n" name
+        (String.concat ", " (List.map (fun a -> a.PC.app_name) apps));
+      exit 124
+
+let run_events (s : Profile.segment) =
+  Array.fold_left
+    (fun a ev -> match ev with Profile.Run r -> a + r.count | _ -> a)
+    0 s.events
+
+let profile_summary (p : Profile.t) =
+  let total f = Array.fold_left (fun a s -> a + f s) 0 p.segments in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (s : Profile.segment) ->
+           [
+             string_of_int s.Profile.seq;
+             (if s.Profile.phase < 0 then "-" else string_of_int s.Profile.phase);
+             s.Profile.name;
+             (if s.Profile.presend then "yes" else "");
+             string_of_int (run_events s);
+             string_of_int s.Profile.a_faults;
+             string_of_int s.Profile.a_presends;
+             string_of_int s.Profile.a_msgs;
+             string_of_int s.Profile.a_bytes;
+           ])
+         p.segments)
+  in
+  Printf.sprintf
+    "profile: app=%s protocol=%s nodes=%d block_bytes=%d arena_blocks=%d\n\
+     segments=%d first-touch events=%d faults=%d presends=%d\n\
+     outside-segment traffic: %d msgs, %d bytes\n"
+    p.Profile.app p.Profile.protocol p.Profile.nodes p.Profile.block_bytes
+    p.Profile.arena_blocks
+    (Array.length p.Profile.segments)
+    (total run_events)
+    (total (fun s -> s.Profile.a_faults))
+    (total (fun s -> s.Profile.a_presends))
+    p.Profile.out_msgs p.Profile.out_bytes
+  ^ Ccdsm_util.Ascii.table
+      ~header:[ "seg"; "phase"; "name"; "presend"; "events"; "faults"; "presends"; "msgs"; "bytes" ]
+      rows
+
+let run_profile app protocol block_bytes out file =
+  match (app, file) with
+  | None, None ->
+      Printf.eprintf "repro profile: need --app NAME to collect or a FILE to summarize\n";
+      exit 124
+  | Some _, Some _ ->
+      Printf.eprintf "repro profile: --app and a FILE argument are mutually exclusive\n";
+      exit 124
+  | None, Some path -> (
+      match Profile.load path with
+      | Error msg ->
+          Printf.eprintf "repro profile: %s\n" msg;
+          exit 1
+      | Ok p -> print_string (profile_summary p))
+  | Some name, None -> (
+      if not (is_pow2_block block_bytes) then begin
+        Printf.eprintf "repro: --block-bytes must be a power of two >= 8 (got %d)\n" block_bytes;
+        exit 124
+      end;
+      let papp = find_profile_app name in
+      let protocol = resolve_model_protocol protocol in
+      let p = PC.collect_profile papp ~block_bytes ~protocol in
+      match out with
+      | Some path ->
+          Profile.save path p;
+          Printf.printf "wrote %s: app=%s protocol=%s nodes=%d block_bytes=%d segments=%d\n" path
+            p.Profile.app p.Profile.protocol p.Profile.nodes p.Profile.block_bytes
+            (Array.length p.Profile.segments)
+      | None -> print_string (Profile.to_json p))
+
+let parse_predict_blocks = function
+  | None -> [ 32; 64; 128; 256 ]
+  | Some s ->
+      let parts =
+        String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+      in
+      if parts = [] then begin
+        Printf.eprintf "repro: --blocks needs at least one block size\n";
+        exit 124
+      end;
+      List.map
+        (fun part ->
+          match int_of_string_opt part with
+          | Some b when is_pow2_block b -> b
+          | _ ->
+              Printf.eprintf "repro: --blocks entries must be powers of two >= 8 (got %S)\n" part;
+              exit 124)
+        parts
+
+let run_predict file protocol blocks =
+  match Profile.load file with
+  | Error msg ->
+      Printf.eprintf "repro predict: %s\n" msg;
+      exit 1
+  | Ok p ->
+      let name = match protocol with Some n -> n | None -> p.Profile.protocol in
+      let protocol = resolve_model_protocol name in
+      let blocks = parse_predict_blocks blocks in
+      let predictor =
+        match Rmodel.prepare p ~net:Ccdsm_tempest.Network.default ~protocol with
+        | Ok pr -> pr
+        | Error msg ->
+            Printf.eprintf "repro predict: %s\n" msg;
+            exit 1
+      in
+      let timings = ref [] in
+      let rows =
+        List.map
+          (fun block_bytes ->
+            let t0 = Unix.gettimeofday () in
+            let pred =
+              match Rmodel.eval predictor ~block_bytes with
+              | Ok pred -> pred
+              | Error msg ->
+                  Printf.eprintf "repro predict: %s\n" msg;
+                  exit 1
+            in
+            timings := ((Unix.gettimeofday () -. t0) *. 1e6) :: !timings;
+            [
+              string_of_int block_bytes;
+              string_of_int pred.Rmodel.faults;
+              string_of_int pred.Rmodel.presends;
+              string_of_int pred.Rmodel.msgs;
+              string_of_int pred.Rmodel.bytes;
+            ])
+          blocks
+      in
+      (* The prediction table is deterministic (byte-identical across runs);
+         wall-clock timing goes to stderr so scripts can diff stdout. *)
+      Printf.printf "predict: profile=%s@%dB app=%s nodes=%d model=%s\n" p.Profile.protocol
+        p.Profile.block_bytes p.Profile.app p.Profile.nodes
+        (Rmodel.protocol_label protocol);
+      print_string
+        (Ccdsm_util.Ascii.table
+           ~header:[ "block(B)"; "faults"; "presends"; "msgs"; "bytes" ]
+           rows);
+      let total = List.fold_left ( +. ) 0.0 !timings in
+      Printf.eprintf "predict: %d point%s in %.0f us (%.0f us/point)\n" (List.length blocks)
+        (if List.length blocks = 1 then "" else "s")
+        total
+        (total /. float_of_int (List.length blocks))
 
 let run_faults full nodes jobs metrics protocols =
   with_metrics metrics (fun () ->
@@ -640,6 +824,84 @@ let serve_timeout_arg =
            $(b,status:\"timeout\") record and the entry is dropped from the \
            cache so a retry recomputes.  No timeout by default.")
 
+let validate_predictor_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "validate-predictor" ]
+        ~doc:
+          "Cross-validate the reuse-distance analytical predictor instead of \
+           sweeping: one instrumented run per app x protocol drives the model \
+           across the block-size grid and every prediction is checked against \
+           a full simulation (exact-integer agreement at the profiled block \
+           size, tolerance bands elsewhere).  Honors $(b,--quick); exits 1 on \
+           any violation.")
+
+let profile_app_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "app" ] ~docv:"NAME"
+        ~doc:
+          "Collect a profile by running $(docv) (jacobi, adaptive, barnes) \
+           once on a fresh instrumented machine.")
+
+let profile_protocol_arg =
+  Arg.(
+    value
+    & opt string "stache"
+    & info [ "protocol" ] ~docv:"NAME"
+        ~doc:
+          "Protocol for the instrumented run (stache or predictive; the \
+           analytical model only covers these).  An unknown name exits 124 \
+           listing the registry.")
+
+let profile_block_arg =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "block-bytes" ] ~docv:"B"
+        ~doc:"Block size of the instrumented machine (power of two >= 8; default 32).")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the canonical profile JSON to $(docv) instead of stdout.")
+
+let profile_file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"An existing profile JSON to load and summarize.")
+
+(* A plain string, like trace_file_arg: missing files yield our one-line
+   exit-1 error, not cmdliner's. *)
+let predict_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROFILE" ~doc:"A profile JSON written by $(b,repro profile -o).")
+
+let predict_protocol_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "protocol" ] ~docv:"NAME"
+        ~doc:
+          "Protocol to predict under (default: the profile's own).  An \
+           unknown name exits 124 listing the registry.")
+
+let predict_blocks_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "blocks" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated block sizes to predict (powers of two >= 8; \
+           default $(b,32,64,128,256)).")
+
 let submit_file_arg =
   Arg.(
     value
@@ -662,7 +924,18 @@ let cmds =
        registry-driven differential protocol sweep"
       Term.(
         const run_sweep $ full_arg $ nodes_arg $ jobs_term $ metrics_arg $ protocols_arg
-        $ quick_arg $ migratory_threshold_arg);
+        $ quick_arg $ migratory_threshold_arg $ validate_predictor_arg);
+    cmd "profile"
+      "Collect a reuse-distance access profile from one instrumented run \
+       (--app), or summarize an existing profile JSON"
+      Term.(
+        const run_profile $ profile_app_arg $ profile_protocol_arg $ profile_block_arg
+        $ profile_out_arg $ profile_file_arg);
+    cmd "predict"
+      "Predict per-phase misses, presends and traffic across a block-size \
+       grid from a profile, analytically (microseconds per point, no \
+       simulation)"
+      Term.(const run_predict $ predict_file_arg $ predict_protocol_arg $ predict_blocks_arg);
     cmd "ablate" "Design ablations (coalescing, incremental schedules, interconnect)"
       Term.(const run_ablate $ full_arg $ nodes_arg $ metrics_arg);
     cmd "faults" "Fault-injection robustness grid (drops/dups/delays/schedule corruption)"

@@ -1,0 +1,98 @@
+(** Analytical predictor: profile + block geometry -> per-phase behaviour.
+
+    The model replays a {!Profile.t} against a mirror of the simulator's
+    protocol state machines at an arbitrary block size, without running the
+    application:
+
+    - {b Layout pass}: the profile's interleaved allocation stream is
+      replayed through two allocators at once — the profiled geometry (to
+      reconstruct the addresses the events were recorded at, including the
+      shared heap's bump arenas) and the target geometry (where arena
+      refills and large-object spills may fall differently).  The result is
+      an exact address map from profiled words to target words plus the
+      target block homes.
+    - {b Replay pass}: each segment's first-touch events run through a
+      block-granular mirror of the MSI engine ([Engine.demand_read] /
+      [demand_write]) and, for the predictive protocol, of the schedule
+      recorder and presend scan ([Predictive]) — reusing the real
+      [Schedule] and [Bulk] modules, so message coalescing and conflict
+      handling are the simulator's own.
+
+    Because within-phase access order is deterministic (node-major) and
+    first-touch events are the only accesses that can change coherence
+    state, the replayed fault, presend and protocol-traffic counts are
+    {e exact}, not approximations — the cross-validation harness
+    ([Predict_check]) holds them to integer agreement where the theory says
+    so and to tight bands elsewhere.  Traffic that does not pass through
+    the coherence protocol (reduction trees, barriers) is block-size
+    invariant; it is carried over from the profile's actuals as a
+    per-segment residual. *)
+
+module Network = Ccdsm_tempest.Network
+
+type protocol =
+  | Stache
+  | Predictive of { coalesce : bool; conflict_action : [ `Ignore | `First_stable ] }
+
+val protocol_of_name :
+  ?coalesce:bool ->
+  ?conflict_action:[ `Ignore | `First_stable ] ->
+  string ->
+  (protocol, string) result
+(** Maps registry names ("stache", "predictive") to modeled protocols;
+    [Error] lists what the model covers for anything else. *)
+
+val protocol_label : protocol -> string
+
+type seg_pred = {
+  pseq : int;
+  pphase : int;
+  pname : string;
+  read_faults : int;
+  write_faults : int;
+  presends : int;  (** presend grants (read + write) delivered this segment *)
+  msgs : int;  (** replayed protocol messages only *)
+  bytes : int;
+  msgs_total : int;  (** residual-corrected: protocol + carried-over background *)
+  bytes_total : int;
+}
+
+type prediction = {
+  p_block_bytes : int;
+  p_protocol : string;
+  segs : seg_pred array;
+  faults : int;
+  presends : int;
+  msgs : int;  (** residual-corrected run total, incl. between-segment traffic *)
+  bytes : int;
+}
+
+type predictor
+(** A profile pre-compiled for repeated evaluation: event streams flattened
+    to packed int arrays, every run resolved to its allocation entry, and
+    the baseline replay (at the profiled geometry) cached.  Preparing once
+    and calling {!eval} per block size is what makes a warm what-if a
+    few-millisecond operation on six-figure event counts. *)
+
+val prepare :
+  Profile.t -> net:Network.t -> protocol:protocol -> (predictor, string) result
+(** Compile [p] for predictions under [protocol].  [net] supplies the
+    control-message size.  [Error] on a malformed profile (events
+    referencing unallocated addresses, heap-mirror divergence) or a profile
+    collected under a protocol the model cannot replay. *)
+
+val eval : ?fudge_faults:int -> predictor -> block_bytes:int -> (prediction, string) result
+(** One replay of the prepared profile at [block_bytes].  [fudge_faults]
+    perturbs every segment's predicted read faults by the given amount — a
+    deliberate model-corruption knob for the harness's negative test (a
+    wrong model must fail cross-validation).  [Error] on an invalid block
+    size (must be a power of two >= 8). *)
+
+val predict :
+  ?fudge_faults:int ->
+  Profile.t ->
+  net:Network.t ->
+  block_bytes:int ->
+  protocol:protocol ->
+  (prediction, string) result
+(** [prepare] + [eval] in one step, for one-shot callers. *)

@@ -1,0 +1,682 @@
+module Machine = Ccdsm_tempest.Machine
+
+type event =
+  | Run of { node : int; write : bool; addr : int; stride : int; count : int }
+  | Alloc of { words : int; home : int }
+  | Heap_alloc of { node : int; words : int; spilled : bool }
+  | Flush of { fphase : int }
+
+type hist = { hnode : int; cold : int; buckets : int array }
+
+type segment = {
+  seq : int;
+  phase : int;
+  name : string;
+  record : bool;
+  presend : bool;
+  reads : int;
+  writes : int;
+  a_faults : int;
+  a_msgs : int;
+  a_bytes : int;
+  a_presends : int;
+  events : event array;
+  rdist : hist array;
+}
+
+type t = {
+  app : string;
+  protocol : string;
+  nodes : int;
+  block_bytes : int;
+  arena_blocks : int;
+  out_msgs : int;
+  out_bytes : int;
+  segments : segment array;
+}
+
+(* -- collection --------------------------------------------------------- *)
+
+(* Finite reuse distances are log2-bucketed: bucket 0 holds distance 0,
+   bucket i >= 1 holds [2^(i-1), 2^i).  24 buckets cover 8M distinct blocks,
+   far beyond any simulated footprint. *)
+let nbuckets = 24
+
+let bucket_of d =
+  if d = 0 then 0
+  else begin
+    let b = ref 0 in
+    let d = ref d in
+    while !d > 0 do
+      incr b;
+      d := !d lsr 1
+    done;
+    min !b (nbuckets - 1)
+  end
+
+(* Internal event stream: packed 5-int cells [kind; a; b; c; d] so the hot
+   path only bumps an int array.  kind 0 = read run (node, addr, stride,
+   count), 1 = write run, 2 = raw alloc (words, home), 3 = heap alloc
+   (node, words, spilled). *)
+type collector = {
+  machine : Machine.t;
+  sample_presends : (unit -> int) option;
+  capp : string;
+  cprotocol : string;
+  carena_blocks : int;
+  nnodes : int;
+  wpb : int;
+  sd : Stack_dist.t array;  (* per node, over blocks, run-lifetime history *)
+  mutable segs : segment list;  (* reversed *)
+  mutable seq : int;
+  mutable stack : (int * string * bool) list;  (* (id, name, scheduled) *)
+  (* open segment *)
+  mutable open_ : bool;
+  mutable cur_phase : int;
+  mutable cur_name : string;
+  mutable cur_record : bool;
+  mutable cur_presend : bool;
+  mutable ev : int array;
+  mutable ev_len : int;
+  mutable reads : int;
+  mutable writes : int;
+  seen : (int, unit) Hashtbl.t;  (* (addr, node, op) first-touch filter *)
+  (* open access run *)
+  mutable run_open : bool;
+  mutable r_node : int;
+  mutable r_write : bool;
+  mutable r_start : int;
+  mutable r_stride : int;
+  mutable r_count : int;
+  mutable r_last : int;
+  (* per-segment reuse-distance histograms *)
+  h_cold : int array;  (* per node *)
+  h_fin : int array;  (* node * nbuckets *)
+  (* counter snapshots *)
+  mutable base_faults : int;
+  mutable base_msgs : int;
+  mutable base_bytes : int;
+  mutable base_presends : int;
+  mutable closed_msgs : int;  (* snapshot at last segment close *)
+  mutable closed_bytes : int;
+  mutable out_msgs : int;
+  mutable out_bytes : int;
+}
+
+let counters c =
+  let k = Machine.total_counters c.machine in
+  let presends = match c.sample_presends with Some f -> f () | None -> 0 in
+  (k.Machine.read_faults + k.Machine.write_faults, k.Machine.msgs, k.Machine.bytes, presends)
+
+let ensure_ev c n =
+  if c.ev_len + n > Array.length c.ev then begin
+    let cap = ref (Array.length c.ev * 2) in
+    while c.ev_len + n > !cap do
+      cap := !cap * 2
+    done;
+    let ev = Array.make !cap 0 in
+    Array.blit c.ev 0 ev 0 c.ev_len;
+    c.ev <- ev
+  end
+
+let push_cell c k a b d e =
+  ensure_ev c 5;
+  let i = c.ev_len in
+  c.ev.(i) <- k;
+  c.ev.(i + 1) <- a;
+  c.ev.(i + 2) <- b;
+  c.ev.(i + 3) <- d;
+  c.ev.(i + 4) <- e;
+  c.ev_len <- i + 5
+
+let flush_run c =
+  if c.run_open then begin
+    push_cell c (if c.r_write then 1 else 0) c.r_node c.r_start c.r_stride c.r_count;
+    c.run_open <- false
+  end
+
+(* Innermost scheduled phase on the stack decides whether faults in this
+   segment are recorded into a presend schedule, and into which one. *)
+let recording_phase stack =
+  let rec go = function
+    | [] -> (-1, false)
+    | (id, _, true) :: _ -> (id, true)
+    | _ :: rest -> go rest
+  in
+  go stack
+
+let open_segment c ~presend =
+  let phase, record = recording_phase c.stack in
+  let name = match c.stack with (_, n, _) :: _ -> n | [] -> "gap" in
+  c.cur_phase <- phase;
+  c.cur_name <- name;
+  c.cur_record <- record;
+  c.cur_presend <- presend;
+  c.ev_len <- 0;
+  c.reads <- 0;
+  c.writes <- 0;
+  Hashtbl.reset c.seen;
+  c.run_open <- false;
+  let faults, msgs, bytes, presends = counters c in
+  (* Counter movement since the last close happened between segments
+     (reductions, barriers): block-size-invariant background traffic. *)
+  c.out_msgs <- c.out_msgs + (msgs - c.closed_msgs);
+  c.out_bytes <- c.out_bytes + (bytes - c.closed_bytes);
+  c.base_faults <- faults;
+  c.base_msgs <- msgs;
+  c.base_bytes <- bytes;
+  c.base_presends <- presends;
+  c.open_ <- true
+
+let close_segment c =
+  flush_run c;
+  let faults, msgs, bytes, presends = counters c in
+  let events =
+    Array.init (c.ev_len / 5) (fun i ->
+        let j = i * 5 in
+        match c.ev.(j) with
+        | 0 | 1 ->
+            Run
+              {
+                node = c.ev.(j + 1);
+                write = c.ev.(j) = 1;
+                addr = c.ev.(j + 2);
+                stride = c.ev.(j + 3);
+                count = c.ev.(j + 4);
+              }
+        | 2 -> Alloc { words = c.ev.(j + 1); home = c.ev.(j + 2) }
+        | 3 -> Heap_alloc { node = c.ev.(j + 1); words = c.ev.(j + 2); spilled = c.ev.(j + 3) <> 0 }
+        | _ -> Flush { fphase = c.ev.(j + 1) })
+  in
+  let rdist = ref [] in
+  for node = c.nnodes - 1 downto 0 do
+    let nonzero = ref (c.h_cold.(node) > 0) in
+    let hi = ref (-1) in
+    for b = 0 to nbuckets - 1 do
+      if c.h_fin.((node * nbuckets) + b) > 0 then begin
+        nonzero := true;
+        hi := b
+      end
+    done;
+    if !nonzero then begin
+      let buckets = Array.init (!hi + 1) (fun b -> c.h_fin.((node * nbuckets) + b)) in
+      rdist := { hnode = node; cold = c.h_cold.(node); buckets } :: !rdist
+    end
+  done;
+  Array.fill c.h_cold 0 c.nnodes 0;
+  Array.fill c.h_fin 0 (c.nnodes * nbuckets) 0;
+  let seg =
+    {
+      seq = c.seq;
+      phase = c.cur_phase;
+      name = c.cur_name;
+      record = c.cur_record;
+      presend = c.cur_presend;
+      reads = c.reads;
+      writes = c.writes;
+      a_faults = faults - c.base_faults;
+      a_msgs = msgs - c.base_msgs;
+      a_bytes = bytes - c.base_bytes;
+      a_presends = presends - c.base_presends;
+      events;
+      rdist = Array.of_list !rdist;
+    }
+  in
+  c.seq <- c.seq + 1;
+  c.segs <- seg :: c.segs;
+  c.closed_msgs <- msgs;
+  c.closed_bytes <- bytes;
+  c.open_ <- false
+
+let prof_access c ~node ~addr ~write =
+  if not c.open_ then open_segment c ~presend:false;
+  if write then c.writes <- c.writes + 1 else c.reads <- c.reads + 1;
+  let d = Stack_dist.access c.sd.(node) (addr / c.wpb) in
+  if d < 0 then c.h_cold.(node) <- c.h_cold.(node) + 1
+  else c.h_fin.((node * nbuckets) + bucket_of d) <- c.h_fin.((node * nbuckets) + bucket_of d) + 1;
+  (* First-touch filter: only the first (node, word, op) access of a segment
+     can change coherence state, so only it enters the event stream. *)
+  let op = if write then 1 else 0 in
+  let key = (addr lsl 11) lor (node lsl 1) lor op in
+  if not (Hashtbl.mem c.seen key) then begin
+    Hashtbl.add c.seen key ();
+    if c.run_open && c.r_node = node && c.r_write = write then begin
+      if c.r_count = 1 then begin
+        c.r_stride <- addr - c.r_last;
+        c.r_count <- 2;
+        c.r_last <- addr
+      end
+      else if addr = c.r_last + c.r_stride then begin
+        c.r_count <- c.r_count + 1;
+        c.r_last <- addr
+      end
+      else begin
+        flush_run c;
+        c.run_open <- true;
+        c.r_node <- node;
+        c.r_write <- write;
+        c.r_start <- addr;
+        c.r_stride <- 0;
+        c.r_count <- 1;
+        c.r_last <- addr
+      end
+    end
+    else begin
+      flush_run c;
+      c.run_open <- true;
+      c.r_node <- node;
+      c.r_write <- write;
+      c.r_start <- addr;
+      c.r_stride <- 0;
+      c.r_count <- 1;
+      c.r_last <- addr
+    end
+  end
+
+let prof_alloc c ~words ~home =
+  if not c.open_ then open_segment c ~presend:false;
+  flush_run c;
+  push_cell c 2 words home 0 0
+
+let prof_heap_alloc c ~node ~words ~spilled =
+  if not c.open_ then open_segment c ~presend:false;
+  flush_run c;
+  (* A spilled heap allocation was immediately preceded by the raw
+     Machine.alloc it triggered (the large object itself, or a fresh bump
+     arena); the logical heap event subsumes it, so rewrite that cell in
+     place — the model re-derives the raw allocation by mirroring the
+     heap's bump logic in each block geometry. *)
+  if spilled && c.ev_len >= 5 && c.ev.(c.ev_len - 5) = 2 then c.ev_len <- c.ev_len - 5;
+  push_cell c 3 node words (if spilled then 1 else 0) 0
+
+let prof_flush c ~phase =
+  if not c.open_ then open_segment c ~presend:false;
+  flush_run c;
+  push_cell c 4 phase 0 0 0
+
+let prof_phase c ~enter ~id ~name ~scheduled =
+  if enter then begin
+    if c.open_ then close_segment c;
+    c.stack <- (id, name, scheduled) :: c.stack;
+    open_segment c ~presend:scheduled
+  end
+  else begin
+    if c.open_ then close_segment c;
+    (match c.stack with [] -> () | _ :: rest -> c.stack <- rest);
+    if c.stack <> [] then open_segment c ~presend:false
+  end
+
+let attach ?sample_presends ~app ~protocol ~arena_blocks machine =
+  let nnodes = Machine.num_nodes machine in
+  let c =
+    {
+      machine;
+      sample_presends;
+      capp = app;
+      cprotocol = protocol;
+      carena_blocks = arena_blocks;
+      nnodes;
+      wpb = Machine.words_per_block machine;
+      sd = Array.init nnodes (fun _ -> Stack_dist.create ());
+      segs = [];
+      seq = 0;
+      stack = [];
+      open_ = false;
+      cur_phase = -1;
+      cur_name = "gap";
+      cur_record = false;
+      cur_presend = false;
+      ev = Array.make 1024 0;
+      ev_len = 0;
+      reads = 0;
+      writes = 0;
+      seen = Hashtbl.create 4096;
+      run_open = false;
+      r_node = 0;
+      r_write = false;
+      r_start = 0;
+      r_stride = 0;
+      r_count = 0;
+      r_last = 0;
+      h_cold = Array.make nnodes 0;
+      h_fin = Array.make (nnodes * nbuckets) 0;
+      base_faults = 0;
+      base_msgs = 0;
+      base_bytes = 0;
+      base_presends = 0;
+      closed_msgs = 0;
+      closed_bytes = 0;
+      out_msgs = 0;
+      out_bytes = 0;
+    }
+  in
+  let _, msgs, bytes, _ = counters c in
+  c.closed_msgs <- msgs;
+  c.closed_bytes <- bytes;
+  Machine.set_profiler machine
+    (Some
+       {
+         Machine.prof_access = (fun ~node ~addr ~write -> prof_access c ~node ~addr ~write);
+         prof_alloc = (fun ~words ~home -> prof_alloc c ~words ~home);
+         prof_heap_alloc = (fun ~node ~words ~spilled -> prof_heap_alloc c ~node ~words ~spilled);
+         prof_phase = (fun ~enter ~id ~name ~scheduled -> prof_phase c ~enter ~id ~name ~scheduled);
+         prof_flush = (fun ~phase -> prof_flush c ~phase);
+       });
+  c
+
+let finish c =
+  Machine.set_profiler c.machine None;
+  if c.open_ then close_segment c;
+  let _, msgs, bytes, _ = counters c in
+  c.out_msgs <- c.out_msgs + (msgs - c.closed_msgs);
+  c.out_bytes <- c.out_bytes + (bytes - c.closed_bytes);
+  {
+    app = c.capp;
+    protocol = c.cprotocol;
+    nodes = c.nnodes;
+    block_bytes = Machine.block_bytes c.machine;
+    arena_blocks = c.carena_blocks;
+    out_msgs = c.out_msgs;
+    out_bytes = c.out_bytes;
+    segments = Array.of_list (List.rev c.segs);
+  }
+
+let collect ?sample_presends ~app ~protocol ~arena_blocks machine f =
+  let c = attach ?sample_presends ~app ~protocol ~arena_blocks machine in
+  match f () with
+  | v -> (finish c, v)
+  | exception e ->
+      ignore (finish c);
+      raise e
+
+(* -- canonical JSON ------------------------------------------------------ *)
+
+let esc b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let to_json p =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"version\":1,\"app\":";
+  esc b p.app;
+  Buffer.add_string b ",\"protocol\":";
+  esc b p.protocol;
+  Printf.bprintf b ",\"nodes\":%d,\"block_bytes\":%d,\"arena_blocks\":%d" p.nodes p.block_bytes
+    p.arena_blocks;
+  Printf.bprintf b ",\"outside\":{\"msgs\":%d,\"bytes\":%d}" p.out_msgs p.out_bytes;
+  Buffer.add_string b ",\"segments\":[";
+  Array.iteri
+    (fun i (s : segment) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n";
+      Printf.bprintf b "{\"seq\":%d,\"phase\":%d,\"name\":" s.seq s.phase;
+      esc b s.name;
+      Printf.bprintf b ",\"record\":%b,\"presend\":%b" s.record s.presend;
+      Printf.bprintf b ",\"reads\":%d,\"writes\":%d" s.reads s.writes;
+      Printf.bprintf b ",\"faults\":%d,\"msgs\":%d,\"bytes\":%d,\"presends\":%d" s.a_faults s.a_msgs
+        s.a_bytes s.a_presends;
+      Buffer.add_string b ",\"ev\":[";
+      Array.iteri
+        (fun j e ->
+          if j > 0 then Buffer.add_char b ',';
+          match e with
+          | Run { node; write; addr; stride; count } ->
+              Printf.bprintf b "%d,%d,%d,%d,%d" (if write then 1 else 0) node addr stride count
+          | Alloc { words; home } -> Printf.bprintf b "2,%d,%d,0,0" words home
+          | Heap_alloc { node; words; spilled } ->
+              Printf.bprintf b "3,%d,%d,%d,0" node words (if spilled then 1 else 0)
+          | Flush { fphase } -> Printf.bprintf b "4,%d,0,0,0" fphase)
+        s.events;
+      Buffer.add_string b "],\"rdist\":[";
+      Array.iteri
+        (fun j h ->
+          if j > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "[%d,%d" h.hnode h.cold;
+          Array.iter (fun n -> Printf.bprintf b ",%d" n) h.buckets;
+          Buffer.add_char b ']')
+        s.rdist;
+      Buffer.add_string b "]}")
+    p.segments;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* Minimal recursive-descent parser for the subset emitted above: objects,
+   arrays, strings, integers, booleans. *)
+type jv = O of (string * jv) list | A of jv list | I of int | S of string | B of bool
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect ch =
+    if !pos >= n || s.[!pos] <> ch then fail (Printf.sprintf "expected '%c'" ch);
+    incr pos
+  in
+  let rec value () =
+    skip ();
+    if !pos >= n then fail "unexpected end of input";
+    match s.[!pos] with
+    | '{' ->
+        incr pos;
+        skip ();
+        if !pos < n && s.[!pos] = '}' then begin
+          incr pos;
+          O []
+        end
+        else begin
+          let fields = ref [] in
+          let rec loop () =
+            skip ();
+            let k = match value_string () with k -> k in
+            skip ();
+            expect ':';
+            let v = value () in
+            fields := (k, v) :: !fields;
+            skip ();
+            if !pos < n && s.[!pos] = ',' then begin
+              incr pos;
+              loop ()
+            end
+            else expect '}'
+          in
+          loop ();
+          O (List.rev !fields)
+        end
+    | '[' ->
+        incr pos;
+        skip ();
+        if !pos < n && s.[!pos] = ']' then begin
+          incr pos;
+          A []
+        end
+        else begin
+          let items = ref [] in
+          let rec loop () =
+            let v = value () in
+            items := v :: !items;
+            skip ();
+            if !pos < n && s.[!pos] = ',' then begin
+              incr pos;
+              loop ()
+            end
+            else expect ']'
+          in
+          loop ();
+          A (List.rev !items)
+        end
+    | '"' -> S (value_string ())
+    | 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+          pos := !pos + 4;
+          B true
+        end
+        else fail "bad literal"
+    | 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+          pos := !pos + 5;
+          B false
+        end
+        else fail "bad literal"
+    | '-' | '0' .. '9' ->
+        let start = !pos in
+        if s.[!pos] = '-' then incr pos;
+        while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+          incr pos
+        done;
+        if !pos = start || (s.[start] = '-' && !pos = start + 1) then fail "bad number";
+        if !pos < n && (s.[!pos] = '.' || s.[!pos] = 'e' || s.[!pos] = 'E') then
+          fail "non-integer number";
+        I (int_of_string (String.sub s start (!pos - start)))
+    | _ -> fail "unexpected character"
+  and value_string () =
+    skip ();
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad unicode escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              if code > 0xff then fail "non-latin unicode escape";
+              Buffer.add_char b (Char.chr code);
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          incr pos;
+          loop ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let v = value () in
+  skip ();
+  if !pos <> n then fail "trailing content";
+  v
+
+let field name = function
+  | O fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Bad (Printf.sprintf "expected object for field %S" name))
+
+let as_int name = function I i -> i | _ -> raise (Bad (Printf.sprintf "field %S: expected int" name))
+let as_str name = function
+  | S s -> s
+  | _ -> raise (Bad (Printf.sprintf "field %S: expected string" name))
+
+let as_bool name = function
+  | B b -> b
+  | _ -> raise (Bad (Printf.sprintf "field %S: expected bool" name))
+
+let as_arr name = function
+  | A l -> l
+  | _ -> raise (Bad (Printf.sprintf "field %S: expected array" name))
+
+let int_field j name = as_int name (field name j)
+let str_field j name = as_str name (field name j)
+let bool_field j name = as_bool name (field name j)
+
+let decode_events l =
+  let cells = List.map (as_int "ev") l in
+  let n = List.length cells in
+  if n mod 5 <> 0 then raise (Bad "field \"ev\": length not a multiple of 5");
+  let a = Array.of_list cells in
+  Array.init (n / 5) (fun i ->
+      let j = i * 5 in
+      match a.(j) with
+      | 0 | 1 ->
+          Run { node = a.(j + 1); write = a.(j) = 1; addr = a.(j + 2); stride = a.(j + 3); count = a.(j + 4) }
+      | 2 -> Alloc { words = a.(j + 1); home = a.(j + 2) }
+      | 3 -> Heap_alloc { node = a.(j + 1); words = a.(j + 2); spilled = a.(j + 3) <> 0 }
+      | 4 -> Flush { fphase = a.(j + 1) }
+      | k -> raise (Bad (Printf.sprintf "field \"ev\": unknown event kind %d" k)))
+
+let decode_hist j =
+  match j with
+  | A (I hnode :: I cold :: rest) ->
+      { hnode; cold; buckets = Array.of_list (List.map (as_int "rdist") rest) }
+  | _ -> raise (Bad "field \"rdist\": expected [node, cold, buckets...]")
+
+let decode_segment j =
+  {
+    seq = int_field j "seq";
+    phase = int_field j "phase";
+    name = str_field j "name";
+    record = bool_field j "record";
+    presend = bool_field j "presend";
+    reads = int_field j "reads";
+    writes = int_field j "writes";
+    a_faults = int_field j "faults";
+    a_msgs = int_field j "msgs";
+    a_bytes = int_field j "bytes";
+    a_presends = int_field j "presends";
+    events = decode_events (as_arr "ev" (field "ev" j));
+    rdist = Array.of_list (List.map decode_hist (as_arr "rdist" (field "rdist" j)));
+  }
+
+let of_json s =
+  match
+    let j = parse_json s in
+    let version = int_field j "version" in
+    if version <> 1 then raise (Bad (Printf.sprintf "unsupported profile version %d" version));
+    {
+      app = str_field j "app";
+      protocol = str_field j "protocol";
+      nodes = int_field j "nodes";
+      block_bytes = int_field j "block_bytes";
+      arena_blocks = int_field j "arena_blocks";
+      out_msgs = int_field (field "outside" j) "msgs";
+      out_bytes = int_field (field "outside" j) "bytes";
+      segments = Array.of_list (List.map decode_segment (as_arr "segments" (field "segments" j)));
+    }
+  with
+  | p -> Ok p
+  | exception Bad msg -> Error ("invalid profile: " ^ msg)
+  | exception Failure msg -> Error ("invalid profile: " ^ msg)
+
+let save path p =
+  let oc = open_out path in
+  output_string oc (to_json p);
+  close_out oc
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      if String.trim s = "" then Error (path ^ ": empty profile file") else of_json s

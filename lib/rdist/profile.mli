@@ -1,0 +1,108 @@
+(** Reuse-distance access profiles: collection and canonical JSON.
+
+    A profile is everything the analytical model ({!Model}) needs to predict
+    a run's per-phase coherence behaviour at {e any} block size from one
+    instrumented execution:
+
+    - the interleaved allocation stream — raw {!Ccdsm_tempest.Machine.alloc}
+      calls and logical shared-heap requests — so the block layout can be
+      re-derived for a different block geometry;
+    - per flat phase segment, the ordered first-touch access events (one per
+      distinct (node, word, read/write) triple, run-length compressed), which
+      determine the run's coherence faults exactly because parallel phases
+      execute node-major in a deterministic order;
+    - per segment and node, reuse-distance histograms over cache blocks at
+      the profiled geometry ({!Stack_dist}); and
+    - the profiled run's actual per-segment counter deltas (faults, messages,
+      bytes, presend grants), which anchor cross-validation and supply the
+      block-size-invariant traffic residual (reductions, barriers).
+
+    Collection hooks into the machine through
+    {!Ccdsm_tempest.Machine.set_profiler} — the [profiled] fast-path flag —
+    and is pure observation: a profiled run produces byte-identical simulated
+    results.  The JSON encoding is canonical (fixed key order, integers
+    only, one line per segment), so equal profiles are equal bytes. *)
+
+module Machine = Ccdsm_tempest.Machine
+
+(** One run-length-compressed profile event.  Access runs cover [count]
+    first-touch words [addr, addr+stride, ...] by one node; allocation
+    events are interleaved at their stream position so the model can lay
+    out addresses before replaying the accesses that use them. *)
+type event =
+  | Run of { node : int; write : bool; addr : int; stride : int; count : int }
+  | Alloc of { words : int; home : int }
+  | Heap_alloc of { node : int; words : int; spilled : bool }
+  | Flush of { fphase : int }  (** the app discarded this phase's schedule *)
+
+type hist = { hnode : int; cold : int; buckets : int array }
+(** Reuse-distance histogram of one node's block accesses within a segment:
+    [cold] first touches plus log2-bucketed finite distances (bucket 0 is
+    distance 0, bucket [i >= 1] covers distances [2^(i-1) .. 2^i - 1]). *)
+
+type segment = {
+  seq : int;
+  phase : int;  (** recording phase id; -1 when none *)
+  name : string;
+  record : bool;  (** a scheduled phase is active (schedule recording on) *)
+  presend : bool;  (** segment begins with the scheduled phase's presend *)
+  reads : int;  (** total read accesses (not just first touches) *)
+  writes : int;
+  a_faults : int;  (** actuals: machine counter deltas over the segment *)
+  a_msgs : int;
+  a_bytes : int;
+  a_presends : int;  (** presend grants delta (0 without a sampler) *)
+  events : event array;
+  rdist : hist array;
+}
+
+type t = {
+  app : string;
+  protocol : string;
+  nodes : int;
+  block_bytes : int;
+  arena_blocks : int;  (** shared-heap arena refill, in blocks *)
+  out_msgs : int;  (** traffic between segments (reductions, barriers) *)
+  out_bytes : int;
+  segments : segment array;
+}
+
+(** {1 Collection} *)
+
+type collector
+
+val attach :
+  ?sample_presends:(unit -> int) ->
+  app:string ->
+  protocol:string ->
+  arena_blocks:int ->
+  Machine.t ->
+  collector
+(** Install a collector as the machine's profiler.  [sample_presends] is
+    polled at segment boundaries (pass the predictive protocol's grant
+    counter to record per-segment presend actuals). *)
+
+val finish : collector -> t
+(** Detach the collector and build the profile. *)
+
+val collect :
+  ?sample_presends:(unit -> int) ->
+  app:string ->
+  protocol:string ->
+  arena_blocks:int ->
+  Machine.t ->
+  (unit -> 'a) ->
+  t * 'a
+(** [collect ... machine f] = attach, run [f ()], finish. *)
+
+(** {1 Canonical JSON} *)
+
+val to_json : t -> string
+(** Canonical encoding: fixed key order, integers and strings only, one
+    line per segment.  Byte-stable: equal profiles encode identically. *)
+
+val of_json : string -> (t, string) result
+val save : string -> t -> unit
+val load : string -> (t, string) result
+(** [load path] reads and decodes; [Error] has a one-line message for a
+    missing, empty or malformed file. *)

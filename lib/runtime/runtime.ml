@@ -98,7 +98,9 @@ let phase_name p = p.pname
 let phase_id p = p.id
 let phase_scheduled p = p.scheduled
 
-let flush_phase t p = t.coherence.Coherence.flush_schedule ~phase:p.id
+let flush_phase t p =
+  t.coherence.Coherence.flush_schedule ~phase:p.id;
+  if Machine.profiled t.machine then Machine.profile_flush t.machine ~phase:p.id
 
 let charge_compute t ~node us = Machine.charge t.machine ~node Machine.Compute us
 
@@ -142,10 +144,30 @@ let watch_items t () =
       ]
   | None -> []
 
+(* Profile-collector notifications (no-ops unless a profiler is attached):
+   enter fires before the coherence phase_begin so the presend traffic lands
+   inside the phase's profile segment, exit after the closing barrier. *)
+let profile_enter t phase =
+  if Machine.profiled t.machine then begin
+    let id, name, scheduled =
+      match phase with Some p -> (p.id, p.pname, p.scheduled) | None -> (-1, "unscheduled", false)
+    in
+    Machine.profile_phase t.machine ~enter:true ~id ~name ~scheduled
+  end
+
+let profile_exit t phase =
+  if Machine.profiled t.machine then begin
+    let id, name, scheduled =
+      match phase with Some p -> (p.id, p.pname, p.scheduled) | None -> (-1, "unscheduled", false)
+    in
+    Machine.profile_phase t.machine ~enter:false ~id ~name ~scheduled
+  end
+
 let run_phase t phase body =
   t.phases_run <- t.phases_run + 1;
   let exec () =
     let bracketed = match phase with Some p when p.scheduled -> Some p | _ -> None in
+    profile_enter t phase;
     (match bracketed with
     | Some p -> t.coherence.Coherence.phase_begin ~phase:p.id
     | None -> ());
@@ -153,7 +175,8 @@ let run_phase t phase body =
     (match bracketed with
     | Some p -> t.coherence.Coherence.phase_end ~phase:p.id
     | None -> ());
-    barrier t
+    barrier t;
+    profile_exit t phase
   in
   match t.obs with
   | None -> exec ()
@@ -216,8 +239,12 @@ let parallel_nodes t ?phase body =
 
 let phase_region t p body =
   if p.scheduled then begin
+    profile_enter t (Some p);
     t.coherence.Coherence.phase_begin ~phase:p.id;
-    let finish () = t.coherence.Coherence.phase_end ~phase:p.id in
+    let finish () =
+      t.coherence.Coherence.phase_end ~phase:p.id;
+      profile_exit t (Some p)
+    in
     match body () with
     | v ->
         finish ();

@@ -19,10 +19,13 @@ let alloc t ~node ~words =
     (* Large object: dedicated allocation, do not disturb the bump arena. *)
     let addr = Machine.alloc t.machine ~words ~home:node in
     a.used <- a.used + words;
+    if Machine.profiled t.machine then
+      Machine.profile_heap_alloc t.machine ~node ~words ~spilled:true;
     addr
   end
   else begin
-    if a.cur + words > a.limit then begin
+    let spilled = a.cur + words > a.limit in
+    if spilled then begin
       let arena_words = t.arena_blocks * wpb in
       a.cur <- Machine.alloc t.machine ~words:arena_words ~home:node;
       a.limit <- a.cur + arena_words
@@ -30,7 +33,10 @@ let alloc t ~node ~words =
     let addr = a.cur in
     a.cur <- a.cur + words;
     a.used <- a.used + words;
+    if Machine.profiled t.machine then
+      Machine.profile_heap_alloc t.machine ~node ~words ~spilled;
     addr
   end
 
 let allocated_words t ~node = t.arenas.(node).used
+let arena_blocks t = t.arena_blocks

@@ -19,3 +19,7 @@ val alloc : t -> node:int -> words:int -> Ccdsm_tempest.Machine.addr
 
 val allocated_words : t -> node:int -> int
 (** Total words handed out to [node] so far (excludes arena slack). *)
+
+val arena_blocks : t -> int
+(** The arena refill size in cache blocks (the profile collector records it
+    so the analytical model can replay the heap layout at any block size). *)

@@ -2,6 +2,7 @@ module Faults = Ccdsm_tempest.Faults
 module Fnv = Ccdsm_util.Fnv
 
 type spec = {
+  kind : [ `Sim | `Predict ];
   app : string;
   protocol : string;
   nodes : int;
@@ -138,7 +139,7 @@ let parse_object line =
 
 let known_keys =
   [
-    "id"; "app"; "protocol"; "nodes"; "block_bytes"; "step_jobs"; "migratory_threshold";
+    "id"; "kind"; "app"; "protocol"; "nodes"; "block_bytes"; "step_jobs"; "migratory_threshold";
     "faults"; "scale";
   ]
 
@@ -194,6 +195,12 @@ let parse line =
         let int_opt key ~default lo hi =
           match get key with Some v -> int_range key lo hi v | None -> default
         in
+        let kind =
+          match str "kind" with
+          | None | Some "sim" -> `Sim
+          | Some "predict" -> `Predict
+          | Some other -> bad "\"kind\" must be \"sim\" or \"predict\" (got %S)" other
+        in
         let app = require_str "app" in
         let protocol = require_str "protocol" in
         let nodes = int_opt "nodes" ~default:8 1 Ccdsm_util.Nodeset.max_nodes in
@@ -229,7 +236,17 @@ let parse line =
           {
             id;
             spec =
-              { app; protocol; nodes; block_bytes; step_jobs; migratory_threshold; faults; scale };
+              {
+                kind;
+                app;
+                protocol;
+                nodes;
+                block_bytes;
+                step_jobs;
+                migratory_threshold;
+                faults;
+                scale;
+              };
           }
       with Bad msg -> Error ("bad job spec: " ^ msg))
 
@@ -248,6 +265,11 @@ let canonical spec =
   | Some p ->
       Buffer.add_string buf ",\"faults\":";
       Buffer.add_string buf (escape_to_json (Faults.to_string p)));
+  (* [kind] is rendered only for predict jobs so sim canonicals (and their
+     content addresses) are unchanged from before the key existed. *)
+  (match spec.kind with
+  | `Sim -> ()
+  | `Predict -> Buffer.add_string buf ",\"kind\":\"predict\"");
   Buffer.add_string buf (Printf.sprintf ",\"migratory_threshold\":%d" spec.migratory_threshold);
   Buffer.add_string buf (Printf.sprintf ",\"nodes\":%d" spec.nodes);
   Buffer.add_string buf ",\"protocol\":";
@@ -259,4 +281,10 @@ let canonical spec =
   Buffer.contents buf
 
 let digest spec = Fnv.digest_string (canonical spec)
-let key spec = Fnv.to_hex (digest spec)
+
+(* Predict keys carry a visible namespace prefix on top of the canonical
+   form's "kind" discrimination: a predict result can never be mistaken for
+   (or collide with) a simulation of the same configuration, and operators
+   can tell the two apart in logs. *)
+let key spec =
+  (match spec.kind with `Sim -> "" | `Predict -> "predict:") ^ Fnv.to_hex (digest spec)

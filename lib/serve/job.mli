@@ -17,6 +17,12 @@
     spec never tears the service down). *)
 
 type spec = {
+  kind : [ `Sim | `Predict ];
+      (** ["sim"] (default) runs the simulation; ["predict"] answers from
+          the reuse-distance analytical model ({!Ccdsm_rdist.Model}) using a
+          per-(app, nodes, scale) profile cached daemon-side — cold builds
+          the profile with one instrumented run, warm is microseconds.
+          Predict keys live in their own ["predict:"] cache namespace. *)
   app : string;  (** application name, matched case-insensitively *)
   protocol : string;  (** a {!Ccdsm_proto.Registry} name *)
   nodes : int;  (** in [1, Nodeset.max_nodes] (default 8) *)

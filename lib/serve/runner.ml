@@ -1,12 +1,17 @@
 module Experiments = Ccdsm_harness.Experiments
 module Proto_diff = Ccdsm_harness.Proto_diff
+module Machine = Ccdsm_tempest.Machine
+module Network = Ccdsm_tempest.Network
 module Runtime = Ccdsm_runtime.Runtime
+module Shared_heap = Ccdsm_runtime.Shared_heap
+module Profile = Ccdsm_rdist.Profile
+module Model = Ccdsm_rdist.Model
 module Obs = Ccdsm_obs.Obs
 module Fnv = Ccdsm_util.Fnv
 
 type app = string * bool * (Runtime.t -> float)
 
-type prepared = {
+type sim = {
   spec : Job.spec;
   app_name : string;
   check_races : bool;
@@ -14,7 +19,16 @@ type prepared = {
   protocol : Runtime.protocol;
 }
 
-let prepare ?apps (spec : Job.spec) =
+type pred = {
+  p_spec : Job.spec;
+  p_app_name : string;
+  p_run_app : Runtime.t -> float;
+  p_protocol : Model.protocol;
+}
+
+type prepared = Sim of sim | Predict of pred
+
+let lookup_app ?apps (spec : Job.spec) =
   let table =
     match apps with
     | Some t -> t
@@ -28,12 +42,119 @@ let prepare ?apps (spec : Job.spec) =
       Error
         (Printf.sprintf "unknown app %S (available: %s)" spec.app
            (String.concat ", " (List.map (fun (n, _, _) -> String.lowercase_ascii n) table)))
-  | Some (app_name, check_races, run_app) -> (
-      (* Mirrors the CLI's exit-124 diagnostic: [protocol_of_name]'s error
-         already lists every registered name. *)
-      match Runtime.protocol_of_name spec.protocol with
-      | Error msg -> Error msg
-      | Ok protocol -> Ok { spec; app_name; check_races; run_app; protocol })
+  | Some row -> Ok row
+
+let prepare ?apps (spec : Job.spec) =
+  match lookup_app ?apps spec with
+  | Error msg -> Error msg
+  | Ok (app_name, check_races, run_app) -> (
+      match spec.kind with
+      | `Sim -> (
+          (* Mirrors the CLI's exit-124 diagnostic: [protocol_of_name]'s error
+             already lists every registered name. *)
+          match Runtime.protocol_of_name spec.protocol with
+          | Error msg -> Error msg
+          | Ok protocol -> Ok (Sim { spec; app_name; check_races; run_app; protocol }))
+      | `Predict -> (
+          if spec.faults <> None then
+            Error "predict jobs do not support \"faults\" (the model covers fault-free runs)"
+          else
+            (* Registry first (its error lists every registered name), then
+               the model's own coverage — same two-stage validation as the
+               repro profile/predict commands. *)
+            match Runtime.protocol_of_name spec.protocol with
+            | Error msg -> Error msg
+            | Ok _ -> (
+                match Model.protocol_of_name spec.protocol with
+                | Error msg -> Error msg
+                | Ok p_protocol ->
+                    Ok (Predict { p_spec = spec; p_app_name = app_name; p_run_app = run_app; p_protocol }))))
+
+(* -- profile / prediction cache --------------------------------------------
+   One reuse-distance profile per (app, nodes, scale), collected under the
+   baseline protocol at the base block size by a single instrumented run.
+   The first predict job against a profile compiles a {!Model.predictor}
+   and evaluates it over {e every} block size job validation admits (the
+   14 powers of two in [8, 65536]) — the whole design space costs a few
+   hundred milliseconds next to the seconds-scale collection run, and it
+   makes every warm what-if a table lookup rather than a replay.  The
+   mutex is held across collection: two racing cold predict jobs for the
+   same key would otherwise both simulate.  A different key's cold job
+   does wait behind it — acceptable for a cache that fills once per app. *)
+
+let profile_block_bytes = 32
+let valid_blocks = List.init 14 (fun i -> 8 lsl i)
+let profiles_mutex = Mutex.create ()
+let profiles : (string, Profile.t) Hashtbl.t = Hashtbl.create 8
+let grids : (string, (int, string) Hashtbl.t) Hashtbl.t = Hashtbl.create 8
+
+let profile_count () =
+  Mutex.lock profiles_mutex;
+  let n = Hashtbl.length profiles in
+  Mutex.unlock profiles_mutex;
+  n
+
+let predict_json ~app_name ~nodes ~block_bytes (pred : Model.prediction) =
+  Printf.sprintf
+    "{\"app\":%s,\"block_bytes\":%d,\"bytes\":%d,\"faults\":%d,\"kind\":\"predict\",\"msgs\":%d,\"nodes\":%d,\"presends\":%d,\"protocol\":%s}"
+    (Job.escape_to_json (String.lowercase_ascii app_name))
+    block_bytes pred.Model.bytes pred.Model.faults pred.Model.msgs nodes pred.Model.presends
+    (Job.escape_to_json pred.Model.p_protocol)
+
+let grid_for (p : pred) =
+  let spec = p.p_spec in
+  let base_key =
+    Printf.sprintf "%s|%d|%s"
+      (String.lowercase_ascii p.p_app_name)
+      spec.nodes
+      (match spec.scale with `Scaled -> "scaled" | `Paper -> "paper")
+  in
+  let grid_key = base_key ^ "|" ^ Model.protocol_label p.p_protocol in
+  Mutex.lock profiles_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock profiles_mutex)
+    (fun () ->
+      match Hashtbl.find_opt grids grid_key with
+      | Some grid -> Ok grid
+      | None -> (
+          let profile =
+            match Hashtbl.find_opt profiles base_key with
+            | Some profile -> profile
+            | None ->
+                let cfg =
+                  Machine.default_config ~num_nodes:spec.nodes ~block_bytes:profile_block_bytes ()
+                in
+                let rt = Runtime.create ~cfg ~protocol:Runtime.Stache () in
+                let profile, _ =
+                  Profile.collect ~app:(String.lowercase_ascii p.p_app_name) ~protocol:"stache"
+                    ~arena_blocks:(Shared_heap.arena_blocks (Runtime.heap rt))
+                    (Runtime.machine rt)
+                    (fun () -> ignore (p.p_run_app rt))
+                in
+                Hashtbl.replace profiles base_key profile;
+                profile
+          in
+          match Model.prepare profile ~net:Network.default ~protocol:p.p_protocol with
+          | Error _ as e -> e
+          | Ok pr -> (
+              let grid = Hashtbl.create 16 in
+              match
+                List.iter
+                  (fun block_bytes ->
+                    match Model.eval pr ~block_bytes with
+                    | Error msg -> raise (Failure msg)
+                    | Ok pred ->
+                        Hashtbl.replace grid block_bytes
+                          (predict_json ~app_name:p.p_app_name ~nodes:spec.nodes ~block_bytes
+                             pred))
+                  valid_blocks
+              with
+              | exception Failure msg -> Error msg
+              | () ->
+                  Hashtbl.replace grids grid_key grid;
+                  Ok grid)))
+
+(* -- result rendering ------------------------------------------------------ *)
 
 let result_json (report : Proto_diff.report) =
   match report.rows with
@@ -50,11 +171,24 @@ let result_json (report : Proto_diff.report) =
   | rows ->
       invalid_arg (Printf.sprintf "Runner.result_json: expected 1 row, got %d" (List.length rows))
 
-let execute p =
-  let spec = p.spec in
-  let report =
-    Proto_diff.run ~protocols:[ p.protocol ] ~nodes:spec.nodes ~block_bytes:spec.block_bytes
-      ~step_jobs:spec.step_jobs ~migratory_threshold:spec.migratory_threshold ?faults:spec.faults
-      ~check_races:p.check_races ~app:p.app_name ~run:p.run_app ()
-  in
-  result_json report
+let execute = function
+  | Sim p ->
+      let spec = p.spec in
+      let report =
+        Proto_diff.run ~protocols:[ p.protocol ] ~nodes:spec.nodes ~block_bytes:spec.block_bytes
+          ~step_jobs:spec.step_jobs ~migratory_threshold:spec.migratory_threshold
+          ?faults:spec.faults ~check_races:p.check_races ~app:p.app_name ~run:p.run_app ()
+      in
+      result_json report
+  | Predict p -> (
+      match grid_for p with
+      | Error msg -> failwith ("predict: " ^ msg)
+      | Ok grid -> (
+          match Hashtbl.find_opt grid p.p_spec.block_bytes with
+          | Some json -> json
+          | None ->
+              (* Job validation only admits the precomputed sizes; this is
+                 a belt-and-braces guard, not a reachable path. *)
+              failwith
+                (Printf.sprintf "predict: block size %d outside the precomputed design space"
+                   p.p_spec.block_bytes)))

@@ -1,12 +1,18 @@
 (** From a validated {!Job.spec} to a deterministic result record.
 
-    Jobs run through the differential harness with a single protocol
-    ({!Ccdsm_harness.Proto_diff.run}), which is exactly what [repro sweep]
-    does per cell — so a serve result is byte-comparable with a direct sweep
-    of the same configuration.  Name resolution ([prepare]) is split from
-    execution ([execute]) so the daemon can reject an unknown app or
-    protocol with a structured per-job error {e before} the job ever reaches
-    the pool. *)
+    Simulation jobs run through the differential harness with a single
+    protocol ({!Ccdsm_harness.Proto_diff.run}), which is exactly what
+    [repro sweep] does per cell — so a serve result is byte-comparable with
+    a direct sweep of the same configuration.  Predict jobs answer from the
+    reuse-distance analytical model ({!Ccdsm_rdist.Model}) instead: the
+    daemon keeps one profile per (app, nodes, scale), collected by a single
+    instrumented baseline run the first time it is needed, compiles it to a
+    {!Ccdsm_rdist.Model.predictor} and evaluates every block size job
+    validation admits up front — so a warm what-if is answered from a
+    precomputed table in well under ten milliseconds end-to-end.  Name
+    resolution ([prepare]) is split from execution ([execute]) so the
+    daemon can reject an unknown app or protocol with a structured per-job
+    error {e before} the job ever reaches the pool. *)
 
 type app = string * bool * (Ccdsm_runtime.Runtime.t -> float)
 (** [(name, check_races, run)] — the {!Ccdsm_harness.Experiments.sweep_apps}
@@ -17,18 +23,27 @@ type prepared
 val prepare : ?apps:app list -> Job.spec -> (prepared, string) result
 (** Resolve the app (case-insensitive, against [apps] or the built-in
     {!Ccdsm_harness.Experiments.sweep_apps} table at the spec's scale) and
-    the protocol (via {!Ccdsm_runtime.Runtime.protocol_of_name}, whose error
-    lists every registered name — the same diagnostic the CLI exits 124
-    with). *)
+    the protocol.  Simulation jobs resolve through
+    {!Ccdsm_runtime.Runtime.protocol_of_name} (whose error lists every
+    registered name — the same diagnostic the CLI exits 124 with); predict
+    jobs additionally require the protocol to be covered by
+    {!Ccdsm_rdist.Model.protocol_of_name} and reject fault plans. *)
 
 val execute : prepared -> string
-(** Run the simulation and render the result record: a one-line JSON object
-    with sorted keys — app, block_bytes, bytes, checksum, digest, msgs,
-    nodes, protocol, remote_misses, total_us — floats via
-    {!Ccdsm_obs.Obs.float_to_string}.  Byte-identical for identical specs
-    regardless of which pool domain runs it.
+(** Run the job and render the result record, a one-line JSON object with
+    sorted keys.  Simulations: app, block_bytes, bytes, checksum, digest,
+    msgs, nodes, protocol, remote_misses, total_us — floats via
+    {!Ccdsm_obs.Obs.float_to_string}.  Predictions: app, block_bytes,
+    bytes, faults, kind, msgs, nodes, presends, protocol — integers only.
+    Byte-identical for identical specs regardless of which pool domain runs
+    it.
     @raise Ccdsm_proto.Sanitizer.Violation (and whatever the app raises) —
     the caller turns exceptions into per-job error records. *)
 
 val result_json : Ccdsm_harness.Proto_diff.report -> string
-(** The rendering on its own (the report must have exactly one row). *)
+(** The simulation rendering on its own (the report must have exactly one
+    row). *)
+
+val profile_count : unit -> int
+(** Number of reuse-distance profiles currently cached for predict jobs
+    (exported as a gauge on the daemon's [/metrics]). *)

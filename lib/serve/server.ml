@@ -80,6 +80,8 @@ type t = {
   cache_hit : Obs.Counter.t;
   cache_miss : Obs.Counter.t;
   cache_join : Obs.Counter.t;
+  predict_jobs : Obs.Counter.t;
+  predict_profiles : Obs.Gauge.t;
   abandoned : Obs.Counter.t;
   connections : Obs.Counter.t;
   queue_depth : Obs.Gauge.t;
@@ -195,6 +197,7 @@ let handle_line t conn line =
     match Job.parse line with
     | Error msg -> send_spec_error t conn ~id:None msg
     | Ok { id; spec } -> (
+        if spec.Job.kind = `Predict then tick t (fun () -> Obs.Counter.inc t.predict_jobs);
         match Runner.prepare ?apps:t.cfg.apps spec with
         | Error msg -> send_spec_error t conn ~id msg
         | Ok prepared -> (
@@ -304,6 +307,7 @@ let handle_job_conn t cfd =
 let metrics_text t =
   Mutex.lock t.mm;
   Obs.Gauge.set t.queue_depth (float_of_int (Atomic.get t.admitted));
+  Obs.Gauge.set t.predict_profiles (float_of_int (Runner.profile_count ()));
   let text = Export.prometheus t.registry in
   Mutex.unlock t.mm;
   text
@@ -386,6 +390,8 @@ let start cfg =
       cache_hit = counter ~labels:[ ("kind", "hit") ] "ccdsm_serve_cache_total";
       cache_miss = counter ~labels:[ ("kind", "miss") ] "ccdsm_serve_cache_total";
       cache_join = counter ~labels:[ ("kind", "join") ] "ccdsm_serve_cache_total";
+      predict_jobs = counter "ccdsm_serve_predict_jobs_total";
+      predict_profiles = Obs.Registry.gauge registry "ccdsm_serve_predict_profiles";
       abandoned = counter "ccdsm_serve_jobs_abandoned_total";
       connections = counter "ccdsm_serve_connections_total";
       queue_depth = Obs.Registry.gauge registry "ccdsm_serve_queue_depth";

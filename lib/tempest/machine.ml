@@ -59,6 +59,19 @@ type handlers = {
   on_write_fault : node:int -> block -> unit;
 }
 
+(* Access-profiling hook (the reuse-distance collector).  A third observer
+   family next to [tracers] and [meters], with the same contract: a single
+   [profiled] flag is checked on the hot paths and nothing else happens when
+   it is off.  Unlike tracing, profiling is pure observation — it never
+   gates the sharded step loop or changes any simulated outcome. *)
+type profiler = {
+  prof_access : node:int -> addr:addr -> write:bool -> unit;
+  prof_alloc : words:int -> home:int -> unit;
+  prof_heap_alloc : node:int -> words:int -> spilled:bool -> unit;
+  prof_phase : enter:bool -> id:int -> name:string -> scheduled:bool -> unit;
+  prof_flush : phase:int -> unit;
+}
+
 module Obs = Ccdsm_obs.Obs
 module A1 = Bigarray.Array1
 
@@ -127,6 +140,8 @@ type t = {
   mutable faults : Faults.t option;  (* fault injector; None = reliable network *)
   meters : meters option;
   metered : bool;  (* = meters <> None, checked alongside [traced] *)
+  mutable profiler : profiler option;
+  mutable profiled : bool;  (* = profiler <> None, checked on every access *)
 }
 
 (* Tag bytes as stored in the flat tag table.  Literal so the per-access tag
@@ -223,6 +238,8 @@ let create cfg =
         | Error msg -> invalid_arg ("Machine.create: " ^ msg));
       meters;
       metered = meters <> None;
+      profiler = None;
+      profiled = false;
     }
   in
   (match sink with
@@ -254,6 +271,30 @@ let emit t ev =
 
 let metered t = t.metered
 let obs t = match t.meters with Some m -> Some m.reg | None -> None
+
+(* -- profiling ----------------------------------------------------------- *)
+
+let profiled t = t.profiled
+
+let set_profiler t p =
+  t.profiler <- p;
+  t.profiled <- p <> None
+
+(* Cold out-of-line helpers so the hot paths only pay the [profiled] test. *)
+let[@inline never] prof_access t ~node ~addr ~write =
+  match t.profiler with Some p -> p.prof_access ~node ~addr ~write | None -> ()
+
+let[@inline never] prof_alloc t ~words ~home =
+  match t.profiler with Some p -> p.prof_alloc ~words ~home | None -> ()
+
+let profile_heap_alloc t ~node ~words ~spilled =
+  match t.profiler with Some p -> p.prof_heap_alloc ~node ~words ~spilled | None -> ()
+
+let profile_phase t ~enter ~id ~name ~scheduled =
+  match t.profiler with Some p -> p.prof_phase ~enter ~id ~name ~scheduled | None -> ()
+
+let profile_flush t ~phase =
+  match t.profiler with Some p -> p.prof_flush ~phase | None -> ()
 let config t = t.cfg
 let num_nodes t = t.cfg.num_nodes
 let block_bytes t = t.cfg.block_bytes
@@ -337,6 +378,7 @@ let alloc t ~words ~home =
   t.nblocks <- first + blocks;
   t.word_limit <- t.nblocks * t.words_per_block;
   if t.traced then emit t (Trace.Alloc { first_block = first; blocks; home });
+  if t.profiled then prof_alloc t ~words ~home;
   first * t.words_per_block
 
 (* -- tags --------------------------------------------------------------- *)
@@ -548,6 +590,10 @@ let[@inline] add_compute t node us =
 
 let read t ~node a =
   check_access t ~node a;
+  (* The profiler hook runs before the fault so a collector that snapshots
+     counters when an access opens a profile segment attributes the
+     triggering fault to that segment, not the gap before it. *)
+  if t.profiled then prof_access t ~node ~addr:a ~write:false;
   let b = a lsr t.block_shift in
   let faulted = A1.unsafe_get t.tags ((node lsl t.cap_shift) lor b) = tag_invalid_char in
   if faulted then read_fault t ~node b;
@@ -561,6 +607,7 @@ let read t ~node a =
 
 let write t ~node a v =
   check_access t ~node a;
+  if t.profiled then prof_access t ~node ~addr:a ~write:true;
   let b = a lsr t.block_shift in
   let faulted = A1.unsafe_get t.tags ((node lsl t.cap_shift) lor b) <> tag_read_write_char in
   if faulted then write_fault t ~node b;
@@ -591,6 +638,10 @@ let read_range t ~node a dst =
       let b = w lsr t.block_shift in
       (* words of this block remaining in the range *)
       let stop = min n (!pos + (((b + 1) lsl t.block_shift) - w)) in
+      if t.profiled then
+        for k = !pos to stop - 1 do
+          prof_access t ~node ~addr:(a + k) ~write:false
+        done;
       let faulted = A1.unsafe_get t.tags (row lor b) = tag_invalid_char in
       if faulted then read_fault t ~node b;
       ctr_add t node f_local_reads (float_of_int (stop - !pos));
@@ -632,6 +683,10 @@ let write_range t ~node a src =
       let w = a + !pos in
       let b = w lsr t.block_shift in
       let stop = min n (!pos + (((b + 1) lsl t.block_shift) - w)) in
+      if t.profiled then
+        for k = !pos to stop - 1 do
+          prof_access t ~node ~addr:(a + k) ~write:true
+        done;
       let faulted = A1.unsafe_get t.tags (row lor b) <> tag_read_write_char in
       if faulted then write_fault t ~node b;
       ctr_add t node f_local_writes (float_of_int (stop - !pos));

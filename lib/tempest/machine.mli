@@ -128,6 +128,51 @@ val obs : t -> Ccdsm_obs.Obs.Registry.t option
 val metered : t -> bool
 (** [true] when a registry was installed at creation. *)
 
+(** {1 Access profiling}
+
+    The third observer family next to tracing and metering, used by the
+    reuse-distance profile collector ([Ccdsm_rdist]): one callback per
+    completed data access, allocation, heap allocation and runtime phase
+    transition.  The same pay-for-what-you-use rule applies — with no
+    profiler installed the hot paths only test one flag — and unlike
+    tracing, profiling is pure observation: it never affects simulated
+    results, gating or message traffic, so a profiled run stays
+    byte-identical to an unprofiled one. *)
+
+type profiler = {
+  prof_access : node:int -> addr:addr -> write:bool -> unit;
+      (** Called for every application data access ({!read}, {!write} and
+          the word-at-a-time expansion of the range accessors), before the
+          access's fault — if any — is serviced. *)
+  prof_alloc : words:int -> home:int -> unit;
+      (** Called by {!alloc} after the allocation completes. *)
+  prof_heap_alloc : node:int -> words:int -> spilled:bool -> unit;
+      (** Called by the shared heap after a logical heap allocation;
+          [spilled] reports whether it triggered an underlying {!alloc}
+          (a fresh bump arena or a dedicated large object), which arrived
+          through {!field-prof_alloc} immediately before. *)
+  prof_phase : enter:bool -> id:int -> name:string -> scheduled:bool -> unit;
+      (** Called by the runtime at parallel-phase boundaries ([id] = -1 for
+          unscheduled operations). *)
+  prof_flush : phase:int -> unit;
+      (** Called when the application discards a phase's presend schedule
+          ([Runtime.flush_phase]); the model must mirror the flush to keep
+          its replayed schedules in lockstep. *)
+}
+
+val set_profiler : t -> profiler option -> unit
+val profiled : t -> bool
+
+val profile_heap_alloc : t -> node:int -> words:int -> spilled:bool -> unit
+(** Forward a heap allocation to the profiler (no-op when none installed);
+    called by [Shared_heap]. *)
+
+val profile_phase : t -> enter:bool -> id:int -> name:string -> scheduled:bool -> unit
+(** Forward a phase transition to the profiler; called by the runtime. *)
+
+val profile_flush : t -> phase:int -> unit
+(** Forward a schedule flush to the profiler; called by the runtime. *)
+
 val emit : t -> Trace.event -> unit
 (** Publish an event to all subscribers (used by the protocol, schedule and
     runtime layers; no-op without subscribers). *)
