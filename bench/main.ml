@@ -320,6 +320,26 @@ let profiled_read_pair () =
 
 let test_read_unprofiled, test_read_profiled = profiled_read_pair ()
 
+(* The same off/on pair for the timeline collector: with no sink installed a
+   machine read must cost the micro-local-hit level (the immediate-flag hot
+   path), and the recorded row prices what a collector-attached read pays
+   (trace emission + charge-hook accounting). *)
+let timeline_read_pair () =
+  let mk timed =
+    let m = Machine.create (small_machine ()) in
+    let _ = Ccdsm_proto.Engine.stache m in
+    let a = Machine.alloc m ~words:512 ~home:0 in
+    if timed then ignore (Ccdsm_tempest.Timecap.attach m);
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      ignore (Sys.opaque_identity (Machine.read m ~node:0 (a + (!i land 511))))
+  in
+  ( Test.make ~name:"micro-read-untimed" (Staged.stage (mk false)),
+    Test.make ~name:"micro-timeline-record" (Staged.stage (mk true)) )
+
+let test_read_untimed, test_timeline_record = timeline_read_pair ()
+
 let test_predict_point =
   Test.make ~name:"micro-predict-point"
     (Staged.stage
@@ -377,6 +397,8 @@ let tests =
       test_rdist_record;
       test_read_unprofiled;
       test_read_profiled;
+      test_read_untimed;
+      test_timeline_record;
       test_predict_point;
     ]
 

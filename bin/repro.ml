@@ -20,6 +20,8 @@ module Export = Ccdsm_obs.Export
 module Profile = Ccdsm_rdist.Profile
 module Rmodel = Ccdsm_rdist.Model
 module PC = Ccdsm_harness.Predict_check
+module L = Ccdsm_harness.Latency
+module Timeline = Ccdsm_obs.Timeline
 
 let scale full = if full then E.Paper else E.scale_of_env ()
 
@@ -431,6 +433,7 @@ let run_predict file protocol blocks =
               string_of_int pred.Rmodel.presends;
               string_of_int pred.Rmodel.msgs;
               string_of_int pred.Rmodel.bytes;
+              Printf.sprintf "%.0f" pred.Rmodel.p_wall_us;
             ])
           blocks
       in
@@ -441,13 +444,107 @@ let run_predict file protocol blocks =
         (Rmodel.protocol_label protocol);
       print_string
         (Ccdsm_util.Ascii.table
-           ~header:[ "block(B)"; "faults"; "presends"; "msgs"; "bytes" ]
+           ~header:[ "block(B)"; "faults"; "presends"; "msgs"; "bytes"; "wall(us)" ]
            rows);
       let total = List.fold_left ( +. ) 0.0 !timings in
       Printf.eprintf "predict: %d point%s in %.0f us (%.0f us/point)\n" (List.length blocks)
         (if List.length blocks = 1 then "" else "s")
         total
         (total /. float_of_int (List.length blocks))
+
+(* -- latency attribution / span timelines --------------------------------- *)
+
+let parse_name_list flag = function
+  | None -> None
+  | Some s ->
+      let names =
+        String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+      in
+      if names = [] then begin
+        Printf.eprintf "repro: %s needs at least one name\n" flag;
+        exit 124
+      end;
+      Some names
+
+let write_file ~what path text =
+  match open_out path with
+  | exception Sys_error msg ->
+      Printf.eprintf "repro %s: cannot open %s: %s\n" what path msg;
+      exit 1
+  | oc -> Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text)
+
+let run_latency apps protocols blocks =
+  let apps = parse_name_list "--app" apps in
+  let protocols = parse_name_list "--protocol" protocols in
+  let blocks = Option.map (fun s -> parse_predict_blocks (Some s)) blocks in
+  match L.grid ?apps ?protocols ?blocks () with
+  | Error msg ->
+      Printf.eprintf "repro latency: %s\n" msg;
+      exit 124
+  | Ok cells ->
+      print_string (L.render cells);
+      (match L.shape_checks cells with
+      | [] -> ()
+      | checks ->
+          print_endline "fig. 8 shape checks (paper claims):";
+          List.iter
+            (fun (claim, ok) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "MISS") claim)
+            checks);
+      (* One causal timeline per app x protocol at the grid's first block
+         size: the per-phase critical paths, and the exactness teeth — any
+         charge the collector missed fails the run. *)
+      let first_block = match cells with c :: _ -> c.L.g_block | [] -> 32 in
+      let pairs =
+        List.fold_left
+          (fun acc c ->
+            let key = (c.L.g_app, c.L.g_protocol) in
+            if List.mem key acc then acc else acc @ [ key ])
+          [] cells
+      in
+      List.iter
+        (fun (app, protocol) ->
+          match L.timeline_run ~app ~protocol ~block_bytes:first_block with
+          | Error msg ->
+              Printf.eprintf "repro latency: %s\n" msg;
+              exit 1
+          | Ok r ->
+              print_newline ();
+              print_string (L.report r);
+              if r.L.t_residuals <> [] then exit 1)
+        pairs
+
+let run_timeline app protocol block_bytes out chrome file =
+  match (app, file) with
+  | None, None ->
+      Printf.eprintf "repro timeline: need --app NAME to record or a FILE to summarize\n";
+      exit 124
+  | Some _, Some _ ->
+      Printf.eprintf "repro timeline: --app and a FILE argument are mutually exclusive\n";
+      exit 124
+  | None, Some path -> (
+      match Timeline.load path with
+      | Error msg ->
+          Printf.eprintf "repro timeline: %s\n" msg;
+          exit 1
+      | Ok tl ->
+          Option.iter (fun p -> write_file ~what:"timeline" p (Timeline.to_chrome tl)) chrome;
+          print_string (Timeline.summary tl))
+  | Some name, None -> (
+      if not (is_pow2_block block_bytes) then begin
+        Printf.eprintf "repro: --block-bytes must be a power of two >= 8 (got %d)\n" block_bytes;
+        exit 124
+      end;
+      match L.timeline_run ~app:name ~protocol ~block_bytes with
+      | Error msg ->
+          Printf.eprintf "repro timeline: %s\n" msg;
+          exit 124
+      | Ok r ->
+          Option.iter (fun p -> write_file ~what:"timeline" p (Timeline.to_jsonl r.L.t_timeline)) out;
+          Option.iter
+            (fun p -> write_file ~what:"timeline" p (Timeline.to_chrome r.L.t_timeline))
+            chrome;
+          print_string (L.report r);
+          if r.L.t_residuals <> [] then exit 1)
 
 let run_faults full nodes jobs metrics protocols =
   with_metrics metrics (fun () ->
@@ -560,7 +657,7 @@ let parse_listen_addr socket tcp =
           Printf.eprintf "repro: --tcp wants HOST:PORT (got %S)\n" spec;
           exit 124)
 
-let run_serve socket tcp http_port jobs max_pending timeout_ms =
+let run_serve socket tcp http_port jobs max_pending timeout_ms log slow_ms =
   let addr = parse_listen_addr socket tcp in
   let domains =
     match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
@@ -579,6 +676,10 @@ let run_serve socket tcp http_port jobs max_pending timeout_ms =
       Printf.eprintf "repro: --http-port must be in [0, 65535]\n";
       exit 124
   | _ -> ());
+  if slow_ms < 0. then begin
+    Printf.eprintf "repro: --slow-ms must be >= 0\n";
+    exit 124
+  end;
   Ccdsm_serve.Server.run
     {
       Ccdsm_serve.Server.socket = addr;
@@ -586,6 +687,8 @@ let run_serve socket tcp http_port jobs max_pending timeout_ms =
       domains;
       max_pending;
       timeout_ms;
+      log;
+      slow_ms;
       apps = None;
     }
 
@@ -824,6 +927,29 @@ let serve_timeout_arg =
            $(b,status:\"timeout\") record and the entry is dropped from the \
            cache so a retry recomputes.  No timeout by default.")
 
+let serve_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSONL record per answered request to $(docv): id, \
+           cache disposition, queue-wait and run microseconds, slow flag \
+           and outcome.  Flushed per record, so $(b,tail -f) is live.  \
+           Disabled by default.")
+
+let serve_slow_ms_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Flag jobs whose run time reaches $(docv) ms as slow: marked in \
+           the request log, counted on the slow-jobs metric, and captured \
+           (by a deterministic re-run with the timeline collector attached) \
+           into a bounded ring retrievable with a \
+           $(b,{\"kind\":\"timeline\"}) job.  0 (the default) disables.")
+
 let validate_predictor_arg =
   Arg.(
     value
@@ -902,6 +1028,67 @@ let predict_blocks_arg =
           "Comma-separated block sizes to predict (powers of two >= 8; \
            default $(b,32,64,128,256)).")
 
+let latency_apps_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "app" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated apps to decompose (default: all of jacobi, \
+           adaptive, barnes).  An unknown name exits 124 listing the \
+           available apps.")
+
+let latency_blocks_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "blocks" ] ~docv:"LIST"
+        ~doc:"Comma-separated block sizes (powers of two >= 8; default $(b,32,128)).")
+
+let timeline_app_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "app" ] ~docv:"NAME"
+        ~doc:
+          "Record a causal span timeline by running $(docv) (jacobi, \
+           adaptive, barnes) once with the collector attached.")
+
+let timeline_protocol_arg =
+  Arg.(
+    value
+    & opt string "predictive"
+    & info [ "protocol" ] ~docv:"NAME"
+        ~doc:
+          "Protocol for the recorded run (default predictive, which also \
+           shows presend grant -> avoided-miss causality).  An unknown name \
+           exits 124 listing the registry.")
+
+let timeline_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:
+          "Write the timeline as self-describing JSONL to $(docv) \
+           (re-summarize it later with $(b,repro timeline) $(docv)).")
+
+let timeline_chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Export Chrome trace-event JSON to $(docv): one track per node, \
+           spans plus flow arrows for message legs.  Open it in \
+           chrome://tracing or ui.perfetto.dev.")
+
+let timeline_file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"An existing timeline JSONL (written by $(b,-o)) to summarize.")
+
 let submit_file_arg =
   Arg.(
     value
@@ -948,6 +1135,16 @@ let cmds =
       Term.(const run_inspector $ full_arg $ metrics_arg);
     cmd "trace" "Summarize a JSONL coherence trace captured with --trace"
       Term.(const run_trace $ trace_file_arg);
+    cmd "latency"
+      "Fig. 8 wall-clock decomposition across the app x protocol x block \
+       grid, plus per-phase critical paths with the exact attribution check"
+      Term.(const run_latency $ latency_apps_arg $ protocols_arg $ latency_blocks_arg);
+    cmd "timeline"
+      "Record a causal span timeline of one run (--app; exportable as JSONL \
+       or Chrome trace-event JSON), or summarize an existing timeline JSONL"
+      Term.(
+        const run_timeline $ timeline_app_arg $ timeline_protocol_arg $ profile_block_arg
+        $ timeline_out_arg $ timeline_chrome_arg $ timeline_file_arg);
     cmd "metrics"
       "Derive a metrics registry from a JSONL trace captured with --trace and \
        print it (shared counters agree with the run's own --metrics snapshot \
@@ -974,7 +1171,7 @@ let cmds =
        of OCaml domains (SIGTERM drains)"
       Term.(
         const run_serve $ serve_socket_arg $ serve_tcp_arg $ serve_http_port_arg $ jobs_term
-        $ serve_max_pending_arg $ serve_timeout_arg);
+        $ serve_max_pending_arg $ serve_timeout_arg $ serve_log_arg $ serve_slow_ms_arg);
     cmd "submit"
       "Submit job specs to a running $(b,repro serve) daemon and print one \
        response line per job (exit 1 if any job did not come back ok)"

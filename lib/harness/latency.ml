@@ -1,0 +1,286 @@
+open Ccdsm_util
+module Machine = Ccdsm_tempest.Machine
+module Timecap = Ccdsm_tempest.Timecap
+module Timeline = Ccdsm_obs.Timeline
+module Runtime = Ccdsm_runtime.Runtime
+
+(* -- name resolution ------------------------------------------------------ *)
+
+let app_names () = List.map (fun a -> a.Predict_check.app_name) (Predict_check.apps ())
+
+let find_app name =
+  match
+    List.find_opt (fun a -> a.Predict_check.app_name = name) (Predict_check.apps ())
+  with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (Printf.sprintf "unknown app %S (available: %s)" name
+           (String.concat ", " (app_names ())))
+
+let resolve_apps = function
+  | None -> Ok (Predict_check.apps ())
+  | Some names ->
+      List.fold_right
+        (fun name acc ->
+          match (find_app name, acc) with
+          | Ok a, Ok apps -> Ok (a :: apps)
+          | (Error _ as e), _ -> e
+          | _, (Error _ as e) -> e)
+        names (Ok [])
+
+let resolve_protocols = function
+  | None -> Ok [ Runtime.Stache; Runtime.Predictive ]
+  | Some names ->
+      List.fold_right
+        (fun name acc ->
+          match (Runtime.protocol_of_name name, acc) with
+          | Ok p, Ok ps -> Ok (p :: ps)
+          | (Error _ as e), _ -> e
+          | _, (Error _ as e) -> e)
+        names (Ok [])
+
+(* -- the fig. 8 grid ------------------------------------------------------ *)
+
+type cell = {
+  g_app : string;
+  g_protocol : string;
+  g_block : int;
+  g_nodes : int;
+  g_wall : float;
+  g_buckets : float array;
+}
+
+let default_blocks = [ 32; 128 ]
+
+let run_cell (app : Predict_check.app) ~protocol ~block_bytes =
+  let cfg = Machine.default_config ~num_nodes:app.Predict_check.app_nodes ~block_bytes () in
+  let rt = Runtime.create ~cfg ~protocol () in
+  app.Predict_check.app_run rt;
+  {
+    g_app = app.Predict_check.app_name;
+    g_protocol = Runtime.protocol_name protocol;
+    g_block = block_bytes;
+    g_nodes = app.Predict_check.app_nodes;
+    g_wall = Runtime.total_time rt;
+    g_buckets = Array.of_list (List.map snd (Runtime.time_breakdown rt));
+  }
+
+let grid ?apps ?protocols ?(blocks = default_blocks) () =
+  match (resolve_apps apps, resolve_protocols protocols) with
+  | (Error _ as e), _ -> e
+  | _, (Error _ as e) -> e
+  | Ok apps, Ok protocols ->
+      if blocks = [] then Error "no block sizes given"
+      else if protocols = [] then Error "no protocols given"
+      else
+        Ok
+          (List.concat_map
+             (fun app ->
+               List.concat_map
+                 (fun block_bytes ->
+                   List.map (fun protocol -> run_cell app ~protocol ~block_bytes) protocols)
+                 blocks)
+             apps)
+
+let bucket_names = List.map Machine.bucket_name Machine.all_buckets
+
+(* Cells grouped by app x block, both levels in first-seen order. *)
+let group_cells cells =
+  List.fold_left
+    (fun acc c ->
+      let key = (c.g_app, c.g_block) in
+      if List.mem_assoc key acc then
+        List.map (fun (k, cs) -> if k = key then (k, cs @ [ c ]) else (k, cs)) acc
+      else acc @ [ (key, [ c ]) ])
+    [] cells
+
+(* One bar group per app x block: every protocol's wall clock decomposed
+   into the paper's buckets, all scaled together so the bars compare — the
+   shape of the paper's fig. 8. *)
+let render cells =
+  let groups = group_cells cells in
+  let bars =
+    List.map
+      (fun ((app, block), cs) ->
+        Ascii.stacked_bars
+          ~title:
+            (Printf.sprintf "fig8 %s @%dB (%d nodes): relative execution time" app block
+               (match cs with c :: _ -> c.g_nodes | [] -> 0))
+          ~segments:bucket_names
+          ~rows:(List.map (fun c -> (c.g_protocol, c.g_buckets)) cs)
+          ())
+      groups
+  in
+  let table =
+    let rows =
+      List.concat_map
+        (fun ((_, _), cs) ->
+          let base =
+            match cs with c :: _ -> Array.fold_left ( +. ) 0.0 c.g_buckets | [] -> 1.0
+          in
+          let base = if base = 0.0 then 1.0 else base in
+          List.map
+            (fun c ->
+              let pct v = Printf.sprintf "%.1f" (100.0 *. v /. base) in
+              [
+                c.g_app;
+                string_of_int c.g_block;
+                c.g_protocol;
+                pct (Array.fold_left ( +. ) 0.0 c.g_buckets);
+              ]
+              @ List.map pct (Array.to_list c.g_buckets))
+            cs)
+        groups
+    in
+    Ascii.table
+      ~header:([ "app"; "block(B)"; "protocol"; "total%" ] @ List.map (fun b -> b ^ "%") bucket_names)
+      rows
+  in
+  String.concat "\n" bars
+  ^ "\nrelative to the first protocol's wall clock (= 100%) per app x block:\n" ^ table
+
+(* The paper's fig. 8 qualitative shape, checkable per app x block when both
+   baseline protocols are in the grid: the predictive protocol converts
+   remote-wait stalls into (cheaper) presend time. *)
+let shape_checks cells =
+  List.concat_map
+    (fun ((app, block), cs) ->
+      match
+        ( List.find_opt (fun c -> c.g_protocol = "stache") cs,
+          List.find_opt (fun c -> c.g_protocol = "predictive") cs )
+      with
+      | Some s, Some p ->
+          let rw c = c.g_buckets.(1) and pre c = c.g_buckets.(2) in
+          [
+            ( Printf.sprintf "%s @%dB: predictive cuts remote-wait vs stache (%.0f -> %.0f us)"
+                app block (rw s) (rw p),
+              rw p < rw s );
+            ( Printf.sprintf "%s @%dB: presend time appears only under predictive" app block,
+              pre p > 0.0 && pre s = 0.0 );
+          ]
+      | _ -> [])
+    (group_cells cells)
+
+(* -- the timeline driver -------------------------------------------------- *)
+
+type tl_run = {
+  t_app : string;
+  t_protocol : string;
+  t_block : int;
+  t_nodes : int;
+  t_wall : float;
+  t_timeline : Timeline.t;
+  t_residuals : Timecap.residual list;
+  t_phases : (int * string) list;
+}
+
+let timeline_run ~app ~protocol ~block_bytes =
+  match (find_app app, Runtime.protocol_of_name protocol) with
+  | (Error _ as e), _ -> e
+  | _, (Error _ as e) -> e
+  | Ok a, Ok proto ->
+      let cfg =
+        Machine.default_config ~num_nodes:a.Predict_check.app_nodes ~block_bytes ()
+      in
+      let rt = Runtime.create ~cfg ~protocol:proto () in
+      let cap = Timecap.attach (Runtime.machine rt) in
+      a.Predict_check.app_run rt;
+      let tl = Timecap.finish cap in
+      let residuals = Timecap.check cap in
+      Timecap.detach cap;
+      Ok
+        {
+          t_app = a.Predict_check.app_name;
+          t_protocol = Runtime.protocol_name proto;
+          t_block = block_bytes;
+          t_nodes = a.Predict_check.app_nodes;
+          t_wall = Runtime.total_time rt;
+          t_timeline = tl;
+          t_residuals = residuals;
+          t_phases =
+            List.map
+              (fun p -> (Runtime.phase_id p, Runtime.phase_name p))
+              (Runtime.phase_sites rt);
+        }
+
+(* Segment labels carry the static phase id ("p0/synch"); substitute the
+   declared phase name so the critical-path table reads like the program. *)
+let label_with_names phases label =
+  match String.index_opt label '/' with
+  | Some slash when String.length label > 1 && label.[0] = 'p' -> (
+      match int_of_string_opt (String.sub label 1 (slash - 1)) with
+      | Some id -> (
+          match List.assoc_opt id phases with
+          | Some name ->
+              Printf.sprintf "%s(p%d)%s" name id (String.sub label slash (String.length label - slash))
+          | None -> label)
+      | None -> label)
+  | _ -> label
+
+let crit_table r =
+  let tl = r.t_timeline in
+  let buckets = Timeline.bucket_names tl in
+  let kinds = Timeline.kind_names tl in
+  let rows =
+    List.map
+      (fun (c : Timeline.crit) ->
+        let s = c.Timeline.c_seg in
+        let wall = s.Timeline.s_t1 -. s.Timeline.s_t0 in
+        let top_kind =
+          let best = ref (-1) and best_v = ref 0.0 in
+          Array.iteri
+            (fun i v ->
+              if v > !best_v then begin
+                best := i;
+                best_v := v
+              end)
+            c.Timeline.c_kind;
+          if !best < 0 then "-" else Printf.sprintf "%s %.1f" kinds.(!best) !best_v
+        in
+        [
+          label_with_names r.t_phases s.Timeline.label;
+          Printf.sprintf "%.1f" wall;
+          (if c.Timeline.c_node < 0 then "-" else string_of_int c.Timeline.c_node);
+          Printf.sprintf "%.1f" c.Timeline.c_len;
+          (if wall > 0.0 then Printf.sprintf "%.2f" (c.Timeline.c_len /. wall) else "-");
+        ]
+        @ List.map
+            (fun i -> Printf.sprintf "%.1f" c.Timeline.c_bucket.(i))
+            (List.init (Array.length buckets) Fun.id)
+        @ [ top_kind ])
+      (Timeline.critical_paths tl)
+  in
+  Ascii.table
+    ~header:
+      ([ "segment"; "wall(us)"; "crit node"; "crit(us)"; "crit/wall" ]
+      @ Array.to_list (Array.map (fun b -> b ^ "(us)") buckets)
+      @ [ "top msg kind(us)" ])
+    rows
+
+let residual_report r =
+  match r.t_residuals with
+  | [] ->
+      Printf.sprintf
+        "attribution check: per-node bucket sums agree exactly with the machine stats table \
+         (%d nodes x %d buckets, bit-for-bit)"
+        r.t_nodes
+        (Array.length (Timeline.bucket_names r.t_timeline))
+  | rs ->
+      "attribution check FAILED:\n"
+      ^ String.concat "\n"
+          (List.map
+             (fun (x : Timecap.residual) ->
+               Printf.sprintf "  node %d %s: machine %.17g vs timeline %.17g" x.Timecap.r_node
+                 x.Timecap.r_bucket x.Timecap.r_expected x.Timecap.r_got)
+             rs)
+
+let report r =
+  Printf.sprintf
+    "%s / %s @%dB, %d nodes: wall %.1f us, %d spans across %d segments\n\
+     per-phase critical paths (longest in-segment dependency chain; barrier\n\
+     fill excluded, so crit/wall < 1 measures skew absorbed by the barrier):\n%s%s\n"
+    r.t_app r.t_protocol r.t_block r.t_nodes r.t_wall
+    (Timeline.nspans r.t_timeline)
+    (List.length (Timeline.segments r.t_timeline))
+    (crit_table r) (residual_report r)

@@ -1,0 +1,71 @@
+(** Causal latency attribution drivers: the fig. 8 wall-clock decomposition
+    grid and the span-timeline runner.
+
+    The grid half re-runs the {!Predict_check.apps} workloads across a
+    protocol x block-size grid and renders each cell's wall clock decomposed
+    into the paper's four buckets — the shape of the paper's figure 8
+    (relative execution time, normalized to the first protocol).  Bucket
+    values come straight from the machine's stats table
+    ({!Ccdsm_runtime.Runtime.time_breakdown}), so the decomposition is exact
+    by construction.
+
+    The timeline half runs one cell with a {!Ccdsm_tempest.Timecap}
+    collector attached and returns the causal span timeline, its residual
+    check (bit-for-bit agreement of per-node bucket sums with the machine),
+    and the runtime's phase-name table for readable segment labels. *)
+
+module Timecap = Ccdsm_tempest.Timecap
+module Timeline = Ccdsm_obs.Timeline
+
+val app_names : unit -> string list
+(** The runnable workloads ({!Predict_check.apps} names). *)
+
+type cell = {
+  g_app : string;
+  g_protocol : string;
+  g_block : int;
+  g_nodes : int;
+  g_wall : float;  (** simulated wall clock (max node time), microseconds *)
+  g_buckets : float array;
+      (** mean-over-nodes time per bucket, [Machine.all_buckets] order; the
+          closing barrier equalizes node times, so the values sum to
+          [g_wall]. *)
+}
+
+val grid :
+  ?apps:string list ->
+  ?protocols:string list ->
+  ?blocks:int list ->
+  unit ->
+  (cell list, string) result
+(** Run every app x block x protocol cell (defaults: all apps, stache then
+    predictive, 32B and 128B blocks).  [Error] on an unknown app or
+    protocol name (the message lists what is available) or an empty axis. *)
+
+val render : cell list -> string
+(** Stacked bars per app x block (every protocol's decomposition scaled
+    together) plus the relative-percentage table, first protocol = 100%. *)
+
+val shape_checks : cell list -> (string * bool) list
+(** The paper's fig. 8 qualitative claims per app x block, for grids that
+    include both stache and predictive: the predictive protocol cuts
+    remote-wait, and presend time appears only under it. *)
+
+type tl_run = {
+  t_app : string;
+  t_protocol : string;
+  t_block : int;
+  t_nodes : int;
+  t_wall : float;
+  t_timeline : Timeline.t;
+  t_residuals : Timecap.residual list;  (** empty = exact *)
+  t_phases : (int * string) list;  (** phase id -> declared name *)
+}
+
+val timeline_run :
+  app:string -> protocol:string -> block_bytes:int -> (tl_run, string) result
+(** Run one cell with the timeline collector attached. *)
+
+val report : tl_run -> string
+(** The per-phase critical-path table (segment labels substituted with
+    declared phase names) followed by the attribution-exactness line. *)

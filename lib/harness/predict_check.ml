@@ -98,9 +98,52 @@ let miss_band = 0.02
 let share_band = 0.05
 let traffic_band = 0.10
 
+(* Wall-clock bands.  Remote-wait and presend are priced by exact mirrors
+   of the engine's charge formulas, so their bands are tight (the replay
+   reproduces them to rounding for balanced apps; Barnes' inter-phase skew
+   leaks a few percent into the presend barrier fill).  Compute is
+   block-size invariant and carried over exactly.  Synch (phase-end barrier
+   skew) is the one unpriced bucket — it rides over from the profiled run
+   unchanged — so the wall band is set by how much barrier skew moves with
+   block size on the most imbalanced app.  At the profiled geometry the
+   whole prediction is the actuals bit-for-bit — a float-equality tooth
+   below, not a band. *)
+let wall_band = 0.20
+let wait_band = 0.02
+let presend_band = 0.10
+
+(* Ignore bucket discrepancies below this absolute floor (microseconds):
+   relative error on a near-empty bucket is noise. *)
+let bucket_floor_us = 50.0
+
 let rel_err pred act =
   if act = 0 then if pred = 0 then 0.0 else infinity
   else abs_float (float_of_int (pred - act)) /. float_of_int act
+
+let rel_errf pred act =
+  if act = 0.0 then if pred = 0.0 then 0.0 else infinity
+  else abs_float (pred -. act) /. abs_float act
+
+(* Bucket indices into [Machine.all_buckets]-ordered arrays. *)
+let bucket_idx bk =
+  let rec go i = function
+    | [] -> assert false
+    | b :: rest -> if b = bk then i else go (i + 1) rest
+  in
+  go 0 Machine.all_buckets
+
+let wait_idx = bucket_idx Machine.Remote_wait
+let pre_idx = bucket_idx Machine.Presend
+
+(* Actual per-bucket run totals of a profile, in the same fold order the
+   model uses for its totals, so base-block comparisons are bit-for-bit. *)
+let profile_bucket_totals (p : Profile.t) =
+  Array.init
+    (Array.length p.Profile.out_bucket_us)
+    (fun i ->
+      Array.fold_left
+        (fun a (s : Profile.segment) -> a +. s.Profile.a_bucket_us.(i))
+        p.Profile.out_bucket_us.(i) p.Profile.segments)
 
 type cell = {
   c_app : string;
@@ -114,6 +157,8 @@ type cell = {
   act_msgs : int;
   pred_bytes : int;
   act_bytes : int;
+  pred_wall : float;
+  act_wall : float;
   cell_errors : string list;
 }
 
@@ -155,13 +200,37 @@ let check_cell ~app ~protocol ~base_block ~block (pred : Model.prediction) (act 
   if eb > traffic_band then
     err "traffic: predicted %d bytes vs actual %d (rel err %.4f > %.2f)" pred.Model.bytes act_bytes
       eb traffic_band;
+  let act_bucket = profile_bucket_totals act in
+  let act_wall = Array.fold_left ( +. ) 0.0 act_bucket /. float_of_int act.Profile.nodes in
+  let ew = rel_errf pred.Model.p_wall_us act_wall in
+  if ew > wall_band then
+    err "wall clock: predicted %.0f us vs actual %.0f (rel err %.4f > %.2f)" pred.Model.p_wall_us
+      act_wall ew wall_band;
+  let bucket_check name idx band =
+    let p = pred.Model.p_bucket_us.(idx) and a = act_bucket.(idx) in
+    if abs_float (p -. a) > bucket_floor_us then begin
+      let e = rel_errf p a in
+      if e > band then
+        err "%s time: predicted %.0f us vs actual %.0f (rel err %.4f > %.2f)" name p a e band
+    end
+  in
+  bucket_check "remote-wait" wait_idx wait_band;
+  bucket_check "presend" pre_idx presend_band;
   if block = base_block then begin
     if pred.Model.faults <> act_faults then
       err "exactness at profiled block size: %d predicted faults vs %d actual" pred.Model.faults
         act_faults;
     if pred.Model.presends <> act_presends then
       err "exactness at profiled block size: %d predicted presends vs %d actual"
-        pred.Model.presends act_presends
+        pred.Model.presends act_presends;
+    List.iteri
+      (fun i bk ->
+        if pred.Model.p_bucket_us.(i) <> act_bucket.(i) then
+          err
+            "wall exactness at profiled block size: %s bucket predicted %.17g us vs %.17g actual \
+             (bit-for-bit agreement required)"
+            (Machine.bucket_name bk) pred.Model.p_bucket_us.(i) act_bucket.(i))
+      Machine.all_buckets
   end;
   if Array.length pred.Model.segs <> Array.length act.Profile.segments then
     err "segmentation mismatch: %d predicted segments vs %d actual" (Array.length pred.Model.segs)
@@ -190,6 +259,8 @@ let check_cell ~app ~protocol ~base_block ~block (pred : Model.prediction) (act 
     act_msgs;
     pred_bytes = pred.Model.bytes;
     act_bytes;
+    pred_wall = pred.Model.p_wall_us;
+    act_wall;
     cell_errors = List.rev !errors;
   }
 
@@ -205,7 +276,7 @@ let protocols =
     Model.Predictive { coalesce = true; conflict_action = `Ignore };
   ]
 
-let validate ?(quick = false) ?(fudge_faults = 0) () =
+let validate ?(quick = false) ?(fudge_faults = 0) ?(fudge_wait_us = 0.0) () =
   let blocks = if quick then quick_blocks else full_blocks in
   let net = Network.default in
   let cells =
@@ -220,7 +291,10 @@ let validate ?(quick = false) ?(fudge_faults = 0) () =
                   if block = base_block then base
                   else collect_profile app ~block_bytes:block ~protocol
                 in
-                match Model.predict ~fudge_faults base ~net ~block_bytes:block ~protocol with
+                match
+                  Model.predict ~fudge_faults ~fudge_wait_us base ~net ~block_bytes:block
+                    ~protocol
+                with
                 | Error msg ->
                     {
                       c_app = app.app_name;
@@ -234,6 +308,8 @@ let validate ?(quick = false) ?(fudge_faults = 0) () =
                       act_msgs = 0;
                       pred_bytes = 0;
                       act_bytes = 0;
+                      pred_wall = 0.0;
+                      act_wall = 0.0;
                       cell_errors = [ "predict failed: " ^ msg ];
                     }
                 | Ok pred ->
@@ -257,6 +333,7 @@ let validate ?(quick = false) ?(fudge_faults = 0) () =
           Printf.sprintf "%.3f/%.3f"
             (float_of_int c.pred_bytes /. 1e6)
             (float_of_int c.act_bytes /. 1e6);
+          Printf.sprintf "%.0f/%.0f" c.pred_wall c.act_wall;
           (if c.cell_errors = [] then "ok" else "FAIL");
         ])
       cells
@@ -264,7 +341,17 @@ let validate ?(quick = false) ?(fudge_faults = 0) () =
   let table =
     Ascii.table
       ~header:
-        [ "app"; "protocol"; "block(B)"; "faults p/a"; "presends p/a"; "msgs p/a"; "MB p/a"; "band" ]
+        [
+          "app";
+          "protocol";
+          "block(B)";
+          "faults p/a";
+          "presends p/a";
+          "msgs p/a";
+          "MB p/a";
+          "wall(us) p/a";
+          "band";
+        ]
       rows
   in
   let violations =
@@ -279,11 +366,13 @@ let validate ?(quick = false) ?(fudge_faults = 0) () =
     Printf.sprintf
       "Predictor cross-validation: one reuse-distance profile per app x protocol\n\
        (collected at %dB blocks) drives the analytical model across the block-size\n\
-       grid; predicted faults / presend grants / traffic vs a full simulation of\n\
-       every point.  Predicted and actual agree to the integer at the profiled\n\
-       size and within the bands (misses %.0f%%, presend share %.2f, traffic %.0f%%)\n\
-       elsewhere.\n"
-      base_block (100.0 *. miss_band) share_band (100.0 *. traffic_band)
+       grid; predicted faults / presend grants / traffic / wall clock vs a full\n\
+       simulation of every point.  Predicted and actual agree at the profiled size\n\
+       — to the integer for counters, bit-for-bit for bucket times — and within\n\
+       the bands (misses %.0f%%, presend share %.2f, traffic %.0f%%, wall %.0f%%,\n\
+       remote-wait/presend time %.0f%%) elsewhere.\n"
+      base_block (100.0 *. miss_band) share_band (100.0 *. traffic_band) (100.0 *. wall_band)
+      (100.0 *. wait_band)
     ^ table
     ^ (if violations = [] then "all bands clean\n"
        else "band violations:\n" ^ String.concat "\n" violations ^ "\n")

@@ -4,13 +4,16 @@
     at the base block size; {!Ccdsm_rdist.Model.predict} then predicts every
     point of the block-size grid and each prediction is checked against a
     full simulation of that point.  The checks are tolerance bands per
-    metric (demand misses, presend share, traffic) plus exact-integer
-    agreement where the theory demands it: at the profiled block size, and
-    for segments whose reuse-distance histograms are all-cold.
+    metric (demand misses, presend share, traffic, predicted wall clock and
+    its remote-wait/presend buckets) plus exact agreement where the theory
+    demands it: at the profiled block size (integer counters, bit-for-bit
+    bucket times) and for segments whose reuse-distance histograms are
+    all-cold.
 
-    The [fudge_faults] knob deliberately corrupts the model (every segment's
-    predicted read faults shifted by a constant): the harness must fail on
-    it, which is the negative test proving the bands have teeth. *)
+    The [fudge_faults] and [fudge_wait_us] knobs deliberately corrupt the
+    model (every segment's predicted read faults, or predicted remote-wait
+    time, shifted by a constant): the harness must fail on either, which is
+    the negative test proving the bands have teeth. *)
 
 module Runtime = Ccdsm_runtime.Runtime
 module Profile = Ccdsm_rdist.Profile
@@ -39,13 +42,15 @@ type cell = {
   act_msgs : int;
   pred_bytes : int;
   act_bytes : int;
+  pred_wall : float;  (** predicted wall clock, microseconds *)
+  act_wall : float;
   cell_errors : string list;  (** band/exactness violations; empty = clean *)
 }
 
 type report = { cells : cell list; pass : bool; text : string }
 
-val validate : ?quick:bool -> ?fudge_faults:int -> unit -> report
+val validate : ?quick:bool -> ?fudge_faults:int -> ?fudge_wait_us:float -> unit -> report
 (** Run the full cross-validation.  [quick] shrinks the grid to the CI
-    smoke sizes (32B and 256B).  [fudge_faults] (default 0) perturbs the
-    model for the negative test — any non-zero value must produce
-    [pass = false]. *)
+    smoke sizes (32B and 256B).  [fudge_faults] (default 0) and
+    [fudge_wait_us] (default 0.0) perturb the model for the negative tests —
+    any materially non-zero value must produce [pass = false]. *)

@@ -7,6 +7,7 @@ type row = {
   digest : int64;
   checksum : float;
   total_us : float;
+  buckets : (string * float) list;
   remote_misses : int;
   msgs : int;
   bytes : int;
@@ -59,6 +60,8 @@ let run_one ~nodes ~block_bytes ~step_jobs ~migratory_threshold ~faults ~check_r
     digest = digest_of_machine m;
     checksum;
     total_us = Runtime.total_time rt;
+    buckets =
+      List.map (fun (b, us) -> (Machine.bucket_name b, us)) (Runtime.time_breakdown rt);
     remote_misses = c.Machine.read_faults + c.Machine.write_faults;
     msgs = c.Machine.msgs;
     bytes = c.Machine.bytes;

@@ -19,6 +19,10 @@ type row = {
   digest : int64;  (** FNV-1a 64 over every shared-heap word's bit pattern *)
   checksum : float;  (** the app's own checksum *)
   total_us : float;
+  buckets : (string * float) list;
+      (** mean-over-nodes time per paper bucket ({!Runtime.time_breakdown}
+          with names), in [Machine.all_buckets] order; sums to [total_us]
+          when the run ends at a barrier (every phase loop does) *)
   remote_misses : int;  (** read + write faults *)
   msgs : int;
   bytes : int;

@@ -1,4 +1,6 @@
 module Ascii = Ccdsm_util.Ascii
+module Obs = Ccdsm_obs.Obs
+module Network = Ccdsm_tempest.Network
 
 (* -- naive field extraction over our own fixed JSONL format -------------- *)
 
@@ -34,9 +36,25 @@ let string_field line key =
 
 (* -- accumulation --------------------------------------------------------- *)
 
+(* Per-message-kind distribution: counts and totals plus a payload-size and
+   a priced-cost histogram.  Both share {!Obs.Histogram.default_edges} — the
+   size one directly (payloads are powers of two up to the block size), the
+   cost one through {!Network.msg_cost} applied to those same edges, which
+   keeps the two tables bucket-for-bucket comparable.  The trace does not
+   record the cost model it ran under, so pricing uses [Network.default] —
+   the parameters every repro command runs with. *)
+type kind_acc = {
+  mutable mc : int;
+  mutable mb : int;
+  bytes_h : Obs.Histogram.t;
+  cost_h : Obs.Histogram.t;
+}
+
+let cost_edges = Array.map (fun b -> Network.msg_cost Network.default ~bytes:(int_of_float b)) Obs.Histogram.default_edges
+
 type acc = {
   by_type : (string, int ref) Hashtbl.t;
-  msg_by_kind : (string, (int * int) ref) Hashtbl.t;  (* count, bytes *)
+  msg_by_kind : (string, kind_acc) Hashtbl.t;
   mutable lines : int;
   mutable unparsed : int;
   mutable read_faults : int;
@@ -78,12 +96,21 @@ let add acc line =
             match Hashtbl.find_opt acc.msg_by_kind kind with
             | Some r -> r
             | None ->
-                let r = ref (0, 0) in
+                let r =
+                  {
+                    mc = 0;
+                    mb = 0;
+                    bytes_h = Obs.Histogram.make Obs.Histogram.default_edges;
+                    cost_h = Obs.Histogram.make cost_edges;
+                  }
+                in
                 Hashtbl.add acc.msg_by_kind kind r;
                 r
           in
-          let c, b = !cell in
-          cell := (c + 1, b + bytes)
+          cell.mc <- cell.mc + 1;
+          cell.mb <- cell.mb + bytes;
+          Obs.Histogram.observe cell.bytes_h (float_of_int bytes);
+          Obs.Histogram.observe cell.cost_h (Network.msg_cost Network.default ~bytes)
       | "fault" ->
           if string_field line "kind" = Some "write" then
             acc.write_faults <- acc.write_faults + 1
@@ -113,13 +140,25 @@ let render acc =
        (List.map
           (fun (ty, n) -> [ ty; string_of_int n ])
           (sorted_assoc acc.by_type (fun r -> !r))));
-  let msgs = sorted_assoc acc.msg_by_kind (fun r -> !r) in
+  let msgs = sorted_assoc acc.msg_by_kind Fun.id in
   if msgs <> [] then begin
     Buffer.add_char b '\n';
     Buffer.add_string b
-      (Ascii.table ~header:[ "msg kind"; "msgs"; "bytes" ]
+      (Ascii.table
+         ~header:
+           [ "msg kind"; "msgs"; "bytes"; "B p50"; "B p95"; "cost(us)"; "us p50"; "us p95" ]
          (List.map
-            (fun (kind, (c, bytes)) -> [ kind; string_of_int c; string_of_int bytes ])
+            (fun (kind, k) ->
+              [
+                kind;
+                string_of_int k.mc;
+                string_of_int k.mb;
+                Printf.sprintf "%.0f" (Obs.Histogram.quantile k.bytes_h 0.5);
+                Printf.sprintf "%.0f" (Obs.Histogram.quantile k.bytes_h 0.95);
+                Printf.sprintf "%.0f" (Obs.Histogram.sum k.cost_h);
+                Printf.sprintf "%.1f" (Obs.Histogram.quantile k.cost_h 0.5);
+                Printf.sprintf "%.1f" (Obs.Histogram.quantile k.cost_h 0.95);
+              ])
             msgs))
   end;
   Buffer.add_char b '\n';

@@ -2,9 +2,12 @@
 
     Reads the single-line JSON objects written by
     {!Ccdsm_tempest.Trace.jsonl_sink} and renders aggregate tables: event
-    counts by type, message count/volume by kind, fault and presend totals.
-    The parser only understands that fixed, flat format — it is a reporting
-    aid, not a general JSON reader. *)
+    counts by type, message count/volume/size/priced-cost distributions by
+    kind (payload-size histograms on {!Ccdsm_obs.Obs.Histogram.default_edges}
+    and cost histograms on the same edges mapped through
+    {!Ccdsm_tempest.Network.msg_cost} under [Network.default]), fault and
+    presend totals.  The parser only understands that fixed, flat format —
+    it is a reporting aid, not a general JSON reader. *)
 
 val of_channel : in_channel -> string
 (** Consume the channel to EOF and render the summary. *)

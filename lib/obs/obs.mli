@@ -37,6 +37,11 @@ module Histogram : sig
   val default_edges : float array
   (** Powers of two, 1 .. 128. *)
 
+  val make : float array -> t
+  (** A standalone histogram (registry-free — offline summarizers use this).
+      @raise Invalid_argument unless the edges are non-empty and strictly
+      increasing. *)
+
   val observe : t -> float -> unit
   (** Count [x] in the first bucket whose upper edge is [>= x]; values above
       the last edge land in the overflow bucket. *)

@@ -1,0 +1,494 @@
+module Ascii = Ccdsm_util.Ascii
+
+type span = {
+  id : int;
+  track : int;
+  cat : string;
+  name : string;
+  t0 : float;
+  dur : float;
+  parent : int;
+  flow_dst : int;
+  seg : int;
+}
+
+type segment = {
+  seg_id : int;
+  label : string;
+  s_t0 : float;
+  s_t1 : float;
+  node_bucket : float array;
+  node_kind : float array;
+  fill : float array;
+}
+
+type crit = {
+  c_seg : segment;
+  c_node : int;
+  c_len : float;
+  c_bucket : float array;
+  c_kind : float array;
+}
+
+type t = {
+  t_nodes : int;
+  t_buckets : string array;
+  t_kinds : string array;
+  nb : int;
+  nk : int;
+  mutable sp : span array;
+  mutable nsp : int;
+  mutable tot : float array;  (* t_nodes * nb *)
+  mutable acc : float array;  (* open segment, t_nodes * nb *)
+  mutable acc_kind : float array;  (* t_nodes * nk *)
+  mutable acc_fill : float array;  (* t_nodes *)
+  mutable segs : segment list;  (* newest first *)
+  mutable nsegs : int;
+  mutable seg_t0 : float;
+}
+
+let dummy_span =
+  { id = -1; track = -1; cat = ""; name = ""; t0 = 0.0; dur = 0.0; parent = -1; flow_dst = -1; seg = 0 }
+
+let create ~nodes ~buckets ~kinds =
+  if nodes <= 0 then invalid_arg "Timeline.create: nodes must be positive";
+  let nb = Array.length buckets and nk = Array.length kinds in
+  if nb = 0 then invalid_arg "Timeline.create: no buckets";
+  {
+    t_nodes = nodes;
+    t_buckets = buckets;
+    t_kinds = kinds;
+    nb;
+    nk;
+    sp = Array.make 64 dummy_span;
+    nsp = 0;
+    tot = Array.make (nodes * nb) 0.0;
+    acc = Array.make (nodes * nb) 0.0;
+    acc_kind = Array.make (nodes * max nk 1) 0.0;
+    acc_fill = Array.make nodes 0.0;
+    segs = [];
+    nsegs = 0;
+    seg_t0 = 0.0;
+  }
+
+let nodes t = t.t_nodes
+let bucket_names t = t.t_buckets
+let kind_names t = t.t_kinds
+
+let push t s =
+  if t.nsp = Array.length t.sp then begin
+    let bigger = Array.make (2 * t.nsp) dummy_span in
+    Array.blit t.sp 0 bigger 0 t.nsp;
+    t.sp <- bigger
+  end;
+  t.sp.(t.nsp) <- s;
+  t.nsp <- t.nsp + 1
+
+let span t ~track ~cat ~name ~t0 ~dur ?(parent = -1) ?(flow_dst = -1) () =
+  let id = t.nsp in
+  push t { id; track; cat; name; t0; dur; parent; flow_dst; seg = t.nsegs };
+  id
+
+let add_charge t ~node ~bucket ~us =
+  let i = (node * t.nb) + bucket in
+  t.tot.(i) <- t.tot.(i) +. us;
+  t.acc.(i) <- t.acc.(i) +. us
+
+let add_fill t ~node ~bucket ~us =
+  let i = (node * t.nb) + bucket in
+  t.tot.(i) <- t.tot.(i) +. us;
+  t.acc_fill.(node) <- t.acc_fill.(node) +. us
+
+let add_compute t ~node ~us ~count =
+  (* One addition per simulated word access: replays the machine's
+     left-associated compute charges so totals stay bit-identical. *)
+  let i = node * t.nb in
+  for _ = 1 to count do
+    t.tot.(i) <- t.tot.(i) +. us
+  done;
+  for _ = 1 to count do
+    t.acc.(i) <- t.acc.(i) +. us
+  done
+
+let add_kind_cost t ~node ~kind ~cost =
+  let i = (node * t.nk) + kind in
+  t.acc_kind.(i) <- t.acc_kind.(i) +. cost
+
+let seal t ~label ~t1 =
+  let seg =
+    {
+      seg_id = t.nsegs;
+      label;
+      s_t0 = t.seg_t0;
+      s_t1 = t1;
+      node_bucket = t.acc;
+      node_kind = t.acc_kind;
+      fill = t.acc_fill;
+    }
+  in
+  t.segs <- seg :: t.segs;
+  t.nsegs <- t.nsegs + 1;
+  t.acc <- Array.make (t.t_nodes * t.nb) 0.0;
+  t.acc_kind <- Array.make (t.t_nodes * max t.nk 1) 0.0;
+  t.acc_fill <- Array.make t.t_nodes 0.0;
+  t.seg_t0 <- t1
+
+let reset t =
+  t.sp <- Array.make 64 dummy_span;
+  t.nsp <- 0;
+  Array.fill t.tot 0 (Array.length t.tot) 0.0;
+  Array.fill t.acc 0 (Array.length t.acc) 0.0;
+  Array.fill t.acc_kind 0 (Array.length t.acc_kind) 0.0;
+  Array.fill t.acc_fill 0 (Array.length t.acc_fill) 0.0;
+  t.segs <- [];
+  t.nsegs <- 0;
+  t.seg_t0 <- 0.0
+
+let total t ~node ~bucket = t.tot.((node * t.nb) + bucket)
+let nspans t = t.nsp
+
+let span_end t id =
+  if id < 0 || id >= t.nsp then neg_infinity
+  else
+    let s = t.sp.(id) in
+    s.t0 +. s.dur
+let spans t = Array.to_list (Array.sub t.sp 0 t.nsp)
+let segments t = List.rev t.segs
+
+(* -- critical paths ------------------------------------------------------- *)
+
+let crit_of t seg =
+  let best = ref (-1) and best_len = ref 0.0 in
+  for n = 0 to t.t_nodes - 1 do
+    let len = ref 0.0 in
+    for b = 0 to t.nb - 1 do
+      len := !len +. seg.node_bucket.((n * t.nb) + b)
+    done;
+    if !len > !best_len then begin
+      best := n;
+      best_len := !len
+    end
+  done;
+  let n = !best in
+  {
+    c_seg = seg;
+    c_node = n;
+    c_len = !best_len;
+    c_bucket =
+      (if n < 0 then Array.make t.nb 0.0 else Array.sub seg.node_bucket (n * t.nb) t.nb);
+    c_kind = (if n < 0 then Array.make t.nk 0.0 else Array.sub seg.node_kind (n * t.nk) t.nk);
+  }
+
+let critical_paths t = List.map (crit_of t) (segments t)
+
+(* -- rendering ------------------------------------------------------------ *)
+
+let summary t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "timeline: %d spans on %d tracks, %d segments\n\n" t.nsp (t.t_nodes + 1)
+       t.nsegs);
+  let by_cat = Hashtbl.create 8 in
+  for i = 0 to t.nsp - 1 do
+    let c = t.sp.(i).cat in
+    match Hashtbl.find_opt by_cat c with
+    | Some r -> incr r
+    | None -> Hashtbl.add by_cat c (ref 1)
+  done;
+  let cats =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) by_cat []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Buffer.add_string b
+    (Ascii.table ~header:[ "span"; "count" ]
+       (List.map (fun (c, n) -> [ c; string_of_int n ]) cats));
+  let crits = critical_paths t in
+  if crits <> [] then begin
+    Buffer.add_char b '\n';
+    let f v = Printf.sprintf "%.1f" v in
+    let top_kinds c =
+      let pairs = ref [] in
+      Array.iteri (fun k cost -> if cost > 0.0 then pairs := (t.t_kinds.(k), cost) :: !pairs) c.c_kind;
+      let sorted =
+        List.sort (fun (ka, a) (kb, b) -> compare (b, ka) (a, kb)) !pairs
+      in
+      match sorted with
+      | [] -> "-"
+      | l ->
+          List.filteri (fun i _ -> i < 2) l
+          |> List.map (fun (k, v) -> Printf.sprintf "%s:%s" k (f v))
+          |> String.concat " "
+    in
+    Buffer.add_string b
+      (Ascii.table
+         ~header:
+           ([ "segment"; "wall us"; "node"; "crit us" ]
+           @ Array.to_list t.t_buckets
+           @ [ "top msg kinds" ])
+         (List.map
+            (fun c ->
+              [
+                c.c_seg.label;
+                f (c.c_seg.s_t1 -. c.c_seg.s_t0);
+                (if c.c_node < 0 then "-" else string_of_int c.c_node);
+                f c.c_len;
+              ]
+              @ List.map f (Array.to_list c.c_bucket)
+              @ [ top_kinds c ])
+            crits))
+  end;
+  Buffer.contents b
+
+(* -- serialization -------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fstr = Obs.float_to_string
+
+let to_chrome t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  Buffer.add_string b "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"ccdsm\"}}";
+  for n = 0 to t.t_nodes - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"node %d\"}}"
+         n n)
+  done;
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"machine\"}}"
+       t.t_nodes);
+  for i = 0 to t.nsp - 1 do
+    let s = t.sp.(i) in
+    if s.dur > 0.0 then
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"id\":%d,\"parent\":%d,\"seg\":%d}}"
+           (json_escape s.name) (json_escape s.cat) s.track s.t0 s.dur s.id s.parent s.seg)
+    else
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"args\":{\"id\":%d,\"parent\":%d,\"seg\":%d}}"
+           (json_escape s.name) (json_escape s.cat) s.track s.t0 s.id s.parent s.seg);
+    if s.flow_dst >= 0 then begin
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n{\"name\":\"flow\",\"cat\":\"%s\",\"ph\":\"s\",\"id\":%d,\"pid\":0,\"tid\":%d,\"ts\":%.3f}"
+           (json_escape s.cat) s.id s.track s.t0);
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n{\"name\":\"flow\",\"cat\":\"%s\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"pid\":0,\"tid\":%d,\"ts\":%.3f}"
+           (json_escape s.cat) s.id s.flow_dst (s.t0 +. s.dur))
+    end
+  done;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let farray a = "[" ^ String.concat "," (List.map fstr (Array.to_list a)) ^ "]"
+let sarray a =
+  "[" ^ String.concat "," (List.map (fun s -> "\"" ^ json_escape s ^ "\"") (Array.to_list a)) ^ "]"
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"type\":\"timeline\",\"version\":1,\"nodes\":%d,\"buckets\":%s,\"kinds\":%s}\n"
+       t.t_nodes (sarray t.t_buckets) (sarray t.t_kinds));
+  for i = 0 to t.nsp - 1 do
+    let s = t.sp.(i) in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"type\":\"span\",\"id\":%d,\"track\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"t0\":%s,\"dur\":%s,\"parent\":%d,\"flow\":%d,\"seg\":%d}\n"
+         s.id s.track (json_escape s.cat) (json_escape s.name) (fstr s.t0) (fstr s.dur) s.parent
+         s.flow_dst s.seg)
+  done;
+  List.iter
+    (fun seg ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"type\":\"segment\",\"id\":%d,\"label\":\"%s\",\"t0\":%s,\"t1\":%s,\"node_bucket\":%s,\"node_kind\":%s,\"fill\":%s}\n"
+           seg.seg_id (json_escape seg.label) (fstr seg.s_t0) (fstr seg.s_t1)
+           (farray seg.node_bucket) (farray seg.node_kind) (farray seg.fill)))
+    (segments t);
+  Buffer.add_string b (Printf.sprintf "{\"type\":\"totals\",\"node_bucket\":%s}\n" (farray t.tot));
+  Buffer.contents b
+
+(* -- parsing (naive field extraction over our own fixed dialect) ---------- *)
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None else if String.sub line i m = pat then Some (i + m) else go (i + 1)
+  in
+  go 0
+
+let str_field line key =
+  match find_sub line ("\"" ^ key ^ "\":\"") with
+  | None -> None
+  | Some j ->
+      let buf = Buffer.create 16 in
+      let n = String.length line in
+      let rec go i =
+        if i >= n then None
+        else
+          match line.[i] with
+          | '"' -> Some (Buffer.contents buf)
+          | '\\' when i + 1 < n ->
+              (match line.[i + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | c -> Buffer.add_char buf c);
+              go (i + 2)
+          | c ->
+              Buffer.add_char buf c;
+              go (i + 1)
+      in
+      go j
+
+let num_field line key =
+  match find_sub line ("\"" ^ key ^ "\":") with
+  | None -> None
+  | Some j ->
+      let n = String.length line in
+      let k = ref j in
+      while
+        !k < n
+        && (match line.[!k] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+      do
+        incr k
+      done;
+      if !k = j then None else float_of_string_opt (String.sub line j (!k - j))
+
+let int_field line key = Option.map int_of_float (num_field line key)
+
+let split_top s =
+  (* split a bracket-free comma-separated body *)
+  if String.trim s = "" then []
+  else String.split_on_char ',' s
+
+let float_array_field line key =
+  match find_sub line ("\"" ^ key ^ "\":[") with
+  | None -> None
+  | Some j -> (
+      match String.index_from_opt line j ']' with
+      | None -> None
+      | Some k ->
+          let items = split_top (String.sub line j (k - j)) in
+          let ok = ref true in
+          let a =
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   match float_of_string_opt (String.trim s) with
+                   | Some v -> v
+                   | None ->
+                       ok := false;
+                       0.0)
+                 items)
+          in
+          if !ok then Some a else None)
+
+let str_array_field line key =
+  match find_sub line ("\"" ^ key ^ "\":[") with
+  | None -> None
+  | Some j -> (
+      match String.index_from_opt line j ']' with
+      | None -> None
+      | Some k ->
+          let items = split_top (String.sub line j (k - j)) in
+          let strip s =
+            let s = String.trim s in
+            if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' then
+              Some (String.sub s 1 (String.length s - 2))
+            else None
+          in
+          let parsed = List.filter_map strip items in
+          if List.length parsed = List.length items then Some (Array.of_list parsed) else None)
+
+let of_jsonl content =
+  let lines = String.split_on_char '\n' content |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | [] -> Error "empty timeline (no lines)"
+  | header :: rest -> (
+      match
+        ( str_field header "type",
+          int_field header "nodes",
+          str_array_field header "buckets",
+          str_array_field header "kinds" )
+      with
+      | Some "timeline", Some nodes, Some buckets, Some kinds -> (
+          let t = create ~nodes ~buckets ~kinds in
+          let err = ref None in
+          let fail line msg = if !err = None then err := Some (Printf.sprintf "%s: %s" msg line) in
+          List.iter
+            (fun line ->
+              match str_field line "type" with
+              | Some "span" -> (
+                  match
+                    ( int_field line "id",
+                      int_field line "track",
+                      str_field line "cat",
+                      str_field line "name",
+                      num_field line "t0",
+                      num_field line "dur",
+                      int_field line "parent",
+                      int_field line "flow",
+                      int_field line "seg" )
+                  with
+                  | ( Some id,
+                      Some track,
+                      Some cat,
+                      Some name,
+                      Some t0,
+                      Some dur,
+                      Some parent,
+                      Some flow_dst,
+                      Some seg ) ->
+                      push t { id; track; cat; name; t0; dur; parent; flow_dst; seg }
+                  | _ -> fail line "bad span line")
+              | Some "segment" -> (
+                  match
+                    ( int_field line "id",
+                      str_field line "label",
+                      num_field line "t0",
+                      num_field line "t1",
+                      float_array_field line "node_bucket",
+                      float_array_field line "node_kind",
+                      float_array_field line "fill" )
+                  with
+                  | Some seg_id, Some label, Some s_t0, Some s_t1, Some nb, Some nk, Some fl ->
+                      t.segs <- { seg_id; label; s_t0; s_t1; node_bucket = nb; node_kind = nk; fill = fl } :: t.segs;
+                      t.nsegs <- t.nsegs + 1;
+                      t.seg_t0 <- s_t1
+                  | _ -> fail line "bad segment line")
+              | Some "totals" -> (
+                  match float_array_field line "node_bucket" with
+                  | Some a when Array.length a = Array.length t.tot -> t.tot <- a
+                  | _ -> fail line "bad totals line")
+              | _ -> fail line "not a timeline line")
+            rest;
+          match !err with Some e -> Error e | None -> Ok t)
+      | _ -> Error "not a timeline file (missing header line)")
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      if String.trim content = "" then Error (Printf.sprintf "%s: empty timeline file" path)
+      else
+        Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (of_jsonl content)

@@ -1,7 +1,28 @@
 open Ccdsm_util
 module Network = Ccdsm_tempest.Network
+module Machine = Ccdsm_tempest.Machine
 module Schedule = Ccdsm_core.Schedule
 module Bulk = Ccdsm_proto.Bulk
+
+(* Time buckets, in the [Machine.all_buckets] order profile bucket arrays
+   use.  The model prices only the two protocol buckets: Compute is
+   block-size invariant by construction, and Synch (barrier skew) rides the
+   actual-minus-priced residual like background traffic does. *)
+let nmb = List.length Machine.all_buckets
+
+let bucket_index bk =
+  let rec go i = function
+    | [] -> assert false
+    | b :: rest -> if b = bk then i else go (i + 1) rest
+  in
+  go 0 Machine.all_buckets
+
+let wait_idx = bucket_index Machine.Remote_wait
+let pre_idx = bucket_index Machine.Presend
+
+(* Mirror of [Engine.serialization_factor]: overlapped invalidations cost
+   one round trip plus injection overhead per extra message. *)
+let serialization_factor = 0.25
 
 type protocol =
   | Stache
@@ -29,6 +50,7 @@ type seg_pred = {
   bytes : int;
   msgs_total : int;
   bytes_total : int;
+  bucket_us : float array;
 }
 
 type prediction = {
@@ -39,6 +61,8 @@ type prediction = {
   presends : int;
   msgs : int;
   bytes : int;
+  p_bucket_us : float array;
+  p_wall_us : float;
 }
 
 exception Err of string
@@ -274,13 +298,17 @@ let build_layout (f : flat) ~wpb_t =
 
 type dirent = Excl of int | Shared of Nodeset.t
 
-(* Raw per-segment replay results (protocol traffic only). *)
+(* Raw per-segment replay results: protocol traffic, plus the priced time
+   that traffic charges to the two protocol buckets (mirroring the engine's
+   and the predictive protocol's charge formulas). *)
 type seg_raw = {
   mutable r_rf : int;
   mutable r_wf : int;
   mutable r_gr : int;
   mutable r_msgs : int;
   mutable r_bytes : int;
+  mutable r_wait : float;  (* priced Remote_wait, summed over nodes, us *)
+  mutable r_pre : float;  (* priced Presend, summed over nodes, us *)
 }
 
 let tag_inv = '\000'
@@ -294,7 +322,8 @@ let log2_exact n =
   done;
   !s
 
-let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
+let replay (p : Profile.t) (f : flat) ~net ~per_block_us ~record_us ~block_bytes ~protocol =
+  let ctrl = net.Network.ctrl_bytes in
   let wpb_t = block_bytes / 8 in
   let wpb_shift = log2_exact wpb_t in
   let l = build_layout f ~wpb_t in
@@ -317,39 +346,74 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
         Hashtbl.add schedules phase s;
         s
   in
-  let cur = { r_rf = 0; r_wf = 0; r_gr = 0; r_msgs = 0; r_bytes = 0 } in
+  let cur = { r_rf = 0; r_wf = 0; r_gr = 0; r_msgs = 0; r_bytes = 0; r_wait = 0.0; r_pre = 0.0 } in
   let count n by =
     cur.r_msgs <- cur.r_msgs + n;
     cur.r_bytes <- cur.r_bytes + by
   in
+  (* Pricing mirrors of [Engine]'s cost expressions (demand traffic lands in
+     Remote_wait) and the predictive protocol's (presend traffic lands in
+     Presend). *)
+  let wait c = cur.r_wait <- cur.r_wait +. c in
+  let pre c = cur.r_pre <- cur.r_pre +. c in
+  let mc by = Network.msg_cost net ~bytes:by in
   let demand_read node b =
+    wait net.Network.fault_us;
     let h = l.l_homes.(b) in
     match dir.(b) with
     | Shared readers ->
-        if node <> h then count 2 (ctrl + bb);
+        if node <> h then begin
+          count 2 (ctrl + bb);
+          wait (mc ctrl +. mc bb)
+        end;
         set_tag node b tag_ro;
         dir.(b) <- Shared (Nodeset.add node readers)
     | Excl o ->
-        if o = h || node = h then count 2 (ctrl + bb) else count 4 (2 * (ctrl + bb));
+        if o = h || node = h then begin
+          count 2 (ctrl + bb);
+          wait (mc ctrl +. mc bb)
+        end
+        else begin
+          count 4 (2 * (ctrl + bb));
+          wait ((2.0 *. mc ctrl) +. (2.0 *. mc bb))
+        end;
         set_tag o b tag_ro;
         set_tag node b tag_ro;
         dir.(b) <- Shared (Nodeset.add node (Nodeset.singleton o))
   in
   let demand_write node b =
+    wait net.Network.fault_us;
     let h = l.l_homes.(b) in
     match dir.(b) with
     | Excl o ->
-        if o = h || node = h then count 2 (ctrl + bb) else count 4 (2 * (ctrl + bb));
+        if o = h || node = h then begin
+          count 2 (ctrl + bb);
+          wait (mc ctrl +. mc bb)
+        end
+        else begin
+          count 4 (2 * (ctrl + bb));
+          wait ((2.0 *. mc ctrl) +. (2.0 *. mc bb))
+        end;
         set_tag o b tag_inv;
         set_tag node b tag_rw;
         dir.(b) <- Excl node
     | Shared readers ->
         let had_copy = Nodeset.mem node readers in
-        if node <> h then count 2 (ctrl + if had_copy then ctrl else bb);
+        if node <> h then begin
+          count 2 (ctrl + if had_copy then ctrl else bb);
+          wait (mc ctrl +. mc (if had_copy then ctrl else bb))
+        end;
         let others = Nodeset.remove node readers in
         let remote = Nodeset.remove h others in
         let k = Nodeset.cardinal remote in
-        if k > 0 then count (2 * k) (2 * k * ctrl);
+        if k > 0 then begin
+          count (2 * k) (2 * k * ctrl);
+          (* Overlapped invalidations: one round trip plus injection
+             overhead per extra message (Engine.invalidate_holders). *)
+          wait
+            ((2.0 *. mc ctrl)
+            +. (serialization_factor *. net.Network.msg_startup_us *. float_of_int (k - 1)))
+        end;
         Nodeset.iter (fun r -> set_tag r b tag_inv) others;
         set_tag node b tag_rw;
         dir.(b) <- Excl node
@@ -360,6 +424,14 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
     | Stache, _ | _, None -> ()
     | Predictive _, Some sched when Schedule.cardinal sched = 0 -> ()
     | Predictive { coalesce; conflict_action }, Some sched ->
+        (* Per-node Presend charges of this flush.  The protocol ends every
+           flush with a barrier into the Presend bucket, which lifts every
+           node to the slowest node's time plus the barrier cost — so the
+           bucket's total delta is nodes * (max per-node charge + barrier
+           cost), not the plain sum of charges.  All flush charges land on
+           home nodes (the home pays for every leg it waits on). *)
+        let flushq = Array.make nnodes 0.0 in
+        let at_home h c = flushq.(h) <- flushq.(h) +. c in
         let recall : (int * int, int list ref) Hashtbl.t = Hashtbl.create 16 in
         let inval : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
         let data : (int * int, int list ref) Hashtbl.t = Hashtbl.create 16 in
@@ -373,6 +445,7 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
           match Hashtbl.find_opt q key with Some r -> incr r | None -> Hashtbl.add q key (ref 1)
         in
         Schedule.iter_sorted sched (fun b mark ->
+            at_home l.l_homes.(b) per_block_us;
             let h = l.l_homes.(b) in
             let mark =
               match (mark, conflict_action) with
@@ -429,19 +502,26 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
         in
         let sorted_keys q = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) q []) in
         List.iter
-          (fun key ->
+          (fun ((_, h) as key) ->
             let blocks = !(Hashtbl.find recall key) in
             count 1 ctrl;
-            List.iter (fun by -> count 1 by) (block_list_msgs blocks))
+            at_home h (mc ctrl);
+            List.iter
+              (fun by ->
+                count 1 by;
+                at_home h (mc by))
+              (block_list_msgs blocks))
           (sorted_keys recall);
         List.iter
-          (fun key ->
+          (fun ((h, _) as key) ->
             let k = !(Hashtbl.find inval key) in
             count 1 (ctrl + (4 * k));
-            count 1 ctrl)
+            at_home h (mc (ctrl + (4 * k)));
+            count 1 ctrl;
+            at_home h (mc ctrl))
           (sorted_keys inval);
         List.iter
-          (fun key ->
+          (fun ((h, _) as key) ->
             let blocks = !(Hashtbl.find data key) in
             let extra =
               match Hashtbl.find_opt grant_only key with
@@ -450,13 +530,22 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
                   4 * !r
               | None -> 0
             in
-            List.iteri (fun i by -> count 1 (if i = 0 then by + extra else by)) (block_list_msgs blocks))
+            List.iteri
+              (fun i by ->
+                let by = if i = 0 then by + extra else by in
+                count 1 by;
+                at_home h (mc by))
+              (block_list_msgs blocks))
           (sorted_keys data);
         List.iter
-          (fun key ->
+          (fun ((h, _) as key) ->
             let k = !(Hashtbl.find grant_only key) in
-            count 1 (ctrl + (4 * k)))
-          (sorted_keys grant_only)
+            count 1 (ctrl + (4 * k));
+            at_home h (mc (ctrl + (4 * k))))
+          (sorted_keys grant_only);
+        (* The closing barrier of flush_presend. *)
+        let mx = Array.fold_left max 0.0 flushq in
+        pre (float_of_int nnodes *. (mx +. Network.barrier_cost net ~nodes:nnodes))
   in
   let predictive = match protocol with Predictive _ -> true | Stache -> false in
   Array.mapi
@@ -466,6 +555,8 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
       cur.r_gr <- 0;
       cur.r_msgs <- 0;
       cur.r_bytes <- 0;
+      cur.r_wait <- 0.0;
+      cur.r_pre <- 0.0;
       if predictive && s.Profile.presend && s.Profile.phase >= 0 then presend s.Profile.phase;
       let record = predictive && s.Profile.record && s.Profile.phase >= 0 in
       let sched = if record then Some (schedule_for s.Profile.phase) else None in
@@ -499,7 +590,9 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
                 cur.r_wf <- cur.r_wf + 1;
                 demand_write node b;
                 match sched with
-                | Some sc -> Schedule.record_write sc b ~writer:node
+                | Some sc ->
+                    wait record_us;
+                    Schedule.record_write sc b ~writer:node
                 | None -> ()
               end
             end
@@ -507,7 +600,9 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
               cur.r_rf <- cur.r_rf + 1;
               demand_read node b;
               match sched with
-              | Some sc -> Schedule.record_read sc b ~reader:node
+              | Some sc ->
+                  wait record_us;
+                  Schedule.record_read sc b ~reader:node
               | None -> ()
             end
           end
@@ -538,7 +633,9 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
                    cur.r_wf <- cur.r_wf + 1;
                    demand_write node b;
                    match sched with
-                   | Some sc -> Schedule.record_write sc b ~writer:node
+                   | Some sc ->
+                    wait record_us;
+                    Schedule.record_write sc b ~writer:node
                    | None -> ()
                  end
                end
@@ -546,7 +643,9 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
                  cur.r_rf <- cur.r_rf + 1;
                  demand_read node b;
                  match sched with
-                 | Some sc -> Schedule.record_read sc b ~reader:node
+                 | Some sc ->
+                  wait record_us;
+                  Schedule.record_read sc b ~reader:node
                  | None -> ()
                end);
               (* Within a single run (one node, one op) every later word
@@ -578,7 +677,15 @@ let replay (p : Profile.t) (f : flat) ~ctrl ~block_bytes ~protocol =
           i := !i + ev_stride
         end
       done;
-      { r_rf = cur.r_rf; r_wf = cur.r_wf; r_gr = cur.r_gr; r_msgs = cur.r_msgs; r_bytes = cur.r_bytes })
+      {
+        r_rf = cur.r_rf;
+        r_wf = cur.r_wf;
+        r_gr = cur.r_gr;
+        r_msgs = cur.r_msgs;
+        r_bytes = cur.r_bytes;
+        r_wait = cur.r_wait;
+        r_pre = cur.r_pre;
+      })
     p.Profile.segments
 
 (* -- prediction ---------------------------------------------------------- *)
@@ -587,14 +694,15 @@ let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 type predictor = {
   pr_profile : Profile.t;
-  pr_ctrl : int;
+  pr_net : Network.t;
+  pr_per_block_us : float;
+  pr_record_us : float;
   pr_protocol : protocol;
   pr_flat : flat;
   pr_base : seg_raw array;  (* baseline replay at the profiled geometry *)
 }
 
-let prepare (p : Profile.t) ~net ~protocol =
-  let ctrl = net.Network.ctrl_bytes in
+let prepare ?(per_block_us = 1.0) ?(record_us = 2.0) (p : Profile.t) ~net ~protocol =
   (* The baseline replay at the profiled geometry under the profiled
      protocol anchors the per-segment residual: actual traffic minus
      replayed protocol traffic = background (reductions) that the model
@@ -617,20 +725,33 @@ let prepare (p : Profile.t) ~net ~protocol =
       match
         let flat = flatten p in
         let base =
-          replay p flat ~ctrl ~block_bytes:p.Profile.block_bytes ~protocol:base_protocol
+          replay p flat ~net ~per_block_us ~record_us ~block_bytes:p.Profile.block_bytes
+            ~protocol:base_protocol
         in
         (flat, base)
       with
       | exception Err msg -> Error msg
       | flat, base ->
-          Ok { pr_profile = p; pr_ctrl = ctrl; pr_protocol = protocol; pr_flat = flat; pr_base = base })
+          Ok
+            {
+              pr_profile = p;
+              pr_net = net;
+              pr_per_block_us = per_block_us;
+              pr_record_us = record_us;
+              pr_protocol = protocol;
+              pr_flat = flat;
+              pr_base = base;
+            })
 
-let eval ?(fudge_faults = 0) pr ~block_bytes =
+let eval ?(fudge_faults = 0) ?(fudge_wait_us = 0.0) pr ~block_bytes =
   if block_bytes < 8 || not (is_pow2 block_bytes) then
     Error (Printf.sprintf "block size %d: must be a power of two >= 8" block_bytes)
   else
     let p = pr.pr_profile in
-    match replay p pr.pr_flat ~ctrl:pr.pr_ctrl ~block_bytes ~protocol:pr.pr_protocol with
+    match
+      replay p pr.pr_flat ~net:pr.pr_net ~per_block_us:pr.pr_per_block_us
+        ~record_us:pr.pr_record_us ~block_bytes ~protocol:pr.pr_protocol
+    with
     | exception Err msg -> Error msg
     | target ->
         let base = pr.pr_base in
@@ -638,6 +759,23 @@ let eval ?(fudge_faults = 0) pr ~block_bytes =
           Array.mapi
             (fun i (s : Profile.segment) ->
               let t = target.(i) and b = base.(i) in
+              (* Predicted bucket time = the profiled run's actual bucket
+                 time, shifted by the priced-traffic delta between the
+                 target and base replays.  At the profiled geometry the
+                 delta is identically zero (same code, same inputs), so the
+                 prediction degenerates to the actuals bit-for-bit; the
+                 unpriced residual (compute, barrier skew, per-task
+                 overhead) is carried over unchanged, mirroring the
+                 msgs_total traffic carryover. *)
+              let bucket_us =
+                Array.init nmb (fun bi ->
+                    let priced_t, priced_b =
+                      if bi = wait_idx then (t.r_wait +. fudge_wait_us, b.r_wait)
+                      else if bi = pre_idx then (t.r_pre, b.r_pre)
+                      else (0.0, 0.0)
+                    in
+                    s.Profile.a_bucket_us.(bi) +. (priced_t -. priced_b))
+              in
               {
                 pseq = s.Profile.seq;
                 pphase = s.Profile.phase;
@@ -649,10 +787,15 @@ let eval ?(fudge_faults = 0) pr ~block_bytes =
                 bytes = t.r_bytes;
                 msgs_total = t.r_msgs + (s.Profile.a_msgs - b.r_msgs);
                 bytes_total = t.r_bytes + (s.Profile.a_bytes - b.r_bytes);
+                bucket_us;
               })
             p.Profile.segments
         in
         let sum f = Array.fold_left (fun acc s -> acc + f s) 0 segs in
+        let p_bucket_us =
+          Array.init nmb (fun bi ->
+              Array.fold_left (fun acc s -> acc +. s.bucket_us.(bi)) p.Profile.out_bucket_us.(bi) segs)
+        in
         Ok
           {
             p_block_bytes = block_bytes;
@@ -662,12 +805,16 @@ let eval ?(fudge_faults = 0) pr ~block_bytes =
             presends = sum (fun s -> s.presends);
             msgs = sum (fun s -> s.msgs_total) + p.Profile.out_msgs;
             bytes = sum (fun s -> s.bytes_total) + p.Profile.out_bytes;
+            p_bucket_us;
+            p_wall_us =
+              Array.fold_left ( +. ) 0.0 p_bucket_us /. float_of_int p.Profile.nodes;
           }
 
-let predict ?fudge_faults (p : Profile.t) ~net ~block_bytes ~protocol =
+let predict ?fudge_faults ?fudge_wait_us ?per_block_us ?record_us (p : Profile.t) ~net
+    ~block_bytes ~protocol =
   if block_bytes < 8 || not (is_pow2 block_bytes) then
     Error (Printf.sprintf "block size %d: must be a power of two >= 8" block_bytes)
   else
-    match prepare p ~net ~protocol with
+    match prepare ?per_block_us ?record_us p ~net ~protocol with
     | Error e -> Error e
-    | Ok pr -> eval ?fudge_faults pr ~block_bytes
+    | Ok pr -> eval ?fudge_faults ?fudge_wait_us pr ~block_bytes

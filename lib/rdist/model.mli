@@ -26,7 +26,17 @@
     so and to tight bands elsewhere.  Traffic that does not pass through
     the coherence protocol (reduction trees, barriers) is block-size
     invariant; it is carried over from the profile's actuals as a
-    per-segment residual. *)
+    per-segment residual.
+
+    The replay also {e prices} the traffic it predicts, mirroring the
+    engine's charge formulas (fault overhead, per-leg message costs,
+    overlapped invalidations) into the Remote_wait bucket and the predictive
+    protocol's (schedule-scan, recording and flush costs) into Presend.
+    Predicted wall-clock bucket times are then
+    [actual_base + (priced_target - priced_base)]: everything the pricing
+    does not cover — compute, barrier skew, per-task overhead — rides over
+    as the actual-minus-priced residual, and at the profiled geometry the
+    prediction degenerates to the profiled actuals bit-for-bit. *)
 
 module Network = Ccdsm_tempest.Network
 
@@ -55,6 +65,10 @@ type seg_pred = {
   bytes : int;
   msgs_total : int;  (** residual-corrected: protocol + carried-over background *)
   bytes_total : int;
+  bucket_us : float array;
+      (** predicted time per bucket, summed over nodes, [Machine.all_buckets]
+          order: the segment's profiled actuals shifted by the priced-traffic
+          delta between target and base geometry *)
 }
 
 type prediction = {
@@ -65,6 +79,13 @@ type prediction = {
   presends : int;
   msgs : int;  (** residual-corrected run total, incl. between-segment traffic *)
   bytes : int;
+  p_bucket_us : float array;
+      (** predicted run-total time per bucket, summed over nodes (segments
+          plus between-segment carryover), microseconds *)
+  p_wall_us : float;
+      (** predicted wall clock: mean node time = sum of [p_bucket_us] over
+          buckets divided by the node count (the final barrier equalizes
+          node times, so mean bucket time sums to the wall clock) *)
 }
 
 type predictor
@@ -75,21 +96,38 @@ type predictor
     few-millisecond operation on six-figure event counts. *)
 
 val prepare :
-  Profile.t -> net:Network.t -> protocol:protocol -> (predictor, string) result
+  ?per_block_us:float ->
+  ?record_us:float ->
+  Profile.t ->
+  net:Network.t ->
+  protocol:protocol ->
+  (predictor, string) result
 (** Compile [p] for predictions under [protocol].  [net] supplies the
-    control-message size.  [Error] on a malformed profile (events
+    control-message size and the pricing cost parameters; [per_block_us]
+    and [record_us] (defaults 1.0 and 2.0, matching
+    [Predictive.create]) price the predictive protocol's schedule-scan and
+    fault-recording overheads.  [Error] on a malformed profile (events
     referencing unallocated addresses, heap-mirror divergence) or a profile
     collected under a protocol the model cannot replay. *)
 
-val eval : ?fudge_faults:int -> predictor -> block_bytes:int -> (prediction, string) result
+val eval :
+  ?fudge_faults:int ->
+  ?fudge_wait_us:float ->
+  predictor ->
+  block_bytes:int ->
+  (prediction, string) result
 (** One replay of the prepared profile at [block_bytes].  [fudge_faults]
-    perturbs every segment's predicted read faults by the given amount — a
-    deliberate model-corruption knob for the harness's negative test (a
+    perturbs every segment's predicted read faults and [fudge_wait_us]
+    every segment's predicted Remote_wait time by the given amount —
+    deliberate model-corruption knobs for the harness's negative tests (a
     wrong model must fail cross-validation).  [Error] on an invalid block
     size (must be a power of two >= 8). *)
 
 val predict :
   ?fudge_faults:int ->
+  ?fudge_wait_us:float ->
+  ?per_block_us:float ->
+  ?record_us:float ->
   Profile.t ->
   net:Network.t ->
   block_bytes:int ->

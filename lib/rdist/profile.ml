@@ -20,6 +20,7 @@ type segment = {
   a_msgs : int;
   a_bytes : int;
   a_presends : int;
+  a_bucket_us : float array;
   events : event array;
   rdist : hist array;
 }
@@ -32,8 +33,13 @@ type t = {
   arena_blocks : int;
   out_msgs : int;
   out_bytes : int;
+  out_bucket_us : float array;
   segments : segment array;
 }
+
+(* Machine time buckets, in [Machine.all_buckets] order. *)
+let machine_buckets = Machine.all_buckets
+let nmb = List.length machine_buckets
 
 (* -- collection --------------------------------------------------------- *)
 
@@ -97,16 +103,33 @@ type collector = {
   mutable base_msgs : int;
   mutable base_bytes : int;
   mutable base_presends : int;
+  base_bucket : float array;  (* nmb bucket-time sums at segment open *)
   mutable closed_msgs : int;  (* snapshot at last segment close *)
   mutable closed_bytes : int;
+  closed_bucket : float array;
   mutable out_msgs : int;
   mutable out_bytes : int;
+  out_bucket : float array;
 }
 
 let counters c =
   let k = Machine.total_counters c.machine in
   let presends = match c.sample_presends with Some f -> f () | None -> 0 in
   (k.Machine.read_faults + k.Machine.write_faults, k.Machine.msgs, k.Machine.bytes, presends)
+
+(* Whole-machine time-bucket sums (over nodes), the same left-to-right node
+   order as the stats table, so segment deltas subtract exactly. *)
+let bucket_sums c =
+  let a = Array.make nmb 0.0 in
+  List.iteri
+    (fun i b ->
+      let total = ref 0.0 in
+      for node = 0 to c.nnodes - 1 do
+        total := !total +. Machine.bucket_time c.machine ~node b
+      done;
+      a.(i) <- !total)
+    machine_buckets;
+  a
 
 let ensure_ev c n =
   if c.ev_len + n > Array.length c.ev then begin
@@ -162,6 +185,11 @@ let open_segment c ~presend =
      (reductions, barriers): block-size-invariant background traffic. *)
   c.out_msgs <- c.out_msgs + (msgs - c.closed_msgs);
   c.out_bytes <- c.out_bytes + (bytes - c.closed_bytes);
+  let bt = bucket_sums c in
+  for i = 0 to nmb - 1 do
+    c.out_bucket.(i) <- c.out_bucket.(i) +. (bt.(i) -. c.closed_bucket.(i))
+  done;
+  Array.blit bt 0 c.base_bucket 0 nmb;
   c.base_faults <- faults;
   c.base_msgs <- msgs;
   c.base_bytes <- bytes;
@@ -171,6 +199,7 @@ let open_segment c ~presend =
 let close_segment c =
   flush_run c;
   let faults, msgs, bytes, presends = counters c in
+  let bt = bucket_sums c in
   let events =
     Array.init (c.ev_len / 5) (fun i ->
         let j = i * 5 in
@@ -218,6 +247,7 @@ let close_segment c =
       a_msgs = msgs - c.base_msgs;
       a_bytes = bytes - c.base_bytes;
       a_presends = presends - c.base_presends;
+      a_bucket_us = Array.init nmb (fun i -> bt.(i) -. c.base_bucket.(i));
       events;
       rdist = Array.of_list !rdist;
     }
@@ -226,6 +256,7 @@ let close_segment c =
   c.segs <- seg :: c.segs;
   c.closed_msgs <- msgs;
   c.closed_bytes <- bytes;
+  Array.blit bt 0 c.closed_bucket 0 nmb;
   c.open_ <- false
 
 let prof_access c ~node ~addr ~write =
@@ -344,15 +375,19 @@ let attach ?sample_presends ~app ~protocol ~arena_blocks machine =
       base_msgs = 0;
       base_bytes = 0;
       base_presends = 0;
+      base_bucket = Array.make nmb 0.0;
       closed_msgs = 0;
       closed_bytes = 0;
+      closed_bucket = Array.make nmb 0.0;
       out_msgs = 0;
       out_bytes = 0;
+      out_bucket = Array.make nmb 0.0;
     }
   in
   let _, msgs, bytes, _ = counters c in
   c.closed_msgs <- msgs;
   c.closed_bytes <- bytes;
+  Array.blit (bucket_sums c) 0 c.closed_bucket 0 nmb;
   Machine.set_profiler machine
     (Some
        {
@@ -370,6 +405,10 @@ let finish c =
   let _, msgs, bytes, _ = counters c in
   c.out_msgs <- c.out_msgs + (msgs - c.closed_msgs);
   c.out_bytes <- c.out_bytes + (bytes - c.closed_bytes);
+  let bt = bucket_sums c in
+  for i = 0 to nmb - 1 do
+    c.out_bucket.(i) <- c.out_bucket.(i) +. (bt.(i) -. c.closed_bucket.(i))
+  done;
   {
     app = c.capp;
     protocol = c.cprotocol;
@@ -378,6 +417,7 @@ let finish c =
     arena_blocks = c.carena_blocks;
     out_msgs = c.out_msgs;
     out_bytes = c.out_bytes;
+    out_bucket_us = Array.copy c.out_bucket;
     segments = Array.of_list (List.rev c.segs);
   }
 
@@ -405,15 +445,32 @@ let esc b s =
     s;
   Buffer.add_char b '"'
 
+(* Round-trip-exact float literal: the shortest of %.12g / %.17g that parses
+   back to the same value, so saved profiles reload bit-for-bit. *)
+let float_str v =
+  let s = Printf.sprintf "%.12g" v in
+  if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let bucket_us_json b a =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (float_str v))
+    a;
+  Buffer.add_char b ']'
+
 let to_json p =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"version\":1,\"app\":";
+  Buffer.add_string b "{\"version\":2,\"app\":";
   esc b p.app;
   Buffer.add_string b ",\"protocol\":";
   esc b p.protocol;
   Printf.bprintf b ",\"nodes\":%d,\"block_bytes\":%d,\"arena_blocks\":%d" p.nodes p.block_bytes
     p.arena_blocks;
-  Printf.bprintf b ",\"outside\":{\"msgs\":%d,\"bytes\":%d}" p.out_msgs p.out_bytes;
+  Printf.bprintf b ",\"outside\":{\"msgs\":%d,\"bytes\":%d,\"bucket_us\":" p.out_msgs p.out_bytes;
+  bucket_us_json b p.out_bucket_us;
+  Buffer.add_char b '}';
   Buffer.add_string b ",\"segments\":[";
   Array.iteri
     (fun i (s : segment) ->
@@ -425,6 +482,8 @@ let to_json p =
       Printf.bprintf b ",\"reads\":%d,\"writes\":%d" s.reads s.writes;
       Printf.bprintf b ",\"faults\":%d,\"msgs\":%d,\"bytes\":%d,\"presends\":%d" s.a_faults s.a_msgs
         s.a_bytes s.a_presends;
+      Buffer.add_string b ",\"bucket_us\":";
+      bucket_us_json b s.a_bucket_us;
       Buffer.add_string b ",\"ev\":[";
       Array.iteri
         (fun j e ->
@@ -451,8 +510,9 @@ let to_json p =
   Buffer.contents b
 
 (* Minimal recursive-descent parser for the subset emitted above: objects,
-   arrays, strings, integers, booleans. *)
-type jv = O of (string * jv) list | A of jv list | I of int | S of string | B of bool
+   arrays, strings, integers, floats, booleans.  Integer counters parse to
+   [I] (exact); only numbers written with a '.' or exponent parse to [F]. *)
+type jv = O of (string * jv) list | A of jv list | I of int | F of float | S of string | B of bool
 
 exception Bad of string
 
@@ -541,9 +601,27 @@ let parse_json s =
           incr pos
         done;
         if !pos = start || (s.[start] = '-' && !pos = start + 1) then fail "bad number";
-        if !pos < n && (s.[!pos] = '.' || s.[!pos] = 'e' || s.[!pos] = 'E') then
-          fail "non-integer number";
-        I (int_of_string (String.sub s start (!pos - start)))
+        if !pos < n && (s.[!pos] = '.' || s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+          if s.[!pos] = '.' then begin
+            incr pos;
+            let digits = !pos in
+            while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+              incr pos
+            done;
+            if !pos = digits then fail "bad number"
+          end;
+          if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+            incr pos;
+            if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then incr pos;
+            let digits = !pos in
+            while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+              incr pos
+            done;
+            if !pos = digits then fail "bad number"
+          end;
+          F (float_of_string (String.sub s start (!pos - start)))
+        end
+        else I (int_of_string (String.sub s start (!pos - start)))
     | _ -> fail "unexpected character"
   and value_string () =
     skip ();
@@ -593,6 +671,11 @@ let field name = function
   | _ -> raise (Bad (Printf.sprintf "expected object for field %S" name))
 
 let as_int name = function I i -> i | _ -> raise (Bad (Printf.sprintf "field %S: expected int" name))
+
+let as_float name = function
+  | I i -> float_of_int i
+  | F f -> f
+  | _ -> raise (Bad (Printf.sprintf "field %S: expected number" name))
 let as_str name = function
   | S s -> s
   | _ -> raise (Bad (Printf.sprintf "field %S: expected string" name))
@@ -608,6 +691,12 @@ let as_arr name = function
 let int_field j name = as_int name (field name j)
 let str_field j name = as_str name (field name j)
 let bool_field j name = as_bool name (field name j)
+
+let bucket_field j =
+  let l = List.map (as_float "bucket_us") (as_arr "bucket_us" (field "bucket_us" j)) in
+  if List.length l <> nmb then
+    raise (Bad (Printf.sprintf "field \"bucket_us\": expected %d entries" nmb));
+  Array.of_list l
 
 let decode_events l =
   let cells = List.map (as_int "ev") l in
@@ -643,6 +732,7 @@ let decode_segment j =
     a_msgs = int_field j "msgs";
     a_bytes = int_field j "bytes";
     a_presends = int_field j "presends";
+    a_bucket_us = bucket_field j;
     events = decode_events (as_arr "ev" (field "ev" j));
     rdist = Array.of_list (List.map decode_hist (as_arr "rdist" (field "rdist" j)));
   }
@@ -651,7 +741,7 @@ let of_json s =
   match
     let j = parse_json s in
     let version = int_field j "version" in
-    if version <> 1 then raise (Bad (Printf.sprintf "unsupported profile version %d" version));
+    if version <> 2 then raise (Bad (Printf.sprintf "unsupported profile version %d" version));
     {
       app = str_field j "app";
       protocol = str_field j "protocol";
@@ -660,6 +750,7 @@ let of_json s =
       arena_blocks = int_field j "arena_blocks";
       out_msgs = int_field (field "outside" j) "msgs";
       out_bytes = int_field (field "outside" j) "bytes";
+      out_bucket_us = bucket_field (field "outside" j);
       segments = Array.of_list (List.map decode_segment (as_arr "segments" (field "segments" j)));
     }
   with

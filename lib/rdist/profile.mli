@@ -14,14 +14,17 @@
     - per segment and node, reuse-distance histograms over cache blocks at
       the profiled geometry ({!Stack_dist}); and
     - the profiled run's actual per-segment counter deltas (faults, messages,
-      bytes, presend grants), which anchor cross-validation and supply the
-      block-size-invariant traffic residual (reductions, barriers).
+      bytes, presend grants) and per-segment time-bucket deltas (summed over
+      nodes, microseconds), which anchor cross-validation, supply the
+      block-size-invariant traffic residual (reductions, barriers), and base
+      the wall-clock cost model ({!Model.eval}).
 
     Collection hooks into the machine through
     {!Ccdsm_tempest.Machine.set_profiler} — the [profiled] fast-path flag —
     and is pure observation: a profiled run produces byte-identical simulated
-    results.  The JSON encoding is canonical (fixed key order, integers
-    only, one line per segment), so equal profiles are equal bytes. *)
+    results.  The JSON encoding is canonical (fixed key order, round-trip
+    float literals, one line per segment), so equal profiles are equal
+    bytes. *)
 
 module Machine = Ccdsm_tempest.Machine
 
@@ -52,6 +55,9 @@ type segment = {
   a_msgs : int;
   a_bytes : int;
   a_presends : int;  (** presend grants delta (0 without a sampler) *)
+  a_bucket_us : float array;
+      (** time-bucket deltas over the segment, summed over nodes, in
+          [Machine.all_buckets] order (microseconds) *)
   events : event array;
   rdist : hist array;
 }
@@ -64,6 +70,8 @@ type t = {
   arena_blocks : int;  (** shared-heap arena refill, in blocks *)
   out_msgs : int;  (** traffic between segments (reductions, barriers) *)
   out_bytes : int;
+  out_bucket_us : float array;
+      (** time charged between segments, summed over nodes, per bucket *)
   segments : segment array;
 }
 
@@ -98,8 +106,10 @@ val collect :
 (** {1 Canonical JSON} *)
 
 val to_json : t -> string
-(** Canonical encoding: fixed key order, integers and strings only, one
-    line per segment.  Byte-stable: equal profiles encode identically. *)
+(** Canonical encoding: fixed key order, one line per segment.  Counters are
+    integers; bucket times are round-trip-exact float literals (shortest of
+    [%.12g]/[%.17g] that reparses to the same value), so a saved profile
+    reloads bit-for-bit.  Byte-stable: equal profiles encode identically. *)
 
 val of_json : string -> (t, string) result
 val save : string -> t -> unit

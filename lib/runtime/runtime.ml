@@ -43,6 +43,7 @@ type t = {
   mutable phases_run : int;
   mutable tasks_dispatched : int;
   mutable task_charged_us : float;
+  mutable phase_sites : phase list;  (* newest first; every make_phase *)
   obs : Obs.Registry.t option;  (* = Machine.obs machine, for phase spans *)
 }
 
@@ -79,6 +80,7 @@ let create ?cfg ?(task_us = 1.0) ?(presend_coalesce = true) ?(conflict_action = 
     phases_run = 0;
     tasks_dispatched = 0;
     task_charged_us = 0.0;
+    phase_sites = [];
     obs = Machine.obs machine;
   }
 
@@ -92,7 +94,14 @@ let nodes t = Machine.num_nodes t.machine
 let make_phase t ~name ~scheduled =
   let id = t.next_phase in
   t.next_phase <- id + 1;
-  { id; pname = name; scheduled }
+  let p = { id; pname = name; scheduled } in
+  t.phase_sites <- p :: t.phase_sites;
+  p
+
+let phase_sites t = List.rev t.phase_sites
+
+let phase_name_of_id t id =
+  List.find_map (fun p -> if p.id = id then Some p.pname else None) t.phase_sites
 
 let phase_name p = p.pname
 let phase_id p = p.id

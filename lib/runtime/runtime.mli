@@ -80,6 +80,13 @@ val phase_name : phase -> string
 val phase_id : phase -> int
 val phase_scheduled : phase -> bool
 
+val phase_sites : t -> phase list
+(** Every phase declared with {!make_phase}, in declaration (= id) order —
+    the static phase table, for reports that map phase ids back to names. *)
+
+val phase_name_of_id : t -> int -> string option
+(** Look up a declared phase's name by id. *)
+
 val flush_phase : t -> phase -> unit
 (** Flush the accumulated communication schedule for [phase] (applications
     whose pattern changed with many deletions rebuild from scratch). *)

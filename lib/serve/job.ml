@@ -2,7 +2,7 @@ module Faults = Ccdsm_tempest.Faults
 module Fnv = Ccdsm_util.Fnv
 
 type spec = {
-  kind : [ `Sim | `Predict ];
+  kind : [ `Sim | `Predict | `Timeline ];
   app : string;
   protocol : string;
   nodes : int;
@@ -199,8 +199,20 @@ let parse line =
           match str "kind" with
           | None | Some "sim" -> `Sim
           | Some "predict" -> `Predict
-          | Some other -> bad "\"kind\" must be \"sim\" or \"predict\" (got %S)" other
+          | Some "timeline" -> `Timeline
+          | Some other ->
+              bad "\"kind\" must be \"sim\", \"predict\" or \"timeline\" (got %S)" other
         in
+        (* A timeline job queries daemon state (the slow-job ring), so it
+           takes no simulation parameters: anything beyond id/kind is a
+           mistake worth flagging rather than silently ignoring. *)
+        if kind = `Timeline then
+          List.iter
+            (fun (k, _) ->
+              if k <> "id" && k <> "kind" then
+                bad "timeline jobs take no %S (only \"id\" and \"kind\")" k)
+            fields;
+        let require_str key = if kind = `Timeline then "" else require_str key in
         let app = require_str "app" in
         let protocol = require_str "protocol" in
         let nodes = int_opt "nodes" ~default:8 1 Ccdsm_util.Nodeset.max_nodes in
@@ -269,7 +281,8 @@ let canonical spec =
      content addresses) are unchanged from before the key existed. *)
   (match spec.kind with
   | `Sim -> ()
-  | `Predict -> Buffer.add_string buf ",\"kind\":\"predict\"");
+  | `Predict -> Buffer.add_string buf ",\"kind\":\"predict\""
+  | `Timeline -> Buffer.add_string buf ",\"kind\":\"timeline\"");
   Buffer.add_string buf (Printf.sprintf ",\"migratory_threshold\":%d" spec.migratory_threshold);
   Buffer.add_string buf (Printf.sprintf ",\"nodes\":%d" spec.nodes);
   Buffer.add_string buf ",\"protocol\":";
@@ -287,4 +300,5 @@ let digest spec = Fnv.digest_string (canonical spec)
    (or collide with) a simulation of the same configuration, and operators
    can tell the two apart in logs. *)
 let key spec =
-  (match spec.kind with `Sim -> "" | `Predict -> "predict:") ^ Fnv.to_hex (digest spec)
+  (match spec.kind with `Sim -> "" | `Predict -> "predict:" | `Timeline -> "timeline:")
+  ^ Fnv.to_hex (digest spec)

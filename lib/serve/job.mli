@@ -17,12 +17,16 @@
     spec never tears the service down). *)
 
 type spec = {
-  kind : [ `Sim | `Predict ];
+  kind : [ `Sim | `Predict | `Timeline ];
       (** ["sim"] (default) runs the simulation; ["predict"] answers from
           the reuse-distance analytical model ({!Ccdsm_rdist.Model}) using a
           per-(app, nodes, scale) profile cached daemon-side — cold builds
           the profile with one instrumented run, warm is microseconds.
-          Predict keys live in their own ["predict:"] cache namespace. *)
+          Predict keys live in their own ["predict:"] cache namespace.
+          ["timeline"] takes no simulation parameters (only [id]) and
+          returns the daemon's bounded ring of slow-job span timelines
+          ({!Runner.slow_jobs_json}); it queries server state, so it is
+          answered inline and never cached. *)
   app : string;  (** application name, matched case-insensitively *)
   protocol : string;  (** a {!Ccdsm_proto.Registry} name *)
   nodes : int;  (** in [1, Nodeset.max_nodes] (default 8) *)

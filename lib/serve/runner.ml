@@ -2,6 +2,9 @@ module Experiments = Ccdsm_harness.Experiments
 module Proto_diff = Ccdsm_harness.Proto_diff
 module Machine = Ccdsm_tempest.Machine
 module Network = Ccdsm_tempest.Network
+module Timecap = Ccdsm_tempest.Timecap
+module Faults = Ccdsm_tempest.Faults
+module Timeline = Ccdsm_obs.Timeline
 module Runtime = Ccdsm_runtime.Runtime
 module Shared_heap = Ccdsm_runtime.Shared_heap
 module Profile = Ccdsm_rdist.Profile
@@ -45,10 +48,16 @@ let lookup_app ?apps (spec : Job.spec) =
   | Some row -> Ok row
 
 let prepare ?apps (spec : Job.spec) =
+  if spec.kind = `Timeline then
+    (* The daemon answers timeline queries inline from the slow ring; one
+       reaching the runner means a caller skipped that path. *)
+    Error "timeline jobs are answered by the daemon, not the runner"
+  else
   match lookup_app ?apps spec with
   | Error msg -> Error msg
   | Ok (app_name, check_races, run_app) -> (
       match spec.kind with
+      | `Timeline -> assert false
       | `Sim -> (
           (* Mirrors the CLI's exit-124 diagnostic: [protocol_of_name]'s error
              already lists every registered name. *)
@@ -156,15 +165,26 @@ let grid_for (p : pred) =
 
 (* -- result rendering ------------------------------------------------------ *)
 
+let latency_json buckets =
+  (* Alphabetical keys, like the rest of the result object. *)
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (name, us) -> Printf.sprintf "%s:%s" (Job.escape_to_json name) (Obs.float_to_string us))
+         (List.sort (fun (a, _) (b, _) -> compare a b) buckets))
+  ^ "}"
+
 let result_json (report : Proto_diff.report) =
   match report.rows with
   | [ row ] ->
       Printf.sprintf
-        "{\"app\":%s,\"block_bytes\":%d,\"bytes\":%d,\"checksum\":%s,\"digest\":\"%s\",\"msgs\":%d,\"nodes\":%d,\"protocol\":%s,\"remote_misses\":%d,\"total_us\":%s}"
+        "{\"app\":%s,\"block_bytes\":%d,\"bytes\":%d,\"checksum\":%s,\"digest\":\"%s\",\"latency\":%s,\"msgs\":%d,\"nodes\":%d,\"protocol\":%s,\"remote_misses\":%d,\"total_us\":%s}"
         (Job.escape_to_json report.app)
         report.block_bytes row.bytes
         (Obs.float_to_string row.checksum)
-        (Fnv.to_hex row.digest) row.msgs report.nodes
+        (Fnv.to_hex row.digest)
+        (latency_json row.Proto_diff.buckets)
+        row.msgs report.nodes
         (Job.escape_to_json row.protocol)
         row.remote_misses
         (Obs.float_to_string row.total_us)
@@ -192,3 +212,82 @@ let execute = function
               failwith
                 (Printf.sprintf "predict: block size %d outside the precomputed design space"
                    p.p_spec.block_bytes)))
+
+(* -- slow-job timeline ring -------------------------------------------------
+   When the daemon flags a job as slow (--slow-ms), the whole point of the
+   flag is to answer "where did the time go?" — so the runner captures a
+   causal span timeline for it.  Collecting timelines on the hot path would
+   tax every job for the benefit of the slow few; instead the simulation is
+   deterministic, so a slow job is re-run once with the [Timecap] collector
+   attached and the result parked in a small newest-first ring, retrievable
+   with a [{"kind":"timeline"}] job.  Predict jobs are microseconds warm and
+   answer from a table — re-timing them would time the cache, so only sim
+   jobs are recorded. *)
+
+type slow_entry = {
+  s_key : string;
+  s_canonical : string;  (** the job's canonical spec (a JSON object) *)
+  s_run_ms : float;  (** the original (not re-run) wall-clock cost *)
+  s_wall_us : float;  (** simulated wall clock of the captured run *)
+  s_spans : int;
+  s_exact : bool;  (** the collector's residual check came back empty *)
+  s_timeline : string;  (** [Timeline.to_jsonl] of the captured run *)
+}
+
+let slow_ring_max = 8
+let slow_mutex = Mutex.create ()
+let slow_ring : slow_entry list ref = ref []
+
+let slow_jobs () =
+  Mutex.lock slow_mutex;
+  let entries = !slow_ring in
+  Mutex.unlock slow_mutex;
+  entries
+
+let record_slow ~key ~run_ms = function
+  | Predict _ -> ()
+  | Sim p ->
+      let spec = p.spec in
+      let cfg =
+        Machine.default_config ~num_nodes:spec.nodes ~block_bytes:spec.block_bytes
+          ~step_jobs:spec.step_jobs ()
+      in
+      let rt =
+        Runtime.create ~cfg ~migratory_threshold:spec.migratory_threshold ~sanitize:true
+          ~check_races:p.check_races ~protocol:p.protocol ()
+      in
+      let m = Runtime.machine rt in
+      (match spec.faults with
+      | None -> ()
+      | Some plan -> Machine.set_faults m (Some (Faults.create plan)));
+      let cap = Timecap.attach m in
+      ignore (p.run_app rt);
+      let tl = Timecap.finish cap in
+      let entry =
+        {
+          s_key = key;
+          s_canonical = Job.canonical spec;
+          s_run_ms = run_ms;
+          s_wall_us = Runtime.total_time rt;
+          s_spans = Timeline.nspans tl;
+          s_exact = Timecap.check cap = [];
+          s_timeline = Timeline.to_jsonl tl;
+        }
+      in
+      Mutex.lock slow_mutex;
+      let keep = List.filter (fun e -> e.s_key <> key) !slow_ring in
+      slow_ring :=
+        entry :: (if List.length keep >= slow_ring_max then List.filteri (fun i _ -> i < slow_ring_max - 1) keep else keep);
+      Mutex.unlock slow_mutex
+
+let slow_jobs_json () =
+  let entry_json e =
+    Printf.sprintf
+      "{\"exact\":%b,\"key\":\"%s\",\"run_ms\":%s,\"spans\":%d,\"spec\":%s,\"timeline\":%s,\"wall_us\":%s}"
+      e.s_exact e.s_key
+      (Obs.float_to_string e.s_run_ms)
+      e.s_spans e.s_canonical
+      (Job.escape_to_json e.s_timeline)
+      (Obs.float_to_string e.s_wall_us)
+  in
+  Printf.sprintf "{\"slow_jobs\":[%s]}" (String.concat "," (List.map entry_json (slow_jobs ())))

@@ -32,6 +32,7 @@ val prepare : ?apps:app list -> Job.spec -> (prepared, string) result
 val execute : prepared -> string
 (** Run the job and render the result record, a one-line JSON object with
     sorted keys.  Simulations: app, block_bytes, bytes, checksum, digest,
+    latency (the paper-bucket wall-clock decomposition, mean over nodes),
     msgs, nodes, protocol, remote_misses, total_us — floats via
     {!Ccdsm_obs.Obs.float_to_string}.  Predictions: app, block_bytes,
     bytes, faults, kind, msgs, nodes, presends, protocol — integers only.
@@ -47,3 +48,39 @@ val result_json : Ccdsm_harness.Proto_diff.report -> string
 val profile_count : unit -> int
 (** Number of reuse-distance profiles currently cached for predict jobs
     (exported as a gauge on the daemon's [/metrics]). *)
+
+(** {2 Slow-job timeline ring}
+
+    Collecting span timelines on the hot path would tax every job for the
+    benefit of the slow few, so the daemon instead re-runs a job flagged by
+    [--slow-ms] — the simulation is deterministic, so the re-run is the
+    run — with the {!Ccdsm_tempest.Timecap} collector attached, and parks
+    the captured timeline in a bounded newest-first ring. *)
+
+type slow_entry = {
+  s_key : string;
+  s_canonical : string;  (** the job's canonical spec (a JSON object) *)
+  s_run_ms : float;  (** the original (not re-run) wall-clock cost *)
+  s_wall_us : float;  (** simulated wall clock of the captured run *)
+  s_spans : int;
+  s_exact : bool;  (** the collector's residual check came back empty *)
+  s_timeline : string;  (** {!Ccdsm_obs.Timeline.to_jsonl} of the captured run *)
+}
+
+val slow_ring_max : int
+(** Ring capacity (8): enough to hold the current outliers, bounded so a
+    pathological workload cannot grow daemon memory without limit. *)
+
+val record_slow : key:string -> run_ms:float -> prepared -> unit
+(** Capture a timeline for a slow sim job (predict jobs are table lookups
+    and are ignored).  An entry with the same key is replaced; otherwise the
+    oldest entry is evicted at capacity. *)
+
+val slow_jobs : unit -> slow_entry list
+(** Ring contents, newest first. *)
+
+val slow_jobs_json : unit -> string
+(** The [{"kind":"timeline"}] response payload:
+    [{"slow_jobs":[...]}] with per-entry sorted keys (exact, key, run_ms,
+    spans, spec, timeline, wall_us); the timeline is the JSONL text as one
+    escaped string, ready to save and feed to [repro timeline]. *)

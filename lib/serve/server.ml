@@ -32,6 +32,8 @@ type config = {
   domains : int;
   max_pending : int;
   timeout_ms : float option;
+  log : string option;
+  slow_ms : float;
   apps : Runner.app list option;
 }
 
@@ -42,6 +44,8 @@ let default_config ~socket () =
     domains = Domain.recommended_domain_count ();
     max_pending = 256;
     timeout_ms = None;
+    log = None;
+    slow_ms = 0.0;
     apps = None;
   }
 
@@ -69,6 +73,10 @@ type t = {
   mutable stopped : bool;
   deadlines_mutex : Mutex.t;
   deadlines : (string, float) Hashtbl.t;
+  (* Request log: one JSONL record per answered request, written (and
+     flushed, so a tail is always live) under its own mutex. *)
+  log_mutex : Mutex.t;
+  log_oc : out_channel option;
   (* Metrics: a private registry; Obs instruments are not thread-safe on
      their own, so every update and snapshot holds [mm]. *)
   mm : Mutex.t;
@@ -80,6 +88,7 @@ type t = {
   cache_hit : Obs.Counter.t;
   cache_miss : Obs.Counter.t;
   cache_join : Obs.Counter.t;
+  slow_jobs : Obs.Counter.t;
   predict_jobs : Obs.Counter.t;
   predict_profiles : Obs.Gauge.t;
   abandoned : Obs.Counter.t;
@@ -112,6 +121,26 @@ let write_line conn line =
   Mutex.unlock conn.wmutex
 
 let id_lit = function Some s -> s | None -> "null"
+
+let status_of = function Result _ -> "ok" | Job_error _ -> "error" | Timeout -> "timeout"
+
+let log_job t ~id ~key ~cache ~queue_wait_us ~run_us ~slow status =
+  match t.log_oc with
+  | None -> ()
+  | Some oc ->
+      let line =
+        Printf.sprintf
+          "{\"cache\":%s,\"id\":%s,\"key\":%s,\"queue_wait_us\":%s,\"run_us\":%s,\"slow\":%b,\"status\":%s}"
+          (Job.escape_to_json cache) (id_lit id)
+          (match key with None -> "null" | Some k -> "\"" ^ k ^ "\"")
+          (Obs.float_to_string queue_wait_us)
+          (Obs.float_to_string run_us) slow (Job.escape_to_json status)
+      in
+      Mutex.lock t.log_mutex;
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock t.log_mutex
 
 let render ~id ~key ~kind outcome =
   match outcome with
@@ -195,15 +224,42 @@ let handle_line t conn line =
   if line = "" then ()
   else
     match Job.parse line with
-    | Error msg -> send_spec_error t conn ~id:None msg
+    | Error msg ->
+        send_spec_error t conn ~id:None msg;
+        log_job t ~id:None ~key:None ~cache:"none" ~queue_wait_us:0.0 ~run_us:0.0 ~slow:false
+          "error"
+    | Ok { id; spec } when spec.Job.kind = `Timeline ->
+        (* A state query, not a simulation: answered inline from the slow
+           ring, never queued or cached. *)
+        tick t (fun () -> Obs.Counter.inc t.req_ok);
+        write_line conn
+          (Printf.sprintf "{\"id\":%s,\"status\":\"ok\",\"result\":%s}" (id_lit id)
+             (Runner.slow_jobs_json ()));
+        log_job t ~id ~key:None ~cache:"timeline" ~queue_wait_us:0.0 ~run_us:0.0 ~slow:false
+          "ok"
     | Ok { id; spec } -> (
+        let t_arrive = Unix.gettimeofday () in
         if spec.Job.kind = `Predict then tick t (fun () -> Obs.Counter.inc t.predict_jobs);
         match Runner.prepare ?apps:t.cfg.apps spec with
-        | Error msg -> send_spec_error t conn ~id msg
+        | Error msg ->
+            send_spec_error t conn ~id msg;
+            log_job t ~id ~key:None ~cache:"none" ~queue_wait_us:0.0 ~run_us:0.0 ~slow:false
+              "error"
         | Ok prepared -> (
             let key = Job.key spec in
             let kind = ref "join" in
-            let deliver outcome = send t conn ~id ~key ~kind:!kind outcome in
+            (* Timings for the log record: the computing job fills these in
+               before [finish]; a joiner only knows how long it waited. *)
+            let queue_us = ref 0.0 and run_us = ref 0.0 and slow = ref false in
+            let deliver outcome =
+              send t conn ~id ~key ~kind:!kind outcome;
+              let queue_wait_us =
+                if !kind = "join" then (Unix.gettimeofday () -. t_arrive) *. 1e6
+                else !queue_us
+              in
+              log_job t ~id ~key:(Some key) ~cache:!kind ~queue_wait_us ~run_us:!run_us
+                ~slow:!slow (status_of outcome)
+            in
             let admit () =
               if Atomic.get t.admitted >= t.cfg.max_pending then false
               else begin
@@ -214,13 +270,19 @@ let handle_line t conn line =
             match Cache.lookup t.cache ~key ~admit ~deliver () with
             | Cache.Hit v ->
                 tick t (fun () -> Obs.Counter.inc t.cache_hit);
-                send t conn ~id ~key ~kind:"hit" v
+                send t conn ~id ~key ~kind:"hit" v;
+                log_job t ~id ~key:(Some key) ~cache:"hit" ~queue_wait_us:0.0 ~run_us:0.0
+                  ~slow:false (status_of v)
             | Cache.Joined -> tick t (fun () -> Obs.Counter.inc t.cache_join)
-            | Cache.Rejected -> send_rejected t conn ~id ~key
+            | Cache.Rejected ->
+                send_rejected t conn ~id ~key;
+                log_job t ~id ~key:(Some key) ~cache:"none" ~queue_wait_us:0.0 ~run_us:0.0
+                  ~slow:false "rejected"
             | Cache.Compute finish -> (
                 tick t (fun () -> Obs.Counter.inc t.cache_miss);
                 kind := "miss";
                 set_deadline t key;
+                let t_submit = Unix.gettimeofday () in
                 let job () =
                   if deadline_passed t key then begin
                     clear_deadline t key;
@@ -228,17 +290,29 @@ let handle_line t conn line =
                   end
                   else begin
                     let t0 = Unix.gettimeofday () in
+                    queue_us := (t0 -. t_submit) *. 1e6;
                     let outcome =
                       try Result (Runner.execute prepared)
                       with e -> Job_error (Printexc.to_string e)
                     in
                     let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                    run_us := dt_ms *. 1000.;
                     tick t (fun () -> Obs.Histogram.observe t.job_ms dt_ms);
+                    let is_slow =
+                      t.cfg.slow_ms > 0. && dt_ms >= t.cfg.slow_ms
+                      && match outcome with Result _ -> true | _ -> false
+                    in
+                    slow := is_slow;
+                    if is_slow then tick t (fun () -> Obs.Counter.inc t.slow_jobs);
                     clear_deadline t key;
                     if not (finish outcome) then
                       (* Cancelled while running: the waiters already got a
                          timeout record; the result is discarded. *)
                       tick t (fun () -> Obs.Counter.inc t.abandoned)
+                    else if is_slow then
+                      (* After [finish] so waiters are not held behind the
+                         capture re-run. *)
+                      try Runner.record_slow ~key ~run_ms:dt_ms prepared with _ -> ()
                   end;
                   Atomic.decr t.admitted
                 in
@@ -381,6 +455,11 @@ let start cfg =
       stopped = false;
       deadlines_mutex = Mutex.create ();
       deadlines = Hashtbl.create 64;
+      log_mutex = Mutex.create ();
+      log_oc =
+        Option.map
+          (fun path -> open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path)
+          cfg.log;
       mm = Mutex.create ();
       registry;
       req_ok = counter ~labels:[ ("status", "ok") ] "ccdsm_serve_requests_total";
@@ -390,6 +469,7 @@ let start cfg =
       cache_hit = counter ~labels:[ ("kind", "hit") ] "ccdsm_serve_cache_total";
       cache_miss = counter ~labels:[ ("kind", "miss") ] "ccdsm_serve_cache_total";
       cache_join = counter ~labels:[ ("kind", "join") ] "ccdsm_serve_cache_total";
+      slow_jobs = counter "ccdsm_serve_slow_jobs_total";
       predict_jobs = counter "ccdsm_serve_predict_jobs_total";
       predict_profiles = Obs.Registry.gauge registry "ccdsm_serve_predict_profiles";
       abandoned = counter "ccdsm_serve_jobs_abandoned_total";
@@ -441,6 +521,7 @@ let stop t =
       conns;
     (try Unix.close t.listen_fd with _ -> ());
     Option.iter (fun fd -> try Unix.close fd with _ -> ()) t.http_fd;
+    Option.iter (fun oc -> try close_out oc with _ -> ()) t.log_oc;
     match t.cfg.socket with `Unix path -> (try Unix.unlink path with _ -> ()) | `Tcp _ -> ()
   end
 
@@ -454,11 +535,14 @@ let run cfg =
     | `Unix path -> Printf.sprintf "unix:%s" path
     | `Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
   in
-  Printf.printf "ccdsm serve: listening on %s (%d domains, max_pending %d%s%s)\n%!" addr
+  Printf.printf "ccdsm serve: listening on %s (%d domains, max_pending %d%s%s%s%s)\n%!" addr
     cfg.domains cfg.max_pending
     (match cfg.timeout_ms with
     | Some ms -> Printf.sprintf ", timeout %sms" (Obs.float_to_string ms)
     | None -> "")
+    (if cfg.slow_ms > 0. then Printf.sprintf ", slow >= %sms" (Obs.float_to_string cfg.slow_ms)
+     else "")
+    (match cfg.log with Some path -> Printf.sprintf ", log %s" path | None -> "")
     (match t.http_port with Some p -> Printf.sprintf ", metrics http://127.0.0.1:%d/metrics" p | None -> "");
   while not (Atomic.get t.stopping) do
     Thread.delay 0.05

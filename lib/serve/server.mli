@@ -34,11 +34,21 @@ type config = {
   domains : int;  (** pool size *)
   max_pending : int;  (** admitted-jobs bound; overflow is rejected *)
   timeout_ms : float option;  (** per-job wall-clock timeout *)
+  log : string option;
+      (** structured request log: one JSONL record per answered request
+          (sorted keys: cache, id, key, queue_wait_us, run_us, slow,
+          status), appended and flushed per record so a tail is live *)
+  slow_ms : float;
+      (** jobs whose run time reaches this are flagged [slow:true] in the
+          log, counted on [ccdsm_serve_slow_jobs_total], and captured into
+          the {!Runner} slow-job timeline ring (retrievable with a
+          [{"kind":"timeline"}] job); [0] (the default) disables *)
   apps : Runner.app list option;  (** test override for the app table *)
 }
 
 val default_config : socket:[ `Unix of string | `Tcp of string * int ] -> unit -> config
-(** Recommended domain count, [max_pending] 256, no timeout, no HTTP. *)
+(** Recommended domain count, [max_pending] 256, no timeout, no HTTP, no
+    request log, slow-job flagging off. *)
 
 type t
 

@@ -72,6 +72,21 @@ type profiler = {
   prof_flush : phase:int -> unit;
 }
 
+(* Timeline hook (the causal-span collector).  The fourth observer family,
+   same immediate-flag contract as [profiled]: one [timed] test on the hot
+   paths, nothing else when off.  Unlike the profiler it observes *charges*
+   (the exact microsecond amounts entering the stats table), so a collector
+   that replays the same additions agrees with the stats table to the ULP. *)
+type timeline = {
+  tml_charge : node:int -> bucket -> us:float -> unit;
+      (** Called by {!charge} before the stats-table add — the collector can
+          still read the node's pre-charge clock. *)
+  tml_compute : node:int -> us:float -> count:int -> unit;
+      (** [count] repetitions of a [us] Compute charge (the word-at-a-time
+          access path and its batched range equivalent). *)
+  tml_reset : unit -> unit;  (** Mirror of {!reset_stats}. *)
+}
+
 module Obs = Ccdsm_obs.Obs
 module A1 = Bigarray.Array1
 
@@ -142,6 +157,8 @@ type t = {
   metered : bool;  (* = meters <> None, checked alongside [traced] *)
   mutable profiler : profiler option;
   mutable profiled : bool;  (* = profiler <> None, checked on every access *)
+  mutable timeline : timeline option;
+  mutable timed : bool;  (* = timeline <> None, checked on every charge *)
 }
 
 (* Tag bytes as stored in the flat tag table.  Literal so the per-access tag
@@ -240,6 +257,8 @@ let create cfg =
       metered = meters <> None;
       profiler = None;
       profiled = false;
+      timeline = None;
+      timed = false;
     }
   in
   (match sink with
@@ -295,6 +314,20 @@ let profile_phase t ~enter ~id ~name ~scheduled =
 
 let profile_flush t ~phase =
   match t.profiler with Some p -> p.prof_flush ~phase | None -> ()
+
+(* -- timeline ------------------------------------------------------------- *)
+
+let timed t = t.timed
+
+let set_timeline t tl =
+  t.timeline <- tl;
+  t.timed <- tl <> None
+
+let[@inline never] tml_charge_hook t ~node bucket ~us =
+  match t.timeline with Some h -> h.tml_charge ~node bucket ~us | None -> ()
+
+let[@inline never] tml_compute_hook t ~node ~us ~count =
+  match t.timeline with Some h -> h.tml_compute ~node ~us ~count | None -> ()
 let config t = t.cfg
 let num_nodes t = t.cfg.num_nodes
 let block_bytes t = t.cfg.block_bytes
@@ -416,6 +449,7 @@ let set_tag t ~node b tg =
 
 let charge t ~node bucket us =
   check_node t node;
+  if t.timed then tml_charge_hook t ~node bucket ~us;
   let i = (node lsl stat_shift) lor bucket_index bucket in
   A1.unsafe_set t.stats i (A1.unsafe_get t.stats i +. us)
 
@@ -545,7 +579,9 @@ let total_counters t =
   done;
   acc
 
-let reset_stats t = A1.fill t.stats 0.0
+let reset_stats t =
+  A1.fill t.stats 0.0;
+  match t.timeline with Some h -> h.tml_reset () | None -> ()
 
 (* -- data path ---------------------------------------------------------- *)
 
@@ -602,6 +638,7 @@ let read t ~node a =
   let i = node lsl stat_shift in
   A1.unsafe_set stats (i lor f_local_reads) (A1.unsafe_get stats (i lor f_local_reads) +. 1.0);
   A1.unsafe_set stats i (A1.unsafe_get stats i +. t.local_us);
+  if t.timed then tml_compute_hook t ~node ~us:t.local_us ~count:1;
   if t.traced then emit t (Trace.Access { node; addr = a; write = false; faulted });
   A1.unsafe_get t.mem a
 
@@ -615,6 +652,7 @@ let write t ~node a v =
   let i = node lsl stat_shift in
   A1.unsafe_set stats (i lor f_local_writes) (A1.unsafe_get stats (i lor f_local_writes) +. 1.0);
   A1.unsafe_set stats i (A1.unsafe_get stats i +. t.local_us);
+  if t.timed then tml_compute_hook t ~node ~us:t.local_us ~count:1;
   if t.traced then emit t (Trace.Access { node; addr = a; write = true; faulted });
   A1.unsafe_set t.mem a v
 
@@ -650,6 +688,7 @@ let read_range t ~node a dst =
       if t.traced then
         for k = !pos to stop - 1 do
           add_compute t node us;
+          if t.timed then tml_compute_hook t ~node ~us ~count:1;
           emit t (Trace.Access { node; addr = a + k; write = false; faulted = faulted && k = !pos })
         done
       else begin
@@ -661,7 +700,8 @@ let read_range t ~node a dst =
         for _ = !pos to stop - 1 do
           acc := !acc +. us
         done;
-        A1.unsafe_set times ti !acc
+        A1.unsafe_set times ti !acc;
+        if t.timed then tml_compute_hook t ~node ~us ~count:(stop - !pos)
       end;
       let mem = t.mem in
       for k = !pos to stop - 1 do
@@ -693,6 +733,7 @@ let write_range t ~node a src =
       if t.traced then
         for k = !pos to stop - 1 do
           add_compute t node us;
+          if t.timed then tml_compute_hook t ~node ~us ~count:1;
           emit t (Trace.Access { node; addr = a + k; write = true; faulted = faulted && k = !pos })
         done
       else begin
@@ -700,7 +741,8 @@ let write_range t ~node a src =
         for _ = !pos to stop - 1 do
           acc := !acc +. us
         done;
-        A1.unsafe_set times ti !acc
+        A1.unsafe_set times ti !acc;
+        if t.timed then tml_compute_hook t ~node ~us ~count:(stop - !pos)
       end;
       let mem = t.mem in
       for k = !pos to stop - 1 do

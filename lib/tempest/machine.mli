@@ -29,6 +29,10 @@ type bucket =
 val all_buckets : bucket list
 val bucket_name : bucket -> string
 
+val bucket_index : bucket -> int
+(** 0..3 in [all_buckets] order — the flat index used by the stats table and
+    the timeline collector. *)
+
 type config = {
   num_nodes : int;
   block_bytes : int;  (** power of two, >= 8 *)
@@ -172,6 +176,32 @@ val profile_phase : t -> enter:bool -> id:int -> name:string -> scheduled:bool -
 
 val profile_flush : t -> phase:int -> unit
 (** Forward a schedule flush to the profiler; called by the runtime. *)
+
+(** {1 Timeline charges}
+
+    The fourth observer family, used by the causal-span collector
+    ([Timecap]): one callback per bucket charge carrying the exact
+    microsecond amount entering the stats table, plus a batched callback for
+    the word-at-a-time Compute charges.  Same pay-for-what-you-use rule as
+    the profiler — with no timeline installed the hot paths only test one
+    flag, so an untimed run is byte-identical to the pre-timeline
+    simulator.  A collector that replays the callbacks' additions in arrival
+    order reproduces every bucket of the stats table bit-for-bit; [Timecap]
+    checks exactly that as its residual invariant. *)
+
+type timeline = {
+  tml_charge : node:int -> bucket -> us:float -> unit;
+      (** Called by {!charge} (faults, exchanges, presends, barriers,
+          explicit task charges) before the stats-table add, so the
+          collector can still read the node's pre-charge {!time}. *)
+  tml_compute : node:int -> us:float -> count:int -> unit;
+      (** [count] repetitions of a [us] Compute charge ({!read}/{!write} and
+          the range accessors' per-word expansion). *)
+  tml_reset : unit -> unit;  (** Called by {!reset_stats}. *)
+}
+
+val set_timeline : t -> timeline option -> unit
+val timed : t -> bool
 
 val emit : t -> Trace.event -> unit
 (** Publish an event to all subscribers (used by the protocol, schedule and

@@ -135,6 +135,35 @@ let test_render_figure () =
      let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
      go 0)
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_trace_summary_histograms () =
+  (* The per-kind table prices messages through Network.msg_cost and
+     reports histogram quantiles on shared edges. *)
+  let path = Filename.temp_file "ccdsm-trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        {|{"type":"msg","kind":"data","bytes":32}
+{"type":"msg","kind":"data","bytes":32}
+{"type":"msg","kind":"req","bytes":16}
+|};
+      close_out oc;
+      match Ccdsm_harness.Trace_summary.summarize_file path with
+      | Error msg -> Alcotest.fail msg
+      | Ok s ->
+          Alcotest.(check bool) "histogram columns" true
+            (contains s "B p50" && contains s "us p95");
+          (* 2 data msgs at 32B: total cost = 2 * msg_cost(32B). *)
+          let cost = Network.msg_cost Network.default ~bytes:32 in
+          Alcotest.(check bool) "priced total" true
+            (contains s (Printf.sprintf "%.0f" (2.0 *. cost))))
+
 let suite =
   [
     ( "harness.measure",
@@ -158,5 +187,6 @@ let suite =
         Alcotest.test_case "fig4 report" `Quick test_fig4_report;
         Alcotest.test_case "scale from env" `Quick test_scale_of_env;
         Alcotest.test_case "figure rendering" `Quick test_render_figure;
+        Alcotest.test_case "trace summary histograms" `Quick test_trace_summary_histograms;
       ] );
   ]

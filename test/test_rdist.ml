@@ -192,6 +192,14 @@ let test_validate_perturbed_fails () =
   let report = PC.validate ~quick:true ~fudge_faults:10 () in
   if report.PC.pass then Alcotest.fail "perturbed model passed cross-validation (bands have no teeth)"
 
+(* Same for the wall-clock side: shifting every segment's predicted
+   remote-wait time by a constant must trip the bucket bands and the
+   bit-for-bit base-block check. *)
+let test_validate_wall_perturbed_fails () =
+  let report = PC.validate ~quick:true ~fudge_wait_us:500.0 () in
+  if report.PC.pass then
+    Alcotest.fail "wait-perturbed model passed cross-validation (wall bands have no teeth)"
+
 let suite =
   [
     ( "rdist",
@@ -206,5 +214,7 @@ let suite =
         Alcotest.test_case "eval rejects bad block sizes" `Quick test_eval_rejects_bad_block;
         Alcotest.test_case "cross-validation quick grid passes" `Slow test_validate_quick_passes;
         Alcotest.test_case "perturbed model fails validation" `Slow test_validate_perturbed_fails;
+        Alcotest.test_case "wait-perturbed model fails validation" `Slow
+          test_validate_wall_perturbed_fails;
       ] );
   ]

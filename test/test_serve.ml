@@ -137,6 +137,18 @@ let test_job_parse_rejects () =
   reject "garbage" {|{"app":"w","protocol":"s"} trailing|} "trailing";
   reject "not json" {|water stache|} "expected"
 
+let test_job_parse_timeline () =
+  (match Job.parse {|{"kind":"timeline","id":9}|} with
+  | Ok { id; spec } ->
+      check Alcotest.bool "id echoed" true (id = Some "9");
+      check Alcotest.bool "timeline kind" true (spec.Job.kind = `Timeline)
+  | Error msg -> Alcotest.fail msg);
+  (* A timeline job is a state query: simulation parameters on it are a
+     client bug, rejected rather than ignored. *)
+  match Job.parse {|{"kind":"timeline","app":"water"}|} with
+  | Ok _ -> Alcotest.fail "timeline + app must be rejected"
+  | Error msg -> check Alcotest.bool "names the stray key" true (contains msg "app")
+
 (* -- Cache ----------------------------------------------------------------- *)
 
 let test_cache_compute_then_hit () =
@@ -249,7 +261,7 @@ let test_runner_matches_direct_run () =
 
 (* -- Server end-to-end ----------------------------------------------------- *)
 
-let with_server ?(domains = 2) ?(max_pending = 16) ?timeout_ms f =
+let with_server ?(domains = 2) ?(max_pending = 16) ?timeout_ms ?log ?(slow_ms = 0.0) f =
   let path = Filename.temp_file "ccdsm-serve" ".sock" in
   Sys.remove path;
   let cfg =
@@ -259,6 +271,8 @@ let with_server ?(domains = 2) ?(max_pending = 16) ?timeout_ms f =
       domains;
       max_pending;
       timeout_ms;
+      log;
+      slow_ms;
       apps = Some tiny_apps;
     }
   in
@@ -380,6 +394,96 @@ let test_serve_queue_full () =
       check Alcotest.bool "rejection counted" true
         (contains m "ccdsm_serve_requests_total{status=\"rejected\"} 1"))
 
+let test_serve_latency_breakdown () =
+  (* Every sim result carries the paper-bucket decomposition. *)
+  with_server (fun _srv path ->
+      match roundtrip path [ spec_line ] with
+      | [ r ] ->
+          check Alcotest.bool "latency object" true (contains r "\"latency\":{\"compute\":");
+          check Alcotest.bool "all four buckets" true
+            (contains r "\"presend\":" && contains r "\"remote_wait\":" && contains r "\"synch\":")
+      | _ -> Alcotest.fail "one response expected")
+
+let test_serve_slow_log_roundtrip () =
+  (* --log + --slow-ms end-to-end: a sub-threshold threshold flags the miss
+     as slow, the capture re-run parks a timeline in the ring, a
+     {"kind":"timeline"} job retrieves it, and the JSONL log holds one
+     record per answered request. *)
+  let log = Filename.temp_file "ccdsm-serve" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log with _ -> ())
+    (fun () ->
+      with_server ~log ~slow_ms:0.000001 (fun srv path ->
+          (match roundtrip path [ spec_line ] with
+          | [ r ] -> check Alcotest.bool "miss answered" true (contains r "\"status\":\"ok\"")
+          | _ -> Alcotest.fail "one response expected");
+          (* The capture re-run happens after the response is delivered;
+             poll the ring until it lands. *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let rec poll () =
+            match roundtrip path [ {|{"kind":"timeline","id":1}|} ] with
+            | [ r ] when contains r "\"timeline\":" -> r
+            | [ _ ] when Unix.gettimeofday () < deadline ->
+                Thread.delay 0.05;
+                poll ()
+            | [ r ] -> Alcotest.fail ("slow job never reached the ring: " ^ r)
+            | _ -> Alcotest.fail "one response expected"
+          in
+          let ring = poll () in
+          check Alcotest.bool "entry is exact" true (contains ring "\"exact\":true");
+          check Alcotest.bool "carries the canonical spec" true
+            (contains ring "\"spec\":{\"app\":\"tiny\"");
+          (* The embedded timeline round-trips through the parser. *)
+          let tl_part =
+            let marker = "\"timeline\":\"" in
+            let n = String.length ring and m = String.length marker in
+            let rec find i =
+              if i + m > n then Alcotest.fail "no timeline field"
+              else if String.sub ring i m = marker then i + m
+              else find (i + 1)
+            in
+            let start = find 0 in
+            let buf = Buffer.create 1024 in
+            let rec scan i =
+              match ring.[i] with
+              | '"' -> Buffer.contents buf
+              | '\\' ->
+                  (match ring.[i + 1] with
+                  | 'n' -> Buffer.add_char buf '\n'
+                  | 't' -> Buffer.add_char buf '\t'
+                  | c -> Buffer.add_char buf c);
+                  scan (i + 2)
+              | c ->
+                  Buffer.add_char buf c;
+                  scan (i + 1)
+            in
+            scan start
+          in
+          (match Ccdsm_obs.Timeline.of_jsonl tl_part with
+          | Ok tl -> check Alcotest.bool "has spans" true (Ccdsm_obs.Timeline.nspans tl > 0)
+          | Error msg -> Alcotest.fail ("embedded timeline does not parse: " ^ msg));
+          let m = Server.metrics_text srv in
+          check Alcotest.bool "slow job counted" true
+            (contains m "ccdsm_serve_slow_jobs_total 1");
+          Server.stop srv;
+          (* One log record per answered request, flushed as written. *)
+          let ic = open_in log in
+          let rec lines acc =
+            match input_line ic with l -> lines (l :: acc) | exception End_of_file -> List.rev acc
+          in
+          let recs = lines [] in
+          close_in ic;
+          check Alcotest.bool "miss flagged slow" true
+            (List.exists (fun l -> contains l "\"cache\":\"miss\"" && contains l "\"slow\":true") recs);
+          check Alcotest.bool "timeline queries logged" true
+            (List.exists (fun l -> contains l "\"cache\":\"timeline\"") recs);
+          List.iter
+            (fun l ->
+              check Alcotest.bool "record shape" true
+                (contains l "\"queue_wait_us\":" && contains l "\"run_us\":"
+               && contains l "\"status\":"))
+            recs))
+
 let suite =
   [
     ( "serve",
@@ -393,6 +497,7 @@ let suite =
         Alcotest.test_case "job parse defaults" `Quick test_job_parse_defaults;
         Alcotest.test_case "job canonical stable" `Quick test_job_canonical_stable;
         Alcotest.test_case "job parse rejects" `Quick test_job_parse_rejects;
+        Alcotest.test_case "job parse timeline kind" `Quick test_job_parse_timeline;
         Alcotest.test_case "cache compute then hit" `Quick test_cache_compute_then_hit;
         Alcotest.test_case "cache admit rejection" `Quick test_cache_admit_rejection;
         Alcotest.test_case "cache cancel" `Quick test_cache_cancel;
@@ -403,5 +508,7 @@ let suite =
         Alcotest.test_case "serve structured errors" `Quick test_serve_structured_errors;
         Alcotest.test_case "serve timeout" `Quick test_serve_timeout;
         Alcotest.test_case "serve queue full" `Quick test_serve_queue_full;
+        Alcotest.test_case "serve latency breakdown" `Quick test_serve_latency_breakdown;
+        Alcotest.test_case "serve slow-log round-trip" `Quick test_serve_slow_log_roundtrip;
       ] );
   ]
